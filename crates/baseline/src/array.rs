@@ -1,0 +1,275 @@
+//! The `array` (A) comparator: a fast eager parallel array library with
+//! **no fusion** (Figure 12). Every operation reads real arrays and
+//! writes a real output array, using the standard block-based parallel
+//! implementations of Section 2.2 — this is the "highly optimized
+//! parallel arrays" baseline the paper compares against.
+
+use bds_pool::{apply, parallel_reduce};
+
+use crate::util::{build_vec, grain_for};
+
+/// Eagerly build `[f(0), ..., f(n-1)]` in parallel.
+pub fn tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    build_vec(n, |raw| {
+        bds_pool::parallel_for(n, |i| {
+            // SAFETY: each index written exactly once.
+            unsafe { raw.write(i, f(i)) };
+        });
+    })
+}
+
+/// Eager parallel map: allocates and fills a new array.
+pub fn map<T, U, F>(xs: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    build_vec(xs.len(), |raw| {
+        bds_pool::parallel_for(xs.len(), |i| {
+            // SAFETY: each index written exactly once.
+            unsafe { raw.write(i, f(&xs[i])) };
+        });
+    })
+}
+
+/// Eager parallel zip-with.
+pub fn zip_with<A, B, U, F>(a: &[A], b: &[B], f: F) -> Vec<U>
+where
+    A: Sync,
+    B: Sync,
+    U: Send,
+    F: Fn(&A, &B) -> U + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip_with requires equal lengths");
+    build_vec(a.len(), |raw| {
+        bds_pool::parallel_for(a.len(), |i| {
+            // SAFETY: each index written exactly once.
+            unsafe { raw.write(i, f(&a[i], &b[i])) };
+        });
+    })
+}
+
+/// Two-phase parallel reduce. `combine` must be associative with
+/// identity `zero`.
+pub fn reduce<T, F>(xs: &[T], zero: T, combine: F) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if xs.is_empty() {
+        return zero;
+    }
+    parallel_reduce(
+        xs.len(),
+        grain_for(xs.len()),
+        zero,
+        &|lo, hi| {
+            let mut acc = xs[lo].clone();
+            for x in &xs[lo + 1..hi] {
+                acc = combine(acc, x.clone());
+            }
+            acc
+        },
+        &|a, b| combine(a, b),
+    )
+}
+
+/// Eager three-phase exclusive scan (Figure 2): returns the prefix array
+/// and the total. All three phases run now; the output is a real array.
+pub fn scan<T, F>(xs: &[T], zero: T, combine: F) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = xs.len();
+    if n == 0 {
+        return (Vec::new(), zero);
+    }
+    let bs = grain_for(n);
+    let nb = n.div_ceil(bs);
+    // Phase 1: block sums.
+    let sums = build_vec(nb, |raw| {
+        apply(nb, |j| {
+            let lo = j * bs;
+            let hi = (lo + bs).min(n);
+            let mut acc = xs[lo].clone();
+            for x in &xs[lo + 1..hi] {
+                acc = combine(acc, x.clone());
+            }
+            // SAFETY: each j written exactly once.
+            unsafe { raw.write(j, acc) };
+        });
+    });
+    // Phase 2: sequential scan of the block sums.
+    let mut seeds = Vec::with_capacity(nb);
+    let mut acc = zero;
+    for s in sums {
+        seeds.push(acc.clone());
+        acc = combine(acc, s);
+    }
+    let total = acc;
+    // Phase 3: per-block rescans into the output array.
+    let out = build_vec(n, |raw| {
+        apply(nb, |j| {
+            let lo = j * bs;
+            let hi = (lo + bs).min(n);
+            let mut acc = seeds[j].clone();
+            for (i, x) in xs[lo..hi].iter().enumerate() {
+                // SAFETY: blocks are disjoint.
+                unsafe { raw.write(lo + i, acc.clone()) };
+                acc = combine(acc, x.clone());
+            }
+        });
+    });
+    (out, total)
+}
+
+/// Eager inclusive scan.
+pub fn scan_incl<T, F>(xs: &[T], zero: T, combine: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let (mut out, total) = scan(xs, zero, &combine);
+    if !out.is_empty() {
+        // Shift left by one and append the total: exclusive -> inclusive.
+        out.remove(0);
+        out.push(total);
+    }
+    out
+}
+
+/// Eager two-phase filter: pack survivors per block, then copy every
+/// packed block into one contiguous output array (the copy is what BID
+/// fusion avoids).
+pub fn filter<T, P>(xs: &[T], pred: P) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    P: Fn(&T) -> bool + Sync,
+{
+    filter_op(xs, |x| if pred(x) { Some(x.clone()) } else { None })
+}
+
+/// Eager `filterOp` (`mapMaybe`).
+pub fn filter_op<T, U, F>(xs: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Clone + Send + Sync,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let bs = grain_for(n);
+    let nb = n.div_ceil(bs);
+    // Phase 1: pack per block.
+    let parts: Vec<Vec<U>> = build_vec(nb, |raw| {
+        apply(nb, |j| {
+            let lo = j * bs;
+            let hi = (lo + bs).min(n);
+            let kept: Vec<U> = xs[lo..hi].iter().filter_map(&f).collect();
+            // SAFETY: each j written exactly once.
+            unsafe { raw.write(j, kept) };
+        });
+    });
+    // Phase 2: flatten the packed blocks into one contiguous array.
+    flatten(&parts)
+}
+
+/// Eager flatten: offsets scan plus a parallel copy of every inner array
+/// into one contiguous output.
+pub fn flatten<T: Clone + Send + Sync>(nested: &[Vec<T>]) -> Vec<T> {
+    let mut offsets = Vec::with_capacity(nested.len() + 1);
+    let mut acc = 0usize;
+    for inner in nested {
+        offsets.push(acc);
+        acc += inner.len();
+    }
+    offsets.push(acc);
+    let total = acc;
+    build_vec(total, |raw| {
+        apply(nested.len(), |p| {
+            let base = offsets[p];
+            for (k, x) in nested[p].iter().enumerate() {
+                // SAFETY: inner regions are disjoint by the offsets scan.
+                unsafe { raw.write(base + k, x.clone()) };
+            }
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_map_reduce_roundtrip() {
+        let xs = tabulate(10_000, |i| i as u64);
+        let ys = map(&xs, |&x| x * 3);
+        let total = reduce(&ys, 0, |a, b| a + b);
+        assert_eq!(total, 3 * 9_999u64 * 10_000 / 2);
+    }
+
+    #[test]
+    fn scan_matches_reference() {
+        let xs: Vec<u64> = (0..9_999).map(|i| i % 11).collect();
+        let (got, total) = scan(&xs, 0, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(got[i], acc, "index {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_incl_matches_reference() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let got = scan_incl(&xs, 0, |a, b| a + b);
+        assert_eq!(got[0], 1);
+        assert_eq!(got[99], 5050);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let (v, t) = scan(&[] as &[u64], 5, |a, b| a + b);
+        assert!(v.is_empty());
+        assert_eq!(t, 5);
+    }
+
+    #[test]
+    fn filter_matches_std() {
+        let xs: Vec<i32> = (0..20_000).map(|i| (i * 7) % 100).collect();
+        let got = filter(&xs, |&x| x < 30);
+        let want: Vec<i32> = xs.iter().copied().filter(|&x| x < 30).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_op_maps() {
+        let xs: Vec<i32> = (0..1000).collect();
+        let got = filter_op(&xs, |&x| (x % 2 == 0).then_some(x / 2));
+        let want: Vec<i32> = (0..500).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn flatten_concats() {
+        let nested = vec![vec![1, 2], vec![], vec![3], vec![4, 5, 6]];
+        assert_eq!(flatten(&nested), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn zip_with_adds() {
+        let a: Vec<u32> = (0..500).collect();
+        let b: Vec<u32> = (0..500).rev().collect();
+        let s = zip_with(&a, &b, |x, y| x + y);
+        assert!(s.iter().all(|&v| v == 499));
+    }
+}

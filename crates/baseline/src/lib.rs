@@ -1,0 +1,20 @@
+//! # bds-baseline — the paper's comparator libraries
+//!
+//! The evaluation (Figure 12) compares three libraries:
+//!
+//! | name    | fusion      | module |
+//! |---------|-------------|--------|
+//! | `array` | none        | [`mod@array`] — eager parallel arrays |
+//! | `rad`   | RAD only    | [`rad`] — delayed tabulate/map/zip; eager scan/filter/flatten |
+//! | `delay` | RAD + BID   | the `bds-seq` crate |
+//!
+//! plus the *stream-of-blocks* alternative of Sections 2.1/6.5 in
+//! [`sob`]. All three share the same scheduler (`bds-pool`) and the same
+//! block/grain policy, so benchmark deltas isolate the fusion strategy.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod rad;
+pub mod sob;
+mod util;

@@ -1,0 +1,300 @@
+//! The `rad` (R) comparator: the array library extended with **RAD-only
+//! fusion** (Figure 12). `tabulate`, `map` and `zip` are delayed by
+//! closure composition (Repa-style index fusion), but `scan`, `filter`
+//! and `flatten` — the operations BIDs exist for — still produce real
+//! arrays. Comparing `rad` against the full delayed library isolates
+//! exactly the contribution of the BID representation (Section 6.1).
+
+use bds_pool::{apply, parallel_reduce};
+
+use crate::util::{build_vec, grain_for};
+
+/// A random-access delayed array: length plus an index function. `map`
+/// and `zip` compose closures; the compiler inlines the compositions, so
+/// consuming a `Rad` touches no intermediate memory.
+pub struct Rad<F> {
+    len: usize,
+    f: F,
+}
+
+/// Delayed `tabulate`.
+pub fn tabulate<T, F>(n: usize, f: F) -> Rad<F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    Rad { len: n, f }
+}
+
+/// View a slice as a delayed array (elements cloned on access).
+pub fn from_slice<T: Clone + Sync + Send>(xs: &[T]) -> Rad<impl Fn(usize) -> T + Sync + '_> {
+    Rad {
+        len: xs.len(),
+        f: move |i: usize| -> T { xs[i].clone() },
+    }
+}
+
+impl<T, F> Rad<F>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th element.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        (self.f)(i)
+    }
+
+    /// Delayed map: O(1), composes `g` onto the index function.
+    pub fn map<U, G>(self, g: G) -> Rad<impl Fn(usize) -> U + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let f = self.f;
+        Rad {
+            len: self.len,
+            f: move |i| g(f(i)),
+        }
+    }
+
+    /// Delayed zip: O(1).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn zip<U, G>(self, other: Rad<G>) -> Rad<impl Fn(usize) -> (T, U) + Sync>
+    where
+        U: Send,
+        G: Fn(usize) -> U + Sync,
+    {
+        assert_eq!(self.len, other.len, "zip requires equal lengths");
+        let (f, g) = (self.f, other.f);
+        Rad {
+            len: self.len,
+            f: move |i| (f(i), g(i)),
+        }
+    }
+
+    /// Eagerly materialize (fusing the whole delayed chain into one
+    /// parallel pass).
+    pub fn to_vec(&self) -> Vec<T> {
+        build_vec(self.len, |raw| {
+            bds_pool::parallel_for(self.len, |i| {
+                // SAFETY: each index written exactly once.
+                unsafe { raw.write(i, self.get(i)) };
+            });
+        })
+    }
+
+    /// Two-phase block reduce, fused with the delayed chain.
+    pub fn reduce<C>(&self, zero: T, combine: C) -> T
+    where
+        T: Clone + Send,
+        C: Fn(T, T) -> T + Sync,
+    {
+        if self.len == 0 {
+            return zero;
+        }
+        parallel_reduce(
+            self.len,
+            grain_for(self.len),
+            zero,
+            &|lo, hi| {
+                let mut acc = self.get(lo);
+                for i in lo + 1..hi {
+                    acc = combine(acc, self.get(i));
+                }
+                acc
+            },
+            &|a, b| combine(a, b),
+        )
+    }
+
+    /// Eager three-phase exclusive scan. Phase 1 and phase 3 *read*
+    /// through the fused delayed chain (so the input map fuses into the
+    /// scan — the improvement R has over A), but the result is a real
+    /// array: the scan's *output* cannot be delayed without BIDs.
+    pub fn scan<C>(&self, zero: T, combine: C) -> (Vec<T>, T)
+    where
+        T: Clone + Send + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        let n = self.len;
+        if n == 0 {
+            return (Vec::new(), zero);
+        }
+        let bs = grain_for(n);
+        let nb = n.div_ceil(bs);
+        let sums = build_vec(nb, |raw| {
+            apply(nb, |j| {
+                let lo = j * bs;
+                let hi = (lo + bs).min(n);
+                let mut acc = self.get(lo);
+                for i in lo + 1..hi {
+                    acc = combine(acc, self.get(i));
+                }
+                // SAFETY: each j written exactly once.
+                unsafe { raw.write(j, acc) };
+            });
+        });
+        let mut seeds = Vec::with_capacity(nb);
+        let mut acc = zero;
+        for s in sums {
+            seeds.push(acc.clone());
+            acc = combine(acc, s);
+        }
+        let total = acc;
+        let out = build_vec(n, |raw| {
+            apply(nb, |j| {
+                let lo = j * bs;
+                let hi = (lo + bs).min(n);
+                let mut acc = seeds[j].clone();
+                for i in lo..hi {
+                    // SAFETY: blocks are disjoint.
+                    unsafe { raw.write(i, acc.clone()) };
+                    acc = combine(acc, self.get(i));
+                }
+            });
+        });
+        (out, total)
+    }
+
+    /// Eager filter: packs per block through the fused chain, then copies
+    /// survivors into one contiguous array (the copy BIDs would avoid).
+    pub fn filter<P>(&self, pred: P) -> Vec<T>
+    where
+        T: Clone + Send + Sync,
+        P: Fn(&T) -> bool + Sync,
+    {
+        self.filter_op(|x| if pred(&x) { Some(x) } else { None })
+    }
+
+    /// Eager `filterOp` (`mapMaybe`).
+    pub fn filter_op<U, G>(&self, g: G) -> Vec<U>
+    where
+        U: Clone + Send + Sync,
+        G: Fn(T) -> Option<U> + Sync,
+    {
+        let n = self.len;
+        if n == 0 {
+            return Vec::new();
+        }
+        let bs = grain_for(n);
+        let nb = n.div_ceil(bs);
+        let parts: Vec<Vec<U>> = build_vec(nb, |raw| {
+            apply(nb, |j| {
+                let lo = j * bs;
+                let hi = (lo + bs).min(n);
+                let kept: Vec<U> = (lo..hi).filter_map(|i| g(self.get(i))).collect();
+                // SAFETY: each j written exactly once.
+                unsafe { raw.write(j, kept) };
+            });
+        });
+        crate::array::flatten(&parts)
+    }
+}
+
+/// Eager flatten over inner lengths and a fused inner getter: the inner
+/// *map* fuses (RAD), but the flattened result is a real array.
+pub fn flatten_with<T, L, G>(outer: usize, inner_len: L, get: G) -> Vec<T>
+where
+    T: Send,
+    L: Fn(usize) -> usize + Sync,
+    G: Fn(usize, usize) -> T + Sync,
+{
+    let mut offsets = Vec::with_capacity(outer + 1);
+    let mut acc = 0usize;
+    for p in 0..outer {
+        offsets.push(acc);
+        acc += inner_len(p);
+    }
+    offsets.push(acc);
+    let total = acc;
+    build_vec(total, |raw| {
+        apply(outer, |p| {
+            let base = offsets[p];
+            let len = offsets[p + 1] - base;
+            for k in 0..len {
+                // SAFETY: inner regions are disjoint by the offsets scan.
+                unsafe { raw.write(base + k, get(p, k)) };
+            }
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chain_fuses_into_reduce() {
+        let total = tabulate(100_000, |i| i as u64)
+            .map(|x| x + 1)
+            .map(|x| x * 2)
+            .reduce(0, |a, b| a + b);
+        let want: u64 = (0..100_000u64).map(|x| (x + 1) * 2).sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn zip_then_to_vec() {
+        let a = tabulate(1000, |i| i);
+        let b = tabulate(1000, |i| i * i);
+        let v = a.zip(b).map(|(x, y)| y - x).to_vec();
+        assert_eq!(v[10], 90);
+    }
+
+    #[test]
+    fn scan_reads_through_fused_map() {
+        let xs: Vec<u64> = (0..5000).map(|i| i % 9).collect();
+        let (got, total) = from_slice(&xs).map(|x| x * 2).scan(0, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(got[i], acc);
+            acc += x * 2;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn filter_packs_and_copies() {
+        let got = tabulate(10_000, |i| i as u32).filter(|&x| x % 3 == 0);
+        let want: Vec<u32> = (0..10_000).filter(|x| x % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_op_keeps_some() {
+        let got = tabulate(100, |i| i).filter_op(|x| (x > 95).then_some(x * 10));
+        assert_eq!(got, vec![960, 970, 980, 990]);
+    }
+
+    #[test]
+    fn flatten_with_triangular() {
+        let got = flatten_with(5, |p| p, |p, k| (p, k));
+        let want: Vec<(usize, usize)> = (0..5).flat_map(|p| (0..p).map(move |k| (p, k))).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_rad_ops() {
+        let r = tabulate(0, |i| i as u64);
+        assert_eq!(r.reduce(3, |a, b| a + b), 3);
+        assert!(r.to_vec().is_empty());
+        let (v, t) = r.scan(0, |a, b| a + b);
+        assert!(v.is_empty());
+        assert_eq!(t, 0);
+        assert!(r.filter(|_| true).is_empty());
+    }
+}

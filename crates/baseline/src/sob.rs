@@ -1,0 +1,176 @@
+//! The *stream-of-blocks* comparator (Sections 2.1 and 6.5).
+//!
+//! Stream-of-blocks is the older way to combine streams with parallelism:
+//! a **sequential outer loop** walks blocks of fixed size `B`, fully
+//! materializing one block at a time in a small reusable buffer, and all
+//! parallelism happens **within** the current block. The paper's insight
+//! is that this is "inside-out" from what multicores need: per-block
+//! parallel regions of size `B` pay a synchronization barrier per block
+//! per operation, so `B` must be enormous before the overhead amortizes —
+//! at which point the small-footprint advantage is gone (Figure 16).
+//!
+//! These primitives operate on caller-provided block buffers so a
+//! pipeline can loop over blocks reusing O(B) memory, exactly as the
+//! paper's stream-of-blocks bestcut does.
+
+use crate::util::par_overwrite;
+
+/// Fill `dst` with `f(offset + k)` for each `k`, in parallel within the
+/// block.
+pub fn fill_block<T, F>(dst: &mut [T], offset: usize, f: F)
+where
+    T: Copy + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_overwrite(dst, |k| f(offset + k));
+}
+
+/// Map `src` into `dst` elementwise, in parallel within the block.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn map_block<A, B, F>(src: &[A], dst: &mut [B], f: F)
+where
+    A: Sync,
+    B: Copy + Send,
+    F: Fn(&A) -> B + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "map_block length mismatch");
+    par_overwrite(dst, |k| f(&src[k]));
+}
+
+/// Exclusive scan of the block **in place**, seeded with `carry`;
+/// returns the carry for the next block. Parallel three-phase within the
+/// block.
+pub fn scan_block_excl<T, F>(buf: &mut [T], carry: T, combine: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = buf.len();
+    if n == 0 {
+        return carry;
+    }
+    let grain = crate::util::grain_for(n);
+    let nb = n.div_ceil(grain);
+    if nb <= 1 {
+        let mut acc = carry;
+        for x in buf.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc = combine(acc, v);
+        }
+        return acc;
+    }
+    // Phase 1: sums of sub-blocks.
+    let sums = crate::util::build_vec(nb, |raw| {
+        bds_pool::apply(nb, |j| {
+            let lo = j * grain;
+            let hi = (lo + grain).min(n);
+            let mut acc = buf[lo];
+            for x in &buf[lo + 1..hi] {
+                acc = combine(acc, *x);
+            }
+            // SAFETY: each j written exactly once.
+            unsafe { raw.write(j, acc) };
+        });
+    });
+    // Phase 2: sequential scan of sums seeded with the carry.
+    let mut seeds = Vec::with_capacity(nb);
+    let mut acc = carry;
+    for s in sums {
+        seeds.push(acc);
+        acc = combine(acc, s);
+    }
+    // Phase 3: rescan each sub-block in place.
+    let raw = SyncPtr(buf.as_mut_ptr());
+    bds_pool::apply(nb, |j| {
+        let lo = j * grain;
+        let hi = (lo + grain).min(n);
+        let mut a = seeds[j];
+        for i in lo..hi {
+            // SAFETY: sub-blocks are disjoint; T: Copy so plain
+            // overwrite is fine.
+            unsafe {
+                let p = raw.at(i);
+                let v = *p;
+                *p = a;
+                a = combine(a, v);
+            }
+        }
+    });
+    acc
+}
+
+/// Parallel reduce of one block.
+pub fn reduce_block<T, F>(buf: &[T], zero: T, combine: F) -> T
+where
+    T: Clone + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    crate::array::reduce(buf, zero, combine)
+}
+
+struct SyncPtr<T>(*mut T);
+
+impl<T> SyncPtr<T> {
+    /// Pointer to element `i`. Borrows the wrapper (not its raw field) so
+    /// closures capture the `Sync` wrapper, not the bare pointer.
+    ///
+    /// SAFETY: caller stays within the original allocation and upholds
+    /// the disjoint-writes protocol.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+// SAFETY: used only for disjoint-range writes inside scan_block_excl.
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_map_block() {
+        let mut a = vec![0u64; 5000];
+        fill_block(&mut a, 100, |i| i as u64);
+        assert_eq!(a[0], 100);
+        assert_eq!(a[4999], 5099);
+        let mut b = vec![0u64; 5000];
+        map_block(&a, &mut b, |&x| x * 2);
+        assert_eq!(b[0], 200);
+    }
+
+    #[test]
+    fn scan_block_excl_with_carry_chain() {
+        // Scanning in two chained blocks must equal one whole scan.
+        let xs: Vec<u64> = (0..10_000).map(|i| i % 7).collect();
+        let mut whole = xs.clone();
+        let total = scan_block_excl(&mut whole, 0, |a, b| a + b);
+
+        let (left, right) = xs.split_at(6_000);
+        let mut l = left.to_vec();
+        let mut r = right.to_vec();
+        let carry = scan_block_excl(&mut l, 0, |a, b| a + b);
+        let total2 = scan_block_excl(&mut r, carry, |a, b| a + b);
+
+        assert_eq!(total, total2);
+        assert_eq!(&whole[..6_000], &l[..]);
+        assert_eq!(&whole[6_000..], &r[..]);
+    }
+
+    #[test]
+    fn scan_block_tiny() {
+        let mut b = vec![5u64];
+        let t = scan_block_excl(&mut b, 10, |a, b| a + b);
+        assert_eq!(b, vec![10]);
+        assert_eq!(t, 15);
+    }
+
+    #[test]
+    fn reduce_block_sums() {
+        let xs: Vec<u64> = (0..5000).collect();
+        assert_eq!(reduce_block(&xs, 0, |a, b| a + b), 4999 * 5000 / 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared internals of the baseline libraries: disjoint parallel writes
+//! and the block/grain policy (kept deliberately identical to the delayed
+//! library's policy, so comparisons isolate *fusion*, not tuning).
+
+/// Grain/block size for `n` elements: `max(1024, ceil(n / 8P))`.
+pub(crate) fn grain_for(n: usize) -> usize {
+    let p = bds_pool::current_num_threads();
+    n.div_ceil(8 * p).max(1024)
+}
+
+/// Shareable raw pointer for the disjoint-writes protocol (see
+/// `bds-seq`'s twin; duplicated because the baselines are an independent
+/// library by design).
+pub(crate) struct RawSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: used only under the disjoint-writes protocol; `T: Send` lets
+// values be produced on any thread.
+unsafe impl<T: Send> Sync for RawSlice<T> {}
+unsafe impl<T: Send> Send for RawSlice<T> {}
+
+impl<T> RawSlice<T> {
+    /// Write `value` at `index`.
+    ///
+    /// SAFETY: `index < len`, written at most once, buffer outlives use.
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        self.ptr.add(index).write(value);
+    }
+}
+
+/// Build a `Vec<T>` of length `n` by disjoint parallel writes.
+pub(crate) fn build_vec<T: Send>(n: usize, fill: impl FnOnce(&RawSlice<T>)) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    {
+        let raw = RawSlice {
+            ptr: out.as_mut_ptr(),
+            len: n,
+        };
+        fill(&raw);
+    }
+    // SAFETY: `fill` wrote every index exactly once.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Overwrite every element of `dst` in parallel with `f(i)`. Restricted
+/// to `Copy` types so overwriting needs no drops.
+pub(crate) fn par_overwrite<T: Copy + Send>(dst: &mut [T], f: impl Fn(usize) -> T + Sync) {
+    let raw = RawSlice {
+        ptr: dst.as_mut_ptr(),
+        len: dst.len(),
+    };
+    bds_pool::parallel_for(dst.len(), |i| {
+        // SAFETY: each index written exactly once; T: Copy so the
+        // overwritten value needs no drop.
+        unsafe { raw.write(i, f(i)) };
+    });
+}

@@ -1,0 +1,113 @@
+//! Criterion microbenches of the core sequence operations themselves:
+//! each op in isolation plus the canonical fusion pipelines, against
+//! their eager-array equivalents.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+const N: usize = 1_000_000;
+
+fn bench_map_reduce(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..N as u64).collect();
+    let mut g = c.benchmark_group("core/map-reduce");
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| from_slice(&xs).map(|x| x * 3 + 1).reduce(0, |a, b| a + b))
+    });
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| {
+            let ys = array::map(&xs, |&x| x * 3 + 1);
+            array::reduce(&ys, 0, |a, b| a + b)
+        })
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..N as u64).map(|x| x % 17).collect();
+    let mut g = c.benchmark_group("core/scan-then-reduce");
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| {
+            let (s, _) = from_slice(&xs).scan(0, |a, b| a + b);
+            s.reduce(0, u64::max)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| {
+            let (s, _) = array::scan(&xs, 0, |a, b| a + b);
+            array::reduce(&s, 0, u64::max)
+        })
+    });
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..N as u64).map(|x| (x * 2654435761) % 1000).collect();
+    let mut g = c.benchmark_group("core/filter-then-reduce");
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| {
+            from_slice(&xs)
+                .filter(|&x| x < 300)
+                .reduce(0, |a, b| a + b)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| {
+            let kept = array::filter(&xs, |&x| x < 300);
+            array::reduce(&kept, 0, |a, b| a + b)
+        })
+    });
+    g.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    // 10K inner sequences of 100 elements each.
+    let inners: Vec<Vec<u64>> = (0..10_000u64)
+        .map(|k| (0..100).map(|i| k + i).collect())
+        .collect();
+    let forced: Vec<bds_seq::Forced<u64>> = inners
+        .iter()
+        .map(|v| bds_seq::Forced::from_vec(v.clone()))
+        .collect();
+    let mut g = c.benchmark_group("core/flatten-then-reduce");
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| {
+            bds_seq::Flattened::from_inners(forced.clone()).reduce(0, |a, b| a + b)
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| {
+            let flat = array::flatten(&inners);
+            array::reduce(&flat, 0, |a, b| a + b)
+        })
+    });
+    g.finish();
+}
+
+fn bench_to_vec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core/tabulate-to-vec");
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| tabulate(N, |i| (i as u64).wrapping_mul(31)).to_vec())
+    });
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| array::tabulate(N, |i| (i as u64).wrapping_mul(31)))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_map_reduce, bench_scan, bench_filter, bench_flatten, bench_to_vec
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the extension applications: the inverted index
+//! (delay vs array) and the sort substrate it runs on.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_workloads::{dedup, invindex, raytrace};
+
+fn bench_invindex(c: &mut Criterion) {
+    let text = invindex::generate(invindex::Params {
+        n: 300_000,
+        seed: 9,
+    });
+    let mut g = c.benchmark_group("ext/invindex");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| invindex::run_array(&text))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| invindex::run_delay(&text))
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let xs: Vec<u64> = (0..400_000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+    let mut g = c.benchmark_group("ext/sort");
+    g.bench_function(BenchmarkId::from_parameter("bds-sort"), |b| {
+        b.iter(|| {
+            let mut v = xs.clone();
+            bds_sort::sort(&mut v);
+            v
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("std-stable"), |b| {
+        b.iter(|| {
+            let mut v = xs.clone();
+            v.sort();
+            v
+        })
+    });
+    g.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let keys = dedup::generate(dedup::Params {
+        n: 300_000,
+        universe: 30_000,
+        seed: 4,
+    });
+    let mut g = c.benchmark_group("ext/dedup");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| dedup::run_array(&keys))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| dedup::run_delay(&keys))
+    });
+    g.bench_function(BenchmarkId::from_parameter("count-only"), |b| {
+        b.iter(|| dedup::count_distinct_delay(&keys))
+    });
+    g.finish();
+}
+
+fn bench_raytrace(c: &mut Criterion) {
+    let scene = raytrace::generate(raytrace::Params {
+        n: 20_000,
+        seed: 5,
+    });
+    let mut g = c.benchmark_group("ext/raytrace");
+    g.bench_function(BenchmarkId::from_parameter("build-kdtree"), |b| {
+        b.iter(|| raytrace::build(&scene))
+    });
+    let tree = raytrace::build(&scene);
+    let rays = raytrace::generate_rays(200, 6);
+    g.bench_function(BenchmarkId::from_parameter("query-200-rays"), |b| {
+        b.iter(|| raytrace::query_batch(&tree, &scene, &rays))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_invindex, bench_sort, bench_dedup, bench_raytrace
+}
+criterion_main!(benches);

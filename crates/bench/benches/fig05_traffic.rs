@@ -1,0 +1,56 @@
+//! Criterion bench backing Figure 5: the best-cut pipeline with and
+//! without fusion, plus the Section 3 "force the first map" variant, so
+//! the 8n / 4n / 2n traffic model can be checked against wall time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_seq::prelude::*;
+use bds_workloads::bestcut;
+
+/// The forced variant of the delay pipeline (Section 3): force the first
+/// map so f evaluates once, paying n extra reads and writes.
+fn run_delay_forced(events: &[u64]) -> f64 {
+    let n = events.len();
+    let flags = from_slice(events).map(|e| e & 1).force();
+    let (counts, _) = flags.scan(0u64, |a, b| a + b);
+    counts
+        .map(|c| {
+            let left = c as f64;
+            left * (n as f64 - left) + 1.0
+        })
+        .reduce(f64::INFINITY, f64::min)
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let ev = bestcut::generate(bestcut::Params {
+        n: 400_000,
+        seed: 1,
+    });
+    let mut g = c.benchmark_group("fig05/bestcut-traffic");
+    g.bench_function(BenchmarkId::from_parameter("normal-8n"), |b| {
+        b.iter(|| bestcut::run_array(&ev))
+    });
+    g.bench_function(BenchmarkId::from_parameter("forced-4n"), |b| {
+        b.iter(|| run_delay_forced(&ev))
+    });
+    g.bench_function(BenchmarkId::from_parameter("fused-2n"), |b| {
+        b.iter(|| bestcut::run_delay(&ev))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_variants
+}
+criterion_main!(benches);

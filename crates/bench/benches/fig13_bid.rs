@@ -1,0 +1,103 @@
+//! Criterion microbenches backing Figure 13: the five BID benchmarks in
+//! their array / rad / delay versions (table-shaped output comes from the
+//! `fig13` binary; these give statistically rigorous per-version times).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_workloads::{bestcut, bfs, bignum, primes, tokens};
+
+const N: usize = 400_000;
+
+fn bench_bestcut(c: &mut Criterion) {
+    let ev = bestcut::generate(bestcut::Params { n: N, seed: 1 });
+    let mut g = c.benchmark_group("fig13/bestcut");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| bestcut::run_array(&ev))
+    });
+    g.bench_function(BenchmarkId::from_parameter("rad"), |b| {
+        b.iter(|| bestcut::run_rad(&ev))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| bestcut::run_delay(&ev))
+    });
+    g.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let graph = bfs::generate(bfs::Params {
+        scale: 14,
+        edge_factor: 12,
+        seed: 2,
+    });
+    let mut g = c.benchmark_group("fig13/bfs");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| bfs::run_array(&graph, 0))
+    });
+    g.bench_function(BenchmarkId::from_parameter("rad"), |b| {
+        b.iter(|| bfs::run_rad(&graph, 0))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| bfs::run_delay(&graph, 0))
+    });
+    g.finish();
+}
+
+fn bench_bignum(c: &mut Criterion) {
+    let (x, y) = bignum::generate(bignum::Params { n: N, seed: 3 });
+    let mut g = c.benchmark_group("fig13/bignum-add");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| bignum::run_array(&x, &y))
+    });
+    g.bench_function(BenchmarkId::from_parameter("rad"), |b| {
+        b.iter(|| bignum::run_rad(&x, &y))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| bignum::run_delay(&x, &y))
+    });
+    g.finish();
+}
+
+fn bench_primes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13/primes");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| primes::run_array(N))
+    });
+    g.bench_function(BenchmarkId::from_parameter("rad"), |b| {
+        b.iter(|| primes::run_rad(N))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| primes::run_delay(N))
+    });
+    g.finish();
+}
+
+fn bench_tokens(c: &mut Criterion) {
+    let text = tokens::generate(tokens::Params { n: N, seed: 4 });
+    let mut g = c.benchmark_group("fig13/tokens");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| tokens::run_array(&text))
+    });
+    g.bench_function(BenchmarkId::from_parameter("rad"), |b| {
+        b.iter(|| tokens::run_rad(&text))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| tokens::run_delay(&text))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bestcut, bench_bfs, bench_bignum, bench_primes, bench_tokens
+}
+criterion_main!(benches);

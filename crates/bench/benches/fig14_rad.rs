@@ -1,0 +1,148 @@
+//! Criterion microbenches backing Figure 14: the eight RAD benchmarks,
+//! array (A) vs delay (Ours).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_workloads::{grep, integrate, linearrec, linefit, mcss, quickhull, spmv, wc};
+
+const N: usize = 400_000;
+
+fn bench_grep(c: &mut Criterion) {
+    let p = grep::Params {
+        n: N,
+        ..Default::default()
+    };
+    let text = grep::generate(&p);
+    let mut g = c.benchmark_group("fig14/grep");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| grep::run_array(&text, &p.pattern))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| grep::run_delay(&text, &p.pattern))
+    });
+    g.finish();
+}
+
+fn bench_integrate(c: &mut Criterion) {
+    let p = integrate::Params {
+        n: N,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("fig14/integrate");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| integrate::run_array(p))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| integrate::run_delay(p))
+    });
+    g.finish();
+}
+
+fn bench_linearrec(c: &mut Criterion) {
+    let pairs = linearrec::generate(linearrec::Params {
+        n: N,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fig14/linearrec");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| linearrec::run_array(&pairs, 1.0))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| linearrec::run_delay(&pairs, 1.0))
+    });
+    g.finish();
+}
+
+fn bench_linefit(c: &mut Criterion) {
+    let pts = linefit::generate(linefit::Params {
+        n: N,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fig14/linefit");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| linefit::run_array(&pts))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| linefit::run_delay(&pts))
+    });
+    g.finish();
+}
+
+fn bench_mcss(c: &mut Criterion) {
+    let xs = mcss::generate(mcss::Params {
+        n: N,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fig14/mcss");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| mcss::run_array(&xs))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| mcss::run_delay(&xs))
+    });
+    g.finish();
+}
+
+fn bench_quickhull(c: &mut Criterion) {
+    let pts = quickhull::generate(quickhull::Params {
+        n: 100_000,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fig14/quickhull");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| quickhull::run_array(&pts))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| quickhull::run_delay(&pts))
+    });
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let m = spmv::generate(spmv::Params {
+        rows: 4_000,
+        cols: 4_000,
+        nnz_per_row: 100,
+        seed: 5,
+    });
+    let mut g = c.benchmark_group("fig14/sparse-mxv");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| spmv::run_array(&m))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| spmv::run_delay(&m))
+    });
+    g.finish();
+}
+
+fn bench_wc(c: &mut Criterion) {
+    let text = wc::generate(wc::Params {
+        n: N,
+        ..Default::default()
+    });
+    let mut g = c.benchmark_group("fig14/wc");
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| wc::run_array(&text))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| wc::run_delay(&text))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_grep, bench_integrate, bench_linearrec, bench_linefit,
+              bench_mcss, bench_quickhull, bench_spmv, bench_wc
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches backing Figure 15: bfs and primes (delay version)
+//! across explicit pool sizes, to observe the scaling trend.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_pool::Pool;
+use bds_workloads::{bfs, primes};
+
+fn sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut ps = vec![1usize];
+    if max >= 2 {
+        ps.push(2);
+    }
+    if max >= 4 {
+        ps.push(max);
+    }
+    ps.dedup();
+    ps
+}
+
+fn bench_bfs_scaling(c: &mut Criterion) {
+    let graph = bfs::generate(bfs::Params {
+        scale: 14,
+        edge_factor: 12,
+        seed: 2,
+    });
+    let mut g = c.benchmark_group("fig15/bfs-delay");
+    for p in sweep() {
+        let pool = Pool::new(p);
+        g.bench_function(BenchmarkId::from_parameter(format!("P{p}")), |b| {
+            b.iter(|| pool.install(|| bfs::run_delay(&graph, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_primes_scaling(c: &mut Criterion) {
+    let n = 500_000;
+    let mut g = c.benchmark_group("fig15/primes-delay");
+    for p in sweep() {
+        let pool = Pool::new(p);
+        g.bench_function(BenchmarkId::from_parameter(format!("P{p}")), |b| {
+            b.iter(|| pool.install(|| primes::run_delay(n)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bfs_scaling, bench_primes_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches backing Figure 16: stream-of-blocks bestcut across
+//! block sizes, vs the array and delay versions.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bds_workloads::bestcut;
+
+fn bench_sob(c: &mut Criterion) {
+    let n = 400_000;
+    let ev = bestcut::generate(bestcut::Params { n, seed: 1 });
+    let mut g = c.benchmark_group("fig16/bestcut");
+    for block in [n / 2000, n / 200, n / 20, n / 2] {
+        g.bench_function(BenchmarkId::from_parameter(format!("sob-B{block}")), |b| {
+            b.iter(|| bestcut::run_sob(&ev, block))
+        });
+    }
+    g.bench_function(BenchmarkId::from_parameter("array"), |b| {
+        b.iter(|| bestcut::run_array(&ev))
+    });
+    g.bench_function(BenchmarkId::from_parameter("delay"), |b| {
+        b.iter(|| bestcut::run_delay(&ev))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sob
+}
+criterion_main!(benches);

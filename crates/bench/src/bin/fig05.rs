@@ -1,0 +1,67 @@
+//! Regenerates **Figure 5**: the per-stage read/write accounting of the
+//! best-cut pipeline (map → scan → map → reduce), unfused vs fused, from
+//! the cost model — plus, when the `counters` feature is enabled on
+//! `bds-seq`/`bds-baseline`, an empirical cross-check that the library's
+//! instrumented element traffic matches the model's shape.
+
+use bds_cost::{bestcut_force_first_map, bestcut_fused, bestcut_normal, RwTable};
+use bds_metrics::Table;
+use bds_workloads::bestcut;
+
+fn print_table(t: &RwTable, n: u64, b: u64) {
+    println!("-- {} (n = {n}, b = {b}) --", t.name);
+    let mut out = Table::new(vec!["stage", "R", "W"]);
+    let fmt = |v: Option<u64>| v.map_or("—".to_string(), |x| x.to_string());
+    for row in &t.rows {
+        out.row(vec![row.stage.to_string(), fmt(row.reads), fmt(row.writes)]);
+    }
+    println!("{}", out.render());
+    println!("Total (R+W): {}", t.total());
+    println!();
+}
+
+fn main() {
+    let n: u64 = 1_000_000;
+    let b: u64 = n / bds_seq::block_size(n as usize) as u64;
+    println!("Figure 5 — best-cut read/write accounting");
+    println!();
+    let normal = bestcut_normal(n, b);
+    let fused = bestcut_fused(n, b);
+    let forced = bestcut_force_first_map(n, b);
+    print_table(&normal, n, b);
+    print_table(&fused, n, b);
+    print_table(&forced, n, b);
+    println!(
+        "Model ratio normal/fused: {:.2} (paper: 8n+O(b) vs 2n+O(b) → ~4)",
+        normal.total() as f64 / fused.total() as f64
+    );
+    println!();
+
+    // Empirical cross-check with the instrumented library.
+    let ev = bestcut::generate(bestcut::Params {
+        n: n as usize,
+        ..Default::default()
+    });
+    bds_seq::counters::reset();
+    let _ = bestcut::run_delay(&ev);
+    let (r_delay, w_delay, a_delay) = bds_seq::counters::snapshot();
+    bds_seq::counters::reset();
+    let _ = bestcut::run_array(&ev);
+    let (r_array, w_array, _a_array) = bds_seq::counters::snapshot();
+    if r_delay == 0 && r_array == 0 {
+        println!(
+            "(measured counters: build with `--features bds-workloads/counters` \
+             to cross-check the model empirically)"
+        );
+    } else {
+        println!("Measured element traffic (delay): R={r_delay} W={w_delay} alloc={a_delay}");
+        println!(
+            "Measured traffic per element (delay): {:.2} (model fused: ~{:.2})",
+            (r_delay + w_delay) as f64 / n as f64,
+            fused.total() as f64 / n as f64
+        );
+        if r_array + w_array > 0 {
+            println!("Measured element traffic (array): R={r_array} W={w_array}");
+        }
+    }
+}

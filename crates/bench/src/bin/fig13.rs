@@ -1,0 +1,161 @@
+//! Regenerates **Figure 13**: the BID benchmarks (bestcut, bfs,
+//! bignum-add, primes, tokens) in all three library versions — array (A),
+//! rad (R), delay (Ours) — reporting time and peak space at P = 1 and
+//! P = max, with the paper's R/Ours improvement ratios.
+
+use bds_bench::{max_procs, measure, Scale};
+use bds_metrics::{fmt_mb, fmt_ratio, fmt_secs, Table};
+use bds_workloads::{bestcut, bfs, bignum, primes, tokens};
+
+#[global_allocator]
+static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
+
+struct Row {
+    name: &'static str,
+    /// (time_secs, peak_bytes) for [A, R, Ours].
+    results: Vec<[(f64, usize); 3]>, // one entry per proc count
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let proto = scale.protocol();
+    let procs = [1usize, max_procs()];
+    println!(
+        "Figure 13 — benchmarks with BID improvement (scale: {:?}, P = {:?})",
+        scale, procs
+    );
+    println!();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // bestcut
+    {
+        let ev = bestcut::generate(bestcut::Params {
+            n: scale.size(2_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &p in &procs {
+            results.push([
+                measure(p, proto, || bestcut::run_array(&ev)),
+                measure(p, proto, || bestcut::run_rad(&ev)),
+                measure(p, proto, || bestcut::run_delay(&ev)),
+            ]);
+        }
+        rows.push(Row {
+            name: "bestcut",
+            results,
+        });
+    }
+
+    // bfs
+    {
+        let g = bfs::generate(bfs::Params {
+            scale: if scale == Scale::Full { 18 } else { 15 },
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &p in &procs {
+            results.push([
+                measure(p, proto, || bfs::run_array(&g, 0)),
+                measure(p, proto, || bfs::run_rad(&g, 0)),
+                measure(p, proto, || bfs::run_delay(&g, 0)),
+            ]);
+        }
+        rows.push(Row {
+            name: "bfs",
+            results,
+        });
+    }
+
+    // bignum-add
+    {
+        let (a, b) = bignum::generate(bignum::Params {
+            n: scale.size(8_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &p in &procs {
+            results.push([
+                measure(p, proto, || bignum::run_array(&a, &b)),
+                measure(p, proto, || bignum::run_rad(&a, &b)),
+                measure(p, proto, || bignum::run_delay(&a, &b)),
+            ]);
+        }
+        rows.push(Row {
+            name: "bignum-add",
+            results,
+        });
+    }
+
+    // primes
+    {
+        let n = scale.size(2_000_000);
+        let mut results = Vec::new();
+        for &p in &procs {
+            results.push([
+                measure(p, proto, || primes::run_array(n)),
+                measure(p, proto, || primes::run_rad(n)),
+                measure(p, proto, || primes::run_delay(n)),
+            ]);
+        }
+        rows.push(Row {
+            name: "primes",
+            results,
+        });
+    }
+
+    // tokens
+    {
+        let text = tokens::generate(tokens::Params {
+            n: scale.size(8_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &p in &procs {
+            results.push([
+                measure(p, proto, || tokens::run_array(&text)),
+                measure(p, proto, || tokens::run_rad(&text)),
+                measure(p, proto, || tokens::run_delay(&text)),
+            ]);
+        }
+        rows.push(Row {
+            name: "tokens",
+            results,
+        });
+    }
+
+    for (pi, &p) in procs.iter().enumerate() {
+        println!("== P = {p} ==");
+        let mut t = Table::new(vec![
+            "benchmark",
+            "T(A)",
+            "T(R)",
+            "T(Ours)",
+            "R/Ours",
+            "Sp(A) MB",
+            "Sp(R) MB",
+            "Sp(Ours) MB",
+            "R/Ours",
+        ]);
+        for row in &rows {
+            let [(ta, sa), (tr, sr), (to, so)] = row.results[pi];
+            t.row(vec![
+                row.name.to_string(),
+                fmt_secs(ta),
+                fmt_secs(tr),
+                fmt_secs(to),
+                fmt_ratio(tr / to),
+                fmt_mb(sa),
+                fmt_mb(sr),
+                fmt_mb(so),
+                fmt_ratio(sr as f64 / so.max(1) as f64),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "Expected shape (paper, 72 cores): Ours ≤ R ≤ A in time at P=max; \
+         space R/Ours between 1.1x and 14x."
+    );
+}

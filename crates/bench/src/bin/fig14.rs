@@ -1,0 +1,215 @@
+//! Regenerates **Figure 14**: the RAD-only benchmarks (grep, integrate,
+//! linearrec, linefit, mcss, quickhull, sparse-mxv, wc) comparing the
+//! array library (A) against the full delayed library (Ours), in time
+//! and peak space, at P = 1 and P = max.
+
+use bds_bench::{max_procs, measure, Scale};
+use bds_metrics::{fmt_mb, fmt_ratio, fmt_secs, Table};
+use bds_workloads::{grep, integrate, linearrec, linefit, mcss, quickhull, spmv, wc};
+
+#[global_allocator]
+static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
+
+struct Row {
+    name: &'static str,
+    /// (time, peak) for [A, Ours], one entry per proc count.
+    results: Vec<[(f64, usize); 2]>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let proto = scale.protocol();
+    let procs = [1usize, max_procs()];
+    println!(
+        "Figure 14 — benchmarks with RAD-only improvement (scale: {:?}, P = {:?})",
+        scale, procs
+    );
+    println!();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // grep
+    {
+        let p = grep::Params {
+            n: scale.size(8_000_000),
+            ..Default::default()
+        };
+        let text = grep::generate(&p);
+        let pat = p.pattern.clone();
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || grep::run_array(&text, &pat)),
+                measure(procs_n, proto, || grep::run_delay(&text, &pat)),
+            ]);
+        }
+        rows.push(Row {
+            name: "grep",
+            results,
+        });
+    }
+
+    // integrate
+    {
+        let p = integrate::Params {
+            n: scale.size(4_000_000),
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || integrate::run_array(p)),
+                measure(procs_n, proto, || integrate::run_delay(p)),
+            ]);
+        }
+        rows.push(Row {
+            name: "integrate",
+            results,
+        });
+    }
+
+    // linearrec
+    {
+        let pairs = linearrec::generate(linearrec::Params {
+            n: scale.size(4_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || linearrec::run_array(&pairs, 1.0)),
+                measure(procs_n, proto, || linearrec::run_delay(&pairs, 1.0)),
+            ]);
+        }
+        rows.push(Row {
+            name: "linearrec",
+            results,
+        });
+    }
+
+    // linefit
+    {
+        let pts = linefit::generate(linefit::Params {
+            n: scale.size(4_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || linefit::run_array(&pts)),
+                measure(procs_n, proto, || linefit::run_delay(&pts)),
+            ]);
+        }
+        rows.push(Row {
+            name: "linefit",
+            results,
+        });
+    }
+
+    // mcss
+    {
+        let xs = mcss::generate(mcss::Params {
+            n: scale.size(4_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || mcss::run_array(&xs)),
+                measure(procs_n, proto, || mcss::run_delay(&xs)),
+            ]);
+        }
+        rows.push(Row {
+            name: "mcss",
+            results,
+        });
+    }
+
+    // quickhull
+    {
+        let pts = quickhull::generate(quickhull::Params {
+            n: scale.size(500_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || quickhull::run_array(&pts)),
+                measure(procs_n, proto, || quickhull::run_delay(&pts)),
+            ]);
+        }
+        rows.push(Row {
+            name: "quickhull",
+            results,
+        });
+    }
+
+    // sparse-mxv
+    {
+        let m = spmv::generate(spmv::Params {
+            rows: scale.size(20_000),
+            cols: scale.size(20_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || spmv::run_array(&m)),
+                measure(procs_n, proto, || spmv::run_delay(&m)),
+            ]);
+        }
+        rows.push(Row {
+            name: "sparse-mxv",
+            results,
+        });
+    }
+
+    // wc
+    {
+        let text = wc::generate(wc::Params {
+            n: scale.size(8_000_000),
+            ..Default::default()
+        });
+        let mut results = Vec::new();
+        for &procs_n in &procs {
+            results.push([
+                measure(procs_n, proto, || wc::run_array(&text)),
+                measure(procs_n, proto, || wc::run_delay(&text)),
+            ]);
+        }
+        rows.push(Row {
+            name: "wc",
+            results,
+        });
+    }
+
+    for (pi, &p) in procs.iter().enumerate() {
+        println!("== P = {p} ==");
+        let mut t = Table::new(vec![
+            "benchmark",
+            "T(A)",
+            "T(Ours)",
+            "A/Ours",
+            "Sp(A) MB",
+            "Sp(Ours) MB",
+            "A/Ours",
+        ]);
+        for row in &rows {
+            let [(ta, sa), (to, so)] = row.results[pi];
+            t.row(vec![
+                row.name.to_string(),
+                fmt_secs(ta),
+                fmt_secs(to),
+                fmt_ratio(ta / to),
+                fmt_mb(sa),
+                fmt_mb(so),
+                fmt_ratio(sa as f64 / so.max(1) as f64),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "Expected shape (paper): Ours as fast or faster everywhere (1x-19x), \
+         space up to 250x smaller (integrate)."
+    );
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Figure 15**: speedup curves with respect to the
+//! 1-processor `delay` time, for bfs and primes, across a processor
+//! sweep, for all three libraries (delay / rad / array).
+
+use bds_bench::{max_procs, measure, proc_sweep, Scale};
+use bds_metrics::Table;
+use bds_workloads::{bfs, primes};
+
+#[global_allocator]
+static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
+
+fn speedup_table(
+    name: &str,
+    procs: &[usize],
+    mut run: impl FnMut(usize, &'static str) -> f64,
+) {
+    println!("== {name} (speedup vs 1-proc delay) ==");
+    let base = run(1, "delay");
+    let mut t = Table::new(vec!["P", "delay", "rad", "array"]);
+    for &p in procs {
+        let d = base / run(p, "delay");
+        let r = base / run(p, "rad");
+        let a = base / run(p, "array");
+        t.row(vec![
+            p.to_string(),
+            format!("{d:.2}"),
+            format!("{r:.2}"),
+            format!("{a:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let proto = scale.protocol();
+    let procs = proc_sweep(max_procs());
+    println!(
+        "Figure 15 — scalability (scale: {:?}, procs {:?})",
+        scale, procs
+    );
+    println!();
+
+    {
+        let g = bfs::generate(bfs::Params {
+            scale: if scale == Scale::Full { 18 } else { 15 },
+            ..Default::default()
+        });
+        speedup_table("bfs", &procs, |p, lib| {
+            let (secs, _) = match lib {
+                "delay" => measure(p, proto, || bfs::run_delay(&g, 0)),
+                "rad" => measure(p, proto, || bfs::run_rad(&g, 0)),
+                _ => measure(p, proto, || bfs::run_array(&g, 0)),
+            };
+            secs
+        });
+    }
+
+    {
+        let n = scale.size(2_000_000);
+        speedup_table("primes", &procs, |p, lib| {
+            let (secs, _) = match lib {
+                "delay" => measure(p, proto, || primes::run_delay(n)),
+                "rad" => measure(p, proto, || primes::run_rad(n)),
+                _ => measure(p, proto, || primes::run_array(n)),
+            };
+            secs
+        });
+    }
+
+    println!(
+        "Expected shape (paper): the delay curve sits above rad, which sits \
+         above array, with the gap widening as P grows."
+    );
+}

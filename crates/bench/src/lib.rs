@@ -1,0 +1,138 @@
+//! # bds-bench — harness regenerating the paper's tables and figures
+//!
+//! One binary per figure of the evaluation section:
+//!
+//! | binary  | regenerates |
+//! |---------|-------------|
+//! | `fig05` | Figure 5 — bestcut read/write accounting (model + measured) |
+//! | `fig13` | Figure 13 — BID benchmarks, time & space, A/R/Ours at P=1 and P=max |
+//! | `fig14` | Figure 14 — RAD benchmarks, time & space, A/Ours at P=1 and P=max |
+//! | `fig15` | Figure 15 — speedup curves vs processor count (bfs, primes) |
+//! | `fig16` | Figure 16 — stream-of-blocks bestcut vs block size |
+//!
+//! Run with `--quick` for a fast smoke pass (the artifact's "small
+//! evaluation"), `--full` for the default scaled sizes. Criterion
+//! microbenches live in `benches/`.
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use bds_pool::Pool;
+
+/// Repeat/warmup settings (the artifact protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct Protocol {
+    /// Warmup period: run back-to-back until it elapses.
+    pub warmup: Duration,
+    /// Number of measured repetitions to average.
+    pub repeat: usize,
+}
+
+/// Size scaling selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~10× smaller than default: finishes in seconds.
+    Quick,
+    /// The scaled-down defaults from DESIGN.md.
+    Full,
+}
+
+impl Scale {
+    /// Parse from argv: `--quick` or `--full` (default quick — the
+    /// binaries are meant to be runnable anywhere).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Scale a default size.
+    pub fn size(&self, full: usize) -> usize {
+        match self {
+            Scale::Quick => (full / 10).max(1),
+            Scale::Full => full,
+        }
+    }
+
+    /// The measurement protocol appropriate for the scale.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            Scale::Quick => Protocol {
+                warmup: Duration::from_millis(100),
+                repeat: 3,
+            },
+            Scale::Full => Protocol {
+                warmup: Duration::from_millis(500),
+                repeat: 5,
+            },
+        }
+    }
+}
+
+/// Time `f` on a `procs`-thread pool following the protocol. Returns
+/// `(mean_seconds, peak_extra_heap_bytes)`.
+pub fn measure<R: Send>(
+    procs: usize,
+    proto: Protocol,
+    mut f: impl FnMut() -> R + Send,
+) -> (f64, usize) {
+    let pool = Pool::new(procs);
+    let f = &mut f;
+    let (secs, peak) = bds_metrics::time_with_warmup(proto.warmup, proto.repeat, move || {
+        pool.install(&mut *f)
+    });
+    (secs, peak)
+}
+
+/// Number of hardware threads to use as "P = max".
+pub fn max_procs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// The processor counts for the Figure 15 sweep: 1, 2, 4, ... up to and
+/// including `max`.
+pub fn proc_sweep(max: usize) -> Vec<usize> {
+    let mut ps = vec![];
+    let mut p = 1;
+    while p < max {
+        ps.push(p);
+        p *= 2;
+    }
+    ps.push(max);
+    ps.dedup();
+    ps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_sweep_includes_one_and_max() {
+        assert_eq!(proc_sweep(1), vec![1]);
+        assert_eq!(proc_sweep(6), vec![1, 2, 4, 6]);
+        assert_eq!(proc_sweep(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn measure_runs_inside_sized_pool() {
+        let proto = Protocol {
+            warmup: Duration::from_millis(1),
+            repeat: 1,
+        };
+        let (secs, _) = measure(2, proto, bds_pool::current_num_threads);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn scale_sizes() {
+        assert_eq!(Scale::Quick.size(1000), 100);
+        assert_eq!(Scale::Full.size(1000), 1000);
+        assert_eq!(Scale::Quick.size(5), 1);
+    }
+}

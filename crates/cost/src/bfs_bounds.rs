@@ -1,0 +1,139 @@
+//! The Section 5.1 worked example: cost bounds of the delayed BFS.
+//!
+//! One BFS round over frontier `F` with `E = Σ_{u∈F} deg(u)` edges and
+//! next frontier `F'` consists of `map`, `flatten`, `filterOp`. Under
+//! the cost semantics this round costs
+//!
+//! * work `O(|F| + |E|)`,
+//! * span `O(log N + B)`,
+//! * allocations `|F| + |F'| + |E|/B`.
+//!
+//! Summed over rounds that yields `O(N + M)` work, `O(D (log N + B))`
+//! span, and `O(N + M/B)` allocations — the asymptotic win over the
+//! `O(N + M)` allocation of an array-based BFS.
+
+use crate::model::{ceil_log2, Cost, Model, SIMPLE};
+
+/// Per-round sizes of a BFS execution trace.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsRound {
+    /// Frontier size `|F|`.
+    pub frontier: u64,
+    /// Outgoing edges from the frontier `|E|`.
+    pub edges: u64,
+    /// Next frontier size `|F'|`.
+    pub next_frontier: u64,
+}
+
+/// Eager cost of one delayed-BFS round, derived from Figure 11:
+/// `flatten (map outPairs F)` then `filterOp tryVisit E`.
+pub fn round_cost(m: &Model, r: BfsRound, n_vertices: u64) -> Cost {
+    // map outPairs F: O(1), delays the per-vertex neighbor expansion.
+    let (frontier, c_map) = m.input(r.frontier);
+    let (mapped, c_map2) = m.map(frontier, SIMPLE);
+    // flatten: eager work ∝ |F|, output of |E| elements, inner RADs.
+    let (edges, c_flat) = m.flatten(mapped, r.edges, SIMPLE);
+    // filterOp tryVisit: eager |E| work, allocates |F'| + |E|/B.
+    let (_next, c_filt) = m.filter(edges, SIMPLE, r.next_frontier);
+    // The log N term: the span bound in the paper is stated against the
+    // vertex count (binary searches / apply trees over ≤ N items).
+    let log_fix = Cost {
+        work: 0,
+        span: ceil_log2(n_vertices),
+        alloc: 0,
+    };
+    c_map + c_map2 + c_flat + c_filt + log_fix
+}
+
+/// Total cost of a BFS trace.
+pub fn total_cost(m: &Model, rounds: &[BfsRound], n_vertices: u64) -> Cost {
+    rounds
+        .iter()
+        .fold(Cost::ZERO, |acc, &r| acc + round_cost(m, r, n_vertices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic trace: D rounds, geometric frontier growth then decay,
+    /// with edge counts proportional to frontier sizes.
+    fn trace(n: u64, avg_deg: u64) -> Vec<BfsRound> {
+        let mut rounds = Vec::new();
+        let mut frontier = 1u64;
+        let mut visited = 1u64;
+        while visited < n {
+            let next = (frontier * 3).min(n - visited);
+            rounds.push(BfsRound {
+                frontier,
+                edges: frontier * avg_deg,
+                next_frontier: next,
+            });
+            visited += next;
+            frontier = next.max(1);
+            if next == 0 {
+                break;
+            }
+        }
+        rounds
+    }
+
+    #[test]
+    fn work_is_linear_in_n_plus_m() {
+        let n = 1_000_000;
+        let deg = 10;
+        let m = Model::new(1000);
+        let rounds = trace(n, deg);
+        let total = total_cost(&m, &rounds, n);
+        let n_plus_m: u64 = n + n * deg;
+        // O(N + M): within a small constant factor.
+        assert!(total.work <= 4 * n_plus_m, "work {}", total.work);
+        assert!(total.work >= n_plus_m / 4);
+    }
+
+    #[test]
+    fn alloc_is_n_plus_m_over_b() {
+        let n = 1_000_000;
+        let deg = 10;
+        let b = 1000;
+        let m = Model::new(b);
+        let rounds = trace(n, deg);
+        let total = total_cost(&m, &rounds, n);
+        let bound = 4 * (n + (n * deg) / b + rounds.len() as u64 * 2);
+        assert!(
+            total.alloc <= bound,
+            "alloc {} exceeds O(N + M/B) bound {}",
+            total.alloc,
+            bound
+        );
+        // And it must beat the naive O(N + M) allocation asymptotically.
+        assert!(total.alloc < (n + n * deg) / 2);
+    }
+
+    #[test]
+    fn span_is_d_times_log_plus_b() {
+        let n = 1_000_000u64;
+        let b = 1000;
+        let m = Model::new(b);
+        let rounds = trace(n, 10);
+        let d = rounds.len() as u64;
+        let total = total_cost(&m, &rounds, n);
+        let bound = 8 * d * (ceil_log2(n) + b);
+        assert!(
+            total.span <= bound,
+            "span {} exceeds O(D(logN+B)) bound {}",
+            total.span,
+            bound
+        );
+    }
+
+    #[test]
+    fn larger_blocks_reduce_alloc_but_raise_span() {
+        let n = 100_000;
+        let rounds = trace(n, 8);
+        let small = total_cost(&Model::new(100), &rounds, n);
+        let large = total_cost(&Model::new(10_000), &rounds, n);
+        assert!(large.alloc < small.alloc);
+        assert!(large.span > small.span);
+    }
+}

@@ -1,0 +1,23 @@
+//! # bds-cost — the paper's cost semantics, executable
+//!
+//! Section 5 of *Parallel Block-Delayed Sequences* defines a cost
+//! semantics so users can reason about fused pipelines without knowing
+//! the implementation: every operation has **eager** work/span/allocation
+//! costs plus **delayed** per-index costs carried by its output sequence
+//! (Figure 11). This crate implements that semantics:
+//!
+//! * [`model`] — the Figure 11 table as a composable [`model::Model`];
+//! * [`rw`] — the Figure 5 read/write accounting for the best-cut
+//!   pipeline (`8n + O(b)` unfused vs `2n + O(b)` fused vs `4n + O(b)`
+//!   with a forced first map);
+//! * [`bfs_bounds`] — the Section 5.1 worked example: delayed BFS costs
+//!   `O(N+M)` work, `O(D(log N + B))` span, `O(N + M/B)` allocations.
+
+#![warn(missing_docs)]
+
+pub mod bfs_bounds;
+pub mod model;
+pub mod rw;
+
+pub use model::{ceil_log2, Cost, ElemCost, Model, Repr, SeqCost, SIMPLE};
+pub use rw::{bestcut_force_first_map, bestcut_fused, bestcut_normal, RwRow, RwTable};

@@ -1,0 +1,565 @@
+//! The paper's cost semantics (Section 5, Figure 11) as an executable
+//! model.
+//!
+//! Costs come in two kinds: **eager** costs `(W, S, A)` paid when an
+//! operation runs, and **delayed** costs attached per index of a
+//! sequence, paid later by whichever operation consumes it. We model the
+//! delayed costs as *uniform per element* — `(w*, s*, a*)` constants —
+//! which is exact for the paper's benchmarks (all element functions are
+//! "simple": constant time, no allocation).
+//!
+//! `bmax` (the max over blocks of the sum within each block) degenerates
+//! under uniformity to `B · s*` for full blocks, which is how it appears
+//! in the formulas below.
+
+/// Eager cost triple: work, span, and allocations (in elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Total operations.
+    pub work: u64,
+    /// Critical-path length.
+    pub span: u64,
+    /// Elements of intermediate arrays allocated.
+    pub alloc: u64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        work: 0,
+        span: 0,
+        alloc: 0,
+    };
+
+    /// O(1) eager cost (delayed constructors).
+    pub const UNIT: Cost = Cost {
+        work: 1,
+        span: 1,
+        alloc: 0,
+    };
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            work: self.work + rhs.work,
+            // Sequential composition of pipeline stages: spans add.
+            span: self.span + rhs.span,
+            alloc: self.alloc + rhs.alloc,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+/// Cost of one application of a user function argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElemCost {
+    /// Work per application.
+    pub w: u64,
+    /// Span per application.
+    pub s: u64,
+    /// Elements allocated per application.
+    pub a: u64,
+}
+
+/// A "simple" function in the paper's sense: constant time, no
+/// allocation.
+pub const SIMPLE: ElemCost = ElemCost { w: 1, s: 1, a: 0 };
+
+/// Sequence representation tag (the paper's `R(X)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repr {
+    /// Random-access delayed.
+    Rad,
+    /// Block-iterable delayed.
+    Bid,
+}
+
+/// A sequence in the cost model: length, representation, and uniform
+/// per-index delayed costs `(w*, s*, a*)`.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqCost {
+    /// Number of elements.
+    pub len: u64,
+    /// Representation (`R(X)` in Figure 11).
+    pub repr: Repr,
+    /// Delayed work per index, `W*_X(i)`.
+    pub dw: u64,
+    /// Delayed span per index, `S*_X(i)`.
+    pub ds: u64,
+    /// Delayed allocation per index, `A*_X(i)`.
+    pub da: u64,
+}
+
+/// Ceil of log2, with `ceil_log2(0) = ceil_log2(1) = 0`.
+pub fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// The cost model, parameterized by the block size `B` (the paper treats
+/// `B` as fixed for analysis, as in Section 5.1).
+#[derive(Debug, Clone, Copy)]
+pub struct Model {
+    /// Block size `B`.
+    pub block: u64,
+}
+
+impl Model {
+    /// A model with block size `b`.
+    pub fn new(block: u64) -> Model {
+        assert!(block > 0);
+        Model { block }
+    }
+
+    /// Number of blocks for a sequence of length `n`.
+    pub fn blocks(&self, n: u64) -> u64 {
+        n.div_ceil(self.block)
+    }
+
+    /// `bmax` of a uniform per-index span `s`: the largest block's sum,
+    /// i.e. `min(B, n) · s`.
+    pub fn bmax(&self, n: u64, s: u64) -> u64 {
+        self.block.min(n) * s
+    }
+
+    /// An already-materialized input array of `n` elements: RAD with unit
+    /// delayed lookup. No eager cost (it exists before the pipeline).
+    pub fn input(&self, n: u64) -> (SeqCost, Cost) {
+        (
+            SeqCost {
+                len: n,
+                repr: Repr::Rad,
+                dw: 1,
+                ds: 1,
+                da: 0,
+            },
+            Cost::ZERO,
+        )
+    }
+
+    /// `tabulate n f` (Figure 11 row 2): RAD output carrying `f`'s costs
+    /// as delayed; O(1) eager.
+    pub fn tabulate(&self, n: u64, f: ElemCost) -> (SeqCost, Cost) {
+        (
+            SeqCost {
+                len: n,
+                repr: Repr::Rad,
+                dw: f.w,
+                ds: f.s,
+                da: f.a,
+            },
+            Cost::UNIT,
+        )
+    }
+
+    /// `map f X` (Figure 11 row 3): representation-preserving, delayed
+    /// costs accumulate, O(1) eager.
+    pub fn map(&self, x: SeqCost, f: ElemCost) -> (SeqCost, Cost) {
+        (
+            SeqCost {
+                len: x.len,
+                repr: x.repr,
+                dw: x.dw + f.w,
+                ds: x.ds + f.s,
+                da: x.da + f.a,
+            },
+            Cost::UNIT,
+        )
+    }
+
+    /// `zip` (extension, consistent with the implementation): RAD×RAD
+    /// stays RAD, otherwise BID; delayed costs add; O(1) eager.
+    pub fn zip(&self, x: SeqCost, y: SeqCost) -> (SeqCost, Cost) {
+        assert_eq!(x.len, y.len, "zip requires equal lengths");
+        let repr = if x.repr == Repr::Rad && y.repr == Repr::Rad {
+            Repr::Rad
+        } else {
+            Repr::Bid
+        };
+        (
+            SeqCost {
+                len: x.len,
+                repr,
+                dw: x.dw + y.dw + 1,
+                ds: x.ds + y.ds + 1,
+                da: x.da + y.da,
+            },
+            Cost::UNIT,
+        )
+    }
+
+    /// `force X` (Figure 11 row 1): RAD output with unit delayed lookup;
+    /// eager cost pays all of X's delayed work and allocates |X|.
+    pub fn force(&self, x: SeqCost) -> (SeqCost, Cost) {
+        (
+            SeqCost {
+                len: x.len,
+                repr: Repr::Rad,
+                dw: 1,
+                ds: 1,
+                da: 0,
+            },
+            Cost {
+                work: x.len * x.dw,
+                span: self.bmax(x.len, x.ds),
+                alloc: x.len + x.len * x.da,
+            },
+        )
+    }
+
+    /// `filter p X` (Figure 11 row 4). `kept` is `|Y|`, the number of
+    /// surviving elements (the model cannot know the predicate).
+    pub fn filter(&self, x: SeqCost, p: ElemCost, kept: u64) -> (SeqCost, Cost) {
+        assert!(kept <= x.len);
+        (
+            SeqCost {
+                len: kept,
+                repr: Repr::Bid,
+                dw: 1,
+                ds: 1,
+                da: 0,
+            },
+            Cost {
+                work: x.len * (x.dw + p.w),
+                span: self.bmax(x.len, x.ds + p.s) + ceil_log2(x.len),
+                alloc: kept + self.blocks(x.len) + x.len * (p.a + x.da),
+            },
+        )
+    }
+
+    /// `flatten X` where every inner sequence is RAD (Figure 11 row 5).
+    /// `x` is the *outer* sequence; `inner_total` is the total number of
+    /// output elements; `inner` is the (uniform) delayed cost of the
+    /// inner sequences, carried through to the output (the footnote).
+    pub fn flatten(&self, x: SeqCost, inner_total: u64, inner: ElemCost) -> (SeqCost, Cost) {
+        (
+            SeqCost {
+                len: inner_total,
+                repr: Repr::Bid,
+                dw: inner.w,
+                ds: inner.s,
+                da: inner.a,
+            },
+            Cost {
+                work: x.len * x.dw,
+                span: ceil_log2(x.len) + self.bmax(x.len, x.ds),
+                alloc: x.len + x.len * x.da,
+            },
+        )
+    }
+
+    /// `scan f b X` with simple `f` (Figure 11 row 6): BID output whose
+    /// delayed costs are one more than the input's; eager cost pays the
+    /// input's delayed work once and allocates only `|X|/B`.
+    pub fn scan(&self, x: SeqCost) -> (SeqCost, Cost) {
+        (
+            SeqCost {
+                len: x.len,
+                repr: Repr::Bid,
+                dw: 1 + x.dw,
+                ds: 1 + x.ds,
+                da: x.da, // +1·0: simple f allocates nothing
+            },
+            Cost {
+                work: x.len * x.dw,
+                span: ceil_log2(x.len) + self.bmax(x.len, x.ds),
+                alloc: self.blocks(x.len) + x.len * x.da,
+            },
+        )
+    }
+
+    /// `reduce f b X` with simple `f` (Figure 11 row 7): consumes the
+    /// sequence; same eager shape as scan.
+    pub fn reduce(&self, x: SeqCost) -> Cost {
+        Cost {
+            work: x.len * x.dw,
+            span: ceil_log2(x.len) + self.bmax(x.len, x.ds),
+            alloc: self.blocks(x.len) + x.len * x.da,
+        }
+    }
+
+    /// `toArray`/`to_vec`: same as force but returns only the eager cost.
+    pub fn to_vec(&self, x: SeqCost) -> Cost {
+        self.force(x).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: u64 = 1000;
+
+    fn model() -> Model {
+        Model::new(B)
+    }
+
+    #[test]
+    fn tabulate_is_o1_eager() {
+        let m = model();
+        let (y, c) = m.tabulate(1_000_000, SIMPLE);
+        assert_eq!(c, Cost::UNIT);
+        assert_eq!(y.repr, Repr::Rad);
+        assert_eq!(y.dw, 1);
+    }
+
+    #[test]
+    fn map_accumulates_delayed_work() {
+        let m = model();
+        let (x, _) = m.input(100);
+        let (y, c) = m.map(x, SIMPLE);
+        let (z, _) = m.map(y, SIMPLE);
+        assert_eq!(c, Cost::UNIT);
+        assert_eq!(z.dw, 3); // lookup + two maps
+        assert_eq!(z.repr, Repr::Rad);
+    }
+
+    #[test]
+    fn map_reduce_allocates_only_blocks() {
+        // reduce (map f X): the fusion headline — alloc is |X|/B, not |X|.
+        let m = model();
+        let n = 1_000_000;
+        let (x, _) = m.input(n);
+        let (y, _) = m.map(x, SIMPLE);
+        let c = m.reduce(y);
+        assert_eq!(c.alloc, n / B);
+        assert_eq!(c.work, n * 2);
+    }
+
+    #[test]
+    fn unfused_map_reduce_allocates_n() {
+        // force (map f X) then reduce: pays |X| allocation.
+        let m = model();
+        let n = 1_000_000;
+        let (x, _) = m.input(n);
+        let (y, c1) = m.map(x, SIMPLE);
+        let (y2, c2) = m.force(y);
+        let c3 = m.reduce(y2);
+        let total = c1 + c2 + c3;
+        assert!(total.alloc >= n);
+        assert_eq!(total.alloc, n + n / B);
+    }
+
+    #[test]
+    fn scan_output_is_bid_with_incremented_delay() {
+        let m = model();
+        let (x, _) = m.input(10_000);
+        let (y, c) = m.scan(x);
+        assert_eq!(y.repr, Repr::Bid);
+        assert_eq!(y.dw, 2);
+        assert_eq!(c.alloc, 10); // |X|/B only
+    }
+
+    #[test]
+    fn bestcut_fused_vs_forced_allocation() {
+        // Section 3: fused bestcut allocates O(b); forcing the initial
+        // map adds n.
+        let m = model();
+        let n = 200_000u64;
+        let (input, _) = m.input(n);
+        // Fused: map; scan; map; reduce.
+        let (a, c1) = m.map(input, SIMPLE);
+        let (b, c2) = m.scan(a);
+        let (c, c3) = m.map(b, SIMPLE);
+        let c4 = m.reduce(c);
+        let fused = c1 + c2 + c3 + c4;
+        // Forced variant: force the first map.
+        let (a2, d1) = m.map(input, SIMPLE);
+        let (a3, d2) = m.force(a2);
+        let (b2, d3) = m.scan(a3);
+        let (c2s, d4) = m.map(b2, SIMPLE);
+        let d5 = m.reduce(c2s);
+        let forced = d1 + d2 + d3 + d4 + d5;
+        assert!(fused.alloc <= 2 * (n / B) + 2);
+        assert!(forced.alloc >= n);
+        assert!(forced.alloc > fused.alloc);
+    }
+
+    #[test]
+    fn filter_allocates_survivors_plus_blocks() {
+        let m = model();
+        let n = 50_000;
+        let kept = 1_234;
+        let (x, _) = m.input(n);
+        let (y, c) = m.filter(x, SIMPLE, kept);
+        assert_eq!(y.len, kept);
+        assert_eq!(y.repr, Repr::Bid);
+        assert_eq!(c.alloc, kept + n / B);
+    }
+
+    #[test]
+    fn flatten_eager_work_proportional_to_outer() {
+        let m = model();
+        let (outer, _) = m.input(100); // 100 inner sequences
+        let (y, c) = m.flatten(outer, 1_000_000, SIMPLE);
+        assert_eq!(y.len, 1_000_000);
+        assert_eq!(c.work, 100); // only the outer traversal
+        assert_eq!(c.alloc, 100);
+    }
+
+    #[test]
+    fn span_includes_log_and_bmax_terms() {
+        let m = model();
+        let (x, _) = m.input(1 << 20);
+        let c = m.reduce(x);
+        assert_eq!(c.span, 20 + B);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+}
+
+/// A fluent pipeline builder over the model: accumulates eager costs
+/// automatically so users can write `Pipeline::input(m, n).map(SIMPLE)
+/// .scan().map(SIMPLE).reduce()` and read off total work/span/alloc —
+/// the way the paper's examples (Section 3, 5.1) are analyzed.
+///
+/// ```
+/// use bds_cost::{Model, SIMPLE};
+/// use bds_cost::model::Pipeline;
+/// let m = Model::new(1_000);
+/// let fused = Pipeline::input(m, 1_000_000).map(SIMPLE).scan().reduce();
+/// assert_eq!(fused.alloc, 2_000); // two O(n/B) phases, nothing else
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    model: Model,
+    seq: SeqCost,
+    total: Cost,
+}
+
+impl Pipeline {
+    /// Start from an existing materialized array of length `n`.
+    pub fn input(model: Model, n: u64) -> Pipeline {
+        let (seq, eager) = model.input(n);
+        Pipeline {
+            model,
+            seq,
+            total: eager,
+        }
+    }
+
+    /// Start from `tabulate n f`.
+    pub fn tabulate(model: Model, n: u64, f: ElemCost) -> Pipeline {
+        let (seq, eager) = model.tabulate(n, f);
+        Pipeline {
+            model,
+            seq,
+            total: eager,
+        }
+    }
+
+    /// The sequence's current cost state.
+    pub fn seq(&self) -> SeqCost {
+        self.seq
+    }
+
+    /// Eager cost accumulated so far.
+    pub fn total(&self) -> Cost {
+        self.total
+    }
+
+    /// Apply `map f`.
+    pub fn map(mut self, f: ElemCost) -> Pipeline {
+        let (seq, eager) = self.model.map(self.seq, f);
+        self.seq = seq;
+        self.total += eager;
+        self
+    }
+
+    /// Apply `scan` (simple operator).
+    pub fn scan(mut self) -> Pipeline {
+        let (seq, eager) = self.model.scan(self.seq);
+        self.seq = seq;
+        self.total += eager;
+        self
+    }
+
+    /// Apply `filter` keeping `kept` elements.
+    pub fn filter(mut self, p: ElemCost, kept: u64) -> Pipeline {
+        let (seq, eager) = self.model.filter(self.seq, p, kept);
+        self.seq = seq;
+        self.total += eager;
+        self
+    }
+
+    /// Apply `force`.
+    pub fn force(mut self) -> Pipeline {
+        let (seq, eager) = self.model.force(self.seq);
+        self.seq = seq;
+        self.total += eager;
+        self
+    }
+
+    /// Consume with `reduce`, returning the pipeline's total eager cost.
+    pub fn reduce(mut self) -> Cost {
+        self.total += self.model.reduce(self.seq);
+        self.total
+    }
+
+    /// Consume with `to_vec`, returning the total eager cost.
+    pub fn to_vec(mut self) -> Cost {
+        self.total += self.model.to_vec(self.seq);
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+
+    #[test]
+    fn bestcut_pipeline_totals() {
+        let m = Model::new(1000);
+        let n = 1_000_000;
+        let fused = Pipeline::input(m, n).map(SIMPLE).scan().map(SIMPLE).reduce();
+        let forced = Pipeline::input(m, n)
+            .map(SIMPLE)
+            .force()
+            .scan()
+            .map(SIMPLE)
+            .reduce();
+        assert!(fused.alloc < forced.alloc);
+        assert_eq!(fused.alloc, 2 * (n / 1000));
+        assert!(forced.alloc >= n);
+    }
+
+    #[test]
+    fn builder_equals_manual_composition() {
+        let m = Model::new(500);
+        let n = 100_000;
+        let built = Pipeline::input(m, n).map(SIMPLE).scan().reduce();
+        let (x, c0) = m.input(n);
+        let (y, c1) = m.map(x, SIMPLE);
+        let (z, c2) = m.scan(y);
+        let c3 = m.reduce(z);
+        assert_eq!(built, c0 + c1 + c2 + c3);
+    }
+
+    #[test]
+    fn filter_pipeline_alloc() {
+        let m = Model::new(100);
+        let total = Pipeline::tabulate(m, 10_000, SIMPLE)
+            .filter(SIMPLE, 2_500)
+            .reduce();
+        // filter allocates kept + n/B; reduce over the BID adds m/B.
+        assert_eq!(total.alloc, 2_500 + 100 + 25);
+    }
+}

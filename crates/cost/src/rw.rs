@@ -1,0 +1,139 @@
+//! Read/write accounting for the best-cut pipeline — the model behind
+//! Figure 5.
+//!
+//! Figure 5 decomposes `reduce ∘ map ∘ scan ∘ map` into the scan's three
+//! phases and counts the array-element reads and writes of each stage,
+//! for `n` elements in `b` blocks, with and without fusion. Totals:
+//! `8n + O(b)` without fusion, `2n + O(b)` with, and `4n + O(b)` for the
+//! variant that forces the first map (Section 3's trade-off discussion).
+
+/// One row of the Figure 5 table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RwRow {
+    /// Stage label (`map`, `phase 1`, ...).
+    pub stage: &'static str,
+    /// Element reads (`None` renders as "—": the stage was fused away).
+    pub reads: Option<u64>,
+    /// Element writes.
+    pub writes: Option<u64>,
+}
+
+/// The full table for one variant.
+#[derive(Debug, Clone)]
+pub struct RwTable {
+    /// Variant label.
+    pub name: &'static str,
+    /// Per-stage rows.
+    pub rows: Vec<RwRow>,
+}
+
+impl RwTable {
+    /// Total reads + writes across all stages.
+    pub fn total(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.reads.unwrap_or(0) + r.writes.unwrap_or(0))
+            .sum()
+    }
+}
+
+fn row(stage: &'static str, reads: u64, writes: u64) -> RwRow {
+    RwRow {
+        stage,
+        reads: Some(reads),
+        writes: Some(writes),
+    }
+}
+
+fn fused_away(stage: &'static str) -> RwRow {
+    RwRow {
+        stage,
+        reads: None,
+        writes: None,
+    }
+}
+
+/// The "Normal" column of Figure 5: every stage materializes.
+pub fn bestcut_normal(n: u64, b: u64) -> RwTable {
+    RwTable {
+        name: "normal",
+        rows: vec![
+            row("map", n, n),
+            row("scan phase 1", n, b),
+            row("scan phase 2", b, b),
+            row("scan phase 3", n + b, n),
+            row("map", n, n),
+            row("reduce", n, b + 1),
+        ],
+    }
+}
+
+/// The "Fused" column of Figure 5: the first map fuses into phase 1, and
+/// phase 3 + map + reduce fuse into one pass.
+pub fn bestcut_fused(n: u64, b: u64) -> RwTable {
+    RwTable {
+        name: "fused",
+        rows: vec![
+            fused_away("map"),
+            row("scan phase 1", n, b),
+            row("scan phase 2", b, b),
+            fused_away("scan phase 3"),
+            fused_away("map"),
+            row("reduce (fused ph3+map)", n + 2 * b, b + 1),
+        ],
+    }
+}
+
+/// The Section 3 alternative: force the first map so its function `f` is
+/// evaluated once instead of twice, at the price of `n` extra reads and
+/// `n` extra writes — `4n + O(b)` total.
+pub fn bestcut_force_first_map(n: u64, b: u64) -> RwTable {
+    RwTable {
+        name: "fused+force",
+        rows: vec![
+            row("map (forced)", n, n),
+            row("scan phase 1", n, b),
+            row("scan phase 2", b, b),
+            fused_away("scan phase 3"),
+            fused_away("map"),
+            row("reduce (fused ph3+map)", n + 2 * b, b + 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_total_is_8n_plus_ob() {
+        let n = 1_000_000;
+        let b = 100;
+        let t = bestcut_normal(n, b).total();
+        assert_eq!(t, 8 * n + 5 * b + 1);
+    }
+
+    #[test]
+    fn fused_total_is_2n_plus_ob() {
+        let n = 1_000_000;
+        let b = 100;
+        let t = bestcut_fused(n, b).total();
+        assert_eq!(t, 2 * n + 6 * b + 1);
+    }
+
+    #[test]
+    fn forced_total_is_4n_plus_ob() {
+        let n = 1_000_000;
+        let b = 100;
+        let t = bestcut_force_first_map(n, b).total();
+        assert_eq!(t, 4 * n + 6 * b + 1);
+    }
+
+    #[test]
+    fn fusion_ratio_approaches_4x() {
+        let n = 100_000_000;
+        let b = 576;
+        let ratio = bestcut_normal(n, b).total() as f64 / bestcut_fused(n, b).total() as f64;
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,313 @@
+//! # bds-metrics — measurement substrate for the evaluation harness
+//!
+//! Three pieces, mirroring how the paper measures (Section 6):
+//!
+//! * [`CountingAlloc`] — a global allocator wrapper tracking live and
+//!   **peak** heap bytes. The paper reports "maximum residency as
+//!   reported by Linux"; peak live heap is the in-process equivalent and
+//!   measures the same thing the fusion eliminates: intermediate arrays.
+//! * [`time_with_warmup`] — the artifact's repeat/warmup protocol: run
+//!   back-to-back until the warmup period expires, then average over a
+//!   fixed number of repetitions.
+//! * [`Table`] — fixed-width text tables shaped like Figures 13/14/16.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static BASELINE: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]` wrapper around the system allocator that
+/// tracks live bytes, peak live bytes, and cumulative allocated bytes.
+///
+/// Install it in a binary with:
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn record_alloc(size: usize) {
+        TOTAL_ALLOCATED.fetch_add(size as u64, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        // Lock-free peak update; racy readers may briefly see a stale
+        // peak, which is fine for measurement purposes.
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_dealloc(size: usize) {
+        LIVE.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: delegates all allocation to `System`, only adding relaxed
+// atomic accounting; size/layout pairs are passed through unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::record_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            Self::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::record_dealloc(layout.size());
+            Self::record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Reset the peak-tracking baseline: after this call,
+/// [`heap_stats`]`.peak_since_reset` reports the high-water mark of
+/// *additional* heap beyond what is currently live.
+pub fn reset_peak() {
+    let live = LIVE.load(Ordering::Relaxed);
+    BASELINE.store(live, Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+}
+
+/// Heap statistics snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapStats {
+    /// Bytes currently allocated and not yet freed.
+    pub live: usize,
+    /// High-water mark of live bytes since the last [`reset_peak`].
+    pub peak: usize,
+    /// Peak minus the live bytes at the last [`reset_peak`] — the
+    /// *additional* footprint of the measured region.
+    pub peak_since_reset: usize,
+    /// Cumulative bytes ever allocated (never decreases).
+    pub total_allocated: u64,
+}
+
+/// Read the allocator counters.
+pub fn heap_stats() -> HeapStats {
+    let live = LIVE.load(Ordering::Relaxed);
+    let peak = PEAK.load(Ordering::Relaxed);
+    let baseline = BASELINE.load(Ordering::Relaxed);
+    HeapStats {
+        live,
+        peak,
+        peak_since_reset: peak.saturating_sub(baseline),
+        total_allocated: TOTAL_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Measure `f`: returns `(mean_seconds, peak_extra_heap_bytes)` following
+/// the artifact protocol — run back-to-back until `warmup` has elapsed,
+/// then average the wall time of `repeat` further runs. Peak heap is the
+/// maximum over the measured runs of the extra footprint of one run.
+pub fn time_with_warmup<R>(
+    warmup: Duration,
+    repeat: usize,
+    mut f: impl FnMut() -> R,
+) -> (f64, usize) {
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warmup {
+        std::hint::black_box(f());
+    }
+    let mut total = Duration::ZERO;
+    let mut peak = 0usize;
+    for _ in 0..repeat.max(1) {
+        reset_peak();
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        total += t0.elapsed();
+        peak = peak.max(heap_stats().peak_since_reset);
+    }
+    (total.as_secs_f64() / repeat.max(1) as f64, peak)
+}
+
+/// Render seconds compactly (3 significant digits), like the paper's
+/// tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        return "0".into();
+    }
+    if s >= 100.0 {
+        format!("{:.0}", s)
+    } else if s >= 10.0 {
+        format!("{:.1}", s)
+    } else if s >= 1.0 {
+        format!("{:.2}", s)
+    } else {
+        format!("{:.3}", s)
+    }
+}
+
+/// Render a byte count in MB with 3 significant digits (the paper uses
+/// GB; scaled-down runs read better in MB).
+pub fn fmt_mb(bytes: usize) -> String {
+    let mb = bytes as f64 / (1024.0 * 1024.0);
+    if mb >= 100.0 {
+        format!("{:.0}", mb)
+    } else if mb >= 10.0 {
+        format!("{:.1}", mb)
+    } else {
+        format!("{:.2}", mb)
+    }
+}
+
+/// Render a ratio like the paper's R/Ours columns.
+pub fn fmt_ratio(r: f64) -> String {
+    if !r.is_finite() {
+        return "-".into();
+    }
+    if r >= 10.0 {
+        format!("{:.0}", r)
+    } else {
+        format!("{:.1}", r)
+    }
+}
+
+/// A fixed-width text table with a header row.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with columns padded to their widest cell.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..width[c] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_counters_track_alloc_shapes() {
+        // Without installing the global allocator we can still exercise
+        // the bookkeeping directly.
+        CountingAlloc::record_alloc(1000);
+        let s = heap_stats();
+        assert!(s.total_allocated >= 1000);
+        CountingAlloc::record_dealloc(1000);
+    }
+
+    #[test]
+    fn reset_peak_rebaselines() {
+        CountingAlloc::record_alloc(5000);
+        reset_peak();
+        assert_eq!(heap_stats().peak_since_reset, 0);
+        CountingAlloc::record_alloc(300);
+        assert!(heap_stats().peak_since_reset >= 300);
+        CountingAlloc::record_dealloc(300);
+        CountingAlloc::record_dealloc(5000);
+    }
+
+    #[test]
+    fn timing_returns_positive_mean() {
+        let (secs, _peak) = time_with_warmup(Duration::from_millis(1), 3, || {
+            std::hint::black_box((0..10_000u64).sum::<u64>())
+        });
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(123.4), "123");
+        assert_eq!(fmt_secs(12.34), "12.3");
+        assert_eq!(fmt_secs(1.234), "1.23");
+        assert_eq!(fmt_secs(0.1234), "0.123");
+        assert_eq!(fmt_ratio(12.7), "13");
+        assert_eq!(fmt_ratio(1.27), "1.3");
+        assert_eq!(fmt_mb(150 * 1024 * 1024), "150");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "T", "ratio"]);
+        t.row(vec!["bestcut", "1.23", "2.5"]);
+        t.row(vec!["bfs", "0.456", "1.1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("bestcut"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

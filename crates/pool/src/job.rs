@@ -1,0 +1,179 @@
+//! Type-erased jobs that can live on the stack of a `join` caller.
+//!
+//! This is the classic fork-join trick (used by rayon-core and by the
+//! ParlayLib scheduler the paper builds on): the right-hand side of a
+//! `join` is wrapped in a [`StackJob`] allocated in the caller's stack
+//! frame, and a fat-pointer-free [`JobRef`] to it is pushed onto the
+//! worker's deque where other workers may steal it. The caller's frame is
+//! guaranteed to outlive the job because `join` does not return until the
+//! job's latch has been set.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::Latch;
+
+/// A type-erased pointer to a job plus the code to run it.
+///
+/// Invariant: each `JobRef` is executed **exactly once**, and the referent
+/// outlives that execution.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+impl PartialEq for JobRef {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity is the data pointer; comparing the code pointer too
+        // would be redundant (one job, one exec fn) and function-pointer
+        // comparison is not meaningful anyway.
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+impl Eq for JobRef {}
+
+// SAFETY: a JobRef may be executed on any thread; the job types below only
+// hand out their pointers under the exactly-once protocol, and their
+// payloads are `Send`.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Assemble from raw parts (used by heap jobs in `scope`).
+    ///
+    /// SAFETY: `exec` must consume `data` exactly once, and the referent
+    /// must outlive the execution.
+    pub(crate) unsafe fn from_raw_parts(data: *const (), exec: unsafe fn(*const ())) -> JobRef {
+        JobRef { data, exec }
+    }
+
+    /// Run the job. Caller asserts this is the unique execution.
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// The result slot of a [`StackJob`]: not yet run, or finished with either
+/// a value or a captured panic payload.
+enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+/// A job whose closure, result slot, and completion latch all live in the
+/// stack frame of the code that created it.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch + Sync,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, latch: L) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// Create the type-erased handle.
+    ///
+    /// SAFETY: the caller must guarantee that `self` outlives the (unique)
+    /// execution of the returned `JobRef`.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        *this.result.get() = result;
+        // The latch store is a release: after the owner observes it, the
+        // result written above is visible. Nothing may touch `this` after
+        // the latch is set — the owning frame is then free to return.
+        this.latch.set();
+    }
+
+    /// Take the result after the latch has been observed set.
+    ///
+    /// SAFETY: only the owner may call this, exactly once, after `latch`
+    /// is set (which synchronizes-with the executor's writes).
+    pub(crate) unsafe fn into_result(self) -> R {
+        match std::ptr::read(self.result.get()) {
+            JobResult::Pending => unreachable!("latch set but result pending"),
+            JobResult::Ok(value) => {
+                // Prevent a double-drop of the result slot.
+                std::mem::forget(self);
+                value
+            }
+            JobResult::Panic(payload) => {
+                std::mem::forget(self);
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+
+    /// Run the job inline on the owner's thread (it was never stolen).
+    ///
+    /// SAFETY: the `JobRef` handed out by `as_job_ref` must not also be
+    /// executed; callers uphold this by only running inline after popping
+    /// that very `JobRef` back off the local deque.
+    pub(crate) unsafe fn run_inline(self) -> R {
+        let func = (*self.func.get()).take().expect("job executed twice");
+        func()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::SpinLatch;
+
+    #[test]
+    fn stack_job_execute_and_collect() {
+        let job = StackJob::new(|| 21 * 2, SpinLatch::new());
+        let r = unsafe { job.as_job_ref() };
+        unsafe { r.execute() };
+        assert!(job.latch().probe());
+        assert_eq!(unsafe { job.into_result() }, 42);
+    }
+
+    #[test]
+    fn stack_job_inline() {
+        let job = StackJob::new(|| String::from("inline"), SpinLatch::new());
+        assert_eq!(unsafe { job.run_inline() }, "inline");
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job: StackJob<_, _, ()> =
+            StackJob::new(|| panic!("boom"), SpinLatch::new());
+        let r = unsafe { job.as_job_ref() };
+        unsafe { r.execute() };
+        assert!(job.latch().probe());
+        let unwound = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            job.into_result()
+        }));
+        assert!(unwound.is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Completion latches.
+//!
+//! A latch starts unset and is set exactly once when a job finishes. Two
+//! flavors: [`SpinLatch`] for waiters that keep themselves busy stealing
+//! work (workers inside the pool), and [`LockLatch`] for external threads
+//! that should block in the OS.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Something a finished job can signal.
+pub(crate) trait Latch {
+    /// Signal completion. Must be the final touch of the latch's owner
+    /// structure: the memory may be reclaimed immediately afterwards.
+    fn set(&self);
+}
+
+/// A latch polled by busy workers.
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Has the latch been set? `Acquire` pairs with the `Release` in
+    /// [`Latch::set`], making the job's result writes visible.
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// A latch an external (non-worker) thread can sleep on.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            state: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut done = self.state.lock();
+        while !*done {
+            self.cond.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock();
+        *done = true;
+        // Notify while holding the lock so the waiter cannot observe
+        // `done == false`, start waiting, and miss the signal.
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_starts_unset() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_cross_thread() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn lock_latch_set_before_wait() {
+        let l = LockLatch::new();
+        l.set();
+        l.wait(); // must not block
+    }
+}

@@ -1,0 +1,561 @@
+//! # bds-pool — fork-join substrate for block-delayed sequences
+//!
+//! The paper's library needs exactly one parallel primitive, `apply`
+//! (Figure 7): run `f(i)` for every `0 <= i < n` in parallel. The paper
+//! inherits it from the ParlayLib / MPL work-stealing schedulers; this
+//! crate reproduces that substrate: a Chase-Lev work-stealing fork-join
+//! pool with
+//!
+//! * [`join`] — run two closures, potentially in parallel, with the
+//!   classic stack-job + helping-waiter protocol;
+//! * [`parallel_for`] / [`parallel_for_grain`] — divide-and-conquer loops
+//!   with granularity control;
+//! * [`apply`] — the paper's primitive (grain 1: each index is expected to
+//!   be a coarse unit such as one block);
+//! * [`Pool`] — an explicitly sized pool, so benchmark harnesses can sweep
+//!   the processor count `P` (Figure 15).
+//!
+//! Calls made while not on a pool thread transparently run on a lazily
+//! created global pool sized by [`std::thread::available_parallelism`].
+//!
+//! ```
+//! let total: u64 = bds_pool::Pool::new(2).install(|| {
+//!     let (a, b) = bds_pool::join(|| 1u64 + 1, || 40u64);
+//!     a + b
+//! });
+//! assert_eq!(total, 42);
+//! ```
+
+mod job;
+mod latch;
+mod registry;
+mod scope;
+
+use std::sync::{Arc, OnceLock};
+
+use job::StackJob;
+use latch::{LockLatch, SpinLatch};
+use registry::{Registry, WorkerThread};
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool terminates its workers (after in-flight work
+/// completes; [`Pool::install`] blocks until its closure is done, so there
+/// is never dangling work at drop time).
+pub struct Pool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool with exactly `num_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: usize) -> Pool {
+        let (registry, handles) = Registry::new(num_threads);
+        Pool { registry, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Run `f` inside the pool and return its result.
+    ///
+    /// While `f` runs, `join`/`parallel_for`/`apply` calls it makes use
+    /// this pool's workers. If the calling thread is already a worker of
+    /// this pool, `f` runs directly.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(worker) = WorkerThread::current() {
+            if Arc::ptr_eq(worker.registry(), &self.registry) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f, LockLatch::new());
+        // SAFETY: we block on the latch below, so the stack frame (and the
+        // job in it) outlives the unique execution of the JobRef.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.inject(job_ref);
+        job.latch().wait();
+        // SAFETY: latch observed set; executor's writes are visible and we
+        // are the unique owner collecting the result.
+        unsafe { job.into_result() }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.registry.begin_terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+pub use scope::{scope, Scope};
+
+/// Registry of the global pool (crate-internal: external-thread spawns).
+pub(crate) fn global_pool_registry() -> &'static Arc<registry::Registry> {
+    &global_pool().registry
+}
+
+fn global_pool() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Pool::new(n)
+    })
+}
+
+/// Number of workers in the pool the current thread would execute on: the
+/// enclosing pool when called from inside [`Pool::install`] (or a worker),
+/// otherwise the global pool.
+pub fn current_num_threads() -> usize {
+    match WorkerThread::current() {
+        Some(worker) => worker.registry().num_threads(),
+        None => global_pool().num_threads(),
+    }
+}
+
+/// Execute `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results. Panics in either closure propagate after both have finished.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match WorkerThread::current() {
+        Some(worker) => join_on_worker(worker, oper_a, oper_b),
+        None => global_pool().install(|| join(oper_a, oper_b)),
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b, SpinLatch::new());
+    // SAFETY: this frame does not return until job_b has either been run
+    // inline (after popping its JobRef back, so it is never executed by a
+    // thief) or its latch has been set by the thief.
+    let job_b_ref = unsafe { job_b.as_job_ref() };
+    worker.push(job_b_ref);
+
+    let result_a = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(oper_a)) {
+        Ok(result) => result,
+        Err(payload) => {
+            // `a` panicked. Before unwinding we must neutralize job_b: pop
+            // it back (never ran) or wait for the thief to finish with it.
+            match worker.pop() {
+                Some(job) if job == job_b_ref => {}
+                Some(other) => {
+                    // Not ours: restore the invariant by running it (it
+                    // references a frame above ours, which cannot unwind
+                    // before we do). Expected unreachable under the LIFO
+                    // discipline, kept for defense in depth.
+                    unsafe { other.execute() };
+                    worker.wait_until(job_b.latch());
+                }
+                None => worker.wait_until(job_b.latch()),
+            }
+            std::panic::resume_unwind(payload);
+        }
+    };
+
+    // Fast path: job_b still on top of our deque — run it inline.
+    match worker.pop() {
+        Some(job) if job == job_b_ref => {
+            // SAFETY: we popped the unique JobRef, so no thief can run it.
+            let result_b = unsafe { job_b.run_inline() };
+            return (result_a, result_b);
+        }
+        Some(other) => {
+            // See note above: kept for safety, expected unreachable.
+            unsafe { other.execute() };
+        }
+        None => {}
+    }
+    worker.wait_until(job_b.latch());
+    // SAFETY: latch set; unique owner collects (or re-raises a panic from
+    // the thief).
+    let result_b = unsafe { job_b.into_result() };
+    (result_a, result_b)
+}
+
+/// Run `f(i)` for each `i` in `lo..hi` in parallel, recursing down to
+/// chunks of at most `grain` consecutive indices which run sequentially.
+pub fn parallel_for_grain<F>(lo: usize, hi: usize, grain: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let grain = grain.max(1);
+    if hi <= lo {
+        return;
+    }
+    if hi - lo <= grain {
+        for i in lo..hi {
+            f(i);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join(
+        || parallel_for_grain(lo, mid, grain, f),
+        || parallel_for_grain(mid, hi, grain, f),
+    );
+}
+
+/// Run `f(i)` for each `i` in `0..n` in parallel with an automatic grain
+/// of roughly `n / (8 * P)`, suitable for element-wise loops.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let p = current_num_threads();
+    let grain = (n / (8 * p)).clamp(1, 4096);
+    parallel_for_grain(0, n, grain, &f);
+}
+
+/// The paper's `apply` (Figure 7): run `f(i)` for every `0 <= i < n`, each
+/// index as its own parallel task. Callers are expected to make each index
+/// coarse (e.g. one *block* of a block-delayed sequence).
+pub fn apply<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_for_grain(0, n, 1, &f);
+}
+
+/// Fold `0..n` in parallel: map each grain-sized chunk sequentially with
+/// `fold(lo, hi)`, then combine chunk results with `combine`. Used by the
+/// eager array baselines.
+pub fn parallel_reduce<T, FOLD, COMBINE>(
+    n: usize,
+    grain: usize,
+    identity: T,
+    fold: &FOLD,
+    combine: &COMBINE,
+) -> T
+where
+    T: Send,
+    FOLD: Fn(usize, usize) -> T + Sync,
+    COMBINE: Fn(T, T) -> T + Sync,
+{
+    fn rec<T, FOLD, COMBINE>(
+        lo: usize,
+        hi: usize,
+        grain: usize,
+        fold: &FOLD,
+        combine: &COMBINE,
+    ) -> T
+    where
+        T: Send,
+        FOLD: Fn(usize, usize) -> T + Sync,
+        COMBINE: Fn(T, T) -> T + Sync,
+    {
+        if hi - lo <= grain {
+            return fold(lo, hi);
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (left, right) = join(
+            || rec(lo, mid, grain, fold, combine),
+            || rec(mid, hi, grain, fold, combine),
+        );
+        combine(left, right)
+    }
+    let grain = grain.max(1);
+    if n == 0 {
+        return identity;
+    }
+    let folded = rec(0, n, grain, fold, combine);
+    combine(identity, folded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_outside_pool_uses_global() {
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn nested_joins_compute_fib() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let pool = Pool::new(4);
+        assert_eq!(pool.install(|| fib(20)), 6765);
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let n = 10_000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = Pool::new(4);
+        pool.install(|| {
+            parallel_for(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn apply_touches_every_index_once() {
+        let n = 2_000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = Pool::new(3);
+        pool.install(|| {
+            apply(n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn apply_zero_is_noop() {
+        let pool = Pool::new(1);
+        pool.install(|| apply(0, |_| panic!("must not run")));
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let pool = Pool::new(4);
+        let total = pool.install(|| {
+            parallel_reduce(
+                1_000_001,
+                64,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, 1_000_000u64 * 1_000_001 / 2);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let pool = Pool::new(4);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        pool.install(|| {
+            parallel_for_grain(0, 4096, 1, &|_| {
+                // A little spin so tasks overlap.
+                std::hint::black_box((0..200).sum::<u64>());
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected multi-thread execution"
+        );
+    }
+
+    #[test]
+    fn install_is_reentrant_for_same_pool() {
+        let pool = Pool::new(2);
+        let r = pool.install(|| pool.install(|| 7));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn panic_in_join_b_propagates() {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(|| 1, || -> i32 { panic!("b exploded") });
+            })
+        }));
+        assert!(r.is_err());
+        // Pool must still be usable afterwards.
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn panic_in_join_a_propagates_after_b_finishes() {
+        let pool = Pool::new(2);
+        let b_ran = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(
+                    || -> i32 { panic!("a exploded") },
+                    || b_ran.fetch_add(1, Ordering::SeqCst),
+                );
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(b_ran.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn single_thread_pool_still_correct() {
+        let pool = Pool::new(1);
+        let total = pool.install(|| {
+            parallel_reduce(
+                10_000,
+                16,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, 9_999u64 * 10_000 / 2);
+    }
+
+    #[test]
+    fn many_pools_can_coexist() {
+        let pools: Vec<Pool> = (1..=4).map(Pool::new).collect();
+        for (k, pool) in pools.iter().enumerate() {
+            let n = 1000 * (k + 1);
+            let counter = AtomicUsize::new(0);
+            pool.install(|| {
+                apply(n, |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), n);
+        }
+    }
+
+    #[test]
+    fn current_num_threads_reports_enclosing_pool() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+}
+
+/// Run three closures, potentially in parallel.
+pub fn join3<A, B, C, RA, RB, RC>(a: A, b: B, c: C) -> (RA, RB, RC)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+{
+    let (ra, (rb, rc)) = join(a, || join(b, c));
+    (ra, rb, rc)
+}
+
+/// Run four closures, potentially in parallel.
+pub fn join4<A, B, C, D, RA, RB, RC, RD>(a: A, b: B, c: C, d: D) -> (RA, RB, RC, RD)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    C: FnOnce() -> RC + Send,
+    D: FnOnce() -> RD + Send,
+    RA: Send,
+    RB: Send,
+    RC: Send,
+    RD: Send,
+{
+    let ((ra, rb), (rc, rd)) = join(|| join(a, b), || join(c, d));
+    (ra, rb, rc, rd)
+}
+
+/// Run a batch of heterogeneous closures in parallel (divide-and-conquer
+/// over the batch), returning their results in order. Each closure runs
+/// exactly once; the batch is the unit of load balancing, so closures of
+/// very different costs still spread across workers.
+pub fn join_all<T, F>(tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    fn rec<T, F>(mut tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        match tasks.len() {
+            0 => Vec::new(),
+            1 => vec![(tasks.pop().unwrap())()],
+            n => {
+                let right = tasks.split_off(n / 2);
+                let (mut left, right) = join(|| rec(tasks), || rec(right));
+                left.extend(right);
+                left
+            }
+        }
+    }
+    rec(tasks)
+}
+
+#[cfg(test)]
+mod join_all_tests {
+    use super::*;
+
+    #[test]
+    fn join3_and_join4_order() {
+        let pool = Pool::new(2);
+        let (a, b, c) = pool.install(|| join3(|| 1, || "two", || 3.0));
+        assert_eq!((a, b, c), (1, "two", 3.0));
+        let (w, x, y, z) = pool.install(|| join4(|| 1, || 2, || 3, || 4));
+        assert_eq!((w, x, y, z), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let pool = Pool::new(4);
+        let tasks: Vec<_> = (0..100)
+            .map(|i| move || i * i)
+            .collect();
+        let results = pool.install(|| join_all(tasks));
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * i));
+    }
+
+    #[test]
+    fn join_all_empty_and_single() {
+        let empty: Vec<fn() -> i32> = vec![];
+        assert!(join_all(empty).is_empty());
+        assert_eq!(join_all(vec![|| 42]), vec![42]);
+    }
+
+    #[test]
+    fn join_all_uneven_costs() {
+        let pool = Pool::new(3);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    // Cost varies 1000x across tasks.
+                    let spins = if i % 7 == 0 { 100_000 } else { 100 };
+                    (0..spins).map(|k| k as u64).sum::<u64>()
+                }
+            })
+            .collect();
+        let results = pool.install(|| join_all(tasks));
+        assert_eq!(results.len(), 32);
+    }
+}

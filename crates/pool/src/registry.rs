@@ -1,0 +1,230 @@
+//! The worker registry: deques, stealing, sleeping, and the helping
+//! `join` loop.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use crossbeam_utils::Backoff;
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::JobRef;
+use crate::latch::SpinLatch;
+
+/// Shared state of one thread pool.
+pub(crate) struct Registry {
+    stealers: Vec<Stealer<JobRef>>,
+    injector: Injector<JobRef>,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    idle_workers: AtomicUsize,
+    terminate: AtomicBool,
+    num_threads: usize,
+}
+
+thread_local! {
+    /// Pointer to the `WorkerThread` owned by this OS thread, if it is a
+    /// pool worker. Null otherwise.
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-worker state, owned by its OS thread and reachable from TLS.
+pub(crate) struct WorkerThread {
+    worker: Worker<JobRef>,
+    registry: Arc<Registry>,
+    index: usize,
+    /// xorshift state for randomized steal order.
+    rng: Cell<u64>,
+}
+
+impl Registry {
+    /// Spawn `num_threads` workers and return the shared registry plus the
+    /// join handles (kept by the `Pool` so drop can reap them).
+    pub(crate) fn new(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        assert!(num_threads > 0, "a pool needs at least one thread");
+        let workers: Vec<Worker<JobRef>> =
+            (0..num_threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
+        let registry = Arc::new(Registry {
+            stealers,
+            injector: Injector::new(),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            idle_workers: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+            num_threads,
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(index, worker)| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("bds-pool-{index}"))
+                    .spawn(move || worker_main(worker, registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Push a job from an external thread.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.notify_workers();
+    }
+
+    pub(crate) fn begin_terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        // Grab the lock so no worker can be between its idle re-check and
+        // its wait when we notify.
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_all();
+    }
+
+    fn notify_workers(&self) {
+        if self.idle_workers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock();
+            self.sleep_cond.notify_all();
+        }
+    }
+
+    fn terminating(&self) -> bool {
+        self.terminate.load(Ordering::SeqCst)
+    }
+
+    fn any_visible_work(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+}
+
+fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
+    let me = WorkerThread {
+        worker,
+        registry,
+        index,
+        rng: Cell::new(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1),
+    };
+    WORKER.with(|w| w.set(&me as *const WorkerThread));
+    me.main_loop();
+    WORKER.with(|w| w.set(std::ptr::null()));
+}
+
+impl WorkerThread {
+    /// The `WorkerThread` of the current OS thread, if any.
+    ///
+    /// SAFETY of the returned reference: a worker's `WorkerThread` lives
+    /// for the whole life of its thread's main loop, and the reference is
+    /// only used from that same thread.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        WORKER.with(|w| {
+            let ptr = w.get();
+            if ptr.is_null() {
+                None
+            } else {
+                Some(unsafe { &*ptr })
+            }
+        })
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Push a job onto the local LIFO deque, waking a sleeper if any.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.worker.push(job);
+        self.registry.notify_workers();
+    }
+
+    /// Pop the most recently pushed local job.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.worker.pop()
+    }
+
+    fn next_victim(&self) -> usize {
+        // xorshift64*
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        (x % self.registry.num_threads as u64) as usize
+    }
+
+    /// Find a job: local deque, then injector, then steal from a peer.
+    pub(crate) fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.worker.pop() {
+            return Some(job);
+        }
+        loop {
+            match self.registry.injector.steal_batch_and_pop(&self.worker) {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.registry.num_threads;
+        let start = self.next_victim();
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match self.registry.stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn main_loop(&self) {
+        loop {
+            if let Some(job) = self.find_work() {
+                // SAFETY: ownership of the JobRef means we are its unique
+                // executor.
+                unsafe { job.execute() };
+                continue;
+            }
+            if self.registry.terminating() {
+                return;
+            }
+            // Go idle. The timeout makes a lost wakeup merely a latency
+            // blip, never a hang.
+            let mut guard = self.registry.sleep_mutex.lock();
+            if self.registry.any_visible_work() || self.registry.terminating() {
+                continue;
+            }
+            self.registry.idle_workers.fetch_add(1, Ordering::SeqCst);
+            self.registry
+                .sleep_cond
+                .wait_for(&mut guard, Duration::from_millis(1));
+            self.registry.idle_workers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Busy-wait for `latch`, executing other jobs meanwhile (the classic
+    /// "helping" loop that makes nested fork-join deadlock-free).
+    pub(crate) fn wait_until(&self, latch: &SpinLatch) {
+        let backoff = Backoff::new();
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                // SAFETY: unique executor, as above.
+                unsafe { job.execute() };
+                backoff.reset();
+            } else {
+                backoff.snooze();
+            }
+        }
+    }
+}

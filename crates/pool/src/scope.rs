@@ -1,0 +1,247 @@
+//! Structured task scopes: spawn any number of tasks that may borrow
+//! from the enclosing stack frame; the scope does not return until all
+//! of them have finished (the rayon `scope` design, reproduced on this
+//! pool).
+//!
+//! `join` covers binary fork-join; `scope` covers irregular fan-out —
+//! e.g. spawning one task per child of a tree node discovered at
+//! runtime.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crossbeam_utils::Backoff;
+
+use crate::job::JobRef;
+use crate::registry::WorkerThread;
+
+/// A scope in which tasks borrowing `'scope` data may be spawned.
+pub struct Scope<'scope> {
+    /// Number of spawned tasks not yet finished.
+    pending: AtomicUsize,
+    /// First panic captured from a spawned task.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant lifetime marker: closures may borrow `'scope` data but
+    /// the scope cannot outlive it.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+struct HeapJob<'scope> {
+    func: Box<dyn FnOnce() + Send + 'scope>,
+    scope: *const Scope<'scope>,
+}
+
+impl<'scope> HeapJob<'scope> {
+    /// Erase into a JobRef.
+    ///
+    /// SAFETY (caller): the scope must stay alive until `pending` drops
+    /// to zero, which `scope()` guarantees by waiting before returning.
+    unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::from_raw_parts(Box::into_raw(self) as *const (), Self::execute_erased)
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = Box::from_raw(ptr as *mut Self);
+        let scope = &*job.scope;
+        let result = panic::catch_unwind(AssertUnwindSafe(job.func));
+        if let Err(payload) = result {
+            let mut slot = scope.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        // Release ordering: the spawned task's effects happen-before the
+        // scope's exit observes the decrement.
+        scope.pending.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow from the enclosing frame. It runs at
+    /// some point before the scope returns, on any worker.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let job = Box::new(HeapJob {
+            func: Box::new(f),
+            scope: self as *const Scope<'scope>,
+        });
+        // SAFETY: scope() waits for pending == 0 before returning, so
+        // `self` (and everything 'scope borrows) outlives the job.
+        let job_ref = unsafe { job.into_job_ref() };
+        match WorkerThread::current() {
+            Some(worker) => worker.push(job_ref),
+            None => crate::global_pool_registry().inject(job_ref),
+        }
+    }
+}
+
+/// Create a scope, run `f` with it, wait for every spawned task, then
+/// return `f`'s result. If any task panicked, the panic is resumed here
+/// (after all tasks have still completed).
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// let hits = AtomicU32::new(0);
+/// bds_pool::scope(|s| {
+///     for _ in 0..16 {
+///         s.spawn(|| { hits.fetch_add(1, Ordering::Relaxed); });
+///     }
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 16);
+/// ```
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    // Wait for all spawned tasks, helping if we are a worker.
+    match WorkerThread::current() {
+        Some(worker) => {
+            let backoff = Backoff::new();
+            while s.pending.load(Ordering::Acquire) != 0 {
+                if let Some(job) = worker.find_work() {
+                    // SAFETY: unique executor of a stolen/popped job.
+                    unsafe { job.execute() };
+                    backoff.reset();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+        None => {
+            let backoff = Backoff::new();
+            while s.pending.load(Ordering::Acquire) != 0 {
+                backoff.snooze();
+            }
+        }
+    }
+    let panicked = s
+        .panic
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    match (result, panicked) {
+        (Ok(r), None) => r,
+        (_, Some(payload)) => panic::resume_unwind(payload),
+        (Err(payload), None) => panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_spawned_tasks() {
+        let pool = Pool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for i in 0..1000u64 {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_stack_data() {
+        let pool = Pool::new(2);
+        let data: Vec<u64> = (0..100).collect();
+        let total = AtomicU64::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for chunk in data.chunks(7) {
+                    let total = &total;
+                    s.spawn(move || {
+                        total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let pool = Pool::new(3);
+        let counter = AtomicU64::new(0);
+        pool.install(|| {
+            scope(|outer| {
+                for _ in 0..10 {
+                    let counter = &counter;
+                    outer.spawn(move || {
+                        scope(|inner| {
+                            for _ in 0..10 {
+                                inner.spawn(move || {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_from_external_thread() {
+        // Not on a worker: jobs go through the global injector.
+        let hits = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..50 {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn scope_propagates_task_panics_after_completion() {
+        let pool = Pool::new(2);
+        let completed = AtomicU64::new(0);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    for i in 0..20 {
+                        let completed = &completed;
+                        s.spawn(move || {
+                            if i == 7 {
+                                panic!("task 7 exploded");
+                            }
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            })
+        }));
+        assert!(r.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 19);
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn scope_with_no_spawns_returns_immediately() {
+        let got = scope(|_| 42);
+        assert_eq!(got, 42);
+    }
+}

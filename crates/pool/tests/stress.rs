@@ -1,0 +1,111 @@
+//! Stress tests for the work-stealing pool: heavy contention, irregular
+//! task sizes, and repeated pool churn.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use bds_pool::{apply, join, parallel_for_grain, parallel_reduce, Pool};
+
+#[test]
+fn irregular_task_sizes_sum_correctly() {
+    let pool = Pool::new(4);
+    let n = 50_000usize;
+    let total = AtomicU64::new(0);
+    pool.install(|| {
+        parallel_for_grain(0, n, 7, &|i| {
+            // Task cost varies with i so stealing actually matters.
+            let mut acc = 0u64;
+            for k in 0..(i % 64) {
+                acc = acc.wrapping_add(k as u64);
+            }
+            std::hint::black_box(acc);
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+}
+
+#[test]
+fn deeply_nested_joins_do_not_deadlock() {
+    fn spawn_tree(depth: usize, leaves: &AtomicUsize) {
+        if depth == 0 {
+            leaves.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        join(
+            || spawn_tree(depth - 1, leaves),
+            || spawn_tree(depth - 1, leaves),
+        );
+    }
+    let pool = Pool::new(2);
+    let leaves = AtomicUsize::new(0);
+    pool.install(|| spawn_tree(14, &leaves));
+    assert_eq!(leaves.load(Ordering::Relaxed), 1 << 14);
+}
+
+#[test]
+fn repeated_pool_creation_and_teardown() {
+    for round in 0..20 {
+        let pool = Pool::new(1 + round % 4);
+        let got = pool.install(|| {
+            parallel_reduce(
+                10_000,
+                32,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(got, 9_999u64 * 10_000 / 2);
+        drop(pool);
+    }
+}
+
+#[test]
+fn concurrent_installs_from_many_external_threads() {
+    let pool = std::sync::Arc::new(Pool::new(4));
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let pool = std::sync::Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            pool.install(move || {
+                parallel_reduce(
+                    10_000,
+                    64,
+                    0u64,
+                    &|lo, hi| (lo..hi).map(|i| i as u64 + t).sum(),
+                    &|a, b| a + b,
+                )
+            })
+        }));
+    }
+    for (t, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().unwrap();
+        assert_eq!(got, 9_999u64 * 10_000 / 2 + 10_000 * t as u64);
+    }
+}
+
+#[test]
+fn apply_with_side_effect_vector_writes() {
+    // apply writing into disjoint slots through raw parallelism-safe cells.
+    let n = 8192;
+    let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let pool = Pool::new(4);
+    pool.install(|| {
+        apply(n, |i| {
+            slots[i].store((i as u64).pow(2) % 1013, Ordering::Relaxed);
+        });
+    });
+    for (i, s) in slots.iter().enumerate() {
+        assert_eq!(s.load(Ordering::Relaxed), (i as u64).pow(2) % 1013);
+    }
+}
+
+#[test]
+fn join_results_preserve_order_of_sides() {
+    let pool = Pool::new(3);
+    for i in 0..200 {
+        let (a, b) = pool.install(|| join(move || ("left", i), move || ("right", i)));
+        assert_eq!(a, ("left", i));
+        assert_eq!(b, ("right", i));
+    }
+}

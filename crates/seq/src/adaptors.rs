@@ -1,0 +1,656 @@
+//! Delayed adaptors: map, zip, zip-with, enumerate, take, skip, reverse.
+//!
+//! All of these cost O(1) eagerly — they only compose functions or
+//! re-index — and preserve random access whenever their inputs have it
+//! (Figure 10, lines 20-27).
+
+use crate::policy::block_size;
+use crate::traits::{RadBlock, RadSeq, Seq};
+
+// ---------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------
+
+/// Delayed elementwise map (Figure 10 lines 20-21): RAD input composes
+/// the index function, BID input composes a stream-map onto each block.
+pub struct Map<S, F> {
+    input: S,
+    f: F,
+}
+
+impl<S, F> Map<S, F> {
+    pub(crate) fn new(input: S, f: F) -> Self {
+        Map { input, f }
+    }
+}
+
+/// Block stream of [`Map`]: the paper's `s.map g ∘ b`.
+pub struct MapBlock<'s, I, F> {
+    inner: I,
+    f: &'s F,
+}
+
+impl<'s, I, F, U> Iterator for MapBlock<'s, I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> U,
+{
+    type Item = U;
+
+    #[inline]
+    fn next(&mut self) -> Option<U> {
+        self.inner.next().map(self.f)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S, F, U> Seq for Map<S, F>
+where
+    S: Seq,
+    U: Send,
+    F: Fn(S::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    type Block<'s>
+        = MapBlock<'s, S::Block<'s>, F>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.input.block_size()
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        MapBlock {
+            inner: self.input.block(j),
+            f: &self.f,
+        }
+    }
+}
+
+impl<S, F, U> RadSeq for Map<S, F>
+where
+    S: RadSeq,
+    U: Send,
+    F: Fn(S::Item) -> U + Send + Sync,
+{
+    #[inline]
+    fn get(&self, i: usize) -> U {
+        (self.f)(self.input.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zip / ZipWith
+// ---------------------------------------------------------------------
+
+fn check_zip_compatible(a_len: usize, a_bs: usize, b_len: usize, b_bs: usize) {
+    assert_eq!(a_len, b_len, "zip requires equal lengths");
+    assert_eq!(
+        a_bs, b_bs,
+        "zip requires aligned blocks; sequences built under different \
+         block-size policies cannot be zipped (force one side first)"
+    );
+}
+
+/// Delayed zip (Figure 10 lines 22-27). Both sides must have the same
+/// length; the aligned block structure this implies (under a single
+/// policy) lets the block streams fuse pairwise.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Seq, B: Seq> Zip<A, B> {
+    pub(crate) fn new(a: A, b: B) -> Self {
+        check_zip_compatible(a.len(), a.block_size(), b.len(), b.block_size());
+        Zip { a, b }
+    }
+}
+
+impl<A, B> Seq for Zip<A, B>
+where
+    A: Seq,
+    B: Seq,
+{
+    type Item = (A::Item, B::Item);
+    type Block<'s>
+        = std::iter::Zip<A::Block<'s>, B::Block<'s>>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.a.block_size()
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        self.a.block(j).zip(self.b.block(j))
+    }
+}
+
+impl<A, B> RadSeq for Zip<A, B>
+where
+    A: RadSeq,
+    B: RadSeq,
+{
+    #[inline]
+    fn get(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+/// Delayed zip-with: like [`Zip`] but combines the pair through `f`
+/// immediately, avoiding tuple construction in fused loops.
+pub struct ZipWith<A, B, F> {
+    a: A,
+    b: B,
+    f: F,
+}
+
+impl<A: Seq, B: Seq, F> ZipWith<A, B, F> {
+    pub(crate) fn new(a: A, b: B, f: F) -> Self {
+        check_zip_compatible(a.len(), a.block_size(), b.len(), b.block_size());
+        ZipWith { a, b, f }
+    }
+}
+
+/// Block stream of [`ZipWith`].
+pub struct ZipWithBlock<'s, IA, IB, F> {
+    a: IA,
+    b: IB,
+    f: &'s F,
+}
+
+impl<'s, IA, IB, F, U> Iterator for ZipWithBlock<'s, IA, IB, F>
+where
+    IA: Iterator,
+    IB: Iterator,
+    F: Fn(IA::Item, IB::Item) -> U,
+{
+    type Item = U;
+
+    #[inline]
+    fn next(&mut self) -> Option<U> {
+        let x = self.a.next()?;
+        let y = self.b.next()?;
+        Some((self.f)(x, y))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.a.size_hint()
+    }
+}
+
+impl<A, B, F, U> Seq for ZipWith<A, B, F>
+where
+    A: Seq,
+    B: Seq,
+    U: Send,
+    F: Fn(A::Item, B::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    type Block<'s>
+        = ZipWithBlock<'s, A::Block<'s>, B::Block<'s>, F>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.a.block_size()
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        ZipWithBlock {
+            a: self.a.block(j),
+            b: self.b.block(j),
+            f: &self.f,
+        }
+    }
+}
+
+impl<A, B, F, U> RadSeq for ZipWith<A, B, F>
+where
+    A: RadSeq,
+    B: RadSeq,
+    U: Send,
+    F: Fn(A::Item, B::Item) -> U + Send + Sync,
+{
+    #[inline]
+    fn get(&self, i: usize) -> U {
+        (self.f)(self.a.get(i), self.b.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enumerate
+// ---------------------------------------------------------------------
+
+/// Delayed index pairing: element `i` becomes `(i, x_i)`.
+pub struct Enumerate<S> {
+    input: S,
+}
+
+impl<S: Seq> Enumerate<S> {
+    pub(crate) fn new(input: S) -> Self {
+        Enumerate { input }
+    }
+}
+
+/// Block stream of [`Enumerate`].
+pub struct EnumerateBlock<I> {
+    inner: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateBlock<I> {
+    type Item = (usize, I::Item);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next_index;
+        self.next_index += 1;
+        Some((i, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S: Seq> Seq for Enumerate<S> {
+    type Item = (usize, S::Item);
+    type Block<'s>
+        = EnumerateBlock<S::Block<'s>>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.input.block_size()
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        let (lo, _) = self.input.block_bounds(j);
+        EnumerateBlock {
+            inner: self.input.block(j),
+            next_index: lo,
+        }
+    }
+}
+
+impl<S: RadSeq> RadSeq for Enumerate<S> {
+    #[inline]
+    fn get(&self, i: usize) -> (usize, S::Item) {
+        (i, self.input.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Take / Skip / Rev (RAD-only re-indexings)
+// ---------------------------------------------------------------------
+
+/// Delayed prefix of a RAD.
+pub struct TakeSeq<S> {
+    input: S,
+    len: usize,
+    bs: usize,
+}
+
+impl<S: RadSeq> TakeSeq<S> {
+    pub(crate) fn new(input: S, k: usize) -> Self {
+        let len = k.min(input.len());
+        TakeSeq {
+            input,
+            len,
+            bs: block_size(len),
+        }
+    }
+}
+
+impl<S: RadSeq> Seq for TakeSeq<S> {
+    type Item = S::Item;
+    type Block<'s>
+        = RadBlock<'s, Self>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        let (lo, hi) = self.block_bounds(j);
+        RadBlock::new(self, lo, hi)
+    }
+}
+
+impl<S: RadSeq> RadSeq for TakeSeq<S> {
+    #[inline]
+    fn get(&self, i: usize) -> S::Item {
+        debug_assert!(i < self.len);
+        self.input.get(i)
+    }
+}
+
+/// Delayed suffix of a RAD (drop the first `k`). This is the paper's RAD
+/// offset field `(i, n, f)` made explicit.
+pub struct SkipSeq<S> {
+    input: S,
+    offset: usize,
+    len: usize,
+    bs: usize,
+}
+
+impl<S: RadSeq> SkipSeq<S> {
+    pub(crate) fn new(input: S, k: usize) -> Self {
+        let offset = k.min(input.len());
+        let len = input.len() - offset;
+        SkipSeq {
+            input,
+            offset,
+            len,
+            bs: block_size(len),
+        }
+    }
+}
+
+impl<S: RadSeq> Seq for SkipSeq<S> {
+    type Item = S::Item;
+    type Block<'s>
+        = RadBlock<'s, Self>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        let (lo, hi) = self.block_bounds(j);
+        RadBlock::new(self, lo, hi)
+    }
+}
+
+impl<S: RadSeq> RadSeq for SkipSeq<S> {
+    #[inline]
+    fn get(&self, i: usize) -> S::Item {
+        self.input.get(self.offset + i)
+    }
+}
+
+/// Delayed reversal of a RAD.
+pub struct RevSeq<S> {
+    input: S,
+}
+
+impl<S: RadSeq> RevSeq<S> {
+    pub(crate) fn new(input: S) -> Self {
+        RevSeq { input }
+    }
+}
+
+impl<S: RadSeq> Seq for RevSeq<S> {
+    type Item = S::Item;
+    type Block<'s>
+        = RadBlock<'s, Self>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.input.block_size()
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        let (lo, hi) = self.block_bounds(j);
+        RadBlock::new(self, lo, hi)
+    }
+}
+
+impl<S: RadSeq> RadSeq for RevSeq<S> {
+    #[inline]
+    fn get(&self, i: usize) -> S::Item {
+        self.input.get(self.input.len() - 1 - i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_block_streams_match_to_vec() {
+        let s = tabulate(5000, |i| i as u64).map(|x| x * 2);
+        let mut collected = Vec::new();
+        for j in 0..s.num_blocks() {
+            collected.extend(s.block(j));
+        }
+        assert_eq!(collected, s.to_vec());
+    }
+
+    #[test]
+    fn map_block_size_hint_is_exact() {
+        let _g = crate::policy::test_sync::test_force(64);
+        let s = tabulate(200, |i| i).map(|x| x);
+        let b = s.block(0);
+        assert_eq!(b.size_hint(), (64, Some(64)));
+        let last = s.block(s.num_blocks() - 1);
+        assert_eq!(last.size_hint().0, 200 % 64);
+    }
+
+    #[test]
+    fn zip_block_bounds_align() {
+        let _g = crate::policy::test_sync::test_force(32);
+        let a = tabulate(100, |i| i);
+        let b = tabulate(100, |i| 100 - i);
+        let z = a.zip(b);
+        assert_eq!(z.num_blocks(), 4);
+        let total: usize = (0..4).map(|j| z.block(j).count()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn zip_with_rad_access() {
+        let a = tabulate(10, |i| i as i64);
+        let b = tabulate(10, |i| 2 * i as i64);
+        let z = a.zip_with(b, |x, y| y - x);
+        assert_eq!(z.get(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned blocks")]
+    fn zip_misaligned_blocks_panics() {
+        let a = {
+            let _g = crate::policy::test_sync::test_force(16);
+            tabulate(100, |i| i)
+        };
+        let b = {
+            let _g = crate::policy::test_sync::test_force(32);
+            tabulate(100, |i| i)
+        };
+        let _ = a.zip(b);
+    }
+
+    #[test]
+    fn enumerate_block_indices_are_global() {
+        let _g = crate::policy::test_sync::test_force(8);
+        let s = tabulate(20, |i| i * 10).enumerate();
+        let second_block: Vec<(usize, usize)> = s.block(1).collect();
+        assert_eq!(second_block[0], (8, 80));
+    }
+
+    #[test]
+    fn take_of_bid_unsupported_but_rad_path_works() {
+        // take/skip/rev are RAD-only re-indexings; chained they stay RAD.
+        let s = tabulate(100, |i| i).skip(10).take(5).rev();
+        assert_eq!(s.to_vec(), vec![14, 13, 12, 11, 10]);
+        assert_eq!(s.get(0), 14);
+    }
+
+    #[test]
+    fn take_beyond_len_clamps() {
+        let s = tabulate(5, |i| i).take(100);
+        assert_eq!(s.len(), 5);
+        let s = tabulate(5, |i| i).skip(100);
+        assert_eq!(s.len(), 0);
+        assert!(s.to_vec().is_empty());
+    }
+
+    #[test]
+    fn map_over_scanned_bid_keeps_block_structure() {
+        let _g = crate::policy::test_sync::test_force(16);
+        let (scanned, _) = tabulate(100, |_| 1u64).scan(0, |a, b| a + b);
+        let mapped = scanned.map(|x| x * 10);
+        assert_eq!(mapped.block_size(), 16);
+        assert_eq!(mapped.num_blocks(), 7);
+        let v = mapped.to_vec();
+        assert_eq!(v[17], 170);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MapWithIndex
+// ---------------------------------------------------------------------
+
+/// Delayed map receiving the element's global index: `y_i = f(i, x_i)`.
+/// O(1) eager; preserves random access.
+pub struct MapWithIndex<S, F> {
+    input: S,
+    f: F,
+}
+
+impl<S, F> MapWithIndex<S, F> {
+    pub(crate) fn new(input: S, f: F) -> Self {
+        MapWithIndex { input, f }
+    }
+}
+
+/// Construct a [`MapWithIndex`] over any sequence.
+pub fn map_with_index<S, U, F>(input: S, f: F) -> MapWithIndex<S, F>
+where
+    S: Seq,
+    U: Send,
+    F: Fn(usize, S::Item) -> U + Send + Sync,
+{
+    MapWithIndex::new(input, f)
+}
+
+/// Block stream of [`MapWithIndex`].
+pub struct MapWithIndexBlock<'s, I, F> {
+    inner: I,
+    f: &'s F,
+    next_index: usize,
+}
+
+impl<'s, I, F, U> Iterator for MapWithIndexBlock<'s, I, F>
+where
+    I: Iterator,
+    F: Fn(usize, I::Item) -> U,
+{
+    type Item = U;
+
+    #[inline]
+    fn next(&mut self) -> Option<U> {
+        let x = self.inner.next()?;
+        let i = self.next_index;
+        self.next_index += 1;
+        Some((self.f)(i, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S, F, U> Seq for MapWithIndex<S, F>
+where
+    S: Seq,
+    U: Send,
+    F: Fn(usize, S::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    type Block<'s>
+        = MapWithIndexBlock<'s, S::Block<'s>, F>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.input.block_size()
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        let (lo, _) = self.input.block_bounds(j);
+        MapWithIndexBlock {
+            inner: self.input.block(j),
+            f: &self.f,
+            next_index: lo,
+        }
+    }
+}
+
+impl<S, F, U> RadSeq for MapWithIndex<S, F>
+where
+    S: RadSeq,
+    U: Send,
+    F: Fn(usize, S::Item) -> U + Send + Sync,
+{
+    #[inline]
+    fn get(&self, i: usize) -> U {
+        (self.f)(i, self.input.get(i))
+    }
+}
+
+#[cfg(test)]
+mod map_with_index_tests {
+    use super::map_with_index;
+    use crate::prelude::*;
+
+    #[test]
+    fn indices_are_global_and_values_pass_through() {
+        let s = map_with_index(tabulate(5000, |i| i * 10), |i, x| x - 9 * i);
+        let v = s.to_vec();
+        assert!(v.iter().enumerate().all(|(i, &y)| y == i));
+        assert_eq!(s.get(17), 17);
+    }
+
+    #[test]
+    fn works_on_bid_input() {
+        let _g = crate::policy::test_sync::test_force(16);
+        let (scanned, _) = tabulate(100, |_| 1u64).scan(0, |a, b| a + b);
+        let s = map_with_index(scanned, |i, prefix| prefix == i as u64);
+        assert!(s.to_vec().into_iter().all(|ok| ok));
+    }
+}

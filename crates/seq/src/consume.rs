@@ -1,0 +1,111 @@
+//! Eager consumers: reduce, for_each (the paper's `applySeq`), and
+//! to_vec (the paper's `toArray`).
+
+use crate::counters;
+use crate::traits::Seq;
+use crate::util::build_vec;
+
+/// Two-phase block reduce (Figure 10 lines 28-32).
+///
+/// Phase 1 stream-reduces each block in parallel (`n` delayed-element
+/// evaluations, `b` writes); phase 2 folds the `b` block sums
+/// sequentially. `combine` must be associative; `zero` is folded in once
+/// at the end (so it should be an identity of `combine`).
+pub(crate) fn reduce<S, F>(seq: &S, zero: S::Item, combine: &F) -> S::Item
+where
+    S: Seq + ?Sized,
+    F: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
+{
+    if seq.is_empty() {
+        return zero;
+    }
+    let nb = seq.num_blocks();
+    // Phase 1: per-block partial sums, seeded with each block's first
+    // element (so `zero` need not be cloned per block).
+    let sums = build_vec(nb, |raw| {
+        bds_pool::apply(nb, |j| {
+            let mut stream = seq.block(j);
+            let first = stream
+                .next()
+                .expect("Seq invariant violated: empty block");
+            let acc = stream.fold(first, combine);
+            // SAFETY: each j written exactly once, j < nb.
+            unsafe { raw.write(j, acc) };
+        });
+    });
+    // Phase 2: fold the small sums array sequentially.
+    counters::count_reads(sums.len());
+    sums.into_iter().fold(zero, combine)
+}
+
+/// Apply `f` to every element, in parallel across blocks (`applySeq`,
+/// Figure 9 lines 5-8).
+pub(crate) fn for_each<S, F>(seq: &S, f: &F)
+where
+    S: Seq + ?Sized,
+    F: Fn(S::Item) + Send + Sync,
+{
+    bds_pool::apply(seq.num_blocks(), |j| {
+        for x in seq.block(j) {
+            f(x);
+        }
+    });
+}
+
+/// Apply `f(i, x)` to every element with its global index.
+pub(crate) fn for_each_indexed<S, F>(seq: &S, f: &F)
+where
+    S: Seq + ?Sized,
+    F: Fn(usize, S::Item) + Send + Sync,
+{
+    bds_pool::apply(seq.num_blocks(), |j| {
+        let (lo, _) = seq.block_bounds(j);
+        for (k, x) in seq.block(j).enumerate() {
+            f(lo + k, x);
+        }
+    });
+}
+
+/// Materialize into a `Vec` (`toArray`, Figure 9 lines 9-14): every block
+/// streams its elements straight into its slot of one fresh buffer.
+pub(crate) fn to_vec<S>(seq: &S) -> Vec<S::Item>
+where
+    S: Seq + ?Sized,
+{
+    let n = seq.len();
+    build_vec(n, |raw| {
+        bds_pool::apply(seq.num_blocks(), |j| {
+            let (lo, hi) = seq.block_bounds(j);
+            let mut k = lo;
+            for x in seq.block(j) {
+                assert!(k < hi, "Seq invariant violated: block overflow");
+                // SAFETY: blocks partition 0..n and each yields exactly
+                // hi-lo elements (asserted), so each index is written
+                // exactly once.
+                unsafe { raw.write(k, x) };
+                k += 1;
+            }
+            assert_eq!(k, hi, "Seq invariant violated: block underflow");
+        });
+    })
+}
+
+/// Count the elements satisfying `pred`, two-phase like `reduce`.
+pub(crate) fn count<S, P>(seq: &S, pred: &P) -> usize
+where
+    S: Seq + ?Sized,
+    P: Fn(&S::Item) -> bool + Send + Sync,
+{
+    if seq.is_empty() {
+        return 0;
+    }
+    let nb = seq.num_blocks();
+    let sums = build_vec(nb, |raw| {
+        bds_pool::apply(nb, |j| {
+            let c = seq.block(j).filter(|x| pred(x)).count();
+            // SAFETY: each j written exactly once.
+            unsafe { raw.write(j, c) };
+        });
+    });
+    sums.into_iter().sum()
+}

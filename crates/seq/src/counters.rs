@@ -1,0 +1,68 @@
+//! Optional element-traffic counters (enable with the `counters` feature).
+//!
+//! These instrument the *eager* inner loops of the library — the places
+//! where real array elements are read or written — so that the Figure 5
+//! read/write accounting can be validated empirically. With the feature
+//! disabled every function is an empty `#[inline]` stub and the hot loops
+//! compile exactly as without instrumentation.
+
+#[cfg(feature = "counters")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static READS: AtomicU64 = AtomicU64::new(0);
+    static WRITES: AtomicU64 = AtomicU64::new(0);
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    pub fn count_reads(n: usize) {
+        READS.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_writes(n: usize) {
+        WRITES.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_allocs(n: usize) {
+        ALLOCS.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Zero all counters.
+    pub fn reset() {
+        READS.store(0, Ordering::SeqCst);
+        WRITES.store(0, Ordering::SeqCst);
+        ALLOCS.store(0, Ordering::SeqCst);
+    }
+
+    /// Snapshot `(element_reads, element_writes, elements_allocated)`.
+    pub fn snapshot() -> (u64, u64, u64) {
+        (
+            READS.load(Ordering::SeqCst),
+            WRITES.load(Ordering::SeqCst),
+            ALLOCS.load(Ordering::SeqCst),
+        )
+    }
+}
+
+#[cfg(not(feature = "counters"))]
+mod imp {
+    /// No-op without the `counters` feature.
+    #[inline(always)]
+    pub fn count_reads(_n: usize) {}
+    /// No-op without the `counters` feature.
+    #[inline(always)]
+    pub fn count_writes(_n: usize) {}
+    /// No-op without the `counters` feature.
+    #[inline(always)]
+    pub fn count_allocs(_n: usize) {}
+    /// No-op without the `counters` feature.
+    pub fn reset() {}
+    /// Always `(0, 0, 0)` without the `counters` feature.
+    pub fn snapshot() -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+}
+
+pub use imp::*;

@@ -1,0 +1,595 @@
+//! A *dynamically dispatched* delayed sequence: a direct transcription of
+//! the paper's ML tagged union (Section 4):
+//!
+//! ```text
+//! datatype α seq =
+//!   | RAD of int × int × (int → α)
+//!   | BID of int × (int → α stream)
+//! ```
+//!
+//! The statically dispatched trait layer in the rest of this crate is the
+//! analogue of the paper's C++ template implementation; this module is
+//! the analogue of the ML implementation, where the representation is a
+//! runtime tag and the streams are boxed closures. It exists (a) to show
+//! the technique is representation-faithful, and (b) as the subject of
+//! the static-vs-dynamic dispatch ablation bench: fusion still *happens*
+//! here (no intermediate arrays), but every element passes through an
+//! indirect call, which is the overhead the compiler removes in the
+//! static version.
+
+use std::sync::Arc;
+
+use crate::policy::{block_size, ceil_div};
+use crate::util::{build_vec, scan_sequential};
+
+/// A boxed block stream.
+pub type DynStream<T> = Box<dyn Iterator<Item = T> + Send>;
+
+type IndexFn<T> = Arc<dyn Fn(usize) -> T + Send + Sync>;
+type BlockFn<T> = Arc<dyn Fn(usize) -> DynStream<T> + Send + Sync>;
+
+/// The paper's tagged union of the two delayed representations.
+///
+/// ```
+/// use bds_seq::dynseq::DSeq;
+/// let (prefix, total) = DSeq::tabulate(1_000, |i| i as u64)
+///     .map(|x| x % 7)
+///     .scan(0, |a, b| a + b);
+/// let evens = prefix.filter(|p| p % 2 == 0);
+/// assert!(evens.len() > 0 && total > 0);
+/// ```
+pub enum DSeq<T> {
+    /// `RAD(offset, len, f)`: element `i` is `f(offset + i)`.
+    Rad {
+        /// Index offset (the paper's `i`).
+        offset: usize,
+        /// Number of elements.
+        len: usize,
+        /// Index-to-value function.
+        f: IndexFn<T>,
+    },
+    /// `BID(len, block_size, b)`: block `j` is the stream `b(j)`.
+    Bid {
+        /// Number of elements.
+        len: usize,
+        /// Elements per block (last may be shorter).
+        bs: usize,
+        /// Block-index-to-stream function.
+        b: BlockFn<T>,
+    },
+}
+
+impl<T> Clone for DSeq<T> {
+    fn clone(&self) -> Self {
+        match self {
+            DSeq::Rad { offset, len, f } => DSeq::Rad {
+                offset: *offset,
+                len: *len,
+                f: Arc::clone(f),
+            },
+            DSeq::Bid { len, bs, b } => DSeq::Bid {
+                len: *len,
+                bs: *bs,
+                b: Arc::clone(b),
+            },
+        }
+    }
+}
+
+impl<T: Send + Sync + Clone + 'static> DSeq<T> {
+    /// `tabulate n f` (Figure 10 line 19): O(1), fully delayed.
+    pub fn tabulate(n: usize, f: impl Fn(usize) -> T + Send + Sync + 'static) -> Self {
+        DSeq::Rad {
+            offset: 0,
+            len: n,
+            f: Arc::new(f),
+        }
+    }
+
+    /// View a shared vector as a RAD (`RADfromArray`).
+    pub fn from_vec(data: Vec<T>) -> Self {
+        let data = Arc::new(data);
+        let len = data.len();
+        DSeq::Rad {
+            offset: 0,
+            len,
+            f: Arc::new(move |i| data[i].clone()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            DSeq::Rad { len, .. } | DSeq::Bid { len, .. } => *len,
+        }
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn num_blocks(&self, bs: usize) -> usize {
+        ceil_div(self.len(), bs)
+    }
+
+    /// `BIDfromSeq` (Figure 9 lines 1-4): reindex a RAD into blocks; a
+    /// BID passes through unchanged.
+    pub fn to_bid(self) -> Self {
+        match self {
+            bid @ DSeq::Bid { .. } => bid,
+            DSeq::Rad { offset, len, f } => {
+                let bs = block_size(len);
+                DSeq::Bid {
+                    len,
+                    bs,
+                    b: Arc::new(move |j| {
+                        let lo = offset + j * bs;
+                        let hi = offset + ((j + 1) * bs).min(len);
+                        let f = Arc::clone(&f);
+                        Box::new((lo..hi).map(move |i| f(i)))
+                    }),
+                }
+            }
+        }
+    }
+
+    /// `map` (Figure 10 lines 20-21): O(1), representation-preserving.
+    pub fn map<U: Send + Sync + Clone + 'static>(
+        self,
+        g: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> DSeq<U> {
+        match self {
+            DSeq::Rad { offset, len, f } => DSeq::Rad {
+                offset,
+                len,
+                f: Arc::new(move |i| g(f(i))),
+            },
+            DSeq::Bid { len, bs, b } => {
+                let g = Arc::new(g);
+                DSeq::Bid {
+                    len,
+                    bs,
+                    b: Arc::new(move |j| {
+                        let g = Arc::clone(&g);
+                        Box::new(b(j).map(move |x| g(x)))
+                    }),
+                }
+            }
+        }
+    }
+
+    /// `zip` (Figure 10 lines 22-27): RAD×RAD stays RAD; otherwise both
+    /// sides become BIDs and blocks are zipped pairwise.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, or if two BIDs have misaligned blocks.
+    pub fn zip<U: Send + Sync + Clone + 'static>(self, other: DSeq<U>) -> DSeq<(T, U)> {
+        assert_eq!(self.len(), other.len(), "zip requires equal lengths");
+        match (self, other) {
+            (
+                DSeq::Rad { offset, len, f },
+                DSeq::Rad {
+                    offset: offset2,
+                    f: f2,
+                    ..
+                },
+            ) => DSeq::Rad {
+                offset: 0,
+                len,
+                f: Arc::new(move |k| (f(offset + k), f2(offset2 + k))),
+            },
+            (a, b) => {
+                let (a, b) = (a.to_bid(), b.to_bid());
+                let (DSeq::Bid { len, bs, b: ba }, DSeq::Bid { bs: bs2, b: bb, .. }) = (a, b)
+                else {
+                    unreachable!("to_bid returns Bid")
+                };
+                assert_eq!(bs, bs2, "zip requires aligned blocks");
+                DSeq::Bid {
+                    len,
+                    bs,
+                    b: Arc::new(move |j| Box::new(ba(j).zip(bb(j)))),
+                }
+            }
+        }
+    }
+
+    /// Two-phase `reduce` (Figure 10 lines 28-32).
+    pub fn reduce(self, zero: T, f: impl Fn(T, T) -> T + Send + Sync) -> T {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return zero;
+        }
+        let nb = bid.num_blocks(*bs);
+        let sums = build_vec(nb, |raw| {
+            bds_pool::apply(nb, |j| {
+                let mut stream = b(j);
+                let first = stream.next().expect("empty block");
+                let acc = stream.fold(first, &f);
+                // SAFETY: each j written once.
+                unsafe { raw.write(j, acc) };
+            });
+        });
+        sums.into_iter().fold(zero, f)
+    }
+
+    /// Three-phase `scan` with delayed phase 3 (Figure 10 lines 33-40).
+    /// Exclusive; returns the scanned BID and the total.
+    pub fn scan(
+        self,
+        zero: T,
+        f: impl Fn(T, T) -> T + Send + Sync + 'static,
+    ) -> (DSeq<T>, T) {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = bid else {
+            unreachable!()
+        };
+        let nb = ceil_div(len, bs);
+        if nb == 0 {
+            let total = zero.clone();
+            return (
+                DSeq::Bid {
+                    len: 0,
+                    bs: 1,
+                    b: Arc::new(|_| Box::new(std::iter::empty())),
+                },
+                total,
+            );
+        }
+        let f = Arc::new(f);
+        // Phase 1: block sums, fused with the input's streams.
+        let sums = {
+            let f = Arc::clone(&f);
+            let b = Arc::clone(&b);
+            build_vec(nb, |raw| {
+                bds_pool::apply(nb, |j| {
+                    let mut stream = b(j);
+                    let first = stream.next().expect("empty block");
+                    let acc = stream.fold(first, |x, y| f(x, y));
+                    // SAFETY: each j written once.
+                    unsafe { raw.write(j, acc) };
+                });
+            })
+        };
+        // Phase 2: sequential scan of block sums.
+        let (seeds, total) = {
+            let f = Arc::clone(&f);
+            scan_sequential(&sums, zero, &move |a: &T, c: &T| f(a.clone(), c.clone()))
+        };
+        let seeds = Arc::new(seeds);
+        // Phase 3: delayed per-block rescan.
+        let out = DSeq::Bid {
+            len,
+            bs,
+            b: Arc::new(move |j| {
+                let f = Arc::clone(&f);
+                let mut acc = seeds[j].clone();
+                Box::new(b(j).map(move |x| {
+                    let next = f(acc.clone(), x);
+                    std::mem::replace(&mut acc, next)
+                }))
+            }),
+        };
+        (out, total)
+    }
+
+    /// Blockwise-packing `filter` (Figure 10 lines 48-53): packs
+    /// survivors per block, then exposes the packed regions as a BID via
+    /// `getRegion` — survivors are never copied to a contiguous array.
+    pub fn filter(self, pred: impl Fn(&T) -> bool + Send + Sync) -> DSeq<T> {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return DSeq::Bid {
+                len: 0,
+                bs: 1,
+                b: Arc::new(|_| Box::new(std::iter::empty())),
+            };
+        }
+        let nb = bid.num_blocks(*bs);
+        let parts: Vec<Vec<T>> = build_vec(nb, |raw| {
+            bds_pool::apply(nb, |j| {
+                let kept: Vec<T> = b(j).filter(|x| pred(x)).collect();
+                // SAFETY: each j written once.
+                unsafe { raw.write(j, kept) };
+            });
+        });
+        DSeq::flatten_parts(parts)
+    }
+
+    /// `flatten` over a vector of delayed inner sequences (Figure 10
+    /// lines 44-47): as in the paper, every inner is first forced to RAD
+    /// (`a.map RADfromSeq`, line 45) so blocks can start mid-inner; the
+    /// output is a BID over the concatenation.
+    pub fn flatten(inners: Vec<DSeq<T>>) -> DSeq<T> {
+        let parts: Vec<Vec<T>> = inners.into_iter().map(DSeq::to_vec).collect();
+        DSeq::flatten_parts(parts)
+    }
+
+    /// `flatten` (Figure 10 lines 44-47) over materialized inner arrays.
+    pub fn flatten_parts(parts: Vec<Vec<T>>) -> DSeq<T> {
+        let lengths: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let (mut offsets, total) = scan_sequential(&lengths, 0usize, &|a, b| a + b);
+        offsets.push(total);
+        let parts = Arc::new(parts);
+        let offsets = Arc::new(offsets);
+        let bs = block_size(total);
+        DSeq::Bid {
+            len: total,
+            bs,
+            b: Arc::new(move |j| {
+                let lo = j * bs;
+                let hi = (lo + bs).min(total);
+                let part = offsets.partition_point(|&o| o <= lo) - 1;
+                Box::new(RegionStream {
+                    parts: Arc::clone(&parts),
+                    part,
+                    within: lo - offsets[part],
+                    remaining: hi - lo,
+                })
+            }),
+        }
+    }
+
+    /// `filterOp` / `mapMaybe`: map through `g`, keeping `Some`s. Same
+    /// blockwise packing as [`DSeq::filter`].
+    pub fn filter_op<U: Send + Sync + Clone + 'static>(
+        self,
+        g: impl Fn(T) -> Option<U> + Send + Sync,
+    ) -> DSeq<U> {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return DSeq::Bid {
+                len: 0,
+                bs: 1,
+                b: Arc::new(|_| Box::new(std::iter::empty())),
+            };
+        }
+        let nb = bid.num_blocks(*bs);
+        let parts: Vec<Vec<U>> = build_vec(nb, |raw| {
+            bds_pool::apply(nb, |j| {
+                let kept: Vec<U> = b(j).filter_map(&g).collect();
+                // SAFETY: each j written once.
+                unsafe { raw.write(j, kept) };
+            });
+        });
+        DSeq::flatten_parts(parts)
+    }
+
+    /// The paper's `applySeq` (Figure 9 lines 5-8): apply `f` to every
+    /// element, parallel across blocks.
+    pub fn for_each(self, f: impl Fn(T) + Send + Sync) {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return;
+        }
+        let nb = bid.num_blocks(*bs);
+        bds_pool::apply(nb, |j| {
+            for x in b(j) {
+                f(x);
+            }
+        });
+    }
+
+    /// `toArray` (Figure 9 lines 9-14).
+    pub fn to_vec(self) -> Vec<T> {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        let (len, bs) = (*len, *bs);
+        let nb = bid.num_blocks(bs);
+        build_vec(len, |raw| {
+            bds_pool::apply(nb, |j| {
+                let lo = j * bs;
+                let hi = (lo + bs).min(len);
+                let mut k = lo;
+                for x in b(j) {
+                    assert!(k < hi, "block overflow");
+                    // SAFETY: blocks partition 0..len.
+                    unsafe { raw.write(k, x) };
+                    k += 1;
+                }
+                assert_eq!(k, hi, "block underflow");
+            });
+        })
+    }
+
+    /// `force` (Figure 9 line 16): fully evaluate into a fresh RAD.
+    pub fn force(self) -> DSeq<T> {
+        DSeq::from_vec(self.to_vec())
+    }
+}
+
+/// `getRegion` stream over `Arc`-shared parts (owned flavor of
+/// [`crate::flatten::RegionIter`]).
+struct RegionStream<T> {
+    parts: Arc<Vec<Vec<T>>>,
+    part: usize,
+    within: usize,
+    remaining: usize,
+}
+
+impl<T: Clone> Iterator for RegionStream<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            let part = self.parts.get(self.part)?;
+            if self.within < part.len() {
+                let x = part[self.within].clone();
+                self.within += 1;
+                self.remaining -= 1;
+                return Some(x);
+            }
+            self.part += 1;
+            self.within = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_map_reduce() {
+        let s = DSeq::tabulate(10_000, |i| i as u64);
+        let total = s.map(|x| x * 2).reduce(0, |a, b| a + b);
+        assert_eq!(total, 9_999 * 10_000);
+    }
+
+    #[test]
+    fn scan_matches_reference() {
+        let n = 5_000usize;
+        let s = DSeq::tabulate(n, |i| (i % 7) as u64);
+        let (scanned, total) = s.scan(0, |a, b| a + b);
+        let got = scanned.to_vec();
+        let mut acc = 0u64;
+        for (i, g) in got.iter().enumerate() {
+            assert_eq!(*g, acc, "index {i}");
+            acc += (i % 7) as u64;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn filter_matches_reference() {
+        let n = 8_192usize;
+        let s = DSeq::tabulate(n, |i| i as u64);
+        let kept = s.filter(|&x| x % 3 == 0).to_vec();
+        let want: Vec<u64> = (0..n as u64).filter(|x| x % 3 == 0).collect();
+        assert_eq!(kept, want);
+    }
+
+    #[test]
+    fn zip_rad_rad_stays_rad() {
+        let a = DSeq::tabulate(100, |i| i);
+        let b = DSeq::tabulate(100, |i| 2 * i);
+        let z = a.zip(b);
+        assert!(matches!(z, DSeq::Rad { .. }));
+        let v = z.to_vec();
+        assert_eq!(v[17], (17, 34));
+    }
+
+    #[test]
+    fn zip_with_bid_goes_blockwise() {
+        let a = DSeq::tabulate(3000, |i| i as u64);
+        let (scanned, _) = a.scan(0, |x, y| x + y);
+        let idx = DSeq::tabulate(3000, |i| i as u64);
+        let z = scanned.zip(idx);
+        assert!(matches!(z, DSeq::Bid { .. }));
+        let v = z.to_vec();
+        // prefix sum of 0..i is i(i-1)/2
+        assert_eq!(v[10], (45, 10));
+    }
+
+    #[test]
+    fn scan_then_filter_fuses() {
+        let n = 4_096usize;
+        let s = DSeq::tabulate(n, |i| 1u64.wrapping_mul(i as u64 % 3));
+        let (scanned, _) = s.scan(0, |a, b| a + b);
+        let odd_prefixes = scanned.filter(|x| x % 2 == 1);
+        let got = odd_prefixes.clone().reduce(0, |a, b| a + b);
+        // Reference.
+        let mut acc = 0u64;
+        let mut want = 0u64;
+        let mut count = 0usize;
+        for i in 0..n {
+            if acc % 2 == 1 {
+                want += acc;
+                count += 1;
+            }
+            acc += (i % 3) as u64;
+        }
+        assert_eq!(got, want);
+        assert_eq!(odd_prefixes.len(), count);
+    }
+
+    #[test]
+    fn flatten_of_delayed_inners() {
+        let inners: Vec<DSeq<u64>> = (0..20u64)
+            .map(|k| DSeq::tabulate(k as usize, move |i| k * 100 + i as u64))
+            .collect();
+        let flat = DSeq::flatten(inners);
+        let want: Vec<u64> = (0..20u64)
+            .flat_map(|k| (0..k).map(move |i| k * 100 + i))
+            .collect();
+        assert_eq!(flat.clone().to_vec(), want);
+        // And it fuses onward: filter the flattened stream.
+        let odds = flat.filter(|x| x % 2 == 1).to_vec();
+        let want_odds: Vec<u64> = want.iter().copied().filter(|x| x % 2 == 1).collect();
+        assert_eq!(odds, want_odds);
+    }
+
+    #[test]
+    fn flatten_parts_round_trips() {
+        let parts = vec![vec![1, 2, 3], vec![], vec![4], vec![], vec![5, 6]];
+        let flat = DSeq::flatten_parts(parts);
+        assert_eq!(flat.clone().to_vec(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(flat.len(), 6);
+    }
+
+    #[test]
+    fn empty_sequences_are_fine() {
+        let s: DSeq<u64> = DSeq::tabulate(0, |_| unreachable!());
+        assert_eq!(s.clone().reduce(0, |a, b| a + b), 0);
+        assert_eq!(s.clone().to_vec(), Vec::<u64>::new());
+        let (scanned, total) = s.clone().scan(0, |a, b| a + b);
+        assert_eq!(total, 0);
+        assert!(scanned.to_vec().is_empty());
+        assert!(s.filter(|_| true).to_vec().is_empty());
+    }
+
+    #[test]
+    fn filter_op_keeps_some() {
+        let s = DSeq::tabulate(4096, |i| i as u64);
+        let got = s.filter_op(|x| (x % 9 == 0).then_some(x / 9)).to_vec();
+        let want: Vec<u64> = (0..4096 / 9 + 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        DSeq::tabulate(10_000, |i| i as u64)
+            .map(|x| x + 1)
+            .for_each(|x| {
+                total.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(total.load(Ordering::Relaxed), (1..=10_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn force_pins_delayed_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let evals = Arc::new(AtomicUsize::new(0));
+        let e2 = Arc::clone(&evals);
+        let s = DSeq::tabulate(2048, move |i| {
+            e2.fetch_add(1, Ordering::Relaxed);
+            i as u64
+        });
+        let forced = s.force();
+        assert_eq!(evals.load(Ordering::Relaxed), 2048);
+        let _ = forced.clone().reduce(0, |a, b| a + b);
+        let _ = forced.reduce(0, |a, b| a.max(b));
+        // No further evaluations of the original index function.
+        assert_eq!(evals.load(Ordering::Relaxed), 2048);
+    }
+}

@@ -1,0 +1,309 @@
+//! Extensions beyond the paper's Figure 1 interface: append, unzip,
+//! short-circuiting quantifiers, and extrema. All follow the same
+//! delayed/blocked discipline as the core operations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::policy::block_size;
+use crate::traits::{RadBlock, RadSeq, Seq};
+use crate::util::build_vec;
+
+// ---------------------------------------------------------------------
+// Append
+// ---------------------------------------------------------------------
+
+/// Delayed concatenation of two random-access sequences. O(1) eager;
+/// random access dispatches on the boundary.
+pub struct Append<A, B> {
+    a: A,
+    b: B,
+    bs: usize,
+}
+
+/// Concatenate two RADs into a delayed sequence.
+pub fn append<A, B>(a: A, b: B) -> Append<A, B>
+where
+    A: RadSeq,
+    B: RadSeq<Item = A::Item>,
+{
+    let bs = block_size(a.len() + b.len());
+    Append { a, b, bs }
+}
+
+impl<A, B> Seq for Append<A, B>
+where
+    A: RadSeq,
+    B: RadSeq<Item = A::Item>,
+{
+    type Item = A::Item;
+    type Block<'s>
+        = RadBlock<'s, Self>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+
+    fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    fn block(&self, j: usize) -> Self::Block<'_> {
+        let (lo, hi) = self.block_bounds(j);
+        RadBlock::new(self, lo, hi)
+    }
+}
+
+impl<A, B> RadSeq for Append<A, B>
+where
+    A: RadSeq,
+    B: RadSeq<Item = A::Item>,
+{
+    #[inline]
+    fn get(&self, i: usize) -> A::Item {
+        if i < self.a.len() {
+            self.a.get(i)
+        } else {
+            self.b.get(i - self.a.len())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Consumers
+// ---------------------------------------------------------------------
+
+/// Split a sequence of pairs into two materialized vectors in one fused
+/// parallel pass.
+pub fn unzip<S, A, B>(seq: &S) -> (Vec<A>, Vec<B>)
+where
+    S: Seq<Item = (A, B)>,
+    A: Send,
+    B: Send,
+{
+    let n = seq.len();
+    let mut firsts: Vec<A> = Vec::with_capacity(n);
+    let mut seconds: Vec<B> = Vec::with_capacity(n);
+    {
+        let ra = crate::util::RawSlice::new(&mut firsts, n);
+        let rb = crate::util::RawSlice::new(&mut seconds, n);
+        bds_pool::apply(seq.num_blocks(), |j| {
+            let (lo, hi) = seq.block_bounds(j);
+            let mut k = lo;
+            for (x, y) in seq.block(j) {
+                assert!(k < hi, "Seq invariant violated: block overflow");
+                // SAFETY: blocks partition 0..n; each index written once
+                // in each buffer.
+                unsafe {
+                    ra.write(k, x);
+                    rb.write(k, y);
+                }
+                k += 1;
+            }
+            assert_eq!(k, hi, "Seq invariant violated: block underflow");
+        });
+    }
+    // SAFETY: every index of both buffers was written exactly once.
+    unsafe {
+        firsts.set_len(n);
+        seconds.set_len(n);
+    }
+    (firsts, seconds)
+}
+
+/// Does any element satisfy `pred`? Blocks short-circuit against a
+/// shared flag (each block checks it between elements), so a hit found
+/// anywhere stops the remaining streams early.
+pub fn any<S, P>(seq: &S, pred: P) -> bool
+where
+    S: Seq,
+    P: Fn(&S::Item) -> bool + Send + Sync,
+{
+    let found = AtomicBool::new(false);
+    bds_pool::apply(seq.num_blocks(), |j| {
+        if found.load(Ordering::Relaxed) {
+            return;
+        }
+        for x in seq.block(j) {
+            if pred(&x) {
+                found.store(true, Ordering::Relaxed);
+                return;
+            }
+            if found.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+    });
+    found.load(Ordering::Relaxed)
+}
+
+/// Do all elements satisfy `pred`? Dual of [`any`].
+pub fn all<S, P>(seq: &S, pred: P) -> bool
+where
+    S: Seq,
+    P: Fn(&S::Item) -> bool + Send + Sync,
+{
+    !any(seq, |x| !pred(x))
+}
+
+/// The maximum element by a key function, or `None` when empty. One
+/// fused pass; ties keep the earliest element (so the result is
+/// deterministic regardless of block structure).
+pub fn max_by_key<S, K, F>(seq: &S, key: F) -> Option<S::Item>
+where
+    S: Seq,
+    S::Item: Clone + Send + Sync,
+    K: PartialOrd + Send,
+    F: Fn(&S::Item) -> K + Send + Sync,
+{
+    if seq.is_empty() {
+        return None;
+    }
+    let nb = seq.num_blocks();
+    // Per-block champion with its global index (for deterministic ties).
+    let champs: Vec<(usize, S::Item)> = build_vec(nb, |raw| {
+        bds_pool::apply(nb, |j| {
+            let (lo, _) = seq.block_bounds(j);
+            let mut best: Option<(usize, S::Item)> = None;
+            for (k, x) in seq.block(j).enumerate() {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => key(&x) > key(b),
+                };
+                if better {
+                    best = Some((lo + k, x));
+                }
+            }
+            // SAFETY: each j written exactly once; block nonempty by the
+            // Seq invariant.
+            unsafe { raw.write(j, best.expect("empty block")) };
+        });
+    });
+    champs
+        .into_iter()
+        .reduce(|a, b| {
+            if key(&b.1) > key(&a.1) {
+                b
+            } else {
+                a
+            }
+        })
+        .map(|(_, x)| x)
+}
+
+/// The minimum element by a key function; see [`max_by_key`].
+pub fn min_by_key<S, K, F>(seq: &S, key: F) -> Option<S::Item>
+where
+    S: Seq,
+    S::Item: Clone + Send + Sync,
+    K: PartialOrd + Send,
+    F: Fn(&S::Item) -> K + Send + Sync,
+{
+    max_by_key(seq, |x| std::cmp::Reverse(OrdShim(key(x))))
+}
+
+/// Shim giving `PartialOrd` semantics to `Reverse` over arbitrary
+/// partially ordered keys.
+struct OrdShim<K>(K);
+
+impl<K: PartialOrd> PartialEq for OrdShim<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<K: PartialOrd> PartialOrd for OrdShim<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn append_concatenates() {
+        let a = tabulate(100, |i| i);
+        let b = tabulate(50, |i| 1000 + i);
+        let s = append(a, b);
+        assert_eq!(s.len(), 150);
+        assert_eq!(s.get(99), 99);
+        assert_eq!(s.get(100), 1000);
+        let v = s.to_vec();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[149], 1049);
+    }
+
+    #[test]
+    fn append_empty_sides() {
+        let v = append(tabulate(0, |i| i), tabulate(3, |i| i)).to_vec();
+        assert_eq!(v, vec![0, 1, 2]);
+        let v = append(tabulate(3, |i| i), tabulate(0, |i| i)).to_vec();
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn append_feeds_scan() {
+        let s = append(tabulate(10, |_| 1u64), tabulate(10, |_| 2u64));
+        let (p, total) = s.scan(0, |a, b| a + b);
+        assert_eq!(total, 30);
+        let v = p.to_vec();
+        assert_eq!(v[10], 10);
+        assert_eq!(v[15], 20);
+    }
+
+    #[test]
+    fn unzip_splits_pairs() {
+        let s = tabulate(5000, |i| (i, i * 2));
+        let (a, b) = unzip(&s);
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i));
+        assert!(b.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn any_and_all() {
+        let s = tabulate(100_000, |i| i);
+        assert!(any(&s, |&x| x == 99_999));
+        assert!(!any(&s, |&x| x == 100_000));
+        assert!(all(&s, |&x| x < 100_000));
+        assert!(!all(&s, |&x| x < 99_999));
+    }
+
+    #[test]
+    fn any_on_empty_is_false_all_is_true() {
+        let s = tabulate(0, |i| i);
+        assert!(!any(&s, |_| true));
+        assert!(all(&s, |_| false));
+    }
+
+    #[test]
+    fn max_min_by_key() {
+        let xs: Vec<i64> = vec![3, -7, 12, 5, -7, 12];
+        let s = from_slice(&xs);
+        assert_eq!(max_by_key(&s, |&x| x), Some(12));
+        assert_eq!(min_by_key(&s, |&x| x), Some(-7));
+        let empty: Vec<i64> = vec![];
+        assert_eq!(max_by_key(&from_slice(&empty), |&x| x), None);
+    }
+
+    #[test]
+    fn max_by_key_ties_take_earliest() {
+        // Pairs with equal keys: the earliest index must win so the
+        // result does not depend on block structure.
+        let xs: Vec<(u64, usize)> = (0..10_000).map(|i| (7, i)).collect();
+        for bs in [1usize, 13, 1000] {
+            let _g = crate::policy::test_sync::test_force(bs);
+            let got = max_by_key(&from_slice(&xs), |p| p.0);
+            assert_eq!(got, Some((7, 0)), "bs {bs}");
+        }
+    }
+
+    #[test]
+    fn max_by_key_works_on_bid() {
+        let (s, _) = tabulate(5000, |_| 1u64).scan(0, |a, b| a + b);
+        assert_eq!(max_by_key(&s, |&x| x), Some(4999));
+    }
+}

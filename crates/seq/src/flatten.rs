@@ -1,0 +1,301 @@
+//! Flatten with a blocked *output* iteration space (Figure 3; Figure 10
+//! lines 41-47).
+//!
+//! `flatten` concatenates a sequence of inner (random-access) sequences.
+//! Instead of copying into one array, the output index space is cut into
+//! equal blocks; each output block binary-searches the inner-offsets
+//! array for its starting position (the paper's `getRegion`) and then
+//! streams left-to-right across adjacent inner sequences. Eager work is
+//! proportional to the number of *inner sequences* only; the per-element
+//! walk is delayed.
+
+use crate::counters;
+use crate::policy::block_size;
+use crate::traits::{RadSeq, Seq};
+use crate::util::array_scan_exclusive;
+
+/// The delayed result of [`flatten`]: a BID over the concatenation of
+/// `inners`.
+pub struct Flattened<Inner> {
+    inners: Vec<Inner>,
+    /// Exclusive prefix sums of inner lengths, plus the total at the end
+    /// (`offsets.len() == inners.len() + 1`).
+    offsets: Vec<usize>,
+    len: usize,
+    bs: usize,
+}
+
+/// Flatten a sequence of random-access inner sequences.
+///
+/// The outer sequence is materialized eagerly (the paper forces all inner
+/// sequences to RAD, Figure 10 line 45 — here the `Inner: RadSeq` bound
+/// makes that a compile-time fact), and the inner lengths are scanned to
+/// produce the offsets. Both cost O(|outer|); everything per-element is
+/// delayed.
+///
+/// ```
+/// use bds_seq::prelude::*;
+/// // Triangle: inner k is [0, 1, ..., k-1]; never materialized.
+/// let tri = flatten(tabulate(5, |k| tabulate(k, |i| i)));
+/// assert_eq!(tri.len(), 10);
+/// assert_eq!(tri.to_vec(), vec![0, 0, 1, 0, 1, 2, 0, 1, 2, 3]);
+/// ```
+pub fn flatten<S, Inner>(outer: S) -> Flattened<Inner>
+where
+    S: Seq<Item = Inner>,
+    Inner: RadSeq,
+{
+    let inners = outer.to_vec();
+    Flattened::from_inners(inners)
+}
+
+impl<Inner: RadSeq> Flattened<Inner> {
+    /// Build directly from a vector of inner sequences.
+    pub fn from_inners(inners: Vec<Inner>) -> Self {
+        let lengths: Vec<usize> = inners.iter().map(|s| s.len()).collect();
+        counters::count_reads(inners.len());
+        let (mut offsets, total) = array_scan_exclusive(&lengths, 0usize, &|a, b| a + b);
+        offsets.push(total);
+        Flattened {
+            inners,
+            offsets,
+            len: total,
+            bs: block_size(total),
+        }
+    }
+
+    /// The offset of inner sequence `p` in the flattened output.
+    pub fn offset_of(&self, p: usize) -> usize {
+        self.offsets[p]
+    }
+
+    /// Number of inner sequences.
+    pub fn num_inners(&self) -> usize {
+        self.inners.len()
+    }
+}
+
+impl<Inner: RadSeq> Flattened<Inner>
+where
+    Inner::Item: Send + Sync,
+{
+    /// Reduce each inner sequence independently, in parallel across
+    /// inners: `out[p] = fold(zero, inners[p])`. This is the classic
+    /// *segmented reduce* (the shape of sparse matrix-vector products),
+    /// expressed directly on the flatten's segment structure — no
+    /// per-segment arrays are materialized.
+    pub fn segmented_reduce<F>(&self, zero: Inner::Item, combine: F) -> Vec<Inner::Item>
+    where
+        Inner::Item: Clone,
+        F: Fn(Inner::Item, Inner::Item) -> Inner::Item + Send + Sync,
+    {
+        let np = self.inners.len();
+        crate::util::build_vec(np, |raw| {
+            bds_pool::apply(np, |p| {
+                let inner = &self.inners[p];
+                let mut acc = zero.clone();
+                for k in 0..inner.len() {
+                    acc = combine(acc, inner.get(k));
+                }
+                // SAFETY: each p written exactly once.
+                unsafe { raw.write(p, acc) };
+            });
+        })
+    }
+}
+
+/// Block stream of [`Flattened`]: the paper's `getRegion` walk. Starts at
+/// a binary-searched (inner, within) position and streams `remaining`
+/// elements across adjacent inner sequences, skipping empties.
+pub struct RegionIter<'s, Inner: RadSeq> {
+    inners: &'s [Inner],
+    part: usize,
+    within: usize,
+    remaining: usize,
+}
+
+impl<'s, Inner: RadSeq> Iterator for RegionIter<'s, Inner> {
+    type Item = Inner::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<Inner::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            let inner = self.inners.get(self.part)?;
+            if self.within < inner.len() {
+                let x = inner.get(self.within);
+                self.within += 1;
+                self.remaining -= 1;
+                return Some(x);
+            }
+            self.part += 1;
+            self.within = 0;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<Inner: RadSeq> Seq for Flattened<Inner> {
+    type Item = Inner::Item;
+    type Block<'s>
+        = RegionIter<'s, Inner>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    fn block(&self, j: usize) -> RegionIter<'_, Inner> {
+        let (lo, hi) = self.block_bounds(j);
+        // Binary search: the last inner whose offset is <= lo. Runs of
+        // equal offsets (empty inners) are skipped by taking the last.
+        let part = self.offsets.partition_point(|&o| o <= lo) - 1;
+        RegionIter {
+            inners: &self.inners,
+            part,
+            within: lo - self.offsets[part],
+            remaining: hi - lo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Flattened;
+    use crate::sources::Forced;
+
+    fn inners(sizes: &[usize]) -> Vec<Forced<usize>> {
+        sizes
+            .iter()
+            .map(|&k| Forced::from_vec((0..k).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn blocks_start_mid_inner() {
+        // Force tiny blocks so boundaries land inside inner sequences.
+        let _g = crate::policy::test_sync::test_force(3);
+        let f = Flattened::from_inners(inners(&[5, 0, 7, 1]));
+        assert_eq!(f.len(), 13);
+        assert_eq!(f.num_blocks(), 5);
+        let got: Vec<usize> = (0..f.num_blocks()).flat_map(|j| f.block(j)).collect();
+        let want: Vec<usize> = [5, 0, 7, 1].iter().flat_map(|&k| 0..k).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn leading_and_trailing_empties() {
+        let _g = crate::policy::test_sync::test_force(4);
+        let f = Flattened::from_inners(inners(&[0, 0, 3, 0, 0, 2, 0]));
+        assert_eq!(f.to_vec(), vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn all_empty_inners() {
+        let f = Flattened::from_inners(inners(&[0, 0, 0]));
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.num_blocks(), 0);
+        assert!(f.to_vec().is_empty());
+    }
+
+    #[test]
+    fn no_inners_at_all() {
+        let f = Flattened::from_inners(inners(&[]));
+        assert!(f.is_empty());
+        assert!(f.to_vec().is_empty());
+    }
+
+    #[test]
+    fn offsets_accessors() {
+        let f = Flattened::from_inners(inners(&[2, 3]));
+        assert_eq!(f.num_inners(), 2);
+        assert_eq!(f.offset_of(0), 0);
+        assert_eq!(f.offset_of(1), 2);
+        assert_eq!(f.offset_of(2), 5);
+    }
+
+    #[test]
+    fn flatten_of_delayed_inners_defers_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&calls);
+        // Inner sequences are tabulates whose evaluation we can count.
+        let outer = tabulate(10, move |k| {
+            let c3 = Arc::clone(&c2);
+            tabulate(k, move |i| {
+                c3.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        });
+        let f = flatten(outer);
+        // Eager flatten work touched only lengths, not elements.
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        let n = f.len();
+        assert_eq!(n, 45);
+        let _ = f.reduce(0, |a, b| a + b);
+        assert_eq!(calls.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn region_iter_size_hint() {
+        let _g = crate::policy::test_sync::test_force(4);
+        let f = Flattened::from_inners(inners(&[10]));
+        assert_eq!(f.block(0).size_hint(), (4, Some(4)));
+        assert_eq!(f.block(2).size_hint(), (2, Some(2)));
+    }
+}
+
+#[cfg(test)]
+mod segmented_tests {
+    use crate::prelude::*;
+    use crate::sources::Forced;
+    use crate::Flattened;
+
+    #[test]
+    fn segmented_reduce_per_inner_sums() {
+        let inners: Vec<Forced<u64>> = (0..100u64)
+            .map(|k| Forced::from_vec((0..k).collect()))
+            .collect();
+        let f = Flattened::from_inners(inners);
+        let sums = f.segmented_reduce(0, |a, b| a + b);
+        for (k, s) in sums.iter().enumerate() {
+            let k = k as u64;
+            assert_eq!(*s, k * k.saturating_sub(1) / 2, "segment {k}");
+        }
+    }
+
+    #[test]
+    fn segmented_reduce_with_delayed_inners() {
+        // Inners are tabulates: the segment fold streams through the
+        // delayed index functions without materializing.
+        let outer = tabulate(50, |k| tabulate(k + 1, move |i| (k * i) as u64));
+        let f = flatten(outer);
+        let maxes = f.segmented_reduce(0, u64::max);
+        for (k, m) in maxes.iter().enumerate() {
+            assert_eq!(*m, (k * k) as u64);
+        }
+    }
+
+    #[test]
+    fn segmented_reduce_empty_segments() {
+        let inners: Vec<Forced<u32>> = vec![
+            Forced::from_vec(vec![]),
+            Forced::from_vec(vec![5, 6]),
+            Forced::from_vec(vec![]),
+        ];
+        let f = Flattened::from_inners(inners);
+        assert_eq!(f.segmented_reduce(0, |a, b| a + b), vec![0, 11, 0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Block-size policy.
+//!
+//! The paper (Section 4) leaves the block size `B_n` open: "it could be
+//! set as a constant at compile-time, or could be computed as n/P where P
+//! is the number of processors, etc. Our definitions work the same for any
+//! block-size." We default to `max(MIN_BLOCK, ceil(n / (8 P)))`, which
+//! keeps the number of blocks at roughly `8 P` (the paper: "the number of
+//! blocks is often chosen to be proportional to the number of
+//! processors") while guaranteeing blocks never get so small that
+//! per-block task overhead dominates.
+//!
+//! A process-global override exists for ablation experiments (the
+//! block-size sweep of Figure 16 and the `blocksize` ablation bench).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Smallest block the default policy will choose.
+pub const MIN_BLOCK: usize = 1024;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Divide, rounding up. `ceil_div(0, b) == 0`.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// The block size used for a sequence of `n` elements, under the current
+/// policy (or the active override).
+#[inline]
+pub fn block_size(n: usize) -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    let p = bds_pool::current_num_threads();
+    ceil_div(n, 8 * p).max(MIN_BLOCK)
+}
+
+/// Number of blocks for `n` elements at block size `bs`.
+#[inline]
+pub fn num_blocks(n: usize, bs: usize) -> usize {
+    ceil_div(n, bs)
+}
+
+/// RAII guard that forces a fixed block size process-wide while alive.
+///
+/// Intended for benchmarks and tests; concurrent guards with different
+/// sizes are a logic error (the last writer wins).
+pub struct BlockSizeGuard {
+    previous: usize,
+}
+
+/// Force `block_size(n)` to return `bs` for all `n` until the returned
+/// guard is dropped.
+///
+/// # Panics
+/// Panics if `bs == 0`.
+pub fn force_block_size(bs: usize) -> BlockSizeGuard {
+    assert!(bs > 0, "block size must be positive");
+    let previous = OVERRIDE.swap(bs, Ordering::Relaxed);
+    BlockSizeGuard { previous }
+}
+
+impl Drop for BlockSizeGuard {
+    fn drop(&mut self) {
+        OVERRIDE.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_edge_cases() {
+        assert_eq!(ceil_div(0, 5), 0);
+        assert_eq!(ceil_div(1, 5), 1);
+        assert_eq!(ceil_div(5, 5), 1);
+        assert_eq!(ceil_div(6, 5), 2);
+    }
+
+    #[test]
+    fn default_policy_has_min_block() {
+        assert_eq!(block_size(1), MIN_BLOCK);
+        assert_eq!(block_size(MIN_BLOCK), MIN_BLOCK);
+    }
+
+    #[test]
+    fn default_policy_scales_with_n() {
+        let p = bds_pool::current_num_threads();
+        let n = 8 * p * MIN_BLOCK * 4;
+        let bs = block_size(n);
+        assert!(bs >= MIN_BLOCK);
+        assert!(num_blocks(n, bs) <= 8 * p + 1);
+    }
+
+    #[test]
+    fn override_applies_and_restores() {
+        let before = block_size(1 << 20);
+        {
+            let _guard = force_block_size(77);
+            assert_eq!(block_size(123), 77);
+            assert_eq!(block_size(1 << 20), 77);
+            {
+                let _inner = force_block_size(99);
+                assert_eq!(block_size(5), 99);
+            }
+            assert_eq!(block_size(5), 77);
+        }
+        assert_eq!(block_size(1 << 20), before);
+    }
+
+    #[test]
+    fn num_blocks_covers_all_elements() {
+        for n in [0usize, 1, 1023, 1024, 1025, 10_000] {
+            for bs in [1usize, 7, 1024] {
+                let b = num_blocks(n, bs);
+                assert!(b * bs >= n);
+                if n > 0 {
+                    assert!((b - 1) * bs < n);
+                }
+            }
+        }
+    }
+}
+
+/// Test-only synchronization for the process-global override: tests that
+/// force a block size (or that build zip operands in separate statements
+/// and therefore need the policy stable) take this lock so they cannot
+/// observe each other's overrides.
+#[cfg(test)]
+pub(crate) mod test_sync {
+    use super::{force_block_size, BlockSizeGuard};
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    /// Holds the lock (and optionally an override) for a test's duration.
+    pub(crate) struct TestForce {
+        _guard: Option<BlockSizeGuard>,
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    /// Lock and force `bs`.
+    pub(crate) fn test_force(bs: usize) -> TestForce {
+        let lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        TestForce {
+            _guard: Some(force_block_size(bs)),
+            _lock: lock,
+        }
+    }
+
+    /// Lock without overriding (for tests that merely need stability).
+    #[allow(dead_code)]
+    pub(crate) fn test_lock() -> TestForce {
+        let lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        TestForce {
+            _guard: None,
+            _lock: lock,
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The two sequence representations as traits.
+//!
+//! The paper models a delayed sequence as a tagged union (Section 4):
+//!
+//! ```text
+//! datatype α seq =
+//!   | RAD of int × int × (int → α)      (* random-access delayed   *)
+//!   | BID of int × (int → α stream)     (* block-iterable delayed  *)
+//! ```
+//!
+//! In Rust (as in the paper's C++ version, which uses templates and
+//! overloading) we encode the representation in the *type*: every
+//! sequence implements [`Seq`] — the BID view: a fixed number of
+//! equal-sized blocks, each a sequential stream (`Iterator`) — and those
+//! that additionally support O(1) random access implement [`RadSeq`].
+//! "Converting a RAD to a BID" (the paper's `BIDfromSeq`) is then just
+//! using the `Seq` view of a `RadSeq` type; the compiler statically
+//! resolves it, so the fusion relies only on ordinary inlining, exactly
+//! like the paper's C++ library relies on GCC.
+//!
+//! A runtime tagged union faithful to the ML version is provided in
+//! [`crate::dynseq`] for comparison.
+
+use crate::adaptors::{Enumerate, Map, RevSeq, SkipSeq, TakeSeq, Zip, ZipWith};
+use crate::consume;
+use crate::filter::{self, Filtered};
+use crate::policy::ceil_div;
+use crate::scan::{self, Scanned, ScannedIncl};
+use crate::sources::Forced;
+
+/// A block-iterable delayed sequence (the paper's BID view).
+///
+/// A sequence of `len()` elements is divided into `num_blocks()` blocks of
+/// `block_size()` elements each (the last may be shorter). Each block is a
+/// *stream*: a sequential iterator constructible in O(1). Parallel
+/// consumers run across blocks and stream within each block.
+///
+/// # Invariant
+/// `block(j)` yields exactly `min(block_size(), len() - j*block_size())`
+/// elements, in order, and the concatenation of all blocks is the
+/// sequence. Consumers (e.g. [`Seq::to_vec`]) rely on this for safety of
+/// their disjoint parallel writes.
+pub trait Seq: Send + Sync {
+    /// Element type.
+    type Item: Send;
+    /// The stream type of one block, borrowing the sequence.
+    type Block<'s>: Iterator<Item = Self::Item>
+    where
+        Self: 's;
+
+    /// Total number of elements.
+    fn len(&self) -> usize;
+
+    /// Elements per block (except possibly the last block).
+    fn block_size(&self) -> usize;
+
+    /// The `j`-th block's stream, `j < num_blocks()`. O(1) to construct
+    /// (plus, for region-based sequences, an O(log) binary search).
+    fn block(&self, j: usize) -> Self::Block<'_>;
+
+    /// True if the sequence has no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of blocks, `ceil(len / block_size)`.
+    fn num_blocks(&self) -> usize {
+        ceil_div(self.len(), self.block_size())
+    }
+
+    /// Bounds `(lo, hi)` of block `j` in the element index space.
+    fn block_bounds(&self, j: usize) -> (usize, usize) {
+        let lo = j * self.block_size();
+        let hi = (lo + self.block_size()).min(self.len());
+        (lo, hi)
+    }
+
+    // ------------------------------------------------------------------
+    // Delayed combinators (O(1) eager cost; Figure 10 lines 19-27).
+    // ------------------------------------------------------------------
+
+    /// Delayed elementwise map. O(1): composes `f` into the sequence.
+    /// Preserves the representation: mapping a [`RadSeq`] yields a
+    /// [`RadSeq`].
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map::new(self, f)
+    }
+
+    /// Delayed zip. O(1). Requires equal lengths (and the aligned block
+    /// structure that equal lengths imply under one policy).
+    ///
+    /// # Panics
+    /// Panics if lengths or block sizes differ.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        Self: Sized,
+        B: Seq,
+    {
+        Zip::new(self, other)
+    }
+
+    /// Delayed zip-with. O(1).
+    fn zip_with<B, U, F>(self, other: B, f: F) -> ZipWith<Self, B, F>
+    where
+        Self: Sized,
+        B: Seq,
+        U: Send,
+        F: Fn(Self::Item, B::Item) -> U + Send + Sync,
+    {
+        ZipWith::new(self, other, f)
+    }
+
+    /// Delayed pairing of each element with its index. O(1).
+    fn enumerate(self) -> Enumerate<Self>
+    where
+        Self: Sized,
+    {
+        Enumerate::new(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Eager consumers (Figure 10 lines 28-32; Figure 9 lines 5-16).
+    // ------------------------------------------------------------------
+
+    /// Two-phase block reduce (Figure 10 lines 28-32).
+    ///
+    /// `combine` must be associative and `zero` its identity. Eager work
+    /// is the delayed work of the whole sequence plus O(b); only O(b)
+    /// elements are allocated.
+    ///
+    /// ```
+    /// use bds_seq::prelude::*;
+    /// let total = tabulate(1_000, |i| i as u64).reduce(0, |a, b| a + b);
+    /// assert_eq!(total, 999 * 1000 / 2);
+    /// ```
+    fn reduce<F>(&self, zero: Self::Item, combine: F) -> Self::Item
+    where
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        consume::reduce(self, zero, &combine)
+    }
+
+    /// Apply `f` to every element, in parallel across blocks (the paper's
+    /// `applySeq`, Figure 9 lines 5-8).
+    fn for_each<F>(&self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        consume::for_each(self, &f)
+    }
+
+    /// Apply `f(i, x)` to every element with its index.
+    fn for_each_indexed<F>(&self, f: F)
+    where
+        F: Fn(usize, Self::Item) + Send + Sync,
+    {
+        consume::for_each_indexed(self, &f)
+    }
+
+    /// Materialize into a `Vec` (the paper's `toArray`, Figure 9 lines
+    /// 9-14): one fused parallel traversal writing each block into its
+    /// slot of a fresh buffer.
+    fn to_vec(&self) -> Vec<Self::Item> {
+        consume::to_vec(self)
+    }
+
+    /// Force all delayed computation into a materialized random-access
+    /// sequence (Figure 9 line 16). Useful to avoid recomputing a delayed
+    /// sequence consumed more than once; see the cost semantics for the
+    /// trade-off.
+    fn force(&self) -> Forced<Self::Item>
+    where
+        Self::Item: Clone + Sync,
+    {
+        Forced::from_vec(self.to_vec())
+    }
+
+    // ------------------------------------------------------------------
+    // BID producers (Figure 10 lines 33-53).
+    // ------------------------------------------------------------------
+
+    /// Exclusive scan (Figure 10 lines 33-40). Eagerly runs phases 1-2 of
+    /// the three-phase algorithm (allocating only O(b)); phase 3 is
+    /// *delayed* in the returned BID, fusing with downstream consumers.
+    ///
+    /// Returns the scanned sequence and the total. `combine` must be
+    /// associative with identity `zero` ("simple" in the paper's cost
+    /// semantics).
+    ///
+    /// ```
+    /// use bds_seq::prelude::*;
+    /// let (prefix, total) = tabulate(100, |_| 1u64).scan(0, |a, b| a + b);
+    /// assert_eq!(total, 100);
+    /// // The scan output is still delayed; this map+reduce fuses with
+    /// // its phase 3:
+    /// assert_eq!(prefix.reduce(0, u64::max), 99);
+    /// ```
+    fn scan<F>(self, zero: Self::Item, combine: F) -> (Scanned<Self, F>, Self::Item)
+    where
+        Self: Sized,
+        Self::Item: Clone + Sync,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        scan::scan(self, zero, combine)
+    }
+
+    /// Inclusive scan: element `i` of the output is the fold of elements
+    /// `0..=i`. Same cost structure as [`Seq::scan`].
+    fn scan_incl<F>(self, zero: Self::Item, combine: F) -> ScannedIncl<Self, F>
+    where
+        Self: Sized,
+        Self::Item: Clone + Sync,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        scan::scan_incl(self, zero, combine)
+    }
+
+    /// Keep elements satisfying `pred` (Figure 10 lines 48-53). Eagerly
+    /// packs survivors per block (allocating only survivors + O(b));
+    /// the output is a BID whose blocks stream out of the packed regions,
+    /// so survivors are never copied into one contiguous array.
+    ///
+    /// ```
+    /// use bds_seq::prelude::*;
+    /// let evens = tabulate(10, |i| i).filter(|&x| x % 2 == 0);
+    /// assert_eq!(evens.len(), 5);
+    /// assert_eq!(evens.to_vec(), vec![0, 2, 4, 6, 8]);
+    /// ```
+    fn filter<P>(self, pred: P) -> Filtered<Self::Item>
+    where
+        Self: Sized,
+        Self::Item: Clone + Sync,
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        filter::filter(&self, &pred)
+    }
+
+    /// The paper's `filterOp` (a.k.a. `mapMaybe`/`mapPartial`): map each
+    /// element through `f`, keeping the `Some` results. Same costs as
+    /// [`Seq::filter`].
+    fn filter_op<U, F>(self, f: F) -> Filtered<U>
+    where
+        Self: Sized,
+        U: Clone + Send + Sync,
+        F: Fn(Self::Item) -> Option<U> + Send + Sync,
+    {
+        filter::filter_op(&self, &f)
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience folds.
+    // ------------------------------------------------------------------
+
+    /// Count elements satisfying `pred` without materializing anything.
+    fn count<P>(&self, pred: P) -> usize
+    where
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        consume::count(self, &pred)
+    }
+
+    /// Does any element satisfy `pred`? Short-circuits across blocks.
+    fn any<P>(&self, pred: P) -> bool
+    where
+        Self: Sized,
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        crate::extra::any(self, pred)
+    }
+
+    /// Do all elements satisfy `pred`? Short-circuits across blocks.
+    fn all<P>(&self, pred: P) -> bool
+    where
+        Self: Sized,
+        P: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        crate::extra::all(self, pred)
+    }
+
+    /// The maximum element under a key function (earliest wins ties), or
+    /// `None` when empty. One fused pass.
+    fn max_by_key<K, F>(&self, key: F) -> Option<Self::Item>
+    where
+        Self: Sized,
+        Self::Item: Clone + Sync,
+        K: PartialOrd + Send,
+        F: Fn(&Self::Item) -> K + Send + Sync,
+    {
+        crate::extra::max_by_key(self, key)
+    }
+
+    /// The minimum element under a key function; see
+    /// [`Seq::max_by_key`].
+    fn min_by_key<K, F>(&self, key: F) -> Option<Self::Item>
+    where
+        Self: Sized,
+        Self::Item: Clone + Sync,
+        K: PartialOrd + Send,
+        F: Fn(&Self::Item) -> K + Send + Sync,
+    {
+        crate::extra::min_by_key(self, key)
+    }
+}
+
+/// A random-access delayed sequence (the paper's RAD view): elements can
+/// be retrieved independently by index in O(1) beyond their delayed cost.
+pub trait RadSeq: Seq {
+    /// The `i`-th element, `i < len()`.
+    fn get(&self, i: usize) -> Self::Item;
+
+    /// Delayed prefix of the first `k` elements (RAD-only extension).
+    fn take(self, k: usize) -> TakeSeq<Self>
+    where
+        Self: Sized,
+    {
+        TakeSeq::new(self, k)
+    }
+
+    /// Delayed suffix dropping the first `k` elements (RAD-only
+    /// extension).
+    fn skip(self, k: usize) -> SkipSeq<Self>
+    where
+        Self: Sized,
+    {
+        SkipSeq::new(self, k)
+    }
+
+    /// Delayed reversal (RAD-only extension).
+    fn rev(self) -> RevSeq<Self>
+    where
+        Self: Sized,
+    {
+        RevSeq::new(self)
+    }
+}
+
+/// Generic block stream over any [`RadSeq`]: yields `get(lo..hi)`.
+pub struct RadBlock<'s, S: RadSeq + ?Sized> {
+    seq: &'s S,
+    next: usize,
+    end: usize,
+}
+
+impl<'s, S: RadSeq + ?Sized> RadBlock<'s, S> {
+    pub(crate) fn new(seq: &'s S, lo: usize, hi: usize) -> Self {
+        RadBlock {
+            seq,
+            next: lo,
+            end: hi,
+        }
+    }
+}
+
+impl<'s, S: RadSeq + ?Sized> Iterator for RadBlock<'s, S> {
+    type Item = S::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<S::Item> {
+        if self.next >= self.end {
+            return None;
+        }
+        let x = self.seq.get(self.next);
+        self.next += 1;
+        Some(x)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl<'s, S: RadSeq + ?Sized> ExactSizeIterator for RadBlock<'s, S> {}

@@ -1,0 +1,188 @@
+//! Internal utilities: disjoint parallel writes into fresh buffers, and a
+//! small eager parallel array-scan (the paper's `a.scan`, Figure 7).
+
+use crate::counters;
+use crate::policy::{block_size, ceil_div};
+
+/// A shareable raw pointer into a buffer whose disjoint regions are
+/// written by different workers.
+pub(crate) struct RawSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: `RawSlice` is only used under the disjoint-writes protocol
+// (each index written by exactly one task), and `T: Send` means the
+// values themselves may be produced on any thread.
+unsafe impl<T: Send> Sync for RawSlice<T> {}
+unsafe impl<T: Send> Send for RawSlice<T> {}
+
+impl<T> RawSlice<T> {
+    pub(crate) fn new(buf: &mut Vec<T>, len: usize) -> Self {
+        debug_assert!(buf.capacity() >= len);
+        RawSlice {
+            ptr: buf.as_mut_ptr(),
+            len,
+        }
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// SAFETY: `index < len`, each index is written at most once overall,
+    /// and the buffer outlives all writes.
+    #[inline]
+    pub(crate) unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        counters::count_writes(1);
+        self.ptr.add(index).write(value);
+    }
+}
+
+/// Allocate a `Vec<T>` of length `n` whose elements are produced by
+/// `fill`, which receives a [`RawSlice`] and must write every index in
+/// `0..n` exactly once (typically from parallel tasks).
+///
+/// If `fill` panics, already-written elements are leaked (never dropped
+/// twice, never read uninitialized).
+pub(crate) fn build_vec<T: Send>(n: usize, fill: impl FnOnce(&RawSlice<T>)) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    counters::count_allocs(n);
+    {
+        let raw = RawSlice::new(&mut out, n);
+        fill(&raw);
+    }
+    // SAFETY: `fill` wrote every index in 0..n exactly once.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Eager exclusive parallel scan over a slice — the paper's `a.scan`.
+///
+/// Returns the exclusive-prefix array and the total. Uses the standard
+/// three-phase algorithm (Figure 2) on the array itself.
+pub(crate) fn array_scan_exclusive<T, F>(xs: &[T], zero: T, f: &F) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = xs.len();
+    if n == 0 {
+        return (Vec::new(), zero);
+    }
+    let bs = block_size(n);
+    let nb = ceil_div(n, bs);
+    if nb <= 1 {
+        return scan_sequential(xs, zero, f);
+    }
+    // Phase 1: per-block sums.
+    let sums = build_vec(nb, |raw| {
+        bds_pool::apply(nb, |j| {
+            let lo = j * bs;
+            let hi = (lo + bs).min(n);
+            counters::count_reads(hi - lo);
+            let mut acc = xs[lo].clone();
+            for x in &xs[lo + 1..hi] {
+                acc = f(&acc, x);
+            }
+            // SAFETY: j unique per task, j < nb.
+            unsafe { raw.write(j, acc) };
+        });
+    });
+    // Phase 2: sequential scan over the (small) sums array.
+    counters::count_reads(nb);
+    let (offsets, total) = scan_sequential(&sums, zero, f);
+    // Phase 3: per-block exclusive scans seeded by the offsets.
+    let out = build_vec(n, |raw| {
+        bds_pool::apply(nb, |j| {
+            let lo = j * bs;
+            let hi = (lo + bs).min(n);
+            counters::count_reads(hi - lo + 1);
+            let mut acc = offsets[j].clone();
+            for (i, x) in xs[lo..hi].iter().enumerate() {
+                // SAFETY: blocks are disjoint; each index written once.
+                unsafe { raw.write(lo + i, acc.clone()) };
+                acc = f(&acc, x);
+            }
+        });
+    });
+    (out, total)
+}
+
+/// Sequential exclusive scan, used for small inputs and as phase 2.
+pub(crate) fn scan_sequential<T, F>(xs: &[T], zero: T, f: &F) -> (Vec<T>, T)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    counters::count_allocs(xs.len());
+    counters::count_reads(xs.len());
+    counters::count_writes(xs.len());
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = zero;
+    for x in xs {
+        out.push(acc.clone());
+        acc = f(&acc, x);
+    }
+    (out, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_vec_writes_all() {
+        let v = build_vec(1000, |raw| {
+            bds_pool::apply(1000, |i| unsafe { raw.write(i, i * 3) });
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn build_vec_empty() {
+        let v: Vec<u32> = build_vec(0, |_| {});
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn array_scan_matches_sequential_reference() {
+        let xs: Vec<u64> = (0..25_000).map(|i| (i * 7 + 3) % 101).collect();
+        let (got, total) = array_scan_exclusive(&xs, 0u64, &|a, b| a + b);
+        let mut acc = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(got[i], acc, "mismatch at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn array_scan_tiny_inputs() {
+        for n in 0..5usize {
+            let xs: Vec<u64> = (0..n as u64).collect();
+            let (got, total) = array_scan_exclusive(&xs, 0, &|a, b| a + b);
+            assert_eq!(got.len(), n);
+            let want: u64 = xs.iter().sum();
+            assert_eq!(total, want);
+        }
+    }
+
+    #[test]
+    fn array_scan_non_commutative_operator() {
+        // String concatenation: associative but not commutative; checks
+        // that block order is preserved.
+        let _guard = crate::policy::test_sync::test_force(8);
+        let xs: Vec<String> = (0..100).map(|i| format!("{},", i % 10)).collect();
+        let (got, total) = array_scan_exclusive(&xs, String::new(), &|a, b| {
+            let mut s = a.clone();
+            s.push_str(b);
+            s
+        });
+        let mut acc = String::new();
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(&got[i], &acc);
+            acc.push_str(x);
+        }
+        assert_eq!(total, acc);
+    }
+}

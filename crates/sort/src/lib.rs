@@ -1,0 +1,214 @@
+//! # bds-sort — parallel stable merge sort on the `bds-pool` scheduler
+//!
+//! A classic PBBS-style substrate: divide-and-conquer merge sort with a
+//! **parallel merge** (binary-search split of the larger side), giving
+//! O(n log n) work and O(log³ n) span. Used by the inverted-index
+//! application (`bds-workloads::invindex`), one of the PBBS benchmarks
+//! the paper reports improving with block-delayed sequences.
+//!
+//! The sort is *stable* (equal keys keep their input order), which the
+//! index construction relies on to keep per-word posting lists sorted.
+
+#![warn(missing_docs)]
+
+/// Below this size, fall back to the standard library's sequential
+/// stable sort.
+const SEQ_SORT_CUTOFF: usize = 4096;
+
+/// Below this many elements, merge sequentially.
+const SEQ_MERGE_CUTOFF: usize = 4096;
+
+/// Sort `data` in parallel by the given key function. Stable.
+///
+/// ```
+/// let mut v = vec![(3, 'c'), (1, 'a'), (3, 'b'), (2, 'z')];
+/// bds_sort::sort_by_key(&mut v, |p| p.0);
+/// assert_eq!(v, vec![(1, 'a'), (2, 'z'), (3, 'c'), (3, 'b')]); // stable
+/// ```
+pub fn sort_by_key<T, K, F>(data: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let n = data.len();
+    if n <= SEQ_SORT_CUTOFF {
+        data.sort_by_key(&key);
+        return;
+    }
+    let mut scratch: Vec<T> = data.to_vec();
+    // Sort scratch into data (each level ping-pongs between buffers).
+    sort_into(&mut scratch, data, &key);
+}
+
+/// Sort a slice of `Ord` values in parallel. Stable.
+pub fn sort<T>(data: &mut [T])
+where
+    T: Clone + Send + Sync + Ord,
+{
+    sort_by_key(data, |x| x.clone());
+}
+
+/// Merge sort `src` with the result landing in `dst`. `src` and `dst`
+/// hold the same elements on entry; both are clobbered.
+fn sort_into<T, K, F>(src: &mut [T], dst: &mut [T], key: &F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let n = src.len();
+    debug_assert_eq!(n, dst.len());
+    if n <= SEQ_SORT_CUTOFF {
+        dst.clone_from_slice(src);
+        dst.sort_by_key(key);
+        return;
+    }
+    let mid = n / 2;
+    let (src_lo, src_hi) = src.split_at_mut(mid);
+    let (dst_lo, dst_hi) = dst.split_at_mut(mid);
+    // Recursively sort each half into the *source* buffer (role swap),
+    // then merge the halves into dst.
+    bds_pool::join(
+        || sort_into(dst_lo, src_lo, key),
+        || sort_into(dst_hi, src_hi, key),
+    );
+    merge_into(src_lo, src_hi, dst, key);
+}
+
+/// Merge two sorted runs into `dst` (`dst.len() == a.len() + b.len()`),
+/// in parallel: split the larger run at its midpoint, binary-search the
+/// split key in the smaller run, and recurse on the two halves.
+/// Stability: elements of `a` precede equal elements of `b`.
+fn merge_into<T, K, F>(a: &[T], b: &[T], dst: &mut [T], key: &F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    debug_assert_eq!(a.len() + b.len(), dst.len());
+    if a.len() + b.len() <= SEQ_MERGE_CUTOFF {
+        merge_sequential(a, b, dst, key);
+        return;
+    }
+    if a.len() >= b.len() {
+        let am = a.len() / 2;
+        // b-elements strictly smaller than a[am] merge left; equal ones
+        // must stay right of a[am] (stability: a precedes equal b).
+        let bm = b.partition_point(|x| key(x) < key(&a[am]));
+        let (dst_lo, dst_hi) = dst.split_at_mut(am + bm);
+        bds_pool::join(
+            || merge_into(&a[..am], &b[..bm], dst_lo, key),
+            || merge_into(&a[am..], &b[bm..], dst_hi, key),
+        );
+    } else {
+        let bm = b.len() / 2;
+        // First a-element that sorts after b[bm]: a elements equal to
+        // b[bm] go left (before it), preserving stability.
+        let am = a.partition_point(|x| key(x) <= key(&b[bm]));
+        let (dst_lo, dst_hi) = dst.split_at_mut(am + bm);
+        bds_pool::join(
+            || merge_into(&a[..am], &b[..bm], dst_lo, key),
+            || merge_into(&a[am..], &b[bm..], dst_hi, key),
+        );
+    }
+}
+
+fn merge_sequential<T, K, F>(a: &[T], b: &[T], dst: &mut [T], key: &F)
+where
+    T: Clone,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in dst.iter_mut() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            key(&a[i]) <= key(&b[j])
+        };
+        if take_a {
+            *slot = a[i].clone();
+            i += 1;
+        } else {
+            *slot = b[j].clone();
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_small_and_large() {
+        for n in [0usize, 1, 2, 100, SEQ_SORT_CUTOFF, 100_000] {
+            let mut rng = SmallRng::seed_from_u64(n as u64);
+            let mut v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000)).collect();
+            let mut want = v.clone();
+            want.sort();
+            sort(&mut v);
+            assert_eq!(v, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sort_by_key_orders_by_key_only() {
+        let mut v: Vec<(u64, usize)> =
+            (0..50_000usize).map(|i| ((i as u64 * 7919) % 100, i)).collect();
+        sort_by_key(&mut v, |p| p.0);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        // Key collisions: payload order must be preserved within a key.
+        let mut v: Vec<(u8, usize)> = (0..200_000).map(|i| ((i % 5) as u8, i)).collect();
+        sort_by_key(&mut v, |p| p.0);
+        assert!(v.windows(2).all(|w| {
+            w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)
+        }));
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut asc: Vec<u32> = (0..100_000).collect();
+        let want = asc.clone();
+        sort(&mut asc);
+        assert_eq!(asc, want);
+        let mut desc: Vec<u32> = (0..100_000).rev().collect();
+        sort(&mut desc);
+        assert_eq!(desc, want);
+    }
+
+    #[test]
+    fn all_equal_elements() {
+        let mut v = vec![42u8; 100_000];
+        sort(&mut v);
+        assert!(v.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn merge_sequential_basics() {
+        let a = [1, 3, 5];
+        let b = [2, 3, 4];
+        let mut dst = [0; 6];
+        merge_sequential(&a, &b, &mut dst, &|&x| x);
+        assert_eq!(dst, [1, 2, 3, 3, 4, 5]);
+    }
+
+    #[test]
+    fn runs_inside_explicit_pool() {
+        let pool = bds_pool::Pool::new(3);
+        let mut v: Vec<u64> = (0..200_000).map(|i| (i * 2654435761) % 100_000).collect();
+        let mut want = v.clone();
+        want.sort();
+        pool.install(|| sort(&mut v));
+        assert_eq!(v, want);
+    }
+}

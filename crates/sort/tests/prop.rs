@@ -1,0 +1,41 @@
+//! Property tests: the parallel merge sort must equal the standard
+//! library's stable sort on arbitrary inputs, including heavy key
+//! collisions (where stability and split logic are stressed).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_std_sort(mut xs in prop::collection::vec(0u32..1000, 0..20_000)) {
+        let mut want = xs.clone();
+        want.sort();
+        bds_sort::sort(&mut xs);
+        prop_assert_eq!(xs, want);
+    }
+
+    #[test]
+    fn stable_under_heavy_collisions(
+        payloads in prop::collection::vec(0usize..100, 0..20_000),
+        modulus in 1u8..6,
+    ) {
+        let mut xs: Vec<(u8, usize)> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ((p % modulus as usize) as u8, i))
+            .collect();
+        let mut want = xs.clone();
+        want.sort_by_key(|p| p.0);
+        bds_sort::sort_by_key(&mut xs, |p| p.0);
+        prop_assert_eq!(xs, want);
+    }
+
+    #[test]
+    fn sort_by_reverse_key(mut xs in prop::collection::vec(0i64..10_000, 0..10_000)) {
+        let mut want = xs.clone();
+        want.sort_by_key(|&x| std::cmp::Reverse(x));
+        bds_sort::sort_by_key(&mut xs, |&x| std::cmp::Reverse(x));
+        prop_assert_eq!(xs, want);
+    }
+}

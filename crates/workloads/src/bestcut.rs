@@ -1,0 +1,160 @@
+//! **bestcut** (BID set): the kd-tree best-cut kernel of Section 3
+//! (Figure 4), motivated by ray tracing with the surface-area heuristic.
+//!
+//! Pipeline: `reduce h (map g (scan (+) 0 (map f A)))` over the sorted
+//! event array `A`. `f` flags "end" events; the scan counts how many
+//! boxes end before each candidate cut; `g` turns a prefix count into an
+//! SAH-style cost (left-count × right-count here); `h` takes the minimum.
+//!
+//! This is the paper's flagship fusion example (Figure 5): unfused it
+//! costs `8n + O(b)` element reads+writes, fused `2n + O(b)`.
+
+use bds_baseline::{array, rad, sob};
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of events (paper: 200M; scaled default 2M).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 2_000_000,
+            seed: 0xBE57,
+        }
+    }
+}
+
+/// Generate the event array.
+pub fn generate(p: Params) -> Vec<u64> {
+    crate::inputs::random_u64s(p.n, p.seed)
+}
+
+#[inline]
+fn is_end(x: u64) -> u64 {
+    x & 1
+}
+
+#[inline]
+fn cut_cost(n: usize, ends_before: u64) -> f64 {
+    let left = ends_before as f64;
+    let right = n as f64 - left;
+    left * right + 1.0
+}
+
+/// Sequential reference.
+pub fn reference(events: &[u64]) -> f64 {
+    let n = events.len();
+    let mut ends = 0u64;
+    let mut best = f64::INFINITY;
+    for &e in events {
+        best = best.min(cut_cost(n, ends));
+        ends += is_end(e);
+    }
+    best
+}
+
+/// `array` version: every stage materializes.
+pub fn run_array(events: &[u64]) -> f64 {
+    let n = events.len();
+    let flags = array::map(events, |&e| is_end(e));
+    let (counts, _total) = array::scan(&flags, 0u64, |a, b| a + b);
+    let costs = array::map(&counts, |&c| cut_cost(n, c));
+    array::reduce(&costs, f64::INFINITY, f64::min)
+}
+
+/// `rad` version: maps fuse into the scan's reads, but the scan output
+/// is a real array that the final map+reduce re-reads.
+pub fn run_rad(events: &[u64]) -> f64 {
+    let n = events.len();
+    let (counts, _total) = rad::from_slice(events).map(is_end).scan(0u64, |a, b| a + b);
+    let best = rad::from_slice(&counts)
+        .map(|c| cut_cost(n, c))
+        .reduce(f64::INFINITY, f64::min);
+    best
+}
+
+/// `delay` version (ours): the whole pipeline fuses; only O(b) block
+/// sums are ever materialized.
+pub fn run_delay(events: &[u64]) -> f64 {
+    let n = events.len();
+    let (counts, _total) = from_slice(events).map(is_end).scan(0u64, |a, b| a + b);
+    counts
+        .map(|c| cut_cost(n, c))
+        .reduce(f64::INFINITY, f64::min)
+}
+
+/// Stream-of-blocks version (Section 6.5): a sequential outer loop over
+/// blocks of size `block`; within each block, parallel map, scan (with a
+/// carry chained across blocks), map, and reduce.
+pub fn run_sob(events: &[u64], block: usize) -> f64 {
+    let n = events.len();
+    let block = block.max(1);
+    let mut flag_buf = vec![0u64; block.min(n)];
+    let mut cost_buf = vec![0f64; block.min(n)];
+    let mut carry = 0u64;
+    let mut best = f64::INFINITY;
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + block).min(n);
+        let len = hi - lo;
+        let flags = &mut flag_buf[..len];
+        // map f (parallel within block)
+        sob::map_block(&events[lo..hi], flags, |&e| is_end(e));
+        // scan (parallel within block, carry across blocks)
+        carry = sob::scan_block_excl(flags, carry, |a, b| a + b);
+        // map g (parallel within block)
+        let costs = &mut cost_buf[..len];
+        sob::map_block(flags, costs, |&c| cut_cost(n, c));
+        // reduce h (parallel within block)
+        best = best.min(sob::reduce_block(costs, f64::INFINITY, f64::min));
+        lo = hi;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<u64> {
+        generate(Params {
+            n: 40_000,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn all_versions_agree_with_reference() {
+        let ev = events();
+        let want = reference(&ev);
+        assert_eq!(run_array(&ev), want);
+        assert_eq!(run_rad(&ev), want);
+        assert_eq!(run_delay(&ev), want);
+    }
+
+    #[test]
+    fn sob_agrees_across_block_sizes() {
+        let ev = events();
+        let want = reference(&ev);
+        for block in [100, 1_000, 7_777, 40_000, 100_000] {
+            assert_eq!(run_sob(&ev, block), want, "block {block}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in [1usize, 2, 3] {
+            let ev = crate::inputs::random_u64s(n, 5);
+            let want = reference(&ev);
+            assert_eq!(run_delay(&ev), want);
+            assert_eq!(run_array(&ev), want);
+            assert_eq!(run_sob(&ev, 2), want);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! **bfs** (BID set): frontier-based forward BFS (Figure 6) on an R-MAT
+//! power-law graph.
+//!
+//! Each round maps `outPairs` over the frontier, **flattens** the
+//! resulting nested sequence of `(parent, child)` pairs, and **filterOps**
+//! it with a compare-and-swap visit. With BID fusion the flattened edge
+//! sequence is never materialized, and the filter packs survivors within
+//! blocks without a contiguous copy — the per-round allocation drops from
+//! `O(|E_round|)` to `O(|F| + |F'| + |E_round|/B)` (Section 5.1).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use bds_baseline::{array, rad};
+use bds_graph::{CsrGraph, RmatParams, Vertex, NO_PARENT};
+use bds_seq::prelude::*;
+use bds_seq::{Filtered, Flattened, Forced};
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// log2 of the vertex count (paper: ~16.7M vertices ≈ scale 24;
+    /// scaled default 2^18).
+    pub scale: u32,
+    /// Average out-degree (paper: ~12; default 12).
+    pub edge_factor: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            scale: 18,
+            edge_factor: 12,
+            seed: 0xBF5,
+        }
+    }
+}
+
+/// Generate the input graph.
+pub fn generate(p: Params) -> CsrGraph {
+    bds_graph::rmat(RmatParams::standard(p.scale, p.edge_factor, p.seed))
+}
+
+fn new_parent_array(n: usize, source: Vertex) -> Vec<AtomicU32> {
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    parent[source as usize].store(source, Ordering::Relaxed);
+    parent
+}
+
+#[inline]
+fn try_visit(parent: &[AtomicU32], u: Vertex, v: Vertex) -> Option<Vertex> {
+    if parent[v as usize].load(Ordering::Relaxed) == NO_PARENT
+        && parent[v as usize]
+            .compare_exchange(NO_PARENT, u, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn unwrap_atomics(parent: Vec<AtomicU32>) -> Vec<Vertex> {
+    parent.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// `delay` version (ours): the Figure 6 algorithm verbatim. The frontier
+/// itself stays a BID (the previous round's filterOp output).
+pub fn run_delay(g: &CsrGraph, source: Vertex) -> Vec<Vertex> {
+    let parent = new_parent_array(g.num_vertices(), source);
+    // First frontier: just the source, packaged as a (degenerate) BID.
+    let mut frontier: Filtered<Vertex> =
+        Flattened::from_inners(vec![Forced::from_vec(vec![source])]);
+    while !frontier.is_empty() {
+        // E = flatten (map outPairs F) — delayed: the edge list is never
+        // materialized.
+        let edges = flatten(
+            (&frontier).map(|u| from_slice(g.out_neighbors(u)).map(move |v| (u, v))),
+        );
+        // F' = filterOp tryVisit E — packs new vertices within blocks.
+        frontier = edges.filter_op(|(u, v)| try_visit(&parent, u, v));
+    }
+    unwrap_atomics(parent)
+}
+
+/// `rad` version: the inner neighbor-tagging map fuses (index fusion),
+/// but flatten and filterOp materialize real arrays each round.
+pub fn run_rad(g: &CsrGraph, source: Vertex) -> Vec<Vertex> {
+    let parent = new_parent_array(g.num_vertices(), source);
+    let mut frontier: Vec<Vertex> = vec![source];
+    while !frontier.is_empty() {
+        let f = &frontier;
+        // flatten with a fused inner map: still materializes the edges.
+        let edges: Vec<(Vertex, Vertex)> = rad::flatten_with(
+            f.len(),
+            |p| g.degree(f[p]),
+            |p, k| (f[p], g.out_neighbors(f[p])[k]),
+        );
+        frontier = rad::from_slice(&edges)
+            .filter_op(|(u, v)| try_visit(&parent, u, v));
+    }
+    unwrap_atomics(parent)
+}
+
+/// `array` version: nested neighbor lists, flatten, and filter all
+/// materialize.
+pub fn run_array(g: &CsrGraph, source: Vertex) -> Vec<Vertex> {
+    let parent = new_parent_array(g.num_vertices(), source);
+    let mut frontier: Vec<Vertex> = vec![source];
+    while !frontier.is_empty() {
+        let nested: Vec<Vec<(Vertex, Vertex)>> = array::map(&frontier, |&u| {
+            g.out_neighbors(u).iter().map(|&v| (u, v)).collect()
+        });
+        let edges = array::flatten(&nested);
+        frontier = array::filter_op(&edges, |&(u, v)| try_visit(&parent, u, v));
+    }
+    unwrap_atomics(parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> CsrGraph {
+        generate(Params {
+            scale: 11,
+            edge_factor: 8,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn delay_bfs_is_valid() {
+        let g = small_graph();
+        let parent = run_delay(&g, 0);
+        bds_graph::validate_bfs(&g, 0, &parent).unwrap();
+    }
+
+    #[test]
+    fn rad_bfs_is_valid() {
+        let g = small_graph();
+        let parent = run_rad(&g, 0);
+        bds_graph::validate_bfs(&g, 0, &parent).unwrap();
+    }
+
+    #[test]
+    fn array_bfs_is_valid() {
+        let g = small_graph();
+        let parent = run_array(&g, 0);
+        bds_graph::validate_bfs(&g, 0, &parent).unwrap();
+    }
+
+    #[test]
+    fn all_versions_reach_the_same_set() {
+        let g = small_graph();
+        let d = run_delay(&g, 1);
+        let r = run_rad(&g, 1);
+        let a = run_array(&g, 1);
+        for v in 0..g.num_vertices() {
+            let reached = d[v] != NO_PARENT;
+            assert_eq!(reached, r[v] != NO_PARENT, "vertex {v} rad");
+            assert_eq!(reached, a[v] != NO_PARENT, "vertex {v} array");
+        }
+    }
+
+    #[test]
+    fn isolated_source_terminates() {
+        // A graph where the source has no out-edges.
+        let g = CsrGraph::from_edges(4, &[(1, 2)]);
+        let parent = run_delay(&g, 0);
+        assert_eq!(parent[0], 0);
+        assert_eq!(parent[1], NO_PARENT);
+    }
+
+    #[test]
+    fn line_graph_distances() {
+        let edges: Vec<(Vertex, Vertex)> = (0..99).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(100, &edges);
+        let parent = run_delay(&g, 0);
+        bds_graph::validate_bfs(&g, 0, &parent).unwrap();
+        assert_eq!(parent[99], 98);
+    }
+}

@@ -1,0 +1,127 @@
+//! **dedup** (extension): remove duplicates from a key sequence (PBBS
+//! `removeDuplicates`), sort-based: sort with the `bds-sort` substrate,
+//! then keep each element that differs from its predecessor — the
+//! keep-step is a **filter over the index range**, the BID-vs-array
+//! distinction under test.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of keys (scaled default 2M).
+    pub n: usize,
+    /// Distinct-key universe size (controls duplication rate).
+    pub universe: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 2_000_000,
+            universe: 100_000,
+            seed: 0xDED,
+        }
+    }
+}
+
+/// Generate keys with duplicates.
+pub fn generate(p: Params) -> Vec<u64> {
+    crate::inputs::random_u64s(p.n, p.seed)
+        .into_iter()
+        .map(|x| x % p.universe)
+        .collect()
+}
+
+/// Sequential reference: sorted distinct keys.
+pub fn reference(keys: &[u64]) -> Vec<u64> {
+    let mut v = keys.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// `delay` version (ours): the boundary filter stays a BID whose packed
+/// survivors stream straight into the output (and can fuse further — see
+/// [`count_distinct_delay`]).
+pub fn run_delay(keys: &[u64]) -> Vec<u64> {
+    let mut sorted = keys.to_vec();
+    bds_sort::sort(&mut sorted);
+    tabulate(sorted.len(), |i| i)
+        .filter(|&i| i == 0 || sorted[i] != sorted[i - 1])
+        .map(|i| sorted[i])
+        .to_vec()
+}
+
+/// `array` version: the boundary-index array materializes before the
+/// gather.
+pub fn run_array(keys: &[u64]) -> Vec<u64> {
+    let mut sorted = keys.to_vec();
+    bds_sort::sort(&mut sorted);
+    let idx = array::tabulate(sorted.len(), |i| i);
+    let keep = array::filter(&idx, |&i| i == 0 || sorted[i] != sorted[i - 1]);
+    array::map(&keep, |&i| sorted[i])
+}
+
+/// Fully fused consumer: count distinct keys without materializing even
+/// the output (the filter's survivors are reduced in place).
+pub fn count_distinct_delay(keys: &[u64]) -> usize {
+    let mut sorted = keys.to_vec();
+    bds_sort::sort(&mut sorted);
+    tabulate(sorted.len(), |i| i)
+        .filter(|&i| i == 0 || sorted[i] != sorted[i - 1])
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_match_reference() {
+        let keys = generate(Params {
+            n: 100_000,
+            universe: 5_000,
+            seed: 1,
+        });
+        let want = reference(&keys);
+        assert_eq!(run_delay(&keys), want);
+        assert_eq!(run_array(&keys), want);
+        assert_eq!(count_distinct_delay(&keys), want.len());
+    }
+
+    #[test]
+    fn all_unique_passes_through() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        assert_eq!(run_delay(&keys).len(), 10_000);
+    }
+
+    #[test]
+    fn all_equal_collapses_to_one() {
+        let keys = vec![7u64; 50_000];
+        assert_eq!(run_delay(&keys), vec![7]);
+        assert_eq!(run_array(&keys), vec![7]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run_delay(&[]).is_empty());
+        assert!(run_array(&[]).is_empty());
+        assert_eq!(count_distinct_delay(&[]), 0);
+    }
+
+    #[test]
+    fn small_universe_saturates() {
+        let keys = generate(Params {
+            n: 200_000,
+            universe: 97,
+            seed: 2,
+        });
+        let got = run_delay(&keys);
+        assert_eq!(got.len(), 97);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic, seeded input generators for every benchmark.
+//!
+//! The paper uses 200-500M element inputs on a 72-core, 1TB machine; the
+//! generators here default to laptop-scale sizes (set in each workload's
+//! `Params`) but accept any size, including the paper's. Statistical
+//! knobs (average word length 7, ~3% of lines matching the grep pattern,
+//! points uniform in a circle, R-MAT power-law graphs) follow the paper's
+//! stated workload characteristics.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random `u64`s.
+pub fn random_u64s(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Uniform random `i64`s in `[-bound, bound]` (mcss needs sign changes).
+pub fn random_i64s(n: usize, bound: i64, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-bound..=bound)).collect()
+}
+
+/// Uniform random doubles in `(lo, hi)`.
+pub fn random_f64s(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Random `(x, y)` pairs for the linear recurrence / linefit: `x` small
+/// (recurrence coefficients near 1 keep values bounded), `y` moderate.
+pub fn random_pairs(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (rng.gen_range(0.2..0.9), rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+/// Points distributed uniformly in the unit circle (the paper's
+/// quickhull input distribution).
+pub fn points_in_circle(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        if x * x + y * y <= 1.0 {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+/// Random base-256 bignum digits, little-endian, with plenty of `0xFF`
+/// digits so carry chains actually propagate.
+pub fn random_bignum(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                0xFF
+            } else {
+                rng.gen()
+            }
+        })
+        .collect()
+}
+
+/// ASCII text of roughly `n` bytes: words of average length 7 (the
+/// paper's tokens statistic) separated by spaces, broken into lines of
+/// ~60 characters.
+pub fn random_text(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n + 16);
+    let mut col = 0usize;
+    while out.len() < n {
+        let word_len = rng.gen_range(2..=12); // mean 7
+        for _ in 0..word_len {
+            out.push(rng.gen_range(b'a'..=b'z'));
+        }
+        col += word_len + 1;
+        if col > 60 {
+            out.push(b'\n');
+            col = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out.truncate(n);
+    out
+}
+
+/// Text where roughly `match_fraction` of lines contain `pattern`
+/// (grep's input: the paper has ~850K of 28M lines matching, ~3%).
+pub fn text_with_pattern(n: usize, pattern: &[u8], match_fraction: f64, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n + 80);
+    while out.len() < n {
+        let line_len = rng.gen_range(20..60);
+        let inject = rng.gen_bool(match_fraction);
+        let inject_at = rng.gen_range(0..line_len);
+        let mut written = 0usize;
+        while written < line_len {
+            if inject && written == inject_at {
+                out.extend_from_slice(pattern);
+                written += pattern.len();
+            } else {
+                out.push(rng.gen_range(b'a'..=b'z'));
+                written += 1;
+            }
+        }
+        out.push(b'\n');
+    }
+    out.truncate(n);
+    // Make sure we do not end mid-line without a newline marker issue:
+    // benchmarks treat end-of-input as an implicit line end, so nothing
+    // more to fix here.
+    out
+}
+
+/// A random CSR sparse matrix: `rows` rows, exactly `nnz_per_row`
+/// nonzeros per row at random columns (of `cols` columns), values in
+/// (0, 1). Returns `(offsets, col_idx, values)`.
+pub fn sparse_matrix(
+    rows: usize,
+    cols: usize,
+    nnz_per_row: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nnz = rows * nnz_per_row;
+    let mut offsets = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    for r in 0..rows {
+        offsets.push(r * nnz_per_row);
+        for _ in 0..nnz_per_row {
+            col_idx.push(rng.gen_range(0..cols as u32));
+            values.push(rng.gen_range(0.001..1.0));
+        }
+    }
+    offsets.push(nnz);
+    (offsets, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_u64s(100, 7), random_u64s(100, 7));
+        assert_ne!(random_u64s(100, 7), random_u64s(100, 8));
+        assert_eq!(random_text(500, 3), random_text(500, 3));
+    }
+
+    #[test]
+    fn text_has_paperlike_word_lengths() {
+        let t = random_text(100_000, 1);
+        let words: Vec<usize> = t
+            .split(|&c| c == b' ' || c == b'\n')
+            .filter(|w| !w.is_empty())
+            .map(|w| w.len())
+            .collect();
+        let mean = words.iter().sum::<usize>() as f64 / words.len() as f64;
+        assert!((mean - 7.0).abs() < 1.0, "mean word length {mean}");
+    }
+
+    #[test]
+    fn pattern_text_has_expected_match_rate() {
+        let t = text_with_pattern(200_000, b"needle", 0.03, 5);
+        let lines: Vec<&[u8]> = t.split(|&c| c == b'\n').collect();
+        let matching = lines
+            .iter()
+            .filter(|l| l.windows(6).any(|w| w == b"needle"))
+            .count();
+        let rate = matching as f64 / lines.len() as f64;
+        assert!(rate > 0.01 && rate < 0.06, "match rate {rate}");
+    }
+
+    #[test]
+    fn circle_points_are_inside() {
+        let pts = points_in_circle(1000, 2);
+        assert!(pts.iter().all(|&(x, y)| x * x + y * y <= 1.0));
+    }
+
+    #[test]
+    fn sparse_matrix_shape() {
+        let (off, col, val) = sparse_matrix(100, 1000, 5, 9);
+        assert_eq!(off.len(), 101);
+        assert_eq!(col.len(), 500);
+        assert_eq!(val.len(), 500);
+        assert_eq!(off[100], 500);
+        assert!(col.iter().all(|&c| c < 1000));
+    }
+
+    #[test]
+    fn bignum_has_ff_digits() {
+        let d = random_bignum(10_000, 4);
+        let ffs = d.iter().filter(|&&x| x == 0xFF).count();
+        assert!(ffs > 2000, "only {ffs} 0xFF digits");
+    }
+}

@@ -1,0 +1,124 @@
+//! **integrate** (RAD set): numerically integrate `√(1/x)` over
+//! `[1, 1000]` by midpoint sums over `n` points.
+//!
+//! The purest index-fusion case: `reduce (map f (tabulate n g))`. The
+//! delayed version allocates *nothing* proportional to `n`; the array
+//! version materializes the full sample array (the paper's ~250× space
+//! gap).
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Sample points (paper: 500M; scaled default 4M).
+    pub n: usize,
+    /// Integration interval start.
+    pub lo: f64,
+    /// Integration interval end.
+    pub hi: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 4_000_000,
+            lo: 1.0,
+            hi: 1000.0,
+        }
+    }
+}
+
+#[inline]
+fn f(x: f64) -> f64 {
+    (1.0 / x).sqrt()
+}
+
+#[inline]
+fn sample(p: Params, i: usize) -> f64 {
+    let dx = (p.hi - p.lo) / p.n as f64;
+    p.lo + (i as f64 + 0.5) * dx
+}
+
+/// Sequential reference.
+pub fn reference(p: Params) -> f64 {
+    let dx = (p.hi - p.lo) / p.n as f64;
+    (0..p.n).map(|i| f(sample(p, i))).sum::<f64>() * dx
+}
+
+/// `array` version: the sample values are materialized, then reduced.
+pub fn run_array(p: Params) -> f64 {
+    let dx = (p.hi - p.lo) / p.n as f64;
+    let ys = array::tabulate(p.n, |i| f(sample(p, i)));
+    array::reduce(&ys, 0.0, |a, b| a + b) * dx
+}
+
+/// `delay` version (ours): tabulate∘map∘reduce fully fused — O(b)
+/// allocation.
+pub fn run_delay(p: Params) -> f64 {
+    let dx = (p.hi - p.lo) / p.n as f64;
+    tabulate(p.n, move |i| f(sample(p, i))).reduce(0.0, |a, b| a + b) * dx
+}
+
+
+/// `rad` version: identical fusion to `delay` for this benchmark — it
+/// uses only tabulate/map/reduce, which is why the paper lists it under
+/// the RAD set (no BID operations to differ on).
+pub fn run_rad(p: Params) -> f64 {
+    use bds_baseline::rad;
+    let dx = (p.hi - p.lo) / p.n as f64;
+    rad::tabulate(p.n, move |i| f(sample(p, i))).reduce(0.0, |a, b| a + b) * dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rad_version_agrees() {
+        let p = Params { n: 50_000, ..Default::default() };
+        assert!(close(run_rad(p), reference(p)));
+    }
+
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn versions_agree() {
+        let p = Params {
+            n: 100_000,
+            ..Default::default()
+        };
+        let want = reference(p);
+        assert!(close(run_array(p), want));
+        assert!(close(run_delay(p), want));
+    }
+
+    #[test]
+    fn converges_to_analytic_value() {
+        // ∫₁^1000 x^(-1/2) dx = 2(√1000 − 1) ≈ 61.2455532.
+        let p = Params {
+            n: 2_000_000,
+            ..Default::default()
+        };
+        let analytic = 2.0 * (1000f64.sqrt() - 1.0);
+        let got = run_delay(p);
+        assert!(
+            (got - analytic).abs() < 1e-3,
+            "got {got}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn single_point() {
+        let p = Params {
+            n: 1,
+            lo: 4.0,
+            hi: 5.0,
+        };
+        assert!(close(run_delay(p), reference(p)));
+    }
+}

@@ -1,0 +1,239 @@
+//! **inverted-index** (extension): build a word → line-ids index over a
+//! text corpus.
+//!
+//! The paper reports that block-delayed sequences improved several PBBS
+//! benchmarks including *inverted indices*; this module reproduces that
+//! application. The pipeline is tokens → (word, line) pairs → parallel
+//! stable sort (the `bds-sort` substrate) → deduplicate → group by word.
+//! The dedup and the group-boundary detection are **filters over index
+//! ranges**, which is exactly where BID fusion removes the intermediate
+//! position arrays the array version materializes.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// A word, padded to fixed width (the generator produces words of at
+/// most 12 letters).
+pub type Word = [u8; 12];
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Characters of text (scaled default 4M).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 4_000_000,
+            seed: 0x1DE7,
+        }
+    }
+}
+
+/// Generate the corpus.
+pub fn generate(p: Params) -> Vec<u8> {
+    crate::inputs::random_text(p.n, p.seed)
+}
+
+/// A CSR-shaped inverted index: `postings[offsets[w]..offsets[w+1]]` are
+/// the (sorted, deduplicated) line ids containing `words[w]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Index {
+    /// Distinct words, sorted.
+    pub words: Vec<Word>,
+    /// Posting-list offsets (`words.len() + 1` entries).
+    pub offsets: Vec<usize>,
+    /// Line ids, grouped by word.
+    pub postings: Vec<u32>,
+}
+
+impl Index {
+    /// Posting list of `word`, if present.
+    pub fn lookup(&self, word: &Word) -> Option<&[u32]> {
+        let w = self.words.binary_search(word).ok()?;
+        Some(&self.postings[self.offsets[w]..self.offsets[w + 1]])
+    }
+}
+
+fn pad_word(bytes: &[u8]) -> Word {
+    let mut w = [0u8; 12];
+    let k = bytes.len().min(12);
+    w[..k].copy_from_slice(&bytes[..k]);
+    w
+}
+
+/// Sequential reference.
+pub fn reference(text: &[u8]) -> Index {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<Word, Vec<u32>> = BTreeMap::new();
+    for (line_id, line) in text.split(|&c| c == b'\n').enumerate() {
+        for token in line.split(|&c| c == b' ' || c == b'\t') {
+            if token.is_empty() {
+                continue;
+            }
+            let entry = map.entry(pad_word(token)).or_default();
+            if entry.last() != Some(&(line_id as u32)) {
+                entry.push(line_id as u32);
+            }
+        }
+    }
+    let mut words = Vec::with_capacity(map.len());
+    let mut offsets = Vec::with_capacity(map.len() + 1);
+    let mut postings = Vec::new();
+    for (w, lines) in map {
+        words.push(w);
+        offsets.push(postings.len());
+        postings.extend(lines);
+    }
+    offsets.push(postings.len());
+    Index {
+        words,
+        offsets,
+        postings,
+    }
+}
+
+/// Shared front half: tokenize, attach line ids, sort. Both versions use
+/// it (the libraries differ in the grouping back half).
+fn sorted_pairs(text: &[u8], toks: &[(u32, u32)], newlines: &[u32]) -> Vec<(Word, u32)> {
+    let line_of = |pos: u32| newlines.partition_point(|&nl| nl < pos) as u32;
+    let mut pairs: Vec<(Word, u32)> = tabulate(toks.len(), |k| {
+        let (s, e) = toks[k];
+        (
+            pad_word(&text[s as usize..=e as usize]),
+            line_of(s),
+        )
+    })
+    .to_vec();
+    bds_sort::sort(&mut pairs);
+    pairs
+}
+
+fn assemble(
+    words: Vec<Word>,
+    starts: Vec<u32>,
+    unique_len: usize,
+    postings: Vec<u32>,
+) -> Index {
+    let mut offsets: Vec<usize> = starts.into_iter().map(|s| s as usize).collect();
+    offsets.push(unique_len);
+    debug_assert_eq!(words.len() + 1, offsets.len());
+    Index {
+        words,
+        offsets,
+        postings,
+    }
+}
+
+/// `delay` version (ours): the dedup filter and the word-boundary filter
+/// stay BIDs; only the final words/offsets/postings arrays materialize.
+pub fn run_delay(text: &[u8]) -> Index {
+    let toks = crate::tokens::run_delay(text);
+    let newlines = tabulate(text.len(), |i| i as u32)
+        .filter(|&i| text[i as usize] == b'\n')
+        .force();
+    let pairs = sorted_pairs(text, &toks, newlines.as_slice());
+
+    // Dedup (word, line) duplicates: keep index i when it differs from
+    // its predecessor. BID filter fused straight into the posting copy.
+    let unique: Vec<(Word, u32)> = tabulate(pairs.len(), |i| i)
+        .filter(|&i| i == 0 || pairs[i] != pairs[i - 1])
+        .map(|i| pairs[i])
+        .to_vec();
+
+    // Word boundaries over the deduped pairs.
+    let starts: Vec<u32> = tabulate(unique.len(), |i| i as u32)
+        .filter(|&i| i == 0 || unique[i as usize].0 != unique[i as usize - 1].0)
+        .to_vec();
+    let words: Vec<Word> = from_slice(&starts)
+        .map(|s| unique[s as usize].0)
+        .to_vec();
+    let postings: Vec<u32> = from_slice(&unique).map(|(_, line)| line).to_vec();
+    assemble(words, starts, unique.len(), postings)
+}
+
+/// `array` version: every filter materializes a contiguous index array
+/// before the next stage reads it.
+pub fn run_array(text: &[u8]) -> Index {
+    let toks = crate::tokens::run_array(text);
+    let idx = array::tabulate(text.len(), |i| i as u32);
+    let newlines = array::filter(&idx, |&i| text[i as usize] == b'\n');
+    let pairs = sorted_pairs(text, &toks, &newlines);
+
+    let positions = array::tabulate(pairs.len(), |i| i);
+    let unique_pos = array::filter(&positions, |&i| i == 0 || pairs[i] != pairs[i - 1]);
+    let unique = array::map(&unique_pos, |&i| pairs[i]);
+
+    let upos = array::tabulate(unique.len(), |i| i as u32);
+    let starts = array::filter(&upos, |&i| {
+        i == 0 || unique[i as usize].0 != unique[i as usize - 1].0
+    });
+    let words = array::map(&starts, |&s| unique[s as usize].0);
+    let postings = array::map(&unique, |&(_, line)| line);
+    assemble(words, starts, unique.len(), postings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_match_reference() {
+        let text = generate(Params {
+            n: 60_000,
+            seed: 17,
+        });
+        let want = reference(&text);
+        assert_eq!(run_delay(&text), want);
+        assert_eq!(run_array(&text), want);
+    }
+
+    #[test]
+    fn lookup_finds_known_word() {
+        let text = b"apple banana\ncherry apple\nbanana banana apple";
+        let idx = run_delay(text);
+        assert_eq!(idx.lookup(&pad_word(b"apple")).unwrap(), &[0, 1, 2]);
+        assert_eq!(idx.lookup(&pad_word(b"banana")).unwrap(), &[0, 2]);
+        assert_eq!(idx.lookup(&pad_word(b"cherry")).unwrap(), &[1]);
+        assert!(idx.lookup(&pad_word(b"durian")).is_none());
+    }
+
+    #[test]
+    fn duplicate_occurrences_collapse() {
+        let text = b"x x x x\nx x";
+        let idx = run_delay(text);
+        assert_eq!(idx.words.len(), 1);
+        assert_eq!(idx.lookup(&pad_word(b"x")).unwrap(), &[0, 1]);
+        assert_eq!(run_array(text), idx);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        for text in [b"".as_slice(), b"   \n\n  ".as_slice()] {
+            let idx = run_delay(text);
+            assert!(idx.words.is_empty());
+            assert_eq!(idx.postings.len(), 0);
+            assert_eq!(run_array(text), idx);
+            assert_eq!(reference(text), idx);
+        }
+    }
+
+    #[test]
+    fn postings_are_sorted_and_unique() {
+        let text = generate(Params {
+            n: 30_000,
+            seed: 23,
+        });
+        let idx = run_delay(&text);
+        for w in 0..idx.words.len() {
+            let list = &idx.postings[idx.offsets[w]..idx.offsets[w + 1]];
+            assert!(list.windows(2).all(|p| p[0] < p[1]));
+            assert!(!list.is_empty());
+        }
+        assert!(idx.words.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,36 @@
+//! # bds-workloads — the paper's 13 benchmarks
+//!
+//! Every benchmark from Section 6 of *Parallel Block-Delayed Sequences*,
+//! each with a seeded input generator, a sequential reference, and
+//! implementations against the three libraries of Figure 12 (`array`
+//! without fusion, `rad` with RAD-only fusion, `delay` with full RAD+BID
+//! fusion — plus the stream-of-blocks variant for bestcut).
+//!
+//! **BID set** (Figure 13): [`bestcut`], [`bfs`], [`bignum`], [`primes`],
+//! [`tokens`] — these exercise scan/filter/flatten fusion.
+//!
+//! **RAD set** (Figure 14): [`grep`], [`integrate`], [`linearrec`],
+//! [`linefit`], [`mcss`], [`quickhull`], [`spmv`], [`wc`] — these are
+//! dominated by index fusion of tabulate/map/zip into reduces.
+
+#![warn(missing_docs)]
+
+pub mod inputs;
+
+pub mod bestcut;
+pub mod bfs;
+pub mod bignum;
+pub mod primes;
+pub mod tokens;
+
+pub mod grep;
+pub mod dedup;
+pub mod invindex;
+pub mod raytrace;
+pub mod integrate;
+pub mod linearrec;
+pub mod linefit;
+pub mod mcss;
+pub mod quickhull;
+pub mod spmv;
+pub mod wc;

@@ -1,0 +1,161 @@
+//! **linearrec** (RAD set): solve the linear recurrence
+//! `R_i = x_i · R_{i-1} + y_i` for 500M (scaled: 4M) coefficient pairs.
+//!
+//! Affine maps `r ↦ a·r + b` compose associatively:
+//! `(a₂,b₂) ∘ (a₁,b₁) = (a₂a₁, a₂b₁ + b₂)`, so an inclusive **scan**
+//! under composition yields the composite map at each index; applying it
+//! to `R₀` gives `R_i`. The delayed version fuses the final application
+//! into the scan's delayed phase 3, writing only the output array; the
+//! array version materializes the scanned pair array (16 bytes/element)
+//! first.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of coefficient pairs (paper: 500M; scaled default 4M).
+    pub n: usize,
+    /// Initial value `R₀`.
+    pub r0: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 4_000_000,
+            r0: 1.0,
+            seed: 0x11EA,
+        }
+    }
+}
+
+/// Generate the `(x_i, y_i)` pairs.
+pub fn generate(p: Params) -> Vec<(f64, f64)> {
+    crate::inputs::random_pairs(p.n, p.seed)
+}
+
+#[inline]
+fn compose(first: (f64, f64), second: (f64, f64)) -> (f64, f64) {
+    // Apply `first`, then `second`: r ↦ a₂(a₁r + b₁) + b₂.
+    (second.0 * first.0, second.0 * first.1 + second.1)
+}
+
+/// Identity affine map.
+const ID: (f64, f64) = (1.0, 0.0);
+
+/// Sequential reference.
+pub fn reference(pairs: &[(f64, f64)], r0: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut r = r0;
+    for &(x, y) in pairs {
+        r = x * r + y;
+        out.push(r);
+    }
+    out
+}
+
+/// `array` version: eager inclusive scan of affine pairs to a real
+/// array, then a map to apply them to `R₀`.
+pub fn run_array(pairs: &[(f64, f64)], r0: f64) -> Vec<f64> {
+    let composed = array::scan_incl(pairs, ID, compose);
+    array::map(&composed, |&(a, b)| a * r0 + b)
+}
+
+/// `delay` version (ours): the inclusive scan stays a BID; the
+/// application map fuses into its delayed phase 3 and writes straight
+/// into the output.
+pub fn run_delay(pairs: &[(f64, f64)], r0: f64) -> Vec<f64> {
+    from_slice(pairs)
+        .scan_incl(ID, compose)
+        .map(|(a, b)| a * r0 + b)
+        .to_vec()
+}
+
+
+/// `rad` version: the scan reads fuse with the input, but the scanned
+/// pair array materializes, and the application map re-reads it — one
+/// full (a, b)-pair intermediate that `delay` avoids.
+pub fn run_rad(pairs: &[(f64, f64)], r0: f64) -> Vec<f64> {
+    use bds_baseline::rad;
+    let scanned = {
+        // rad's eager scan is exclusive; shift to inclusive by scanning
+        // and then composing each prefix with its own element.
+        let (excl, _total) = rad::from_slice(pairs).scan(ID, compose);
+        excl
+    };
+    let out = rad::from_slice(&scanned)
+        .zip(rad::from_slice(pairs))
+        .map(|(prefix, own)| {
+            let (a, b) = compose(prefix, own);
+            a * r0 + b
+        })
+        .to_vec();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rad_version_agrees() {
+        let pairs = generate(Params { n: 40_000, r0: 1.0, seed: 11 });
+        let want = reference(&pairs, 1.0);
+        assert_close(&run_rad(&pairs, 1.0), &want);
+    }
+
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            // Affine composition is associative in exact arithmetic but
+            // reassociates floating point, so compare with tolerance.
+            assert!(
+                (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                "index {i}: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn versions_match_reference() {
+        let pairs = generate(Params {
+            n: 50_000,
+            r0: 1.0,
+            seed: 5,
+        });
+        let want = reference(&pairs, 1.0);
+        assert_close(&run_array(&pairs, 1.0), &want);
+        assert_close(&run_delay(&pairs, 1.0), &want);
+    }
+
+    #[test]
+    fn constant_recurrence() {
+        // x=0 ⇒ R_i = y_i exactly.
+        let pairs: Vec<(f64, f64)> = (0..10_000).map(|i| (0.0, i as f64)).collect();
+        let got = run_delay(&pairs, 123.0);
+        assert!(got.iter().enumerate().all(|(i, &r)| r == i as f64));
+    }
+
+    #[test]
+    fn composition_is_associative_exactly_on_powers_of_two() {
+        // With power-of-two coefficients there is no rounding, so all
+        // versions must agree bit-for-bit.
+        let pairs: Vec<(f64, f64)> = (0..4096)
+            .map(|i| (if i % 2 == 0 { 0.5 } else { 2.0 }, 0.25))
+            .collect();
+        let want = reference(&pairs, 1.0);
+        assert_eq!(run_delay(&pairs, 1.0), want);
+        assert_eq!(run_array(&pairs, 1.0), want);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(run_delay(&[], 1.0).is_empty());
+        assert_eq!(run_delay(&[(2.0, 3.0)], 4.0), vec![11.0]);
+    }
+}

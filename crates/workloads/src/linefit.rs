@@ -1,0 +1,164 @@
+//! **linefit** (RAD set): least-squares line through 500M (scaled: 4M)
+//! 2D points.
+//!
+//! Two passes: the first reduce computes `(Σx, Σy)` for the means; the
+//! second computes `(Σ(x−mx)(y−my), Σ(x−mx)²)` for the slope. The
+//! delayed version performs both as fused map+reduce passes (`O(n)`
+//! reads, `O(1)` writes); the array version materializes the per-point
+//! product tuples.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of points (paper: 500M; scaled default 4M).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 4_000_000,
+            seed: 0x11FE,
+        }
+    }
+}
+
+/// Generate points along a noisy line (so the fit is meaningful).
+pub fn generate(p: Params) -> Vec<(f64, f64)> {
+    crate::inputs::random_pairs(p.n, p.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (noise, _))| {
+            let x = i as f64 / p.n as f64;
+            (x, 3.0 * x + 1.0 + (noise - 0.55))
+        })
+        .collect()
+}
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+/// Sequential reference.
+pub fn reference(pts: &[(f64, f64)]) -> Line {
+    let n = pts.len() as f64;
+    let (sx, sy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x, ay + y));
+    let (mx, my) = (sx / n, sy / n);
+    let (num, den) = pts.iter().fold((0.0, 0.0), |(nu, de), &(x, y)| {
+        (nu + (x - mx) * (y - my), de + (x - mx) * (x - mx))
+    });
+    Line {
+        slope: num / den,
+        intercept: my - (num / den) * mx,
+    }
+}
+
+fn add2(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+/// `array` version: materializes a tuple array per pass.
+pub fn run_array(pts: &[(f64, f64)]) -> Line {
+    let n = pts.len() as f64;
+    let sums = array::map(pts, |&(x, y)| (x, y));
+    let (sx, sy) = array::reduce(&sums, (0.0, 0.0), add2);
+    let (mx, my) = (sx / n, sy / n);
+    let prods = array::map(pts, |&(x, y)| ((x - mx) * (y - my), (x - mx) * (x - mx)));
+    let (num, den) = array::reduce(&prods, (0.0, 0.0), add2);
+    Line {
+        slope: num / den,
+        intercept: my - (num / den) * mx,
+    }
+}
+
+/// `delay` version (ours): two fused passes, no intermediate arrays.
+pub fn run_delay(pts: &[(f64, f64)]) -> Line {
+    let n = pts.len() as f64;
+    let (sx, sy) = from_slice(pts).reduce((0.0, 0.0), add2);
+    let (mx, my) = (sx / n, sy / n);
+    let (num, den) = from_slice(pts)
+        .map(|(x, y)| ((x - mx) * (y - my), (x - mx) * (x - mx)))
+        .reduce((0.0, 0.0), add2);
+    Line {
+        slope: num / den,
+        intercept: my - (num / den) * mx,
+    }
+}
+
+
+/// `rad` version: both passes fuse, as in `delay` (no BID ops).
+pub fn run_rad(pts: &[(f64, f64)]) -> Line {
+    use bds_baseline::rad;
+    let n = pts.len() as f64;
+    let (sx, sy) = rad::from_slice(pts).reduce((0.0, 0.0), add2);
+    let (mx, my) = (sx / n, sy / n);
+    let (num, den) = rad::from_slice(pts)
+        .map(|(x, y)| ((x - mx) * (y - my), (x - mx) * (x - mx)))
+        .reduce((0.0, 0.0), add2);
+    Line {
+        slope: num / den,
+        intercept: my - (num / den) * mx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rad_version_agrees() {
+        let pts = generate(Params { n: 50_000, seed: 4 });
+        let want = reference(&pts);
+        let got = run_rad(&pts);
+        assert!(close(got.slope, want.slope) && close(got.intercept, want.intercept));
+    }
+
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn versions_agree() {
+        let pts = generate(Params {
+            n: 100_000,
+            seed: 9,
+        });
+        let want = reference(&pts);
+        let ga = run_array(&pts);
+        let gd = run_delay(&pts);
+        assert!(close(ga.slope, want.slope) && close(ga.intercept, want.intercept));
+        assert!(close(gd.slope, want.slope) && close(gd.intercept, want.intercept));
+    }
+
+    #[test]
+    fn recovers_the_generating_line() {
+        let pts = generate(Params {
+            n: 500_000,
+            seed: 1,
+        });
+        let line = run_delay(&pts);
+        assert!((line.slope - 3.0).abs() < 0.05, "slope {}", line.slope);
+        assert!((line.intercept - 1.0).abs() < 0.05, "intercept {}", line.intercept);
+    }
+
+    #[test]
+    fn exact_line_exact_fit() {
+        let pts: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, 2.0 * i as f64 + 5.0)).collect();
+        let line = run_delay(&pts);
+        assert!(close(line.slope, 2.0));
+        assert!(close(line.intercept, 5.0));
+    }
+}

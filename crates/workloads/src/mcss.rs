@@ -1,0 +1,167 @@
+//! **mcss** (RAD set): maximum contiguous subsequence sum of 500M
+//! (scaled: 4M) 64-bit integers.
+//!
+//! The classic associative 4-tuple reduction: each segment carries
+//! `(best, prefix, suffix, total)`. The delayed version maps elements to
+//! tuples and reduces in one fused pass (`O(n)` reads, `O(1)` writes);
+//! the array version materializes the 32-byte tuple array first — the
+//! paper measures ~5× space and up to 10× time for exactly this change.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of elements (paper: 500M; scaled default 4M).
+    pub n: usize,
+    /// Magnitude bound of the values.
+    pub bound: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 4_000_000,
+            bound: 1000,
+            seed: 0x3C55,
+        }
+    }
+}
+
+/// Generate the input values.
+pub fn generate(p: Params) -> Vec<i64> {
+    crate::inputs::random_i64s(p.n, p.bound, p.seed)
+}
+
+/// Segment summary `(best, prefix, suffix, total)`.
+type Quad = (i64, i64, i64, i64);
+
+const NEG: i64 = i64::MIN / 4;
+
+/// Identity of [`combine`].
+const ID: Quad = (NEG, NEG, NEG, 0);
+
+#[inline]
+fn lift(x: i64) -> Quad {
+    (x, x, x, x)
+}
+
+#[inline]
+fn combine(l: Quad, r: Quad) -> Quad {
+    if l.0 == NEG {
+        return r;
+    }
+    if r.0 == NEG {
+        return l;
+    }
+    (
+        l.0.max(r.0).max(l.2 + r.1),
+        l.1.max(l.3 + r.1),
+        r.2.max(r.3 + l.2),
+        l.3 + r.3,
+    )
+}
+
+/// Sequential reference (Kadane's algorithm; empty subsequences
+/// disallowed, matching the tuple formulation).
+pub fn reference(xs: &[i64]) -> i64 {
+    let mut best = i64::MIN;
+    let mut cur = 0i64;
+    for &x in xs {
+        cur = x.max(cur + x);
+        best = best.max(cur);
+    }
+    best
+}
+
+/// `array` version: materializes the 4-tuple array, then reduces.
+pub fn run_array(xs: &[i64]) -> i64 {
+    let quads = array::map(xs, |&x| lift(x));
+    array::reduce(&quads, ID, combine).0
+}
+
+/// `delay` version (ours): one fused map+reduce pass.
+pub fn run_delay(xs: &[i64]) -> i64 {
+    from_slice(xs).map(lift).reduce(ID, combine).0
+}
+
+
+/// `rad` version: map fuses into the reduce (identical shape to `delay`
+/// here — no BID ops in this benchmark).
+pub fn run_rad(xs: &[i64]) -> i64 {
+    use bds_baseline::rad;
+    rad::from_slice(xs).map(lift).reduce(ID, combine).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rad_version_agrees() {
+        let xs = generate(Params { n: 60_000, bound: 40, seed: 14 });
+        assert_eq!(run_rad(&xs), reference(&xs));
+    }
+
+
+    #[test]
+    fn versions_match_reference() {
+        let xs = generate(Params {
+            n: 200_000,
+            bound: 50,
+            seed: 4,
+        });
+        let want = reference(&xs);
+        assert_eq!(run_array(&xs), want);
+        assert_eq!(run_delay(&xs), want);
+    }
+
+    #[test]
+    fn all_negative_picks_max_element() {
+        let xs = vec![-5i64, -2, -9, -1, -7];
+        assert_eq!(reference(&xs), -1);
+        assert_eq!(run_delay(&xs), -1);
+        assert_eq!(run_array(&xs), -1);
+    }
+
+    #[test]
+    fn known_answer() {
+        // Classic example: max subarray is [4,-1,2,1] = 6.
+        let xs = vec![-2i64, 1, -3, 4, -1, 2, 1, -5, 4];
+        assert_eq!(run_delay(&xs), 6);
+        assert_eq!(run_array(&xs), 6);
+    }
+
+    #[test]
+    fn combine_is_associative() {
+        let quads = [lift(3), lift(-2), lift(7), ID, (5, 2, 3, 4)];
+        for &a in &quads {
+            for &b in &quads {
+                for &c in &quads {
+                    assert_eq!(combine(combine(a, b), c), combine(a, combine(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        let xs = generate(Params {
+            n: 200,
+            bound: 10,
+            seed: 8,
+        });
+        let mut best = i64::MIN;
+        for i in 0..xs.len() {
+            let mut acc = 0;
+            for &x in &xs[i..] {
+                acc += x;
+                best = best.max(acc);
+            }
+        }
+        assert_eq!(run_delay(&xs), best);
+    }
+}

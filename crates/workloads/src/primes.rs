@@ -1,0 +1,195 @@
+//! **primes** (BID set): all primes below `n`.
+//!
+//! Structure follows the PBBS benchmark: recursively compute the base
+//! primes up to `√n`, sieve a shared flag array in parallel (each block
+//! of the range crosses off multiples of every base prime — writes are
+//! block-disjoint), then **filter** the candidate range down to the
+//! primes. The filter is where the libraries differ: the delayed version
+//! keeps the primes as a BID (packed per block, never copied into one
+//! contiguous array) and consumers fuse with it; array/rad materialize.
+
+use bds_baseline::{array, rad};
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Upper bound (exclusive; paper: 100M, scaled default 2M).
+    pub n: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params { n: 2_000_000 }
+    }
+}
+
+/// Simple sequential sieve — the recursion base case and the test
+/// reference.
+pub fn reference(n: usize) -> Vec<u64> {
+    if n < 3 {
+        return Vec::new();
+    }
+    let mut is_comp = vec![false; n];
+    let mut primes = Vec::new();
+    for i in 2..n {
+        if !is_comp[i] {
+            primes.push(i as u64);
+            let mut j = i * i;
+            while j < n {
+                is_comp[j] = true;
+                j += i;
+            }
+        }
+    }
+    primes
+}
+
+/// Parallel composite-flag computation shared by all versions: sieve
+/// blocks of `[2, n)` in parallel against the base primes (≤ √n).
+fn composite_flags(n: usize) -> Vec<bool> {
+    if n < 3 {
+        return vec![true; n];
+    }
+    let sqrt = (n as f64).sqrt() as usize + 1;
+    let base = reference(sqrt + 1);
+    let mut flags = vec![false; n];
+    flags[0] = true;
+    if n > 1 {
+        flags[1] = true;
+    }
+    let block = 1usize << 16;
+    let nb = n.div_ceil(block);
+    let ptr = FlagPtr(flags.as_mut_ptr());
+    bds_pool::apply(nb, |j| {
+        let lo = (j * block).max(2);
+        let hi = ((j + 1) * block).min(n);
+        if lo >= hi {
+            return;
+        }
+        for &p in &base {
+            let p = p as usize;
+            if p * p >= hi {
+                break;
+            }
+            let mut m = lo.div_ceil(p) * p;
+            if m < p * p {
+                m = p * p;
+            }
+            while m < hi {
+                // SAFETY: m in [lo, hi), and blocks are disjoint ranges
+                // of the flag array.
+                unsafe { *ptr.at(m) = true };
+                m += p;
+            }
+        }
+    });
+    flags
+}
+
+struct FlagPtr(*mut bool);
+impl FlagPtr {
+    /// SAFETY: caller keeps `i` within the allocation and within its own
+    /// block's disjoint range.
+    unsafe fn at(&self, i: usize) -> *mut bool {
+        self.0.add(i)
+    }
+}
+// SAFETY: disjoint-range writes only.
+unsafe impl Sync for FlagPtr {}
+
+/// Result summary: the count and sum of the primes (the checksum the
+/// harness compares), computed by each library from its filtered primes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimesResult {
+    /// Number of primes below `n`.
+    pub count: usize,
+    /// Sum of the primes.
+    pub sum: u64,
+}
+
+/// `array` version: the filter materializes a contiguous prime array,
+/// which the checksum reduce then re-reads.
+pub fn run_array(n: usize) -> PrimesResult {
+    let flags = composite_flags(n);
+    let candidates = array::tabulate(n, |i| i as u64);
+    let primes = array::filter(&candidates, |&i| !flags[i as usize]);
+    let sum = array::reduce(&primes, 0, |a, b| a + b);
+    PrimesResult {
+        count: primes.len(),
+        sum,
+    }
+}
+
+/// `rad` version: candidate generation fuses into the filter's packing
+/// pass, but the survivors are still copied into one contiguous array.
+pub fn run_rad(n: usize) -> PrimesResult {
+    let flags = composite_flags(n);
+    let primes = rad::tabulate(n, |i| i as u64).filter(|&i| !flags[i as usize]);
+    let sum = rad::from_slice(&primes).reduce(0, |a, b| a + b);
+    PrimesResult {
+        count: primes.len(),
+        sum,
+    }
+}
+
+/// `delay` version (ours): the filter output stays a BID — survivors are
+/// packed per block and the checksum reduce streams straight out of the
+/// packed blocks. No contiguous prime array ever exists.
+pub fn run_delay(n: usize) -> PrimesResult {
+    let flags = composite_flags(n);
+    let primes = tabulate(n, |i| i as u64).filter(|&i| !flags[i as usize]);
+    PrimesResult {
+        count: primes.len(),
+        sum: primes.reduce(0, |a, b| a + b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expected(n: usize) -> PrimesResult {
+        let ps = reference(n);
+        PrimesResult {
+            count: ps.len(),
+            sum: ps.iter().sum(),
+        }
+    }
+
+    #[test]
+    fn all_versions_agree_with_sieve() {
+        for n in [100usize, 10_000, 100_000] {
+            let want = expected(n);
+            assert_eq!(run_array(n), want, "array n={n}");
+            assert_eq!(run_rad(n), want, "rad n={n}");
+            assert_eq!(run_delay(n), want, "delay n={n}");
+        }
+    }
+
+    #[test]
+    fn known_prime_counts() {
+        // π(10^5) = 9592, sum of primes < 100 = 1060.
+        assert_eq!(run_delay(100_000).count, 9_592);
+        assert_eq!(run_delay(100).sum, 1_060);
+    }
+
+    #[test]
+    fn degenerate_bounds() {
+        for n in [0usize, 1, 2, 3] {
+            let want = expected(n);
+            assert_eq!(run_delay(n), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn composite_flags_match_reference() {
+        let n = 50_000;
+        let flags = composite_flags(n);
+        let primes: Vec<u64> = (2..n)
+            .filter(|&i| !flags[i])
+            .map(|i| i as u64)
+            .collect();
+        assert_eq!(primes, reference(n));
+    }
+}

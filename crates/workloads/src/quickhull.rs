@@ -1,0 +1,295 @@
+//! **quickhull** (RAD set): convex hull of 20M (scaled: 500K) points
+//! uniform in a circle.
+//!
+//! Classic divide-and-conquer with nested parallelism: find the x-extreme
+//! points, split the set by the chord, and recurse on each side (in
+//! parallel via `join`). Each level does a fused map+reduce to find the
+//! farthest point and a filter to keep the outside points. The delayed
+//! version fuses the distance computations into the reduce and the
+//! filter's packing pass; the array version materializes a distance
+//! array per level.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of points (paper: 20M; scaled default 500K).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 500_000,
+            seed: 0x9019,
+        }
+    }
+}
+
+/// A 2D point.
+pub type Point = (f64, f64);
+
+/// Generate points uniform in the unit circle.
+pub fn generate(p: Params) -> Vec<Point> {
+    crate::inputs::points_in_circle(p.n, p.seed)
+}
+
+/// Twice the signed area of triangle `(a, b, c)`: positive when `c` is
+/// left of the directed line `a → b`.
+#[inline]
+fn cross(a: Point, b: Point, c: Point) -> f64 {
+    (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0)
+}
+
+/// Sequential reference: Andrew's monotone chain. Returns the hull
+/// vertex set (sorted), not in traversal order — hull *membership* is
+/// what the recursive versions can be compared on.
+pub fn reference_hull_set(pts: &[Point]) -> Vec<Point> {
+    let mut p: Vec<Point> = pts.to_vec();
+    p.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    p.dedup();
+    if p.len() < 3 {
+        return p;
+    }
+    let mut lower: Vec<Point> = Vec::new();
+    for &pt in &p {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], pt) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(pt);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for &pt in p.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], pt) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(pt);
+    }
+    lower.pop();
+    upper.pop();
+    let mut hull: Vec<Point> = lower.into_iter().chain(upper).collect();
+    hull.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    hull
+}
+
+fn max_by_key_f64(a: (f64, Point), b: (f64, Point)) -> (f64, Point) {
+    if a.0 >= b.0 {
+        a
+    } else {
+        b
+    }
+}
+
+/// `delay` version (ours).
+pub fn run_delay(pts: &[Point]) -> Vec<Point> {
+    if pts.len() < 3 {
+        return pts.to_vec();
+    }
+    let first = pts[0];
+    // Fused min/max-by-x reduce.
+    let (left, right) = from_slice(pts)
+        .map(|p| (p, p))
+        .reduce((first, first), |(lo, hi), (lo2, hi2)| {
+            (
+                if lo2.0 < lo.0 { lo2 } else { lo },
+                if hi2.0 > hi.0 { hi2 } else { hi },
+            )
+        });
+    let upper = from_slice(pts).filter(|&p| cross(left, right, p) > 0.0).to_vec();
+    let lower = from_slice(pts).filter(|&p| cross(right, left, p) > 0.0).to_vec();
+    let (mut hull_up, hull_lo) = bds_pool::join(
+        || hull_side_delay(&upper, left, right),
+        || hull_side_delay(&lower, right, left),
+    );
+    hull_up.push(left);
+    hull_up.push(right);
+    hull_up.extend(hull_lo);
+    hull_up.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    hull_up.dedup();
+    hull_up
+}
+
+fn hull_side_delay(pts: &[Point], a: Point, b: Point) -> Vec<Point> {
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    // Farthest point from the chord, via a fused map+reduce.
+    let (_, far) = from_slice(pts)
+        .map(|p| (cross(a, b, p), p))
+        .reduce((f64::NEG_INFINITY, a), max_by_key_f64);
+    let outside_left = from_slice(pts).filter(|&p| cross(a, far, p) > 0.0).to_vec();
+    let outside_right = from_slice(pts).filter(|&p| cross(far, b, p) > 0.0).to_vec();
+    let (mut l, r) = bds_pool::join(
+        || hull_side_delay(&outside_left, a, far),
+        || hull_side_delay(&outside_right, far, b),
+    );
+    l.push(far);
+    l.extend(r);
+    l
+}
+
+/// `array` version: distance arrays and filter outputs all materialize.
+pub fn run_array(pts: &[Point]) -> Vec<Point> {
+    if pts.len() < 3 {
+        return pts.to_vec();
+    }
+    let first = pts[0];
+    let extremes = array::map(pts, |&p| (p, p));
+    let (left, right) = array::reduce(&extremes, (first, first), |(lo, hi), (lo2, hi2)| {
+        (
+            if lo2.0 < lo.0 { lo2 } else { lo },
+            if hi2.0 > hi.0 { hi2 } else { hi },
+        )
+    });
+    let upper = array::filter(pts, |&p| cross(left, right, p) > 0.0);
+    let lower = array::filter(pts, |&p| cross(right, left, p) > 0.0);
+    let (mut hull_up, hull_lo) = bds_pool::join(
+        || hull_side_array(&upper, left, right),
+        || hull_side_array(&lower, right, left),
+    );
+    hull_up.push(left);
+    hull_up.push(right);
+    hull_up.extend(hull_lo);
+    hull_up.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    hull_up.dedup();
+    hull_up
+}
+
+fn hull_side_array(pts: &[Point], a: Point, b: Point) -> Vec<Point> {
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    let dists = array::map(pts, |&p| (cross(a, b, p), p));
+    let (_, far) = array::reduce(&dists, (f64::NEG_INFINITY, a), max_by_key_f64);
+    let outside_left = array::filter(pts, |&p| cross(a, far, p) > 0.0);
+    let outside_right = array::filter(pts, |&p| cross(far, b, p) > 0.0);
+    let (mut l, r) = bds_pool::join(
+        || hull_side_array(&outside_left, a, far),
+        || hull_side_array(&outside_right, far, b),
+    );
+    l.push(far);
+    l.extend(r);
+    l
+}
+
+
+/// `rad` version: distance map fuses into the farthest-point reduce (as
+/// in `delay`) but the filters copy survivors into contiguous arrays.
+pub fn run_rad(pts: &[Point]) -> Vec<Point> {
+    use bds_baseline::rad;
+    if pts.len() < 3 {
+        return pts.to_vec();
+    }
+    let first = pts[0];
+    let (left, right) = rad::from_slice(pts)
+        .map(|p| (p, p))
+        .reduce((first, first), |(lo, hi), (lo2, hi2)| {
+            (
+                if lo2.0 < lo.0 { lo2 } else { lo },
+                if hi2.0 > hi.0 { hi2 } else { hi },
+            )
+        });
+    let upper = rad::from_slice(pts).filter(|&p| cross(left, right, p) > 0.0);
+    let lower = rad::from_slice(pts).filter(|&p| cross(right, left, p) > 0.0);
+    let (mut hull_up, hull_lo) = bds_pool::join(
+        || hull_side_rad(&upper, left, right),
+        || hull_side_rad(&lower, right, left),
+    );
+    hull_up.push(left);
+    hull_up.push(right);
+    hull_up.extend(hull_lo);
+    hull_up.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    hull_up.dedup();
+    hull_up
+}
+
+fn hull_side_rad(pts: &[Point], a: Point, b: Point) -> Vec<Point> {
+    use bds_baseline::rad;
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    let (_, far) = rad::from_slice(pts)
+        .map(|p| (cross(a, b, p), p))
+        .reduce((f64::NEG_INFINITY, a), max_by_key_f64);
+    let outside_left = rad::from_slice(pts).filter(|&p| cross(a, far, p) > 0.0);
+    let outside_right = rad::from_slice(pts).filter(|&p| cross(far, b, p) > 0.0);
+    let (mut l, r) = bds_pool::join(
+        || hull_side_rad(&outside_left, a, far),
+        || hull_side_rad(&outside_right, far, b),
+    );
+    l.push(far);
+    l.extend(r);
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rad_version_agrees() {
+        let pts = generate(Params { n: 8_000, seed: 19 });
+        let want = reference_hull_set(&pts);
+        assert_same_hull(&run_rad(&pts), &want);
+    }
+
+
+    fn assert_same_hull(got: &[Point], want: &[Point]) {
+        assert_eq!(got.len(), want.len(), "hull sizes differ");
+        for (g, w) in got.iter().zip(want) {
+            assert!(
+                (g.0 - w.0).abs() < 1e-12 && (g.1 - w.1).abs() < 1e-12,
+                "{g:?} vs {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn versions_match_reference() {
+        let pts = generate(Params { n: 20_000, seed: 6 });
+        let want = reference_hull_set(&pts);
+        assert_same_hull(&run_delay(&pts), &want);
+        assert_same_hull(&run_array(&pts), &want);
+    }
+
+    #[test]
+    fn square_corners() {
+        let mut pts = vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        // Interior points must not appear in the hull.
+        for i in 0..50 {
+            let t = i as f64 / 50.0 * 0.8 + 0.1;
+            pts.push((t, 0.5));
+        }
+        let hull = run_delay(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn collinear_points_degenerate() {
+        let pts: Vec<Point> = (0..100).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let hull = run_delay(&pts);
+        // All points on one line: hull is the two extremes.
+        assert_eq!(hull.len(), 2);
+    }
+
+    #[test]
+    fn tiny_inputs_pass_through() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0)];
+        assert_eq!(run_delay(&pts), pts);
+        assert_eq!(run_array(&pts), pts);
+    }
+
+    #[test]
+    fn hull_is_convex_and_contains_extremes() {
+        let pts = generate(Params { n: 5_000, seed: 2 });
+        let hull = run_delay(&pts);
+        let max_x = pts.iter().cloned().fold(pts[0], |m, p| if p.0 > m.0 { p } else { m });
+        assert!(hull.contains(&max_x));
+    }
+}

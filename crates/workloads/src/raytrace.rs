@@ -1,0 +1,456 @@
+//! **raytrace** (extension): kd-tree construction with the
+//! surface-area-heuristic best-cut, plus ray queries.
+//!
+//! This is the application that motivates the paper's Section 3 example:
+//! PBBS's ray-triangle intersection "recursively builds a kd-tree by
+//! partitioning triangles based on the surface area heuristic", and each
+//! partitioning step is exactly the fused `map → scan → map → reduce`
+//! pipeline of Figure 4 — here run once per axis per node, over event
+//! arrays sorted with the `bds-sort` substrate. Box partitioning into
+//! children is the library `filter`.
+//!
+//! Geometry is axis-aligned bounding boxes in 3D; rays are tested with
+//! the standard slab method. The tree's query results are validated
+//! against brute force.
+
+use bds_seq::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub lo: [f64; 3],
+    /// Maximum corner.
+    pub hi: [f64; 3],
+}
+
+impl Aabb {
+    fn union(self, other: Aabb) -> Aabb {
+        Aabb {
+            lo: [
+                self.lo[0].min(other.lo[0]),
+                self.lo[1].min(other.lo[1]),
+                self.lo[2].min(other.lo[2]),
+            ],
+            hi: [
+                self.hi[0].max(other.hi[0]),
+                self.hi[1].max(other.hi[1]),
+                self.hi[2].max(other.hi[2]),
+            ],
+        }
+    }
+
+    /// Surface area (the quantity the SAH weighs).
+    fn area(&self) -> f64 {
+        let d = [
+            (self.hi[0] - self.lo[0]).max(0.0),
+            (self.hi[1] - self.lo[1]).max(0.0),
+            (self.hi[2] - self.lo[2]).max(0.0),
+        ];
+        2.0 * (d[0] * d[1] + d[1] * d[2] + d[2] * d[0])
+    }
+
+    /// Slab-method ray intersection test.
+    fn hit(&self, ray: &Ray) -> bool {
+        let mut tmin = 0.0f64;
+        let mut tmax = f64::INFINITY;
+        for a in 0..3 {
+            let inv = 1.0 / ray.dir[a];
+            let mut t0 = (self.lo[a] - ray.origin[a]) * inv;
+            let mut t1 = (self.hi[a] - ray.origin[a]) * inv;
+            if inv < 0.0 {
+                std::mem::swap(&mut t0, &mut t1);
+            }
+            tmin = tmin.max(t0);
+            tmax = tmax.min(t1);
+            if tmax < tmin {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A ray with non-axis-parallel direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Origin point.
+    pub origin: [f64; 3],
+    /// Direction (need not be normalized; components must be nonzero).
+    pub dir: [f64; 3],
+}
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of boxes (paper: 200M bounding boxes of triangles;
+    /// scaled default 100K).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n: 100_000,
+            seed: 0x4A1D,
+        }
+    }
+}
+
+/// Generate random small boxes in the unit cube (bounding boxes of
+/// triangle-sized primitives).
+pub fn generate(p: Params) -> Vec<Aabb> {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    (0..p.n)
+        .map(|_| {
+            let c: [f64; 3] = [rng.gen(), rng.gen(), rng.gen()];
+            let e: [f64; 3] = [
+                rng.gen_range(0.001..0.02),
+                rng.gen_range(0.001..0.02),
+                rng.gen_range(0.001..0.02),
+            ];
+            Aabb {
+                lo: [c[0] - e[0], c[1] - e[1], c[2] - e[2]],
+                hi: [c[0] + e[0], c[1] + e[1], c[2] + e[2]],
+            }
+        })
+        .collect()
+}
+
+/// Generate query rays through the scene.
+pub fn generate_rays(count: usize, seed: u64) -> Vec<Ray> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
+    (0..count)
+        .map(|_| Ray {
+            origin: [
+                rng.gen_range(-0.2..0.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ],
+            dir: [
+                rng.gen_range(0.5..1.0),
+                rng.gen_range(-0.5f64..0.5).max(1e-6),
+                rng.gen_range(-0.5f64..0.5).max(1e-6),
+            ],
+        })
+        .collect()
+}
+
+/// A kd-tree over box indices.
+pub enum KdTree {
+    /// Internal node: split `axis` at `pos`.
+    Node {
+        /// Split axis (0, 1, 2).
+        axis: usize,
+        /// Split position along the axis.
+        pos: f64,
+        /// Node bounds.
+        bounds: Aabb,
+        /// Child with boxes overlapping `[lo, pos]`.
+        left: Box<KdTree>,
+        /// Child with boxes overlapping `[pos, hi]`.
+        right: Box<KdTree>,
+    },
+    /// Leaf holding box indices.
+    Leaf {
+        /// Leaf bounds.
+        bounds: Aabb,
+        /// Indices into the scene's box array.
+        boxes: Vec<u32>,
+    },
+}
+
+const LEAF_SIZE: usize = 32;
+const MAX_DEPTH: usize = 18;
+/// SAH constant: cost of a traversal step relative to an intersection.
+const TRAVERSAL_COST: f64 = 2.0;
+
+/// Map an f64 to a u64 whose unsigned order equals the float's numeric
+/// order (the standard radix-sort trick; NaNs not expected here).
+fn f64_order_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn bounds_of(scene: &[Aabb], idx: &[u32]) -> Aabb {
+    // Fused map+reduce over the index set.
+    let first = scene[idx[0] as usize];
+    from_slice(idx)
+        .map(|i| scene[i as usize])
+        .reduce(first, Aabb::union)
+}
+
+/// The Figure 4 pipeline, verbatim: given events sorted by position
+/// (`is_end` flags end events), find the cut minimizing the SAH cost.
+/// Returns `(cost, position)`.
+///
+/// The cut at event `k` has `starts_before` boxes beginning before it
+/// (boxes on the left) and `n - ends_before` boxes not yet ended (boxes
+/// on the right); both counts come from one fused exclusive scan over
+/// the event flags.
+fn best_cut_on_axis(
+    events: &[(f64, u32)], // (position, is_end)
+    bounds: &Aabb,
+    axis: usize,
+    n_boxes: usize,
+) -> (f64, f64) {
+    let lo = bounds.lo[axis];
+    let hi = bounds.hi[axis];
+    let extent = hi - lo;
+    let total_area = bounds.area();
+    if extent <= 0.0 || total_area <= 0.0 {
+        return (f64::INFINITY, lo);
+    }
+    // map: event → (start?, end?) counts; scan: prefix counts of both.
+    let flags = from_slice(events).map(|(_, is_end)| {
+        if is_end == 1 {
+            (0u32, 1u32)
+        } else {
+            (1u32, 0u32)
+        }
+    });
+    let (counts, _) = flags.scan((0, 0), |(s1, e1), (s2, e2)| (s1 + s2, e1 + e2));
+    // map: prefix counts → SAH cost at this event's position; reduce: min
+    // (keeping the position). The zip with the events supplies positions.
+    let (cost, pos) = counts
+        .zip_with(from_slice(events), |(starts, ends), (pos, _)| {
+            if pos <= lo || pos >= hi {
+                return (f64::INFINITY, pos);
+            }
+            let left = starts as f64;
+            let right = (n_boxes as u32 - ends) as f64;
+            // True SAH: weight child intersection counts by the surface
+            // areas of the two sub-boxes the cut produces.
+            let mut lbox = *bounds;
+            lbox.hi[axis] = pos;
+            let mut rbox = *bounds;
+            rbox.lo[axis] = pos;
+            let cost = TRAVERSAL_COST
+                + (lbox.area() * left + rbox.area() * right) / total_area;
+            (cost, pos)
+        })
+        .reduce((f64::INFINITY, lo), |a, b| if a.0 <= b.0 { a } else { b });
+    (cost, pos)
+}
+
+/// Build the kd-tree over all boxes of the scene.
+pub fn build(scene: &[Aabb]) -> KdTree {
+    let idx: Vec<u32> = (0..scene.len() as u32).collect();
+    build_node(scene, idx, 0)
+}
+
+fn build_node(scene: &[Aabb], idx: Vec<u32>, depth: usize) -> KdTree {
+    let bounds = if idx.is_empty() {
+        Aabb {
+            lo: [0.0; 3],
+            hi: [0.0; 3],
+        }
+    } else {
+        bounds_of(scene, &idx)
+    };
+    if idx.len() <= LEAF_SIZE || depth >= MAX_DEPTH {
+        return KdTree::Leaf { bounds, boxes: idx };
+    }
+    // Pick the best cut across the three axes.
+    let mut best = (f64::INFINITY, 0usize, 0.0f64);
+    for axis in 0..3 {
+        // Event list: each box contributes a start and an end event.
+        let mut events: Vec<(f64, u32)> = Vec::with_capacity(idx.len() * 2);
+        for &i in &idx {
+            events.push((scene[i as usize].lo[axis], 0));
+            events.push((scene[i as usize].hi[axis], 1));
+        }
+        bds_sort::sort_by_key(&mut events, |&(pos, is_end)| {
+            // Order by position (total-order bit trick for f64); ends
+            // before starts at equal positions (a box ending exactly at
+            // the cut goes left).
+            (f64_order_key(pos), is_end ^ 1)
+        });
+        let (cost, pos) = best_cut_on_axis(&events, &bounds, axis, idx.len());
+        if cost < best.0 {
+            best = (cost, axis, pos);
+        }
+    }
+    let leaf_cost = idx.len() as f64;
+    if best.0 >= leaf_cost {
+        return KdTree::Leaf { bounds, boxes: idx };
+    }
+    let (_, axis, pos) = best;
+    // Partition with the library filter; straddlers go to both sides.
+    let left_idx = from_slice(&idx)
+        .filter(|&i| scene[i as usize].lo[axis] <= pos)
+        .to_vec();
+    let right_idx = from_slice(&idx)
+        .filter(|&i| scene[i as usize].hi[axis] >= pos)
+        .to_vec();
+    if left_idx.len() == idx.len() && right_idx.len() == idx.len() {
+        // Everything straddles: no progress possible.
+        return KdTree::Leaf { bounds, boxes: idx };
+    }
+    let (left, right) = bds_pool::join(
+        || build_node(scene, left_idx, depth + 1),
+        || build_node(scene, right_idx, depth + 1),
+    );
+    KdTree::Node {
+        axis,
+        pos,
+        bounds,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+impl KdTree {
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        match self {
+            KdTree::Leaf { .. } => 1,
+            KdTree::Node { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            KdTree::Leaf { .. } => 1,
+            KdTree::Node { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Indices of all boxes hit by `ray` (deduplicated, sorted).
+    pub fn query(&self, scene: &[Aabb], ray: &Ray) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_into(scene, ray, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn query_into(&self, scene: &[Aabb], ray: &Ray, out: &mut Vec<u32>) {
+        match self {
+            KdTree::Leaf { bounds, boxes } => {
+                if !boxes.is_empty() && bounds.hit(ray) {
+                    for &i in boxes {
+                        if scene[i as usize].hit(ray) {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+            KdTree::Node {
+                bounds,
+                left,
+                right,
+                ..
+            } => {
+                if bounds.hit(ray) {
+                    left.query_into(scene, ray, out);
+                    right.query_into(scene, ray, out);
+                }
+            }
+        }
+    }
+}
+
+/// Brute-force reference: all boxes hit by the ray.
+pub fn reference_hits(scene: &[Aabb], ray: &Ray) -> Vec<u32> {
+    scene
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.hit(ray))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Run a batch of ray queries in parallel; returns total hits (the
+/// harness checksum).
+pub fn query_batch(tree: &KdTree, scene: &[Aabb], rays: &[Ray]) -> usize {
+    from_slice(rays)
+        .map(|ray| tree.query(scene, &ray).len())
+        .reduce(0, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_queries_match_brute_force() {
+        let scene = generate(Params {
+            n: 3_000,
+            seed: 1,
+        });
+        let tree = build(&scene);
+        assert!(tree.depth() > 1, "tree did not split");
+        for ray in generate_rays(50, 2) {
+            let got = tree.query(&scene, &ray);
+            let want = reference_hits(&scene, &ray);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn every_box_is_reachable() {
+        // A ray straight through each box's center must report it.
+        let scene = generate(Params { n: 500, seed: 3 });
+        let tree = build(&scene);
+        for (i, b) in scene.iter().enumerate().step_by(29) {
+            let center = [
+                (b.lo[0] + b.hi[0]) / 2.0,
+                (b.lo[1] + b.hi[1]) / 2.0,
+                (b.lo[2] + b.hi[2]) / 2.0,
+            ];
+            let ray = Ray {
+                origin: [center[0] - 1.0, center[1] - 0.001, center[2] - 0.001],
+                dir: [1.0, 0.001, 0.001],
+            };
+            let hits = tree.query(&scene, &ray);
+            assert!(
+                hits.contains(&(i as u32)),
+                "box {i} missing from query results"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_threshold_respected_for_small_scenes() {
+        let scene = generate(Params { n: 20, seed: 5 });
+        let tree = build(&scene);
+        assert_eq!(tree.leaves(), 1);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn batch_checksum_matches_sum_of_queries() {
+        let scene = generate(Params {
+            n: 2_000,
+            seed: 7,
+        });
+        let tree = build(&scene);
+        let rays = generate_rays(20, 9);
+        let total = query_batch(&tree, &scene, &rays);
+        let want: usize = rays.iter().map(|r| reference_hits(&scene, r).len()).sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn sah_beats_exhaustive_leaf_scan() {
+        // Tree query must visit far fewer boxes than brute force: check
+        // indirectly via depth/leaf structure on a bigger scene.
+        let scene = generate(Params {
+            n: 20_000,
+            seed: 11,
+        });
+        let tree = build(&scene);
+        assert!(tree.leaves() > 100, "only {} leaves", tree.leaves());
+        assert!(tree.depth() <= MAX_DEPTH + 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! **sparse-mxv** (RAD set): sparse matrix × dense vector, CSR layout.
+//!
+//! `y_r = Σ_k vals[k] · x[cols[k]]` over row `r`'s nonzeros. The outer
+//! tabulate runs rows in parallel (nested parallelism: rows have varying
+//! lengths); the inner dot product is a map+reduce over the row's slice.
+//! The delayed version fuses the inner map into the inner reduce — the
+//! paper notes the eliminated arrays are tiny (~100 elements), so the
+//! space win is small but the write elimination still speeds it up.
+
+use bds_baseline::array;
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Rows (paper: 2M rows, 200M nnz; scaled default 20K rows).
+    pub rows: usize,
+    /// Columns (vector length).
+    pub cols: usize,
+    /// Nonzeros per row (paper: 100).
+    pub nnz_per_row: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            rows: 20_000,
+            cols: 20_000,
+            nnz_per_row: 100,
+            seed: 0x3497,
+        }
+    }
+}
+
+/// A CSR matrix plus the dense vector.
+pub struct SpmvInput {
+    /// Row offsets, `rows + 1` entries.
+    pub offsets: Vec<usize>,
+    /// Column index of each nonzero.
+    pub cols: Vec<u32>,
+    /// Value of each nonzero.
+    pub vals: Vec<f64>,
+    /// The dense vector.
+    pub x: Vec<f64>,
+}
+
+/// Generate the matrix and vector.
+pub fn generate(p: Params) -> SpmvInput {
+    let (offsets, cols, vals) =
+        crate::inputs::sparse_matrix(p.rows, p.cols, p.nnz_per_row, p.seed);
+    let x = crate::inputs::random_f64s(p.cols, 0.0, 1.0, p.seed ^ 0xF00D);
+    SpmvInput {
+        offsets,
+        cols,
+        vals,
+        x,
+    }
+}
+
+/// Sequential reference.
+pub fn reference(m: &SpmvInput) -> Vec<f64> {
+    let rows = m.offsets.len() - 1;
+    (0..rows)
+        .map(|r| {
+            m.cols[m.offsets[r]..m.offsets[r + 1]]
+                .iter()
+                .zip(&m.vals[m.offsets[r]..m.offsets[r + 1]])
+                .map(|(&c, &v)| v * m.x[c as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// `array` version: each row materializes its product array before
+/// reducing it.
+pub fn run_array(m: &SpmvInput) -> Vec<f64> {
+    let rows = m.offsets.len() - 1;
+    array::tabulate(rows, |r| {
+        let (lo, hi) = (m.offsets[r], m.offsets[r + 1]);
+        let prods = array::zip_with(&m.cols[lo..hi], &m.vals[lo..hi], |&c, &v| {
+            v * m.x[c as usize]
+        });
+        prods.iter().sum::<f64>()
+    })
+}
+
+/// `delay` version (ours): the inner products fuse into the inner
+/// reduce; only the output vector is written.
+pub fn run_delay(m: &SpmvInput) -> Vec<f64> {
+    let rows = m.offsets.len() - 1;
+    tabulate(rows, |r| {
+        let (lo, hi) = (m.offsets[r], m.offsets[r + 1]);
+        // Sequential fused inner loop: rows are the parallel grain.
+        m.cols[lo..hi]
+            .iter()
+            .zip(&m.vals[lo..hi])
+            .map(|(&c, &v)| v * m.x[c as usize])
+            .sum::<f64>()
+    })
+    .to_vec()
+}
+
+
+/// `rad` version: the inner dot products fuse via index composition, as
+/// in `delay` (no BID ops in this benchmark).
+pub fn run_rad(m: &SpmvInput) -> Vec<f64> {
+    use bds_baseline::rad;
+    let rows = m.offsets.len() - 1;
+    rad::tabulate(rows, |r| {
+        let (lo, hi) = (m.offsets[r], m.offsets[r + 1]);
+        let mut acc = 0.0;
+        for k in lo..hi {
+            acc += m.vals[k] * m.x[m.cols[k] as usize];
+        }
+        acc
+    })
+    .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rad_version_agrees() {
+        let m = generate(Params { rows: 300, cols: 300, nnz_per_row: 15, seed: 6 });
+        assert_close(&run_rad(&m), &reference(&m));
+    }
+
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                "row {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn versions_match_reference() {
+        let m = generate(Params {
+            rows: 500,
+            cols: 500,
+            nnz_per_row: 20,
+            seed: 3,
+        });
+        let want = reference(&m);
+        assert_close(&run_array(&m), &want);
+        assert_close(&run_delay(&m), &want);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        // 1 nonzero per row at column r with value 1 → y = permutation of x.
+        let rows = 100;
+        let mut m = generate(Params {
+            rows,
+            cols: rows,
+            nnz_per_row: 1,
+            seed: 1,
+        });
+        for r in 0..rows {
+            m.cols[r] = r as u32;
+            m.vals[r] = 1.0;
+        }
+        let y = run_delay(&m);
+        assert_close(&y, &m.x);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = SpmvInput {
+            offsets: vec![0],
+            cols: vec![],
+            vals: vec![],
+            x: vec![],
+        };
+        assert!(run_delay(&m).is_empty());
+        assert!(run_array(&m).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Cost analysis: use the executable cost semantics (Section 5 /
+//! Figure 11) to predict whether delaying or forcing wins for a
+//! pipeline, then check the prediction by measuring.
+//!
+//! Run with: `cargo run --release --example cost_analysis`
+
+use std::time::Instant;
+
+use block_delayed_sequences::cost::{Cost, Model, SIMPLE};
+use block_delayed_sequences::prelude::*;
+
+fn predict(n: u64, block: u64) -> (Cost, Cost) {
+    let m = Model::new(block);
+    // Fused: map → scan → map → reduce.
+    let (input, _) = m.input(n);
+    let (a, c1) = m.map(input, SIMPLE);
+    let (b, c2) = m.scan(a);
+    let (c, c3) = m.map(b, SIMPLE);
+    let c4 = m.reduce(c);
+    let fused = c1 + c2 + c3 + c4;
+    // Forced: force the first map, then the same.
+    let (a2, d1) = m.map(input, SIMPLE);
+    let (a3, d2) = m.force(a2);
+    let (b2, d3) = m.scan(a3);
+    let (c2e, d4) = m.map(b2, SIMPLE);
+    let d5 = m.reduce(c2e);
+    (fused, d1 + d2 + d3 + d4 + d5)
+}
+
+fn main() {
+    let n: usize = 4_000_000;
+    let block = block_delayed_sequences::seq::block_size(n) as u64;
+
+    let (fused, forced) = predict(n as u64, block);
+    println!("Cost-model prediction for map→scan→map→reduce at n = {n}:");
+    println!(
+        "  fused:  work {:>9}  span {:>8}  alloc {:>9}",
+        fused.work, fused.span, fused.alloc
+    );
+    println!(
+        "  forced: work {:>9}  span {:>8}  alloc {:>9}",
+        forced.work, forced.span, forced.alloc
+    );
+    println!(
+        "  → model says fused allocates {:.0}x less",
+        forced.alloc as f64 / fused.alloc.max(1) as f64
+    );
+
+    // Measure both.
+    let xs: Vec<u64> = (0..n as u64).map(|x| x % 10).collect();
+    let run_fused = || {
+        let (s, _) = from_slice(&xs).map(|x| x + 1).scan(0, |a, b| a + b);
+        s.map(|x| x ^ 1).reduce(0, u64::max)
+    };
+    let run_forced = || {
+        let m = from_slice(&xs).map(|x| x + 1).force();
+        let (s, _) = m.scan(0, |a, b| a + b);
+        s.map(|x| x ^ 1).reduce(0, u64::max)
+    };
+    assert_eq!(run_fused(), run_forced());
+
+    let t0 = Instant::now();
+    for _ in 0..5 {
+        std::hint::black_box(run_fused());
+    }
+    let t_fused = t0.elapsed() / 5;
+    let t0 = Instant::now();
+    for _ in 0..5 {
+        std::hint::black_box(run_forced());
+    }
+    let t_forced = t0.elapsed() / 5;
+    println!("Measured: fused {t_fused:?}, forced {t_forced:?}");
+    println!(
+        "(the model predicts fused ≤ forced when the mapped function is \
+         cheap; forcing only pays off when recomputation is expensive — \
+         see the ablation bench `ablation/force-vs-recompute`)"
+    );
+}

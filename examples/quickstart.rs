@@ -1,0 +1,67 @@
+//! Quickstart: the delayed-sequence API in five minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use block_delayed_sequences::prelude::*;
+use block_delayed_sequences::seq::flatten;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Delayed construction: tabulate and map cost O(1) now.
+    // ------------------------------------------------------------------
+    let squares = tabulate(10_000_000, |i| (i as u64) * (i as u64));
+    // Nothing has been computed yet. Consuming fuses everything into one
+    // parallel pass with O(#blocks) temporary memory:
+    let sum_of_squares = squares.reduce(0u64, u64::wrapping_add);
+    println!("sum of squares (mod 2^64) = {sum_of_squares}");
+
+    // ------------------------------------------------------------------
+    // 2. Scan fuses too — that is the new part (BID sequences).
+    // ------------------------------------------------------------------
+    let xs: Vec<u64> = (0..1_000_000).map(|i| i % 10).collect();
+    let (prefix, total) = from_slice(&xs).scan(0, |a, b| a + b);
+    // `prefix` is a *delayed* sequence: the scan's third phase has not
+    // run. This map+reduce streams through it without materializing:
+    let max_prefix_gap = prefix
+        .zip_with(from_slice(&xs), |p, x| p.abs_diff(x))
+        .reduce(0, u64::max);
+    println!("scan total = {total}, max |prefix - x| = {max_prefix_gap}");
+
+    // ------------------------------------------------------------------
+    // 3. Filter keeps survivors packed per block — no contiguous copy.
+    // ------------------------------------------------------------------
+    let evens_sum = tabulate(1_000_000, |i| i as u64)
+        .filter(|&x| x % 2 == 0)
+        .reduce(0, |a, b| a + b);
+    println!("sum of evens below 1M = {evens_sum}");
+
+    // ------------------------------------------------------------------
+    // 4. Flatten blocks the *output* index space.
+    // ------------------------------------------------------------------
+    let lengths: Vec<u64> = (1..=1000).collect();
+    // Each inner sequence is itself delayed (a tabulate); flatten never
+    // materializes the concatenation.
+    let triangle = flatten(from_slice(&lengths).map(|k| tabulate(k as usize, |i| i as u64)));
+    println!(
+        "triangular flatten: {} elements, reduce = {}",
+        triangle.len(),
+        triangle.reduce(0, |a, b| a + b)
+    );
+
+    // ------------------------------------------------------------------
+    // 5. force() pins a delayed sequence you need more than once.
+    // ------------------------------------------------------------------
+    let expensive = tabulate(100_000, |i| (1.0 + i as f64).ln()).force();
+    let (sum, max) = (
+        expensive.reduce(0.0, |a, b| a + b),
+        expensive.reduce(f64::MIN, f64::max),
+    );
+    println!("forced reuse: sum = {sum:.2}, max = {max:.4}");
+
+    // ------------------------------------------------------------------
+    // 6. Explicit pools control P (the paper's Figure 15 sweeps this).
+    // ------------------------------------------------------------------
+    let pool = Pool::new(2);
+    let on_two_threads = pool.install(|| tabulate(1_000_000, |i| i as u64).reduce(0, |a, b| a + b));
+    println!("on a 2-thread pool: {on_two_threads}");
+}

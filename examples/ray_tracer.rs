@@ -1,0 +1,62 @@
+//! Ray tracer skeleton: build a SAH kd-tree over a box scene (the
+//! paper's motivating application, Section 3) and trace a ray batch
+//! through it, comparing against brute force.
+//!
+//! Run with: `cargo run --release --example ray_tracer [boxes] [rays]`
+
+use std::time::Instant;
+
+use block_delayed_sequences::workloads::raytrace::{self, Params};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let nrays: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    println!("Generating {n} boxes...");
+    let scene = raytrace::generate(Params { n, seed: 7 });
+
+    let t0 = Instant::now();
+    let tree = raytrace::build(&scene);
+    let t_build = t0.elapsed();
+    println!(
+        "kd-tree built in {t_build:?}: {} leaves, depth {}",
+        tree.leaves(),
+        tree.depth()
+    );
+
+    let rays = raytrace::generate_rays(nrays, 13);
+    let t0 = Instant::now();
+    let hits_tree = raytrace::query_batch(&tree, &scene, &rays);
+    let t_tree = t0.elapsed();
+
+    let t0 = Instant::now();
+    let hits_brute: usize = rays
+        .iter()
+        .take(100.min(nrays))
+        .map(|r| raytrace::reference_hits(&scene, r).len())
+        .sum();
+    let t_brute_per_ray = t0.elapsed() / 100.min(nrays) as u32;
+
+    println!("{nrays} rays → {hits_tree} total box hits  ({t_tree:?})");
+    println!(
+        "  per-ray: tree {:?}, brute force {:?} ({:.0}x faster)",
+        t_tree / nrays as u32,
+        t_brute_per_ray,
+        t_brute_per_ray.as_secs_f64() / (t_tree.as_secs_f64() / nrays as f64)
+    );
+
+    // Spot-check correctness.
+    for ray in rays.iter().take(20) {
+        assert_eq!(
+            tree.query(&scene, ray),
+            raytrace::reference_hits(&scene, ray)
+        );
+    }
+    println!("brute-force spot checks passed");
+}

@@ -1,0 +1,55 @@
+//! Scaling probe: run a fused pipeline across pool sizes 1..=max and
+//! print the speedup curve (the Figure 15 exercise, as a user-facing
+//! tool — most useful on a multicore host).
+//!
+//! Run with: `cargo run --release --example scaling [n]`
+
+use std::time::Instant;
+
+use block_delayed_sequences::pool::Pool;
+use block_delayed_sequences::prelude::*;
+
+fn workload(xs: &[u64]) -> u64 {
+    let (prefix, _) = from_slice(xs).map(|x| x % 97 + 1).scan(0, |a, b| a + b);
+    prefix
+        .zip_with(from_slice(xs), |p, x| p ^ x)
+        .filter(|&v| v % 3 == 0)
+        .reduce(0, u64::max)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000_000);
+    let xs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+
+    println!("map→scan→zip→filter→reduce over {n} elements");
+    println!("{:>5}  {:>10}  {:>8}", "P", "time", "speedup");
+
+    let mut base = None;
+    let mut p = 1;
+    let mut expected = None;
+    while p <= max {
+        let pool = Pool::new(p);
+        // Warmup + best-of-3.
+        pool.install(|| workload(&xs));
+        let mut best = f64::INFINITY;
+        let mut result = 0;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            result = pool.install(|| workload(&xs));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        match expected {
+            None => expected = Some(result),
+            Some(e) => assert_eq!(e, result, "result changed with P!"),
+        }
+        let b = *base.get_or_insert(best);
+        println!("{p:>5}  {:>9.2}ms  {:>7.2}x", best * 1e3, b / best);
+        p = if p * 2 > max && p != max { max } else { p * 2 };
+    }
+}

@@ -1,0 +1,56 @@
+//! Text analytics: wc, tokens, and grep over one generated corpus —
+//! the paper's text-processing benchmarks as a user would actually
+//! compose them.
+//!
+//! Run with: `cargo run --release --example text_analytics [megabytes]`
+
+use std::time::Instant;
+
+use block_delayed_sequences::workloads::{grep, inputs, tokens, wc};
+
+fn main() {
+    let mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let n = mb * 1_000_000;
+    println!("Generating {mb} MB of text...");
+    let text = inputs::text_with_pattern(n, b"parallel", 0.02, 7);
+
+    // wc — one fused tabulate+reduce pass.
+    let t0 = Instant::now();
+    let counts = wc::run_delay(&text);
+    println!(
+        "wc:     {} lines, {} words, {} bytes  ({:?})",
+        counts.lines,
+        counts.words,
+        counts.bytes,
+        t0.elapsed()
+    );
+
+    // tokens — two block-packed filters zipped into the token table.
+    let t0 = Instant::now();
+    let toks = tokens::run_delay(&text);
+    let (count, total_len) = tokens::checksum(&toks);
+    println!(
+        "tokens: {} tokens, mean length {:.2}  ({:?})",
+        count,
+        total_len as f64 / count as f64,
+        t0.elapsed()
+    );
+
+    // grep — fused per-line search.
+    let t0 = Instant::now();
+    let hits = grep::run_delay(&text, b"parallel");
+    println!(
+        "grep:   {} matching lines, {} bytes  ({:?})",
+        hits.lines,
+        hits.bytes,
+        t0.elapsed()
+    );
+
+    // Cross-check against the array versions.
+    assert_eq!(counts, wc::run_array(&text));
+    assert_eq!(hits, grep::run_array(&text, b"parallel"));
+    println!("array-library cross-checks passed");
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Summarize bench_output.txt into per-group ratio highlights.
+
+Parses criterion's plain output (group/function + time lines) and prints,
+for each benchmark group, the measured mean time per variant plus the
+array/delay (or dynamic/static, sob/delay) ratios used in EXPERIMENTS.md.
+"""
+import re
+import sys
+from collections import OrderedDict
+
+
+def parse(path):
+    results = OrderedDict()
+    name = None
+    for line in open(path):
+        m = re.match(r"^(\S+/\S+)\s*$", line.strip())
+        # criterion prints e.g. "fig13/bestcut/array"
+        if re.match(r"^[\w/.-]+/[\w.-]+$", line.strip()) and "time:" not in line:
+            name = line.strip()
+            continue
+        t = re.search(r"time:\s+\[\S+ \S+ (\S+) (\S+) \S+ \S+\]", line)
+        if t and name:
+            value, unit = float(t.group(1)), t.group(2)
+            scale = {"ns": 1e-9, "µs": 1e-6, "ms": 1e-3, "s": 1.0}[unit]
+            results[name] = value * scale
+            name = None
+    return results
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    results = parse(path)
+    groups = OrderedDict()
+    for full, secs in results.items():
+        group, _, variant = full.rpartition("/")
+        groups.setdefault(group, OrderedDict())[variant] = secs
+    for group, variants in groups.items():
+        parts = [f"{v}={secs*1e3:.2f}ms" for v, secs in variants.items()]
+        line = f"{group}: " + "  ".join(parts)
+        ref = variants.get("array") or variants.get("dynamic")
+        ours = variants.get("delay") or variants.get("static")
+        if ref and ours:
+            line += f"  [ratio {ref/ours:.2f}x]"
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

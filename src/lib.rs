@@ -1,0 +1,47 @@
+//! # block-delayed-sequences
+//!
+//! A Rust reproduction of **"Parallel Block-Delayed Sequences"**
+//! (Westrick, Rainey, Anderson, Blelloch — PPoPP 2022): library-level
+//! loop fusion for parallel collection operations, covering maps, zips,
+//! reduces **and scans, filters, and flattens**, with parallelism across
+//! equal-sized blocks and stream fusion within each block.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`seq`] (`bds-seq`) — the block-delayed sequence library itself;
+//! * [`pool`] (`bds-pool`) — the work-stealing fork-join scheduler;
+//! * [`baseline`] (`bds-baseline`) — the non-fused array library, the
+//!   RAD-only library, and stream-of-blocks comparators;
+//! * [`cost`] (`bds-cost`) — the paper's cost semantics, executable;
+//! * [`graph`] (`bds-graph`) — CSR graphs and the R-MAT generator;
+//! * [`workloads`] (`bds-workloads`) — the 13 evaluation benchmarks;
+//! * [`metrics`] (`bds-metrics`) — peak-heap and timing instrumentation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use block_delayed_sequences::prelude::*;
+//!
+//! // map ∘ scan ∘ map ∘ reduce, fully fused: two passes over the
+//! // input, O(#blocks) temporary space.
+//! let xs: Vec<u64> = (0..100_000).map(|i| i % 7).collect();
+//! let (prefix, total) = from_slice(&xs).map(|x| x + 1).scan(0, |a, b| a + b);
+//! let biggest_gap = prefix
+//!     .zip_with(from_slice(&xs), |p, x| p.abs_diff(x))
+//!     .reduce(0, u64::max);
+//! assert!(total > 0 && biggest_gap > 0);
+//! ```
+
+pub use bds_baseline as baseline;
+pub use bds_cost as cost;
+pub use bds_graph as graph;
+pub use bds_metrics as metrics;
+pub use bds_pool as pool;
+pub use bds_seq as seq;
+pub use bds_workloads as workloads;
+
+/// The sequence traits and constructors, plus the pool entry points.
+pub mod prelude {
+    pub use bds_pool::{apply, join, parallel_for, Pool};
+    pub use bds_seq::prelude::*;
+}

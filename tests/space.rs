@@ -1,0 +1,116 @@
+//! Space-claim tests: the paper's headline — fusion reduces *peak
+//! memory* — asserted directly with a counting global allocator. These
+//! test the ordering `delay ≤ rad ≤ array` that Figures 13/14 report,
+//! with generous slack so they stay robust across allocators and hosts.
+
+use bds_metrics::{heap_stats, reset_peak, CountingAlloc};
+use block_delayed_sequences::workloads::{bestcut, integrate, mcss, wc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak extra heap of one run of `f` (after a warmup run so lazily
+/// initialized state — pools, TLS — doesn't count).
+fn peak_of<R>(mut f: impl FnMut() -> R) -> usize {
+    std::hint::black_box(f());
+    reset_peak();
+    std::hint::black_box(f());
+    heap_stats().peak_since_reset
+}
+
+/// The allocation-ordering tests mutate global allocator counters; they
+/// also each run to completion quickly, so serialize them for stable
+/// peaks.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn bestcut_delay_allocates_far_less_than_array() {
+    let _l = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ev = bestcut::generate(bestcut::Params {
+        n: 500_000,
+        seed: 1,
+    });
+    let p_delay = peak_of(|| bestcut::run_delay(&ev));
+    let p_rad = peak_of(|| bestcut::run_rad(&ev));
+    let p_array = peak_of(|| bestcut::run_array(&ev));
+    // array materializes ≥ 3 full intermediates (flags u64, counts u64,
+    // costs f64) = 20 MB at n=500K; delay materializes only block sums.
+    assert!(
+        p_delay * 4 < p_array,
+        "delay {p_delay} vs array {p_array}: fusion should slash peak heap"
+    );
+    assert!(
+        p_delay < p_rad,
+        "delay {p_delay} vs rad {p_rad}: BIDs should beat RAD-only"
+    );
+    assert!(p_rad < p_array, "rad {p_rad} vs array {p_array}");
+}
+
+#[test]
+fn mcss_delay_allocates_only_blocks() {
+    let _l = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let xs = mcss::generate(mcss::Params {
+        n: 500_000,
+        bound: 100,
+        seed: 2,
+    });
+    let p_delay = peak_of(|| mcss::run_delay(&xs));
+    let p_array = peak_of(|| mcss::run_array(&xs));
+    // array: 32-byte quad per element = 16 MB; delay: O(b) quads.
+    assert!(
+        p_delay * 10 < p_array,
+        "delay {p_delay} vs array {p_array}"
+    );
+    // And in absolute terms, delay's peak must be tiny vs the input.
+    assert!(
+        p_delay < xs.len(), // < 1 byte per input element
+        "delay peak {p_delay} not O(blocks)"
+    );
+}
+
+#[test]
+fn wc_delay_allocates_only_blocks() {
+    let _l = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let text = wc::generate(wc::Params {
+        n: 1_000_000,
+        seed: 3,
+    });
+    let p_delay = peak_of(|| wc::run_delay(&text));
+    let p_array = peak_of(|| wc::run_array(&text));
+    assert!(p_delay * 10 < p_array, "delay {p_delay} vs array {p_array}");
+}
+
+#[test]
+fn integrate_delay_is_allocation_free_modulo_blocks() {
+    let _l = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let p = integrate::Params {
+        n: 1_000_000,
+        ..Default::default()
+    };
+    let p_delay = peak_of(|| integrate::run_delay(p));
+    let p_array = peak_of(|| integrate::run_array(p));
+    // array allocates 8 MB of samples; delay only block sums.
+    assert!(p_delay * 50 < p_array, "delay {p_delay} vs array {p_array}");
+}
+
+#[test]
+fn scan_fusion_avoids_output_array() {
+    let _l = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    use block_delayed_sequences::baseline::array;
+    use block_delayed_sequences::prelude::*;
+    let xs: Vec<u64> = (0..500_000).map(|i| i % 7).collect();
+    // delay: scan output stays delayed into the reduce.
+    let p_delay = peak_of(|| {
+        let (s, _) = from_slice(&xs).scan(0, |a, b| a + b);
+        s.reduce(0, u64::max)
+    });
+    // array: the scan writes a full 4 MB output array.
+    let p_array = peak_of(|| {
+        let (s, _) = array::scan(&xs, 0, |a, b| a + b);
+        array::reduce(&s, 0, u64::max)
+    });
+    assert!(
+        p_delay * 4 < p_array,
+        "delay {p_delay} vs array {p_array}: delayed phase 3 should not allocate"
+    );
+}

