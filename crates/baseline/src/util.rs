@@ -33,6 +33,12 @@ impl<T> RawSlice<T> {
 }
 
 /// Build a `Vec<T>` of length `n` by disjoint parallel writes.
+///
+/// Runs under [`bds_pool::cancel::shield`]: the unchecked `set_len`
+/// below is only sound if every index is actually written, so ambient
+/// cancellation (which skips blocks) must not reach the fill loop. The
+/// baselines deliberately keep this fast unguarded path — the delayed
+/// library's `PartialVec` protocol is the cancellation-aware one.
 pub(crate) fn build_vec<T: Send>(n: usize, fill: impl FnOnce(&RawSlice<T>)) -> Vec<T> {
     let mut out: Vec<T> = Vec::with_capacity(n);
     {
@@ -40,9 +46,10 @@ pub(crate) fn build_vec<T: Send>(n: usize, fill: impl FnOnce(&RawSlice<T>)) -> V
             ptr: out.as_mut_ptr(),
             len: n,
         };
-        fill(&raw);
+        bds_pool::cancel::shield(|| fill(&raw));
     }
-    // SAFETY: `fill` wrote every index exactly once.
+    // SAFETY: `fill` wrote every index exactly once (no blocks can be
+    // skipped inside the shield).
     unsafe { out.set_len(n) };
     out
 }
@@ -54,9 +61,13 @@ pub(crate) fn par_overwrite<T: Copy + Send>(dst: &mut [T], f: impl Fn(usize) -> 
         ptr: dst.as_mut_ptr(),
         len: dst.len(),
     };
-    bds_pool::parallel_for(dst.len(), |i| {
-        // SAFETY: each index written exactly once; T: Copy so the
-        // overwritten value needs no drop.
-        unsafe { raw.write(i, f(i)) };
+    // Shielded for the same reason as `build_vec`: callers assume every
+    // element was overwritten when this returns.
+    bds_pool::cancel::shield(|| {
+        bds_pool::parallel_for(dst.len(), |i| {
+            // SAFETY: each index written exactly once; T: Copy so the
+            // overwritten value needs no drop.
+            unsafe { raw.write(i, f(i)) };
+        });
     });
 }

@@ -26,10 +26,14 @@
 //! assert_eq!(total, 42);
 //! ```
 
+pub mod cancel;
 mod job;
 mod latch;
 mod registry;
 mod scope;
+
+pub use cancel::{apply_cancellable, CancelToken};
+pub use cancel::{shield, with_token};
 
 use std::sync::{Arc, OnceLock};
 
@@ -197,6 +201,12 @@ where
 
 /// Run `f(i)` for each `i` in `lo..hi` in parallel, recursing down to
 /// chunks of at most `grain` consecutive indices which run sequentially.
+///
+/// If an ambient [`CancelToken`] is installed (see
+/// [`cancel::with_token`] and [`apply_cancellable`]) it is checked at
+/// every chunk boundary: once cancelled, chunks that have not started
+/// are skipped and counted on the token. Without a token the loop runs
+/// unconditionally, with no synchronization beyond the joins.
 pub fn parallel_for_grain<F>(lo: usize, hi: usize, grain: usize, f: &F)
 where
     F: Fn(usize) + Sync,
@@ -205,6 +215,16 @@ where
     if hi <= lo {
         return;
     }
+    match cancel::current_token() {
+        Some(token) => pfg_cancellable(lo, hi, grain, f, &token),
+        None => pfg_plain(lo, hi, grain, f),
+    }
+}
+
+fn pfg_plain<F>(lo: usize, hi: usize, grain: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
     if hi - lo <= grain {
         for i in lo..hi {
             f(i);
@@ -213,8 +233,33 @@ where
     }
     let mid = lo + (hi - lo) / 2;
     join(
-        || parallel_for_grain(lo, mid, grain, f),
-        || parallel_for_grain(mid, hi, grain, f),
+        || pfg_plain(lo, mid, grain, f),
+        || pfg_plain(mid, hi, grain, f),
+    );
+}
+
+fn pfg_cancellable<F>(lo: usize, hi: usize, grain: usize, f: &F, token: &CancelToken)
+where
+    F: Fn(usize) + Sync,
+{
+    if token.is_cancelled() {
+        // Count the leaf chunks this subtree would have run.
+        token.note_skipped((hi - lo).div_ceil(grain) as u64);
+        return;
+    }
+    if hi - lo <= grain {
+        // Re-install the token on this (possibly stolen) worker thread
+        // so nested loop primitives inside `f` inherit it.
+        let _ambient = cancel::install(Some(token.clone()));
+        for i in lo..hi {
+            f(i);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join(
+        || pfg_cancellable(lo, mid, grain, f, token),
+        || pfg_cancellable(mid, hi, grain, f, token),
     );
 }
 
@@ -408,7 +453,16 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.install(|| {
                 join(
-                    || -> i32 { panic!("a exploded") },
+                    || -> i32 {
+                        // Hold the panic until b has been stolen and run,
+                        // so this deterministically exercises the
+                        // wait-for-thief path of the panic protocol (the
+                        // pop-back path discards b unexecuted).
+                        while b_ran.load(Ordering::SeqCst) == 0 {
+                            std::hint::spin_loop();
+                        }
+                        panic!("a exploded")
+                    },
                     || b_ran.fetch_add(1, Ordering::SeqCst),
                 );
             })

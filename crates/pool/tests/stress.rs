@@ -109,3 +109,61 @@ fn join_results_preserve_order_of_sides() {
         assert_eq!(b, ("right", i));
     }
 }
+
+/// Satellite of the failure-semantics work: a pool must survive a panic
+/// in a random block of `apply` over and over, with a watchdog to turn
+/// a deadlock (e.g. a lost latch set or a stuck sibling) into a test
+/// failure rather than a CI timeout.
+#[test]
+fn repeated_random_block_panics_do_not_wedge_the_pool() {
+    use std::sync::mpsc;
+
+    // Quiet hook: this test provokes ~100 panics on purpose; the
+    // default hook would spray backtraces over the test output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let body = std::thread::spawn(move || {
+        let pool = Pool::new(4);
+        let n = 256usize;
+        // Deterministic pseudo-random victim block per iteration.
+        let mut seed = 0x243F_6A88_85A3_08D3u64;
+        for iter in 0..100 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let victim = (seed >> 33) as usize % n;
+            let ran = AtomicUsize::new(0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| {
+                    apply(n, |i| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        if i == victim {
+                            panic!("iteration {iter}: block {victim} down");
+                        }
+                    });
+                })
+            }));
+            assert!(r.is_err(), "iteration {iter}: panic must propagate");
+            // Every non-victim block either ran or was abandoned during
+            // unwinding; the pool itself must stay fully usable.
+            assert!(ran.load(Ordering::Relaxed) >= 1);
+            assert_eq!(pool.install(|| iter), iter);
+        }
+        // Full-sized healthy run to prove no capacity was lost.
+        let total = AtomicU64::new(0);
+        pool.install(|| {
+            apply(n, |i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+        done_tx.send(()).unwrap();
+    });
+
+    // Watchdog: the whole loop is ~100 tiny applies; a minute means a
+    // deadlock, not slowness.
+    let verdict = done_rx.recv_timeout(std::time::Duration::from_secs(60));
+    std::panic::set_hook(prev_hook);
+    verdict.expect("watchdog: repeated-panic stress did not finish within 60s");
+    body.join().expect("stress body panicked");
+}

@@ -13,6 +13,7 @@ use crate::traits::{RadBlock, RadSeq, Seq};
 
 /// Delayed elementwise map (Figure 10 lines 20-21): RAD input composes
 /// the index function, BID input composes a stream-map onto each block.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Map<S, F> {
     input: S,
     f: F,
@@ -103,6 +104,7 @@ fn check_zip_compatible(a_len: usize, a_bs: usize, b_len: usize, b_bs: usize) {
 /// Delayed zip (Figure 10 lines 22-27). Both sides must have the same
 /// length; the aligned block structure this implies (under a single
 /// policy) lets the block streams fuse pairwise.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Zip<A, B> {
     a: A,
     b: B,
@@ -152,6 +154,7 @@ where
 
 /// Delayed zip-with: like [`Zip`] but combines the pair through `f`
 /// immediately, avoiding tuple construction in fused loops.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct ZipWith<A, B, F> {
     a: A,
     b: B,
@@ -240,6 +243,7 @@ where
 // ---------------------------------------------------------------------
 
 /// Delayed index pairing: element `i` becomes `(i, x_i)`.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Enumerate<S> {
     input: S,
 }
@@ -308,6 +312,7 @@ impl<S: RadSeq> RadSeq for Enumerate<S> {
 // ---------------------------------------------------------------------
 
 /// Delayed prefix of a RAD.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct TakeSeq<S> {
     input: S,
     len: usize,
@@ -356,6 +361,7 @@ impl<S: RadSeq> RadSeq for TakeSeq<S> {
 
 /// Delayed suffix of a RAD (drop the first `k`). This is the paper's RAD
 /// offset field `(i, n, f)` made explicit.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct SkipSeq<S> {
     input: S,
     offset: usize,
@@ -405,6 +411,7 @@ impl<S: RadSeq> RadSeq for SkipSeq<S> {
 }
 
 /// Delayed reversal of a RAD.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct RevSeq<S> {
     input: S,
 }
@@ -543,6 +550,7 @@ mod tests {
 
 /// Delayed map receiving the element's global index: `y_i = f(i, x_i)`.
 /// O(1) eager; preserves random access.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct MapWithIndex<S, F> {
     input: S,
     f: F,

@@ -22,15 +22,14 @@ where
     let nb = seq.num_blocks();
     // Phase 1: per-block partial sums, seeded with each block's first
     // element (so `zero` need not be cloned per block).
-    let sums = build_vec(nb, |raw| {
+    let sums = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let mut stream = seq.block(j);
             let first = stream
                 .next()
                 .expect("Seq invariant violated: empty block");
             let acc = stream.fold(first, combine);
-            // SAFETY: each j written exactly once, j < nb.
-            unsafe { raw.write(j, acc) };
+            pv.writer(j).push(acc);
         });
     });
     // Phase 2: fold the small sums array sequentially.
@@ -73,19 +72,17 @@ where
     S: Seq + ?Sized,
 {
     let n = seq.len();
-    build_vec(n, |raw| {
+    build_vec(n, |pv| {
         bds_pool::apply(seq.num_blocks(), |j| {
             let (lo, hi) = seq.block_bounds(j);
-            let mut k = lo;
+            // Blocks partition 0..n and each yields exactly hi-lo
+            // elements (asserted), so each index is written exactly once.
+            let mut w = pv.writer(lo);
             for x in seq.block(j) {
-                assert!(k < hi, "Seq invariant violated: block overflow");
-                // SAFETY: blocks partition 0..n and each yields exactly
-                // hi-lo elements (asserted), so each index is written
-                // exactly once.
-                unsafe { raw.write(k, x) };
-                k += 1;
+                assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
+                w.push(x);
             }
-            assert_eq!(k, hi, "Seq invariant violated: block underflow");
+            assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
         });
     })
 }
@@ -100,11 +97,10 @@ where
         return 0;
     }
     let nb = seq.num_blocks();
-    let sums = build_vec(nb, |raw| {
+    let sums = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let c = seq.block(j).filter(|x| pred(x)).count();
-            // SAFETY: each j written exactly once.
-            unsafe { raw.write(j, c) };
+            pv.writer(j).push(c);
         });
     });
     sums.into_iter().sum()

@@ -205,13 +205,12 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
             return zero;
         }
         let nb = bid.num_blocks(*bs);
-        let sums = build_vec(nb, |raw| {
+        let sums = build_vec(nb, |pv| {
             bds_pool::apply(nb, |j| {
                 let mut stream = b(j);
                 let first = stream.next().expect("empty block");
                 let acc = stream.fold(first, &f);
-                // SAFETY: each j written once.
-                unsafe { raw.write(j, acc) };
+                pv.writer(j).push(acc);
             });
         });
         sums.into_iter().fold(zero, f)
@@ -245,13 +244,12 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         let sums = {
             let f = Arc::clone(&f);
             let b = Arc::clone(&b);
-            build_vec(nb, |raw| {
+            build_vec(nb, |pv| {
                 bds_pool::apply(nb, |j| {
                     let mut stream = b(j);
                     let first = stream.next().expect("empty block");
                     let acc = stream.fold(first, |x, y| f(x, y));
-                    // SAFETY: each j written once.
-                    unsafe { raw.write(j, acc) };
+                    pv.writer(j).push(acc);
                 });
             })
         };
@@ -293,11 +291,10 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
             };
         }
         let nb = bid.num_blocks(*bs);
-        let parts: Vec<Vec<T>> = build_vec(nb, |raw| {
+        let parts: Vec<Vec<T>> = build_vec(nb, |pv| {
             bds_pool::apply(nb, |j| {
                 let kept: Vec<T> = b(j).filter(|x| pred(x)).collect();
-                // SAFETY: each j written once.
-                unsafe { raw.write(j, kept) };
+                pv.writer(j).push(kept);
             });
         });
         DSeq::flatten_parts(parts)
@@ -355,11 +352,10 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
             };
         }
         let nb = bid.num_blocks(*bs);
-        let parts: Vec<Vec<U>> = build_vec(nb, |raw| {
+        let parts: Vec<Vec<U>> = build_vec(nb, |pv| {
             bds_pool::apply(nb, |j| {
                 let kept: Vec<U> = b(j).filter_map(&g).collect();
-                // SAFETY: each j written once.
-                unsafe { raw.write(j, kept) };
+                pv.writer(j).push(kept);
             });
         });
         DSeq::flatten_parts(parts)
@@ -391,18 +387,17 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         };
         let (len, bs) = (*len, *bs);
         let nb = bid.num_blocks(bs);
-        build_vec(len, |raw| {
+        build_vec(len, |pv| {
             bds_pool::apply(nb, |j| {
                 let lo = j * bs;
                 let hi = (lo + bs).min(len);
-                let mut k = lo;
+                // Blocks partition 0..len.
+                let mut w = pv.writer(lo);
                 for x in b(j) {
-                    assert!(k < hi, "block overflow");
-                    // SAFETY: blocks partition 0..len.
-                    unsafe { raw.write(k, x) };
-                    k += 1;
+                    assert!(lo + w.count() < hi, "block overflow");
+                    w.push(x);
                 }
-                assert_eq!(k, hi, "block underflow");
+                assert_eq!(lo + w.count(), hi, "block underflow");
             });
         })
     }

@@ -14,6 +14,7 @@ use crate::util::build_vec;
 
 /// Delayed concatenation of two random-access sequences. O(1) eager;
 /// random access dispatches on the boundary.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Append<A, B> {
     a: A,
     b: B,
@@ -83,33 +84,22 @@ where
     B: Send,
 {
     let n = seq.len();
-    let mut firsts: Vec<A> = Vec::with_capacity(n);
-    let mut seconds: Vec<B> = Vec::with_capacity(n);
-    {
-        let ra = crate::util::RawSlice::new(&mut firsts, n);
-        let rb = crate::util::RawSlice::new(&mut seconds, n);
-        bds_pool::apply(seq.num_blocks(), |j| {
-            let (lo, hi) = seq.block_bounds(j);
-            let mut k = lo;
-            for (x, y) in seq.block(j) {
-                assert!(k < hi, "Seq invariant violated: block overflow");
-                // SAFETY: blocks partition 0..n; each index written once
-                // in each buffer.
-                unsafe {
-                    ra.write(k, x);
-                    rb.write(k, y);
-                }
-                k += 1;
-            }
-            assert_eq!(k, hi, "Seq invariant violated: block underflow");
-        });
-    }
-    // SAFETY: every index of both buffers was written exactly once.
-    unsafe {
-        firsts.set_len(n);
-        seconds.set_len(n);
-    }
-    (firsts, seconds)
+    let pa = crate::util::PartialVec::new(n);
+    let pb = crate::util::PartialVec::new(n);
+    bds_pool::apply(seq.num_blocks(), |j| {
+        let (lo, hi) = seq.block_bounds(j);
+        // Blocks partition 0..n; each index written once in each buffer,
+        // through drop guards so partial regions stay accounted for.
+        let mut wa = pa.writer(lo);
+        let mut wb = pb.writer(lo);
+        for (x, y) in seq.block(j) {
+            assert!(lo + wa.count() < hi, "Seq invariant violated: block overflow");
+            wa.push(x);
+            wb.push(y);
+        }
+        assert_eq!(lo + wa.count(), hi, "Seq invariant violated: block underflow");
+    });
+    (pa.finish(), pb.finish())
 }
 
 /// Does any element satisfy `pred`? Blocks short-circuit against a
@@ -162,7 +152,7 @@ where
     }
     let nb = seq.num_blocks();
     // Per-block champion with its global index (for deterministic ties).
-    let champs: Vec<(usize, S::Item)> = build_vec(nb, |raw| {
+    let champs: Vec<(usize, S::Item)> = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let (lo, _) = seq.block_bounds(j);
             let mut best: Option<(usize, S::Item)> = None;
@@ -175,9 +165,8 @@ where
                     best = Some((lo + k, x));
                 }
             }
-            // SAFETY: each j written exactly once; block nonempty by the
-            // Seq invariant.
-            unsafe { raw.write(j, best.expect("empty block")) };
+            // Block nonempty by the Seq invariant.
+            pv.writer(j).push(best.expect("empty block"));
         });
     });
     champs

@@ -1,0 +1,175 @@
+//! Deterministic fault injection for failure-semantics tests (enable
+//! with the `fault-inject` feature).
+//!
+//! The harness is a countdown: a test *arms* the injector with `n`, the
+//! pipeline closure under test calls [`poll`] on every invocation, and
+//! the `n`-th call — counted globally across all threads — returns
+//! `true` exactly once. The closure then fails however it likes (panic
+//! or `Err`), so one sweep over `n = 1..=total_invocations` drives a
+//! fault through every closure-invocation site of a pipeline, on
+//! whichever thread happens to execute it.
+//!
+//! The count is exact under parallelism (one atomic per poll), so the
+//! *ordinal* of the faulting invocation is deterministic even though
+//! which block it lands in depends on scheduling — the sweep covers all
+//! landings.
+//!
+//! Mirrors [`crate::counters`]: with the feature disabled every
+//! function is an `#[inline]` no-op stub ([`poll`] is constant `false`)
+//! and instrumented closures compile to the uninstrumented code.
+//!
+//! Tests arming the injector must serialize (the state is global); use
+//! one of the crate's test locks or a dedicated mutex, and [`disarm`]
+//! when done (the [`Armed`] guard does this on drop, panic included).
+
+#[cfg(feature = "fault-inject")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Remaining polls until the fault fires; 0 = disarmed. The
+    /// transition 1 -> 0 is the (single) firing poll.
+    static COUNTDOWN: AtomicU64 = AtomicU64::new(0);
+    /// Total polls since the last arm/disarm, for sizing sweeps.
+    static POLLS: AtomicU64 = AtomicU64::new(0);
+
+    /// Arm the injector: the `nth` subsequent [`poll`] (1-based) fires.
+    /// Returns a guard that disarms on drop.
+    ///
+    /// # Panics
+    /// Panics if `nth` is 0.
+    pub fn arm(nth: u64) -> Armed {
+        assert!(nth > 0, "fault injection point is 1-based");
+        POLLS.store(0, Ordering::SeqCst);
+        COUNTDOWN.store(nth, Ordering::SeqCst);
+        Armed { _priv: () }
+    }
+
+    /// Disarm the injector; subsequent polls return `false`.
+    pub fn disarm() {
+        COUNTDOWN.store(0, Ordering::SeqCst);
+    }
+
+    /// Should this invocation fail? Returns `true` for exactly one poll
+    /// per arming: the `nth` one.
+    #[inline]
+    pub fn poll() -> bool {
+        POLLS.fetch_add(1, Ordering::Relaxed);
+        if COUNTDOWN.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        COUNTDOWN.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Like [`poll`], but panics with a recognizable message when it
+    /// fires — for injecting panics without boilerplate.
+    #[inline]
+    pub fn poll_panic() {
+        if poll() {
+            panic!("injected fault");
+        }
+    }
+
+    /// Number of [`poll`] calls since the last [`arm`]/[`disarm`]. Run
+    /// the pipeline once disarmed, read this, then sweep `1..=polls()`.
+    pub fn polls() -> u64 {
+        POLLS.load(Ordering::SeqCst)
+    }
+
+    /// Reset the poll counter without arming.
+    pub fn reset_polls() {
+        POLLS.store(0, Ordering::SeqCst);
+    }
+
+    /// Disarms the injector when dropped, so a panicking test (most of
+    /// them — that is the point) cannot leave a live countdown behind.
+    pub struct Armed {
+        _priv: (),
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+mod imp {
+    /// Disarmed-guard stand-in without the `fault-inject` feature.
+    pub struct Armed {
+        _priv: (),
+    }
+
+    /// No-op without the `fault-inject` feature.
+    pub fn arm(_nth: u64) -> Armed {
+        Armed { _priv: () }
+    }
+    /// No-op without the `fault-inject` feature.
+    pub fn disarm() {}
+    /// Always `false` without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn poll() -> bool {
+        false
+    }
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn poll_panic() {}
+    /// Always 0 without the `fault-inject` feature.
+    pub fn polls() -> u64 {
+        0
+    }
+    /// No-op without the `fault-inject` feature.
+    pub fn reset_polls() {}
+}
+
+pub use imp::*;
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The injector is global state: these tests must not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn fires_exactly_once_at_nth_poll() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _armed = arm(3);
+        let fired: Vec<bool> = (0..6).map(|_| poll()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn exactly_one_firing_under_parallel_polls() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let _armed = arm(500);
+        let fired = AtomicU64::new(0);
+        bds_pool::apply(1000, |_| {
+            if poll() {
+                fired.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        assert_eq!(polls(), 1000);
+    }
+
+    #[test]
+    fn armed_guard_disarms_on_drop() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _armed = arm(1);
+        }
+        assert!(!poll(), "guard drop must disarm");
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm();
+        reset_polls();
+        assert!((0..100).all(|_| !poll()));
+        assert_eq!(polls(), 100);
+    }
+}

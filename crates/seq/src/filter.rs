@@ -60,7 +60,7 @@ where
     // One packed survivor array per input block. `packToArray` in the
     // paper uses a dynamically resized array so that only as much memory
     // as needed is allocated; `Vec` is exactly that.
-    let parts: Vec<Forced<U>> = crate::util::build_vec(nb, |raw| {
+    let parts: Vec<Forced<U>> = crate::util::build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let mut kept: Vec<U> = Vec::new();
             for x in input.block(j) {
@@ -68,8 +68,7 @@ where
             }
             counters::count_writes(kept.len());
             counters::count_allocs(kept.len());
-            // SAFETY: each j written exactly once, j < nb.
-            unsafe { raw.write(j, Forced::from_vec(kept)) };
+            pv.writer(j).push(Forced::from_vec(kept));
         });
     });
     Flattened::from_inners(parts)

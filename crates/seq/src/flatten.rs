@@ -16,6 +16,7 @@ use crate::util::array_scan_exclusive;
 
 /// The delayed result of [`flatten`]: a BID over the concatenation of
 /// `inners`.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Flattened<Inner> {
     inners: Vec<Inner>,
     /// Exclusive prefix sums of inner lengths, plus the total at the end
@@ -90,15 +91,14 @@ where
         F: Fn(Inner::Item, Inner::Item) -> Inner::Item + Send + Sync,
     {
         let np = self.inners.len();
-        crate::util::build_vec(np, |raw| {
+        crate::util::build_vec(np, |pv| {
             bds_pool::apply(np, |p| {
                 let inner = &self.inners[p];
                 let mut acc = zero.clone();
                 for k in 0..inner.len() {
                     acc = combine(acc, inner.get(k));
                 }
-                // SAFETY: each p written exactly once.
-                unsafe { raw.write(p, acc) };
+                pv.writer(p).push(acc);
             });
         })
     }

@@ -43,6 +43,29 @@
 //! The companion crate `bds-cost` implements the paper's cost semantics
 //! (work, span, allocations — Figure 11) so users can predict when
 //! delaying wins and when a [`Seq::force`] is worth its extra pass.
+//!
+//! ## Failure semantics
+//!
+//! Pipelines run user closures on pool workers, in parallel, over
+//! blocks. When one of them panics or fails:
+//!
+//! * **Panics propagate, nothing leaks.** A panic in any closure
+//!   resurfaces at the consumer's join point with its original payload.
+//!   Sibling blocks stop at their next block boundary (cooperative
+//!   cancellation via `bds-pool`; nothing is interrupted mid-element),
+//!   and every element materialized so far is dropped exactly once —
+//!   all parallel buffer fills go through a drop-guard protocol that
+//!   tracks initialized segments through unwinding.
+//! * **Fallible consumers short-circuit.** [`Seq::try_reduce`],
+//!   [`Seq::try_scan`] and [`Seq::try_filter_collect`] take closures
+//!   returning `Result`; the first observed error cancels the remaining
+//!   blocks and is returned. For pipelines whose *elements* are already
+//!   `Result`s, [`TrySeqExt`] adds `try_to_vec` / `try_force`. See
+//!   [`fallible`] for the fine print on which error wins under races.
+//! * **Failures can be injected deterministically.** The [`faults`]
+//!   harness (behind the `fault-inject` feature; no-op stubs otherwise)
+//!   fires a panic or an `Err` at exactly the Nth instrumented closure
+//!   invocation, which is how the failure paths above are swept in CI.
 
 #![warn(missing_docs)]
 
@@ -51,6 +74,8 @@ mod consume;
 pub mod counters;
 pub mod dynseq;
 pub mod extra;
+pub mod fallible;
+pub mod faults;
 pub mod filter;
 pub mod flatten;
 pub mod policy;
@@ -61,6 +86,7 @@ mod util;
 
 pub use adaptors::{map_with_index, Enumerate, Map, MapWithIndex, RevSeq, SkipSeq, TakeSeq, Zip, ZipWith};
 pub use extra::{all, any, append, max_by_key, min_by_key, unzip, Append};
+pub use fallible::TrySeqExt;
 pub use filter::Filtered;
 pub use flatten::{flatten, Flattened, RegionIter};
 pub use policy::{block_size, force_block_size, BlockSizeGuard, MIN_BLOCK};
@@ -70,6 +96,7 @@ pub use traits::{RadBlock, RadSeq, Seq};
 
 /// Everything needed to write pipelines: the traits plus constructors.
 pub mod prelude {
+    pub use crate::fallible::TrySeqExt;
     pub use crate::flatten::flatten;
     pub use crate::sources::{empty, from_slice, range, repeat, tabulate};
     pub use crate::traits::{RadSeq, Seq};

@@ -13,6 +13,7 @@ use crate::util::{build_vec, scan_sequential};
 
 /// The delayed result of an exclusive [`Seq::scan`]: element `i` is the
 /// fold of elements `0..i` (so element 0 is `zero`).
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Scanned<S: Seq, F>
 where
     S::Item: Clone,
@@ -26,6 +27,7 @@ where
 
 /// The delayed result of an inclusive [`Seq::scan_incl`]: element `i` is
 /// the fold of elements `0..=i`.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct ScannedIncl<S: Seq, F>
 where
     S::Item: Clone,
@@ -48,15 +50,14 @@ where
         return (Vec::new(), zero);
     }
     // Phase 1: stream-reduce each block (the fusion point with upstream).
-    let sums = build_vec(nb, |raw| {
+    let sums = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let mut stream = input.block(j);
             let first = stream
                 .next()
                 .expect("Seq invariant violated: empty block");
             let acc = stream.fold(first, f);
-            // SAFETY: each j written exactly once, j < nb.
-            unsafe { raw.write(j, acc) };
+            pv.writer(j).push(acc);
         });
     });
     // Phase 2: sequential scan over b block sums (b is small).

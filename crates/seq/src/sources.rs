@@ -9,6 +9,7 @@ use crate::traits::{RadBlock, RadSeq, Seq};
 
 /// Fully delayed sequence defined by an index function (Figure 10 line
 /// 19). Construction is O(1); all work is delayed.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct Tabulate<F> {
     len: usize,
     bs: usize,
@@ -101,6 +102,7 @@ where
 
 /// A borrowed slice viewed as a RAD (the paper's `RADfromArray`, Figure 9
 /// line 15). Elements are cloned out on access.
+#[must_use = "delayed sequences do nothing until consumed"]
 pub struct FromSlice<'a, T> {
     data: &'a [T],
     bs: usize,

@@ -253,6 +253,61 @@ pub trait Seq: Send + Sync {
     }
 
     // ------------------------------------------------------------------
+    // Fallible consumers (short-circuiting; see crate::fallible).
+    // ------------------------------------------------------------------
+
+    /// Fallible [`Seq::reduce`]: the first block whose fold returns
+    /// `Err` cancels the region — sibling blocks stop at their next
+    /// block boundary — and that error is returned. When several blocks
+    /// fail concurrently, the error from the lowest block index wins,
+    /// deterministically. Partially accumulated per-block results are
+    /// dropped exactly once.
+    ///
+    /// ```
+    /// use bds_seq::prelude::*;
+    /// let sum = tabulate(1_000, |i| i as u64)
+    ///     .try_reduce(0u64, |a, b| a.checked_add(b).ok_or("overflow"));
+    /// assert_eq!(sum, Ok(999 * 1000 / 2));
+    /// ```
+    fn try_reduce<E, F>(&self, zero: Self::Item, combine: F) -> Result<Self::Item, E>
+    where
+        F: Fn(Self::Item, Self::Item) -> Result<Self::Item, E> + Send + Sync,
+        E: Send,
+    {
+        crate::fallible::try_reduce(self, zero, &combine)
+    }
+
+    /// Fallible exclusive scan. Unlike [`Seq::scan`], the result is
+    /// fully materialized (an eager phase 3): delaying it would surface
+    /// `combine` errors at an arbitrary later consumer instead of here.
+    /// Returns the scanned sequence and the total, or the error from
+    /// the lowest failing block.
+    fn try_scan<E, F>(
+        &self,
+        zero: Self::Item,
+        combine: F,
+    ) -> Result<(Forced<Self::Item>, Self::Item), E>
+    where
+        Self::Item: Clone + Sync,
+        F: Fn(Self::Item, Self::Item) -> Result<Self::Item, E> + Send + Sync,
+        E: Send,
+    {
+        crate::fallible::try_scan(self, zero, &combine)
+    }
+
+    /// Fallible filter, materialized into a `Vec`. The first predicate
+    /// `Err` cancels the region (lowest block index wins); survivors
+    /// packed by blocks that already finished are dropped.
+    fn try_filter_collect<E, P>(&self, pred: P) -> Result<Vec<Self::Item>, E>
+    where
+        Self::Item: Clone + Sync,
+        P: Fn(&Self::Item) -> Result<bool, E> + Send + Sync,
+        E: Send,
+    {
+        crate::fallible::try_filter_collect(self, &pred)
+    }
+
+    // ------------------------------------------------------------------
     // Convenience folds.
     // ------------------------------------------------------------------
 
@@ -347,7 +402,9 @@ pub struct RadBlock<'s, S: RadSeq + ?Sized> {
 }
 
 impl<'s, S: RadSeq + ?Sized> RadBlock<'s, S> {
-    pub(crate) fn new(seq: &'s S, lo: usize, hi: usize) -> Self {
+    /// Stream `seq.get(lo)..seq.get(hi)`. Public so external [`Seq`]
+    /// implementations can use `RadBlock` as their block type.
+    pub fn new(seq: &'s S, lo: usize, hi: usize) -> Self {
         RadBlock {
             seq,
             next: lo,

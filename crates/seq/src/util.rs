@@ -1,59 +1,192 @@
-//! Internal utilities: disjoint parallel writes into fresh buffers, and a
-//! small eager parallel array-scan (the paper's `a.scan`, Figure 7).
+//! Internal utilities: panic-safe disjoint parallel writes into fresh
+//! buffers, and a small eager parallel array-scan (the paper's `a.scan`,
+//! Figure 7).
+//!
+//! # The partial-buffer protocol
+//!
+//! Materialization writes each block of a fresh uninitialized buffer
+//! from its own parallel task. Before the failure-semantics work this
+//! used bare raw-pointer writes and leaked already-written elements on
+//! panic; now every task writes through a [`BlockWriter`] drop guard
+//! that records the *initialized prefix* of its region even when the
+//! task unwinds or errors out mid-block. [`PartialVec`] keeps those
+//! records and, if the buffer is abandoned (panic, error, or
+//! cancellation), drops exactly the initialized elements — no leak, no
+//! double drop, nothing uninitialized read.
+//!
+//! Visibility: the pool's join protocol guarantees every block task
+//! completes (or is skipped) before the builder thread resumes, which
+//! orders both the element writes and the segment records before
+//! [`PartialVec::finish`] or `Drop` reads them.
+
+use std::sync::Mutex;
 
 use crate::counters;
 use crate::policy::{block_size, ceil_div};
 
-/// A shareable raw pointer into a buffer whose disjoint regions are
-/// written by different workers.
-pub(crate) struct RawSlice<T> {
+/// A buffer of `n` slots being initialized region-by-region from
+/// parallel tasks, with drop-safety for the initialized parts.
+pub(crate) struct PartialVec<T> {
     ptr: *mut T,
-    len: usize,
+    n: usize,
+    /// Owns the allocation; stays at `len == 0` so dropping it never
+    /// drops elements — `Drop for PartialVec` handles those.
+    buf: Vec<T>,
+    /// Initialized `(start, len)` regions, recorded by [`BlockWriter`]
+    /// guards as they drop. Disjoint by the writes-are-disjoint
+    /// contract (checked in debug builds at finish time).
+    segments: Mutex<Vec<(usize, usize)>>,
 }
 
-// SAFETY: `RawSlice` is only used under the disjoint-writes protocol
-// (each index written by exactly one task), and `T: Send` means the
+// SAFETY: `PartialVec` is only used under the disjoint-writes protocol
+// (each slot written by exactly one task), and `T: Send` means the
 // values themselves may be produced on any thread.
-unsafe impl<T: Send> Sync for RawSlice<T> {}
-unsafe impl<T: Send> Send for RawSlice<T> {}
+unsafe impl<T: Send> Sync for PartialVec<T> {}
+unsafe impl<T: Send> Send for PartialVec<T> {}
 
-impl<T> RawSlice<T> {
-    pub(crate) fn new(buf: &mut Vec<T>, len: usize) -> Self {
-        debug_assert!(buf.capacity() >= len);
-        RawSlice {
+impl<T: Send> PartialVec<T> {
+    pub(crate) fn new(n: usize) -> Self {
+        let mut buf: Vec<T> = Vec::with_capacity(n);
+        counters::count_allocs(n);
+        PartialVec {
             ptr: buf.as_mut_ptr(),
-            len,
+            n,
+            buf,
+            segments: Mutex::new(Vec::new()),
         }
     }
 
-    /// Write `value` at `index`.
+    /// Begin writing the contiguous region that starts at slot `start`.
     ///
-    /// SAFETY: `index < len`, each index is written at most once overall,
-    /// and the buffer outlives all writes.
+    /// The returned guard records however many elements were pushed
+    /// when it drops — on success *and* on unwind — so the buffer
+    /// always knows its initialized prefix of this region.
+    pub(crate) fn writer(&self, start: usize) -> BlockWriter<'_, T> {
+        BlockWriter {
+            pv: self,
+            start,
+            written: 0,
+        }
+    }
+
+    fn record(&self, start: usize, written: usize) {
+        let mut segs = self.segments.lock().unwrap_or_else(|e| e.into_inner());
+        segs.push((start, written));
+    }
+
+    /// Commit the buffer as a fully initialized `Vec` of length `n`.
+    ///
+    /// If the recorded segments do not cover all `n` slots, the buffer
+    /// is abandoned instead (initialized elements dropped): under
+    /// cancellation this propagates the [`bds_pool::cancel::Cancelled`]
+    /// sentinel so the enclosing cancellable region handles it;
+    /// otherwise it panics, because an incomplete fill without
+    /// cancellation is a broken `Seq` implementation.
+    pub(crate) fn finish(mut self) -> Vec<T> {
+        let total: usize = {
+            let segs = self
+                .segments
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner());
+            #[cfg(debug_assertions)]
+            {
+                segs.sort_unstable();
+                let mut end = 0usize;
+                for &(s, l) in segs.iter() {
+                    debug_assert!(s >= end, "overlapping write segments");
+                    end = s + l;
+                }
+            }
+            segs.iter().map(|&(_, l)| l).sum()
+        };
+        if total == self.n {
+            self.segments
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            let n = self.n;
+            let mut buf = std::mem::take(&mut self.buf);
+            // SAFETY: in-bounds disjoint segments totalling n cover
+            // every slot, and the pool's joins ordered those writes
+            // before this read of the segment list.
+            unsafe { buf.set_len(n) };
+            return buf;
+        }
+        // Incomplete fill: blocks were skipped or abandoned. Drop the
+        // initialized prefix, then abandon or report.
+        drop(self);
+        if bds_pool::cancel::cancellation_requested() {
+            bds_pool::cancel::abort_region();
+        }
+        panic!("build_vec: fill did not initialize every element");
+    }
+}
+
+impl<T> Drop for PartialVec<T> {
+    fn drop(&mut self) {
+        let segs = self.segments.get_mut().unwrap_or_else(|e| e.into_inner());
+        for &(start, len) in segs.iter() {
+            // SAFETY: each recorded segment was fully initialized by
+            // exactly one writer; segments are disjoint, so each
+            // element drops once.
+            unsafe {
+                std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(
+                    self.ptr.add(start),
+                    len,
+                ));
+            }
+        }
+        // `self.buf` (len 0) frees the allocation without dropping.
+    }
+}
+
+/// Drop guard for one task's contiguous write region; see
+/// [`PartialVec::writer`].
+pub(crate) struct BlockWriter<'p, T: Send> {
+    pv: &'p PartialVec<T>,
+    start: usize,
+    written: usize,
+}
+
+impl<T: Send> BlockWriter<'_, T> {
+    /// Append `value` to this region (slot `start + count()`).
     #[inline]
-    pub(crate) unsafe fn write(&self, index: usize, value: T) {
-        debug_assert!(index < self.len);
+    pub(crate) fn push(&mut self, value: T) {
+        let index = self.start + self.written;
+        assert!(index < self.pv.n, "write past end of buffer");
         counters::count_writes(1);
-        self.ptr.add(index).write(value);
+        // SAFETY: in bounds (asserted) and each slot written once by
+        // the disjoint-regions contract.
+        unsafe { self.pv.ptr.add(index).write(value) };
+        self.written += 1;
+    }
+
+    /// Number of elements pushed so far.
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.written
+    }
+}
+
+impl<T: Send> Drop for BlockWriter<'_, T> {
+    fn drop(&mut self) {
+        if self.written > 0 {
+            self.pv.record(self.start, self.written);
+        }
     }
 }
 
 /// Allocate a `Vec<T>` of length `n` whose elements are produced by
-/// `fill`, which receives a [`RawSlice`] and must write every index in
-/// `0..n` exactly once (typically from parallel tasks).
+/// `fill`, which must initialize every slot in `0..n` exactly once via
+/// [`PartialVec::writer`] regions (typically one per parallel block).
 ///
-/// If `fill` panics, already-written elements are leaked (never dropped
-/// twice, never read uninitialized).
-pub(crate) fn build_vec<T: Send>(n: usize, fill: impl FnOnce(&RawSlice<T>)) -> Vec<T> {
-    let mut out: Vec<T> = Vec::with_capacity(n);
-    counters::count_allocs(n);
-    {
-        let raw = RawSlice::new(&mut out, n);
-        fill(&raw);
-    }
-    // SAFETY: `fill` wrote every index in 0..n exactly once.
-    unsafe { out.set_len(n) };
-    out
+/// Panic-safe: if `fill` (or a task inside it) panics or is cancelled,
+/// the initialized prefix of every region is dropped exactly once and
+/// the allocation is released — nothing leaks.
+pub(crate) fn build_vec<T: Send>(n: usize, fill: impl FnOnce(&PartialVec<T>)) -> Vec<T> {
+    let pv = PartialVec::new(n);
+    fill(&pv);
+    pv.finish()
 }
 
 /// Eager exclusive parallel scan over a slice — the paper's `a.scan`.
@@ -75,7 +208,7 @@ where
         return scan_sequential(xs, zero, f);
     }
     // Phase 1: per-block sums.
-    let sums = build_vec(nb, |raw| {
+    let sums = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let lo = j * bs;
             let hi = (lo + bs).min(n);
@@ -84,23 +217,22 @@ where
             for x in &xs[lo + 1..hi] {
                 acc = f(&acc, x);
             }
-            // SAFETY: j unique per task, j < nb.
-            unsafe { raw.write(j, acc) };
+            pv.writer(j).push(acc);
         });
     });
     // Phase 2: sequential scan over the (small) sums array.
     counters::count_reads(nb);
     let (offsets, total) = scan_sequential(&sums, zero, f);
     // Phase 3: per-block exclusive scans seeded by the offsets.
-    let out = build_vec(n, |raw| {
+    let out = build_vec(n, |pv| {
         bds_pool::apply(nb, |j| {
             let lo = j * bs;
             let hi = (lo + bs).min(n);
             counters::count_reads(hi - lo + 1);
             let mut acc = offsets[j].clone();
-            for (i, x) in xs[lo..hi].iter().enumerate() {
-                // SAFETY: blocks are disjoint; each index written once.
-                unsafe { raw.write(lo + i, acc.clone()) };
+            let mut w = pv.writer(lo);
+            for x in &xs[lo..hi] {
+                w.push(acc.clone());
                 acc = f(&acc, x);
             }
         });
@@ -132,8 +264,8 @@ mod tests {
 
     #[test]
     fn build_vec_writes_all() {
-        let v = build_vec(1000, |raw| {
-            bds_pool::apply(1000, |i| unsafe { raw.write(i, i * 3) });
+        let v = build_vec(1000, |pv| {
+            bds_pool::apply(1000, |i| pv.writer(i).push(i * 3));
         });
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
     }
@@ -142,6 +274,29 @@ mod tests {
     fn build_vec_empty() {
         let v: Vec<u32> = build_vec(0, |_| {});
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn build_vec_multi_element_regions() {
+        let v = build_vec(100, |pv| {
+            bds_pool::apply(10, |j| {
+                let mut w = pv.writer(j * 10);
+                for k in 0..10 {
+                    w.push(j * 10 + k);
+                }
+            });
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn incomplete_fill_without_cancellation_panics() {
+        let r = std::panic::catch_unwind(|| {
+            build_vec(10, |pv| {
+                pv.writer(0).push(1u32); // 9 slots never written
+            })
+        });
+        assert!(r.is_err());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Exact drop accounting for the panic-safe materialization protocol.
+//!
+//! Every parallel materialization in the crate goes through the
+//! `PartialVec`/`BlockWriter` drop-guard protocol. These tests pin the
+//! contract with a construction/drop-counting element type: on success
+//! every constructed element is dropped exactly once when the result is
+//! dropped; when a closure panics or a fallible consumer errors
+//! mid-materialization, the elements already written still drop exactly
+//! once and nothing is dropped twice. No feature flags required — the
+//! panics here are ordinary closure panics at fixed indices.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bds_seq::prelude::*;
+
+/// The block-size override is process-global; serialize the tests.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static CREATED: AtomicU64 = AtomicU64::new(0);
+static UNDERFLOW: AtomicBool = AtomicBool::new(false);
+
+#[derive(Debug, PartialEq)]
+struct Tok(u64);
+
+impl Tok {
+    fn new(v: u64) -> Tok {
+        LIVE.fetch_add(1, Ordering::SeqCst);
+        CREATED.fetch_add(1, Ordering::SeqCst);
+        Tok(v)
+    }
+}
+
+impl Clone for Tok {
+    fn clone(&self) -> Tok {
+        Tok::new(self.0)
+    }
+}
+
+impl Drop for Tok {
+    fn drop(&mut self) {
+        if LIVE.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            UNDERFLOW.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn reset_counters() {
+    LIVE.store(0, Ordering::SeqCst);
+    CREATED.store(0, Ordering::SeqCst);
+    UNDERFLOW.store(false, Ordering::SeqCst);
+}
+
+/// After everything produced by `f` has been dropped: every constructed
+/// element was dropped exactly once.
+fn assert_exact_drops(label: &str) {
+    assert!(
+        CREATED.load(Ordering::SeqCst) > 0,
+        "{label}: scenario constructed nothing"
+    );
+    assert_eq!(
+        LIVE.load(Ordering::SeqCst),
+        0,
+        "{label}: live count nonzero — leaked elements"
+    );
+    assert!(
+        !UNDERFLOW.load(Ordering::SeqCst),
+        "{label}: live count went negative — double drop"
+    );
+}
+
+const N: usize = 1_000;
+
+#[test]
+fn to_vec_success_drops_each_element_once() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+    reset_counters();
+    {
+        let v = tabulate(N, |i| Tok::new(i as u64)).to_vec();
+        assert_eq!(v.len(), N);
+        // All constructed elements are alive inside the vec.
+        assert_eq!(LIVE.load(Ordering::SeqCst) as u64, CREATED.load(Ordering::SeqCst));
+    }
+    assert_exact_drops("to_vec/success");
+    // to_vec constructs exactly n elements: nothing cloned, nothing
+    // built and thrown away.
+    assert_eq!(CREATED.load(Ordering::SeqCst), N as u64);
+}
+
+#[test]
+fn to_vec_panic_drops_partials_exactly_once() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+    reset_counters();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        tabulate(N, |i| Tok::new(i as u64))
+            .map(|t| {
+                if t.0 == 617 {
+                    panic!("boom at 617");
+                }
+                t
+            })
+            .to_vec()
+    }));
+    assert!(caught.is_err(), "panic must propagate");
+    assert_exact_drops("to_vec/panic");
+}
+
+#[test]
+fn force_panic_drops_partials_exactly_once() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(32);
+    reset_counters();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        tabulate(N, |i| {
+            if i == 899 {
+                panic!("boom at 899");
+            }
+            Tok::new(i as u64)
+        })
+        .force()
+    }));
+    assert!(caught.is_err(), "panic must propagate");
+    assert_exact_drops("force/panic");
+}
+
+#[test]
+fn unzip_success_and_panic_account_both_buffers() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+
+    reset_counters();
+    {
+        let s = tabulate(N, |i| (Tok::new(i as u64), Tok::new((i * 2) as u64)));
+        let (a, b) = bds_seq::unzip(&s);
+        assert_eq!(a.len(), N);
+        assert_eq!(b.len(), N);
+    }
+    assert_exact_drops("unzip/success");
+    assert_eq!(CREATED.load(Ordering::SeqCst), 2 * N as u64);
+
+    reset_counters();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let s = tabulate(N, |i| {
+            if i == 500 {
+                panic!("boom at 500");
+            }
+            (Tok::new(i as u64), Tok::new((i * 2) as u64))
+        });
+        bds_seq::unzip(&s)
+    }));
+    assert!(caught.is_err(), "panic must propagate");
+    assert_exact_drops("unzip/panic");
+}
+
+#[test]
+fn filter_panic_drops_kept_elements_exactly_once() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+    reset_counters();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        tabulate(N, |i| Tok::new(i as u64))
+            .filter(|t| {
+                if t.0 == 731 {
+                    panic!("boom at 731");
+                }
+                t.0 % 2 == 0
+            })
+            .to_vec()
+    }));
+    assert!(caught.is_err(), "panic must propagate");
+    assert_exact_drops("filter/panic");
+}
+
+#[test]
+fn scan_panic_in_delayed_phase_drops_exactly_once() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+    reset_counters();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        // The panic index only exists in phase 3 (the delayed rescan
+        // under to_vec): phase 1 folds blocks without cloning prefixes.
+        let (s, _total) =
+            tabulate(N, |i| Tok::new(i as u64)).scan(Tok::new(0), |a, b| Tok::new(a.0 + b.0));
+        s.map(|t| {
+            if t.0 > 100_000 {
+                panic!("boom in phase 3");
+            }
+            t
+        })
+        .to_vec()
+    }));
+    assert!(caught.is_err(), "panic must propagate");
+    assert_exact_drops("scan/panic-phase3");
+}
+
+#[test]
+fn try_reduce_err_path_drops_partial_accumulators() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+    reset_counters();
+    let r = tabulate(N, |i| Tok::new(i as u64)).try_reduce(Tok::new(0), |a, b| {
+        if b.0 == 421 {
+            Err("boom at 421")
+        } else {
+            Ok(Tok::new(a.0 + b.0))
+        }
+    });
+    assert_eq!(r.unwrap_err(), "boom at 421");
+    assert_exact_drops("try_reduce/err");
+}
+
+#[test]
+fn try_filter_collect_err_path_drops_kept_elements() {
+    let _l = lock();
+    let _g = bds_seq::force_block_size(64);
+    reset_counters();
+    let r = tabulate(N, |i| Tok::new(i as u64)).try_filter_collect(|t| {
+        if t.0 == 555 {
+            Err("boom at 555")
+        } else {
+            Ok(t.0 % 2 == 0)
+        }
+    });
+    assert_eq!(r.unwrap_err(), "boom at 555");
+    assert_exact_drops("try_filter_collect/err");
+}

@@ -138,6 +138,49 @@ pub fn run_delay(text: &[u8], pattern: &[u8]) -> GrepResult {
 }
 
 
+/// Error from [`try_run_delay`]: the haystack contained a NUL byte —
+/// the classic "binary file" signal that real `grep` refuses to scan.
+///
+/// The position is a genuine NUL offset, but when several are present it
+/// is the first one *observed*; blocks cancelled by an earlier failure
+/// never report (see `bds_seq::fallible`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryInput {
+    /// Offset of a NUL byte.
+    pub pos: usize,
+}
+
+/// Fallible `delay` version: like [`run_delay`], but NUL bytes poison
+/// the run. Validation happens inside the newline-filter predicate (via
+/// [`Seq::try_filter_collect`]), so detecting binary input costs no
+/// extra pass — the same streamed read that locates line boundaries
+/// rejects bad bytes, and the first failure cancels sibling blocks at
+/// their next block boundary. The predicate also polls the
+/// fault-injection harness so the root `fault_injection` sweep can fail
+/// it at any invocation.
+pub fn try_run_delay(text: &[u8], pattern: &[u8]) -> Result<GrepResult, BinaryInput> {
+    let n = text.len();
+    let newlines: Vec<u32> = tabulate(n, |i| i as u32).try_filter_collect(|&i| {
+        let c = text[i as usize];
+        if c == 0 || bds_seq::faults::poll() {
+            Err(BinaryInput { pos: i as usize })
+        } else {
+            Ok(c == b'\n')
+        }
+    })?;
+    let nl = num_lines(&newlines, n);
+    let (lines, bytes) = tabulate(nl, |k| {
+        let (s, e) = line_bounds(&newlines, k, n);
+        if e > s && contains(&text[s..e], pattern) {
+            (1usize, (e - s) as u64)
+        } else {
+            (0, 0)
+        }
+    })
+    .reduce((0, 0), |(c1, b1), (c2, b2)| (c1 + c2, b1 + b2));
+    Ok(GrepResult { lines, bytes })
+}
+
 /// `rad` version: the newline filter materializes (as in `array`) but
 /// the per-line flag/length computations fuse into the reduces.
 pub fn run_rad(text: &[u8], pattern: &[u8]) -> GrepResult {
@@ -213,5 +256,55 @@ mod tests {
         let r = run_delay(b"", b"x");
         assert_eq!(r.lines, 0);
         assert_eq!(run_array(b"", b"x"), r);
+    }
+
+    #[test]
+    fn try_run_delay_agrees_on_clean_text() {
+        let p = Params {
+            n: 120_000,
+            ..Default::default()
+        };
+        let text = generate(&p);
+        assert_eq!(
+            try_run_delay(&text, &p.pattern),
+            Ok(reference(&text, &p.pattern))
+        );
+    }
+
+    #[test]
+    fn try_run_delay_rejects_nul_bytes() {
+        let p = Params {
+            n: 60_000,
+            ..Default::default()
+        };
+        let mut text = generate(&p);
+        text[42_001] = 0x00;
+        assert_eq!(
+            try_run_delay(&text, &p.pattern),
+            Err(BinaryInput { pos: 42_001 })
+        );
+    }
+
+    #[test]
+    fn try_run_delay_reports_a_real_nul() {
+        let p = Params {
+            n: 60_000,
+            ..Default::default()
+        };
+        let mut text = generate(&p);
+        let bad = [7usize, 30_000, 59_999];
+        for &pos in &bad {
+            text[pos] = 0x00;
+        }
+        let err = try_run_delay(&text, &p.pattern).unwrap_err();
+        assert!(bad.contains(&err.pos), "reported {}", err.pos);
+    }
+
+    #[test]
+    fn try_run_delay_empty_is_ok() {
+        assert_eq!(
+            try_run_delay(b"", b"x"),
+            Ok(GrepResult { lines: 0, bytes: 0 })
+        );
     }
 }

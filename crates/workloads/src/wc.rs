@@ -100,6 +100,54 @@ pub fn run_delay(text: &[u8]) -> WcResult {
 }
 
 
+/// Error from [`try_run_delay`]: the input contained a byte that is not
+/// printable text (an ASCII control byte other than `\n`, `\r`, `\t`).
+///
+/// The reported position is a genuinely offending byte, but when several
+/// bytes are bad it is the first one *observed* — blocks cancelled by an
+/// earlier failure never report (see `bds_seq::fallible`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcError {
+    /// Offset of an offending byte.
+    pub pos: usize,
+    /// The byte itself.
+    pub byte: u8,
+}
+
+/// Per-byte counting step that also validates: control bytes (other than
+/// whitespace) mean the input is binary, not text, and poison the run.
+/// Polls the fault-injection harness so the root `fault_injection` sweep
+/// can fail this closure at any invocation.
+fn checked_triple(text: &[u8], i: usize) -> Result<(u64, u64, u64), WcError> {
+    let c = text[i];
+    if bds_seq::faults::poll() {
+        return Err(WcError { pos: i, byte: c });
+    }
+    if c < 0x20 && c != b'\n' && c != b'\r' && c != b'\t' {
+        return Err(WcError { pos: i, byte: c });
+    }
+    Ok(triple(text, i))
+}
+
+/// Fallible `delay` version: the same fused tabulate+reduce pipeline as
+/// [`run_delay`], but every byte is validated as it is counted. The
+/// first control byte aborts the whole pipeline — sibling blocks stop at
+/// their next block boundary via the pool's cancel token — instead of
+/// producing a garbage count for binary input.
+pub fn try_run_delay(text: &[u8]) -> Result<WcResult, WcError> {
+    let folded = tabulate(text.len(), |i| checked_triple(text, i))
+        .try_reduce(Ok((0, 0, 0)), |a, b| {
+            let (a, b) = (a?, b?);
+            Ok(Ok(add3(a, b)))
+        })?;
+    let (lines, words, bytes) = folded.expect("combine propagates inner errors");
+    Ok(WcResult {
+        lines,
+        words,
+        bytes,
+    })
+}
+
 /// `rad` version: tabulate+reduce fused, as in `delay` (no BID ops).
 pub fn run_rad(text: &[u8]) -> WcResult {
     use bds_baseline::rad;
@@ -160,5 +208,47 @@ mod tests {
         assert_eq!(r.lines, 2);
         assert_eq!(r.words, 0);
         assert_eq!(r.bytes, 5);
+    }
+
+    #[test]
+    fn try_run_delay_agrees_on_clean_text() {
+        let text = generate(Params {
+            n: 200_000,
+            seed: 77,
+        });
+        assert_eq!(try_run_delay(&text), Ok(reference(&text)));
+    }
+
+    #[test]
+    fn try_run_delay_rejects_binary_input() {
+        let mut text = generate(Params { n: 50_000, seed: 3 });
+        text[31_337] = 0x00;
+        let err = try_run_delay(&text).unwrap_err();
+        assert_eq!(err, WcError { pos: 31_337, byte: 0x00 });
+    }
+
+    #[test]
+    fn try_run_delay_reports_a_real_offender() {
+        // Several bad bytes: which one is reported depends on block
+        // scheduling, but it must be one of them.
+        let mut text = generate(Params { n: 80_000, seed: 9 });
+        for &pos in &[100usize, 40_000, 79_999] {
+            text[pos] = 0x01;
+        }
+        let err = try_run_delay(&text).unwrap_err();
+        assert_eq!(err.byte, 0x01);
+        assert!([100usize, 40_000, 79_999].contains(&err.pos));
+    }
+
+    #[test]
+    fn try_run_delay_empty_is_ok() {
+        assert_eq!(
+            try_run_delay(b""),
+            Ok(WcResult {
+                lines: 0,
+                words: 0,
+                bytes: 0
+            })
+        );
     }
 }

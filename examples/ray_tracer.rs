@@ -43,7 +43,10 @@ fn main() {
         .sum();
     let t_brute_per_ray = t0.elapsed() / 100.min(nrays) as u32;
 
-    println!("{nrays} rays → {hits_tree} total box hits  ({t_tree:?})");
+    println!(
+        "{nrays} rays → {hits_tree} total box hits  ({t_tree:?}); \
+         brute-force sample saw {hits_brute}"
+    );
     println!(
         "  per-ray: tree {:?}, brute force {:?} ({:.0}x faster)",
         t_tree / nrays as u32,

@@ -1,0 +1,263 @@
+//! Offline stand-in for the real `crossbeam-deque` crate.
+//!
+//! The container this repo builds in has no crate registry, so the
+//! workspace patches `crossbeam-deque` to this crate. It reproduces the
+//! *semantics* of the Chase-Lev deque API the pool uses — LIFO worker
+//! end, FIFO steal end, batch-stealing injector — on a plain
+//! `Mutex<VecDeque>`. Correctness (each job executed exactly once,
+//! owner-end LIFO order, thief-end FIFO order) is identical; only the
+//! constant factors differ, which is acceptable for an offline build
+//! whose benchmarks are relative comparisons.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Is this `Success`?
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Extract the success value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+/// The owner end of a deque: LIFO push/pop, as in `Worker::new_lifo()`.
+#[derive(Debug)]
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A thief handle to a [`Worker`]'s deque: steals oldest-first.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Worker<T> {
+    /// A new LIFO worker deque (the only flavor the pool uses).
+    pub fn new_lifo() -> Self {
+        Worker {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Push onto the owner end.
+    pub fn push(&self, task: T) {
+        self.lock().push_back(task);
+    }
+
+    /// Pop from the owner end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// True if the deque currently has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Create a thief handle.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task, if any.
+    pub fn steal(&self) -> Steal<T> {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the deque currently has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+}
+
+/// A shared FIFO injection queue, mirroring `crossbeam_deque::Injector`.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// A new empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    /// True if the queue currently has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    /// Steal a batch of tasks into `worker`'s deque and pop one of them,
+    /// as in the real crate: moves roughly half the queue (at least one)
+    /// and returns the first.
+    pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let extra = (q.len() / 2).min(16);
+        if extra > 0 {
+            let mut w = worker.lock();
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(t) => w.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_batch_moves_tasks_to_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        match inj.steal_batch_and_pop(&w) {
+            Steal::Success(first) => assert_eq!(first, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Some tasks migrated; none were lost or duplicated.
+        let mut seen = vec![0];
+        while let Some(t) = w.pop() {
+            seen.push(t);
+        }
+        loop {
+            match inj.steal_batch_and_pop(&w) {
+                Steal::Success(t) => {
+                    seen.push(t);
+                    while let Some(t) = w.pop() {
+                        seen.push(t);
+                    }
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_steals_never_duplicate() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let w = Worker::new_lifo();
+        for i in 0..10_000usize {
+            w.push(i);
+        }
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..10_000).map(|_| AtomicUsize::new(0)).collect());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = w.stealer();
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(i) => {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }));
+        }
+        while let Some(i) = w.pop() {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the real `crossbeam-utils` crate.
+//!
+//! The container this repo builds in has no crate registry, so the
+//! workspace patches `crossbeam-utils` to this crate (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). Only the surface the
+//! workspace actually uses is provided: [`Backoff`].
+
+/// Exponential backoff for spin loops, API-compatible with the subset of
+/// `crossbeam_utils::Backoff` that the pool uses.
+pub struct Backoff {
+    step: core::cell::Cell<u32>,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// A fresh backoff at step zero.
+    pub fn new() -> Self {
+        Backoff {
+            step: core::cell::Cell::new(0),
+        }
+    }
+
+    /// Reset to step zero (call after useful work was found).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Spin-hint a few times, doubling each call up to a limit.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            core::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Back off, eventually yielding the thread to the OS scheduler.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                core::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// True once the backoff has escalated past busy-spinning; callers
+    /// may then prefer blocking (parking) instead.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

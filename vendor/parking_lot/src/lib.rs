@@ -1,0 +1,196 @@
+//! Offline stand-in for the real `parking_lot` crate, backed by
+//! `std::sync`.
+//!
+//! The container this repo builds in has no crate registry, so the
+//! workspace patches `parking_lot` to this crate. It provides the subset
+//! the pool uses: a non-poisoning [`Mutex`] whose `lock` returns a guard
+//! directly, and a [`Condvar`] whose `wait`/`wait_for` take the guard by
+//! `&mut` (the parking_lot calling convention).
+//!
+//! Poisoning is erased the same way parking_lot erases it: a panic while
+//! holding the lock simply releases it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A mutual-exclusion lock with the parking_lot API shape.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Always `Some` except transiently inside `Condvar` waits, which take
+    // the std guard out to hand it to `std::sync::Condvar::wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poisoning (parking_lot has none).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// Result of a timed wait; mirrors `parking_lot::WaitTimeoutResult`.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the timeout elapsed?
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with the parking_lot API shape.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    /// std::sync::Condvar panics if used with two different mutexes; we
+    /// rely on callers pairing each Condvar with one Mutex, as both APIs
+    /// require.
+    _used: AtomicBool,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            _used: AtomicBool::new(false),
+        }
+    }
+
+    /// Block until notified. Spurious wakeups are possible, as in both
+    /// std and parking_lot.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        self._used.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let start = Instant::now();
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        let _ = start;
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_cross_thread() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*pair2;
+            *m.lock() = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            c.wait(&mut done);
+        }
+        drop(done);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn panic_does_not_poison() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+}
