@@ -2,23 +2,34 @@
 //! bignum-add, primes, tokens) in all three library versions — array (A),
 //! rad (R), delay (Ours) — reporting time and peak space at P = 1 and
 //! P = max, with the paper's R/Ours improvement ratios.
+//!
+//! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
+//! export, schema `bds-bench/v1`), `--profile` (per-stage pipeline
+//! report for each delay-variant run at P = max).
 
-use bds_bench::{max_procs, measure, Scale};
+use bds_bench::json::{JsonReport, Record};
+use bds_bench::{arg_value, has_flag, max_procs, measure_full, Measurement, Scale};
 use bds_metrics::{fmt_mb, fmt_ratio, fmt_secs, Table};
 use bds_workloads::{bestcut, bfs, bignum, primes, tokens};
 
 #[global_allocator]
 static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
 
+const LIBS: [&str; 3] = ["array", "rad", "delay"];
+
 struct Row {
     name: &'static str,
-    /// (time_secs, peak_bytes) for [A, R, Ours].
-    results: Vec<[(f64, usize); 3]>, // one entry per proc count
+    n: usize,
+    /// [A, R, Ours] per proc count.
+    results: Vec<[Measurement; 3]>,
 }
 
 fn main() {
     let scale = Scale::from_args();
     let proto = scale.protocol();
+    let json_path = arg_value("--json");
+    let profile = has_flag("--profile");
+    let capture = json_path.is_some() || profile;
     let procs = [1usize, max_procs()];
     println!(
         "Figure 13 — benchmarks with BID improvement (scale: {:?}, P = {:?})",
@@ -30,60 +41,66 @@ fn main() {
 
     // bestcut
     {
+        let n = scale.size(2_000_000);
         let ev = bestcut::generate(bestcut::Params {
-            n: scale.size(2_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &p in &procs {
             results.push([
-                measure(p, proto, || bestcut::run_array(&ev)),
-                measure(p, proto, || bestcut::run_rad(&ev)),
-                measure(p, proto, || bestcut::run_delay(&ev)),
+                measure_full(p, proto, capture, || bestcut::run_array(&ev)),
+                measure_full(p, proto, capture, || bestcut::run_rad(&ev)),
+                measure_full(p, proto, capture, || bestcut::run_delay(&ev)),
             ]);
         }
         rows.push(Row {
             name: "bestcut",
+            n,
             results,
         });
     }
 
     // bfs
     {
+        let log2_nodes = if scale == Scale::Full { 18 } else { 15 };
         let g = bfs::generate(bfs::Params {
-            scale: if scale == Scale::Full { 18 } else { 15 },
+            scale: log2_nodes,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &p in &procs {
             results.push([
-                measure(p, proto, || bfs::run_array(&g, 0)),
-                measure(p, proto, || bfs::run_rad(&g, 0)),
-                measure(p, proto, || bfs::run_delay(&g, 0)),
+                measure_full(p, proto, capture, || bfs::run_array(&g, 0)),
+                measure_full(p, proto, capture, || bfs::run_rad(&g, 0)),
+                measure_full(p, proto, capture, || bfs::run_delay(&g, 0)),
             ]);
         }
         rows.push(Row {
             name: "bfs",
+            n: 1usize << log2_nodes,
             results,
         });
     }
 
     // bignum-add
     {
+        let n = scale.size(8_000_000);
         let (a, b) = bignum::generate(bignum::Params {
-            n: scale.size(8_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &p in &procs {
             results.push([
-                measure(p, proto, || bignum::run_array(&a, &b)),
-                measure(p, proto, || bignum::run_rad(&a, &b)),
-                measure(p, proto, || bignum::run_delay(&a, &b)),
+                measure_full(p, proto, capture, || bignum::run_array(&a, &b)),
+                measure_full(p, proto, capture, || bignum::run_rad(&a, &b)),
+                measure_full(p, proto, capture, || bignum::run_delay(&a, &b)),
             ]);
         }
         rows.push(Row {
             name: "bignum-add",
+            n,
             results,
         });
     }
@@ -94,33 +111,36 @@ fn main() {
         let mut results = Vec::new();
         for &p in &procs {
             results.push([
-                measure(p, proto, || primes::run_array(n)),
-                measure(p, proto, || primes::run_rad(n)),
-                measure(p, proto, || primes::run_delay(n)),
+                measure_full(p, proto, capture, || primes::run_array(n)),
+                measure_full(p, proto, capture, || primes::run_rad(n)),
+                measure_full(p, proto, capture, || primes::run_delay(n)),
             ]);
         }
         rows.push(Row {
             name: "primes",
+            n,
             results,
         });
     }
 
     // tokens
     {
+        let n = scale.size(8_000_000);
         let text = tokens::generate(tokens::Params {
-            n: scale.size(8_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &p in &procs {
             results.push([
-                measure(p, proto, || tokens::run_array(&text)),
-                measure(p, proto, || tokens::run_rad(&text)),
-                measure(p, proto, || tokens::run_delay(&text)),
+                measure_full(p, proto, capture, || tokens::run_array(&text)),
+                measure_full(p, proto, capture, || tokens::run_rad(&text)),
+                measure_full(p, proto, capture, || tokens::run_delay(&text)),
             ]);
         }
         rows.push(Row {
             name: "tokens",
+            n,
             results,
         });
     }
@@ -139,17 +159,19 @@ fn main() {
             "R/Ours",
         ]);
         for row in &rows {
-            let [(ta, sa), (tr, sr), (to, so)] = row.results[pi];
+            let [a, r, o] = &row.results[pi];
+            // Ratios use min (the noise-robust statistic); the displayed
+            // times are means, matching the paper's tables.
             t.row(vec![
                 row.name.to_string(),
-                fmt_secs(ta),
-                fmt_secs(tr),
-                fmt_secs(to),
-                fmt_ratio(tr / to),
-                fmt_mb(sa),
-                fmt_mb(sr),
-                fmt_mb(so),
-                fmt_ratio(sr as f64 / so.max(1) as f64),
+                fmt_secs(a.timing.mean),
+                fmt_secs(r.timing.mean),
+                fmt_secs(o.timing.mean),
+                fmt_ratio(r.timing.min / o.timing.min),
+                fmt_mb(a.peak_bytes),
+                fmt_mb(r.peak_bytes),
+                fmt_mb(o.peak_bytes),
+                fmt_ratio(r.peak_bytes as f64 / o.peak_bytes.max(1) as f64),
             ]);
         }
         println!("{}", t.render());
@@ -158,4 +180,34 @@ fn main() {
         "Expected shape (paper, 72 cores): Ours ≤ R ≤ A in time at P=max; \
          space R/Ours between 1.1x and 14x."
     );
+
+    if profile {
+        println!();
+        for row in &rows {
+            // The delay variant at P = max is where the pipeline
+            // structure matters; its capture is the interesting one.
+            if let Some(c) = row.results.last().and_then(|ms| ms[2].capture.as_ref()) {
+                println!("-- profile: {} (delay, P = {}) --", row.name, procs[1]);
+                println!("{}", c.report.render());
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut rep = JsonReport::new("fig13", scale.name());
+        for row in &rows {
+            for ms in &row.results {
+                for (li, m) in ms.iter().enumerate() {
+                    rep.push(Record::from_measurement(row.name, LIBS[li], row.n, m));
+                }
+            }
+        }
+        match rep.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -2,23 +2,34 @@
 //! linearrec, linefit, mcss, quickhull, sparse-mxv, wc) comparing the
 //! array library (A) against the full delayed library (Ours), in time
 //! and peak space, at P = 1 and P = max.
+//!
+//! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
+//! export, schema `bds-bench/v1`), `--profile` (per-stage pipeline
+//! report for each delay-variant run at P = max).
 
-use bds_bench::{max_procs, measure, Scale};
+use bds_bench::json::{JsonReport, Record};
+use bds_bench::{arg_value, has_flag, max_procs, measure_full, Measurement, Scale};
 use bds_metrics::{fmt_mb, fmt_ratio, fmt_secs, Table};
 use bds_workloads::{grep, integrate, linearrec, linefit, mcss, quickhull, spmv, wc};
 
 #[global_allocator]
 static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
 
+const LIBS: [&str; 2] = ["array", "delay"];
+
 struct Row {
     name: &'static str,
-    /// (time, peak) for [A, Ours], one entry per proc count.
-    results: Vec<[(f64, usize); 2]>,
+    n: usize,
+    /// [A, Ours] per proc count.
+    results: Vec<[Measurement; 2]>,
 }
 
 fn main() {
     let scale = Scale::from_args();
     let proto = scale.protocol();
+    let json_path = arg_value("--json");
+    let profile = has_flag("--profile");
+    let capture = json_path.is_some() || profile;
     let procs = [1usize, max_procs()];
     println!(
         "Figure 14 — benchmarks with RAD-only improvement (scale: {:?}, P = {:?})",
@@ -34,17 +45,19 @@ fn main() {
             n: scale.size(8_000_000),
             ..Default::default()
         };
+        let n = p.n;
         let text = grep::generate(&p);
         let pat = p.pattern.clone();
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || grep::run_array(&text, &pat)),
-                measure(procs_n, proto, || grep::run_delay(&text, &pat)),
+                measure_full(procs_n, proto, capture, || grep::run_array(&text, &pat)),
+                measure_full(procs_n, proto, capture, || grep::run_delay(&text, &pat)),
             ]);
         }
         rows.push(Row {
             name: "grep",
+            n,
             results,
         });
     }
@@ -58,127 +71,140 @@ fn main() {
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || integrate::run_array(p)),
-                measure(procs_n, proto, || integrate::run_delay(p)),
+                measure_full(procs_n, proto, capture, || integrate::run_array(p)),
+                measure_full(procs_n, proto, capture, || integrate::run_delay(p)),
             ]);
         }
         rows.push(Row {
             name: "integrate",
+            n: p.n,
             results,
         });
     }
 
     // linearrec
     {
+        let n = scale.size(4_000_000);
         let pairs = linearrec::generate(linearrec::Params {
-            n: scale.size(4_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || linearrec::run_array(&pairs, 1.0)),
-                measure(procs_n, proto, || linearrec::run_delay(&pairs, 1.0)),
+                measure_full(procs_n, proto, capture, || linearrec::run_array(&pairs, 1.0)),
+                measure_full(procs_n, proto, capture, || linearrec::run_delay(&pairs, 1.0)),
             ]);
         }
         rows.push(Row {
             name: "linearrec",
+            n,
             results,
         });
     }
 
     // linefit
     {
+        let n = scale.size(4_000_000);
         let pts = linefit::generate(linefit::Params {
-            n: scale.size(4_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || linefit::run_array(&pts)),
-                measure(procs_n, proto, || linefit::run_delay(&pts)),
+                measure_full(procs_n, proto, capture, || linefit::run_array(&pts)),
+                measure_full(procs_n, proto, capture, || linefit::run_delay(&pts)),
             ]);
         }
         rows.push(Row {
             name: "linefit",
+            n,
             results,
         });
     }
 
     // mcss
     {
+        let n = scale.size(4_000_000);
         let xs = mcss::generate(mcss::Params {
-            n: scale.size(4_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || mcss::run_array(&xs)),
-                measure(procs_n, proto, || mcss::run_delay(&xs)),
+                measure_full(procs_n, proto, capture, || mcss::run_array(&xs)),
+                measure_full(procs_n, proto, capture, || mcss::run_delay(&xs)),
             ]);
         }
         rows.push(Row {
             name: "mcss",
+            n,
             results,
         });
     }
 
     // quickhull
     {
+        let n = scale.size(500_000);
         let pts = quickhull::generate(quickhull::Params {
-            n: scale.size(500_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || quickhull::run_array(&pts)),
-                measure(procs_n, proto, || quickhull::run_delay(&pts)),
+                measure_full(procs_n, proto, capture, || quickhull::run_array(&pts)),
+                measure_full(procs_n, proto, capture, || quickhull::run_delay(&pts)),
             ]);
         }
         rows.push(Row {
             name: "quickhull",
+            n,
             results,
         });
     }
 
     // sparse-mxv
     {
+        let n = scale.size(20_000);
         let m = spmv::generate(spmv::Params {
-            rows: scale.size(20_000),
-            cols: scale.size(20_000),
+            rows: n,
+            cols: n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || spmv::run_array(&m)),
-                measure(procs_n, proto, || spmv::run_delay(&m)),
+                measure_full(procs_n, proto, capture, || spmv::run_array(&m)),
+                measure_full(procs_n, proto, capture, || spmv::run_delay(&m)),
             ]);
         }
         rows.push(Row {
             name: "sparse-mxv",
+            n,
             results,
         });
     }
 
     // wc
     {
+        let n = scale.size(8_000_000);
         let text = wc::generate(wc::Params {
-            n: scale.size(8_000_000),
+            n,
             ..Default::default()
         });
         let mut results = Vec::new();
         for &procs_n in &procs {
             results.push([
-                measure(procs_n, proto, || wc::run_array(&text)),
-                measure(procs_n, proto, || wc::run_delay(&text)),
+                measure_full(procs_n, proto, capture, || wc::run_array(&text)),
+                measure_full(procs_n, proto, capture, || wc::run_delay(&text)),
             ]);
         }
         rows.push(Row {
             name: "wc",
+            n,
             results,
         });
     }
@@ -195,15 +221,15 @@ fn main() {
             "A/Ours",
         ]);
         for row in &rows {
-            let [(ta, sa), (to, so)] = row.results[pi];
+            let [a, o] = &row.results[pi];
             t.row(vec![
                 row.name.to_string(),
-                fmt_secs(ta),
-                fmt_secs(to),
-                fmt_ratio(ta / to),
-                fmt_mb(sa),
-                fmt_mb(so),
-                fmt_ratio(sa as f64 / so.max(1) as f64),
+                fmt_secs(a.timing.mean),
+                fmt_secs(o.timing.mean),
+                fmt_ratio(a.timing.min / o.timing.min),
+                fmt_mb(a.peak_bytes),
+                fmt_mb(o.peak_bytes),
+                fmt_ratio(a.peak_bytes as f64 / o.peak_bytes.max(1) as f64),
             ]);
         }
         println!("{}", t.render());
@@ -212,4 +238,32 @@ fn main() {
         "Expected shape (paper): Ours as fast or faster everywhere (1x-19x), \
          space up to 250x smaller (integrate)."
     );
+
+    if profile {
+        println!();
+        for row in &rows {
+            if let Some(c) = row.results.last().and_then(|ms| ms[1].capture.as_ref()) {
+                println!("-- profile: {} (delay, P = {}) --", row.name, procs[1]);
+                println!("{}", c.report.render());
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut rep = JsonReport::new("fig14", scale.name());
+        for row in &rows {
+            for ms in &row.results {
+                for (li, m) in ms.iter().enumerate() {
+                    rep.push(Record::from_measurement(row.name, LIBS[li], row.n, m));
+                }
+            }
+        }
+        match rep.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

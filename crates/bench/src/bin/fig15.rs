@@ -1,8 +1,12 @@
 //! Regenerates **Figure 15**: speedup curves with respect to the
 //! 1-processor `delay` time, for bfs and primes, across a processor
 //! sweep, for all three libraries (delay / rad / array).
+//!
+//! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
+//! export, schema `bds-bench/v1`).
 
-use bds_bench::{max_procs, measure, proc_sweep, Scale};
+use bds_bench::json::{JsonReport, Record};
+use bds_bench::{arg_value, max_procs, measure_full, proc_sweep, Scale};
 use bds_metrics::Table;
 use bds_workloads::{bfs, primes};
 
@@ -11,16 +15,24 @@ static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
 
 fn speedup_table(
     name: &str,
+    n: usize,
     procs: &[usize],
-    mut run: impl FnMut(usize, &'static str) -> f64,
+    json: Option<&mut JsonReport>,
+    mut run: impl FnMut(usize, &'static str) -> bds_bench::Measurement,
 ) {
     println!("== {name} (speedup vs 1-proc delay) ==");
-    let base = run(1, "delay");
+    let mut records = Vec::new();
+    let mut measure = |p: usize, lib: &'static str| {
+        let m = run(p, lib);
+        records.push(Record::from_measurement(name, lib, n, &m));
+        m.timing.min
+    };
+    let base = measure(1, "delay");
     let mut t = Table::new(vec!["P", "delay", "rad", "array"]);
     for &p in procs {
-        let d = base / run(p, "delay");
-        let r = base / run(p, "rad");
-        let a = base / run(p, "array");
+        let d = base / measure(p, "delay");
+        let r = base / measure(p, "rad");
+        let a = base / measure(p, "array");
         t.row(vec![
             p.to_string(),
             format!("{d:.2}"),
@@ -29,11 +41,18 @@ fn speedup_table(
         ]);
     }
     println!("{}", t.render());
+    if let Some(rep) = json {
+        for rec in records {
+            rep.push(rec);
+        }
+    }
 }
 
 fn main() {
     let scale = Scale::from_args();
     let proto = scale.protocol();
+    let json_path = arg_value("--json");
+    let capture = json_path.is_some();
     let procs = proc_sweep(max_procs());
     println!(
         "Figure 15 — scalability (scale: {:?}, procs {:?})",
@@ -41,30 +60,29 @@ fn main() {
     );
     println!();
 
+    let mut rep = JsonReport::new("fig15", scale.name());
+
     {
+        let log2_nodes = if scale == Scale::Full { 18 } else { 15 };
         let g = bfs::generate(bfs::Params {
-            scale: if scale == Scale::Full { 18 } else { 15 },
+            scale: log2_nodes,
             ..Default::default()
         });
-        speedup_table("bfs", &procs, |p, lib| {
-            let (secs, _) = match lib {
-                "delay" => measure(p, proto, || bfs::run_delay(&g, 0)),
-                "rad" => measure(p, proto, || bfs::run_rad(&g, 0)),
-                _ => measure(p, proto, || bfs::run_array(&g, 0)),
-            };
-            secs
+        speedup_table("bfs", 1usize << log2_nodes, &procs, Some(&mut rep), |p, lib| {
+            match lib {
+                "delay" => measure_full(p, proto, capture, || bfs::run_delay(&g, 0)),
+                "rad" => measure_full(p, proto, capture, || bfs::run_rad(&g, 0)),
+                _ => measure_full(p, proto, capture, || bfs::run_array(&g, 0)),
+            }
         });
     }
 
     {
         let n = scale.size(2_000_000);
-        speedup_table("primes", &procs, |p, lib| {
-            let (secs, _) = match lib {
-                "delay" => measure(p, proto, || primes::run_delay(n)),
-                "rad" => measure(p, proto, || primes::run_rad(n)),
-                _ => measure(p, proto, || primes::run_array(n)),
-            };
-            secs
+        speedup_table("primes", n, &procs, Some(&mut rep), |p, lib| match lib {
+            "delay" => measure_full(p, proto, capture, || primes::run_delay(n)),
+            "rad" => measure_full(p, proto, capture, || primes::run_rad(n)),
+            _ => measure_full(p, proto, capture, || primes::run_array(n)),
         });
     }
 
@@ -72,4 +90,14 @@ fn main() {
         "Expected shape (paper): the delay curve sits above rad, which sits \
          above array, with the gap widening as P grows."
     );
+
+    if let Some(path) = json_path {
+        match rep.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -5,8 +5,13 @@
 //! The paper's finding: stream-of-blocks is never better than plain
 //! arrays, improves as the block size grows (synchronization amortizes),
 //! and stays ≥3.7× slower than block-delayed sequences.
+//!
+//! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
+//! export, schema `bds-bench/v1`; the sob records carry the swept block
+//! size in `block_size`).
 
-use bds_bench::{max_procs, measure, Scale};
+use bds_bench::json::{JsonReport, Record};
+use bds_bench::{arg_value, max_procs, measure_full, Scale};
 use bds_metrics::{fmt_ratio, fmt_secs, Table};
 use bds_workloads::bestcut;
 
@@ -16,6 +21,8 @@ static ALLOC: bds_metrics::CountingAlloc = bds_metrics::CountingAlloc;
 fn main() {
     let scale = Scale::from_args();
     let proto = scale.protocol();
+    let json_path = arg_value("--json");
+    let capture = json_path.is_some();
     let p = max_procs();
     let n = scale.size(2_000_000);
     // The paper sweeps 1e5..1e8 at n = 200M (block = n/2000 .. n/2);
@@ -30,29 +37,49 @@ fn main() {
     );
     println!();
 
+    let mut rep = JsonReport::new("fig16", scale.name());
+
     let ev = bestcut::generate(bestcut::Params {
         n,
         ..Default::default()
     });
-    let (t_array, _) = measure(p, proto, || bestcut::run_array(&ev));
-    let (t_delay, _) = measure(p, proto, || bestcut::run_delay(&ev));
+    let m_array = measure_full(p, proto, capture, || bestcut::run_array(&ev));
+    let m_delay = measure_full(p, proto, capture, || bestcut::run_delay(&ev));
+    rep.push(Record::from_measurement("bestcut", "array", n, &m_array));
+    rep.push(Record::from_measurement("bestcut", "delay", n, &m_delay));
 
     let mut t = Table::new(vec!["Block size", "T (s)", "T/A", "T/Ours"]);
     for &b in &blocks {
-        let (t_sob, _) = measure(p, proto, || bestcut::run_sob(&ev, b));
+        let m_sob = measure_full(p, proto, capture, || bestcut::run_sob(&ev, b));
+        let mut rec = Record::from_measurement("bestcut", "sob", n, &m_sob);
+        // The sob variant runs over explicit blocks of the swept size,
+        // outside bds-seq's geometry policy; record the sweep directly.
+        rec.block_size = b;
+        rec.num_blocks = n.div_ceil(b);
+        rep.push(rec);
         t.row(vec![
             b.to_string(),
-            fmt_secs(t_sob),
-            fmt_ratio(t_sob / t_array),
-            fmt_ratio(t_sob / t_delay),
+            fmt_secs(m_sob.timing.mean),
+            fmt_ratio(m_sob.timing.min / m_array.timing.min),
+            fmt_ratio(m_sob.timing.min / m_delay.timing.min),
         ]);
     }
     println!("{}", t.render());
-    println!("array:  T = {} s", fmt_secs(t_array));
-    println!("delay:  T = {} s", fmt_secs(t_delay));
+    println!("array:  T = {} s", fmt_secs(m_array.timing.mean));
+    println!("delay:  T = {} s", fmt_secs(m_delay.timing.mean));
     println!();
     println!(
         "Expected shape (paper): T/A >= ~1 for all block sizes, decreasing \
          toward 1 as blocks grow; T/Ours >= ~2 everywhere."
     );
+
+    if let Some(path) = json_path {
+        match rep.write(&path) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

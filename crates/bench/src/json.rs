@@ -1,0 +1,274 @@
+//! Versioned JSON export for the figure binaries (no serde in the
+//! offline build — emission is hand-written against a fixed schema).
+//!
+//! # Schema `bds-bench/v1`
+//!
+//! ```json
+//! {
+//!   "schema": "bds-bench/v1",
+//!   "figure": "fig13",
+//!   "scale": "quick",
+//!   "max_procs": 8,
+//!   "records": [
+//!     {
+//!       "op": "bestcut", "library": "delay", "n": 200000, "procs": 8,
+//!       "mean_s": 0.0042, "min_s": 0.0040, "stddev_s": 0.0002,
+//!       "repeats": 3, "peak_bytes": 1048576,
+//!       "block_size": 1563, "num_blocks": 128,
+//!       "sched": {
+//!         "jobs": 640, "local_pops": 500, "injector_pops": 30,
+//!         "steals": 110, "failed_steals": 45, "parks": 12,
+//!         "idle_ns": 123456
+//!       }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `sched` is `null` for measurements taken without an observability
+//! capture. Times are seconds; comparisons should use `min_s` (the
+//! noise-robust statistic — see `bds_metrics::Timing`).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use crate::Measurement;
+
+/// The schema identifier emitted in every document.
+pub const SCHEMA: &str = "bds-bench/v1";
+
+/// One benchmark measurement row.
+pub struct Record {
+    /// Workload name (e.g. `"bestcut"`).
+    pub op: String,
+    /// Library variant (`"array"`, `"rad"`, `"delay"`, `"sob"`, ...).
+    pub library: String,
+    /// Problem size.
+    pub n: usize,
+    /// Thread count.
+    pub procs: usize,
+    /// Mean wall seconds over the measured repetitions.
+    pub mean_s: f64,
+    /// Fastest measured run, seconds.
+    pub min_s: f64,
+    /// Population stddev of the measured runs, seconds.
+    pub stddev_s: f64,
+    /// Number of measured repetitions.
+    pub repeats: usize,
+    /// Peak extra heap of one run, bytes.
+    pub peak_bytes: usize,
+    /// Resolved block size of the dominant pipeline stage (0 = n/a).
+    pub block_size: usize,
+    /// Block count of that stage (0 = n/a).
+    pub num_blocks: usize,
+    /// Scheduler counters from the capture run, if one was taken.
+    pub sched: Option<bds_pool::WorkerStats>,
+}
+
+impl Record {
+    /// Build a record from a [`Measurement`].
+    pub fn from_measurement(op: &str, library: &str, n: usize, m: &Measurement) -> Record {
+        let (block_size, num_blocks) = m.geometry();
+        Record {
+            op: op.to_string(),
+            library: library.to_string(),
+            n,
+            procs: m.procs,
+            mean_s: m.timing.mean,
+            min_s: m.timing.min,
+            stddev_s: m.timing.stddev,
+            repeats: m.timing.repeats,
+            peak_bytes: m.peak_bytes,
+            block_size,
+            num_blocks,
+            sched: m.capture.as_ref().map(|c| c.sched),
+        }
+    }
+}
+
+/// Accumulates records for one figure binary and writes the document.
+pub struct JsonReport {
+    figure: String,
+    scale: String,
+    records: Vec<Record>,
+}
+
+impl JsonReport {
+    /// Start a report for `figure` (e.g. `"fig13"`) at `scale`.
+    pub fn new(figure: &str, scale: &str) -> JsonReport {
+        JsonReport {
+            figure: figure.to_string(),
+            scale: scale.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append one measurement row.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Serialize the document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", escape(SCHEMA));
+        let _ = writeln!(out, "  \"figure\": {},", escape(&self.figure));
+        let _ = writeln!(out, "  \"scale\": {},", escape(&self.scale));
+        let _ = writeln!(out, "  \"max_procs\": {},", crate::max_procs());
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(
+                out,
+                "\"op\": {}, \"library\": {}, \"n\": {}, \"procs\": {}, ",
+                escape(&r.op),
+                escape(&r.library),
+                r.n,
+                r.procs
+            );
+            let _ = write!(
+                out,
+                "\"mean_s\": {}, \"min_s\": {}, \"stddev_s\": {}, \"repeats\": {}, ",
+                num(r.mean_s),
+                num(r.min_s),
+                num(r.stddev_s),
+                r.repeats
+            );
+            let _ = write!(
+                out,
+                "\"peak_bytes\": {}, \"block_size\": {}, \"num_blocks\": {}, ",
+                r.peak_bytes, r.block_size, r.num_blocks
+            );
+            match &r.sched {
+                Some(s) => {
+                    let _ = write!(
+                        out,
+                        "\"sched\": {{\"jobs\": {}, \"local_pops\": {}, \
+                         \"injector_pops\": {}, \"steals\": {}, \
+                         \"failed_steals\": {}, \"parks\": {}, \"idle_ns\": {}}}",
+                        s.jobs_executed,
+                        s.local_pops,
+                        s.injector_pops,
+                        s.steals,
+                        s.failed_steals,
+                        s.parks,
+                        s.idle_ns
+                    );
+                }
+                None => out.push_str("\"sched\": null"),
+            }
+            out.push('}');
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the document to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+/// JSON string literal with escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (non-finite values have no JSON encoding; they can
+/// only arise from a pathological clock and are reported as 0).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(jobs: u64, steals: u64) -> bds_pool::WorkerStats {
+        bds_pool::WorkerStats {
+            jobs_executed: jobs,
+            steals,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn renders_schema_and_records() {
+        let mut rep = JsonReport::new("fig13", "quick");
+        rep.push(Record {
+            op: "bestcut".into(),
+            library: "delay".into(),
+            n: 1000,
+            procs: 2,
+            mean_s: 0.5,
+            min_s: 0.25,
+            stddev_s: 0.125,
+            repeats: 3,
+            peak_bytes: 4096,
+            block_size: 128,
+            num_blocks: 8,
+            sched: Some(stats(40, 7)),
+        });
+        rep.push(Record {
+            op: "bfs".into(),
+            library: "array".into(),
+            n: 1000,
+            procs: 2,
+            mean_s: 1.0,
+            min_s: 1.0,
+            stddev_s: 0.0,
+            repeats: 1,
+            peak_bytes: 0,
+            block_size: 0,
+            num_blocks: 0,
+            sched: None,
+        });
+        let s = rep.render();
+        assert!(s.contains("\"schema\": \"bds-bench/v1\""));
+        assert!(s.contains("\"figure\": \"fig13\""));
+        assert!(s.contains("\"min_s\": 0.25"));
+        assert!(s.contains("\"steals\": 7"));
+        assert!(s.contains("\"sched\": null"));
+        // Exactly one comma between the two records.
+        assert_eq!(s.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_do_not_break_json() {
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(0.001), "0.001");
+    }
+}

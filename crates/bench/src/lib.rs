@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::time::Duration;
 
 use bds_pool::Pool;
@@ -49,6 +51,14 @@ impl Scale {
         }
     }
 
+    /// The name used in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
     /// Scale a default size.
     pub fn size(&self, full: usize) -> usize {
         match self {
@@ -72,26 +82,128 @@ impl Scale {
     }
 }
 
-/// Time `f` on a `procs`-thread pool following the protocol. Returns
+/// Was `flag` (e.g. `"--profile"`) passed on the command line?
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The value following `flag` on the command line (e.g.
+/// `--json out.json`), if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// One profiled (untimed) run's observability capture: the full
+/// per-stage report plus the scheduler-counter delta and the dominant
+/// block geometry, for the JSON export and `--profile` output.
+pub struct Capture {
+    /// The per-stage profiling report (stage timings, scheduler stats,
+    /// heap stats).
+    pub report: bds_seq::ProfileReport,
+    /// Scheduler counters summed across the pool's workers for the run.
+    pub sched: bds_pool::WorkerStats,
+    /// Block size of the stage that processed the most elements (0 when
+    /// the run never touched bds-seq geometry, e.g. array baselines).
+    pub block_size: usize,
+    /// Block count of that same stage.
+    pub num_blocks: usize,
+}
+
+/// The result of [`measure_full`]: full timing statistics, peak heap,
+/// and (when requested) an observability capture.
+pub struct Measurement {
+    /// Thread count the workload ran under.
+    pub procs: usize,
+    /// Wall-time statistics over the measured repetitions.
+    pub timing: bds_metrics::Timing,
+    /// Peak extra heap of a single measured run, in bytes.
+    pub peak_bytes: usize,
+    /// Observability capture from one extra profiled run (untimed, so
+    /// profiling never perturbs the reported wall times); `None` unless
+    /// requested.
+    pub capture: Option<Capture>,
+}
+
+impl Measurement {
+    /// `(block_size, num_blocks)` from the capture, or zeros.
+    pub fn geometry(&self) -> (usize, usize) {
+        self.capture
+            .as_ref()
+            .map_or((0, 0), |c| (c.block_size, c.num_blocks))
+    }
+}
+
+/// Time `f` on a `procs`-thread pool following the protocol.
+///
+/// With `capture` set, one extra *untimed* run executes under
+/// [`bds_seq::profile_on`] afterwards to collect scheduler statistics
+/// and block geometry — the timed runs themselves always execute with
+/// profiling disabled, so `--json`/`--profile` cannot skew the numbers
+/// they report.
+pub fn measure_full<R: Send>(
+    procs: usize,
+    proto: Protocol,
+    capture: bool,
+    mut f: impl FnMut() -> R + Send,
+) -> Measurement {
+    let pool = Pool::new(procs);
+    let f = &mut f;
+    let (timing, peak_bytes) =
+        bds_metrics::time_stats_with_warmup(proto.warmup, proto.repeat, || {
+            pool.install(&mut *f)
+        });
+    let capture = capture.then(|| {
+        let (_, report) = bds_seq::profile_on(&pool, || pool.install(&mut *f));
+        let sched = report.sched.total();
+        // The dominant geometry: the stage that processed the most
+        // elements with a resolved block size.
+        let (block_size, num_blocks) = report
+            .stages
+            .iter()
+            .filter(|s| s.block_size > 0)
+            .max_by_key(|s| s.elements)
+            .map_or((0, 0), |s| (s.block_size as usize, s.blocks as usize));
+        Capture {
+            report,
+            sched,
+            block_size,
+            num_blocks,
+        }
+    });
+    Measurement {
+        procs,
+        timing,
+        peak_bytes,
+        capture,
+    }
+}
+
+/// Mean-only wrapper around [`measure_full`]: returns
 /// `(mean_seconds, peak_extra_heap_bytes)`.
 pub fn measure<R: Send>(
     procs: usize,
     proto: Protocol,
-    mut f: impl FnMut() -> R + Send,
+    f: impl FnMut() -> R + Send,
 ) -> (f64, usize) {
-    let pool = Pool::new(procs);
-    let f = &mut f;
-    let (secs, peak) = bds_metrics::time_with_warmup(proto.warmup, proto.repeat, move || {
-        pool.install(&mut *f)
-    });
-    (secs, peak)
+    let m = measure_full(procs, proto, false, f);
+    (m.timing.mean, m.peak_bytes)
 }
 
-/// Number of hardware threads to use as "P = max".
+/// Number of hardware threads to use as "P = max". Never below 2: a
+/// single-core machine still runs the multi-worker leg (oversubscribed)
+/// so the scheduler's parallel paths — stealing, parking — are always
+/// exercised and observable in the exported statistics.
 pub fn max_procs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+        .max(2)
 }
 
 /// The processor counts for the Figure 15 sweep: 1, 2, 4, ... up to and

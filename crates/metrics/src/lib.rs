@@ -46,6 +46,24 @@ impl CountingAlloc {
     fn record_dealloc(size: usize) {
         LIVE.fetch_sub(size, Ordering::Relaxed);
     }
+
+    /// Resize accounting in ONE live-counter step. The naive
+    /// dealloc-then-alloc pair creates a transient dip of `old` bytes in
+    /// `LIVE`; any concurrent allocation whose `fetch_max` lands in that
+    /// window reads the dipped value and the recorded peak under-reports
+    /// by up to `old`. Applying the signed delta directly means `LIVE`
+    /// only ever moves by the actual size change.
+    #[inline]
+    fn record_realloc(old: usize, new: usize) {
+        TOTAL_ALLOCATED.fetch_add(new as u64, Ordering::Relaxed);
+        if new >= old {
+            let delta = new - old;
+            let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        } else {
+            LIVE.fetch_sub(old - new, Ordering::Relaxed);
+        }
+    }
 }
 
 // SAFETY: delegates all allocation to `System`, only adding relaxed
@@ -75,8 +93,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {
-            Self::record_dealloc(layout.size());
-            Self::record_alloc(new_size);
+            Self::record_realloc(layout.size(), new_size);
         }
         p
     }
@@ -118,29 +135,77 @@ pub fn heap_stats() -> HeapStats {
     }
 }
 
-/// Measure `f`: returns `(mean_seconds, peak_extra_heap_bytes)` following
-/// the artifact protocol — run back-to-back until `warmup` has elapsed,
-/// then average the wall time of `repeat` further runs. Peak heap is the
-/// maximum over the measured runs of the extra footprint of one run.
-pub fn time_with_warmup<R>(
+/// Wall-time statistics over the measured repetitions of one benchmark.
+///
+/// The mean alone hides scheduling noise: a single preempted repetition
+/// inflates it arbitrarily. The **min** is the stable "how fast can this
+/// go" number and is what comparisons (speedup ratios, regression
+/// gates) should use; the stddev quantifies how much the mean is to be
+/// trusted.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Arithmetic mean over the measured runs, in seconds.
+    pub mean: f64,
+    /// Fastest measured run, in seconds.
+    pub min: f64,
+    /// Population standard deviation over the measured runs, in seconds
+    /// (0 when only one repetition ran).
+    pub stddev: f64,
+    /// Number of measured (post-warmup) repetitions.
+    pub repeats: usize,
+}
+
+impl Timing {
+    /// Summarize a set of per-run wall times (seconds). Panics on empty
+    /// input.
+    pub fn from_samples(samples: &[f64]) -> Timing {
+        assert!(!samples.is_empty(), "Timing::from_samples on no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Timing {
+            mean,
+            min,
+            stddev: var.sqrt(),
+            repeats: samples.len(),
+        }
+    }
+}
+
+/// Measure `f` following the artifact protocol — run back-to-back until
+/// `warmup` has elapsed, then time `repeat` further runs — returning the
+/// full [`Timing`] plus the peak extra heap of a single measured run.
+pub fn time_stats_with_warmup<R>(
     warmup: Duration,
     repeat: usize,
     mut f: impl FnMut() -> R,
-) -> (f64, usize) {
+) -> (Timing, usize) {
     let warm_start = Instant::now();
     while warm_start.elapsed() < warmup {
         std::hint::black_box(f());
     }
-    let mut total = Duration::ZERO;
+    let mut samples = Vec::with_capacity(repeat.max(1));
     let mut peak = 0usize;
     for _ in 0..repeat.max(1) {
         reset_peak();
         let t0 = Instant::now();
         std::hint::black_box(f());
-        total += t0.elapsed();
+        samples.push(t0.elapsed().as_secs_f64());
         peak = peak.max(heap_stats().peak_since_reset);
     }
-    (total.as_secs_f64() / repeat.max(1) as f64, peak)
+    (Timing::from_samples(&samples), peak)
+}
+
+/// Mean-only compatibility wrapper around [`time_stats_with_warmup`]:
+/// returns `(mean_seconds, peak_extra_heap_bytes)`.
+pub fn time_with_warmup<R>(
+    warmup: Duration,
+    repeat: usize,
+    f: impl FnMut() -> R,
+) -> (f64, usize) {
+    let (timing, peak) = time_stats_with_warmup(warmup, repeat, f);
+    (timing.mean, peak)
 }
 
 /// Render seconds compactly (3 significant digits), like the paper's

@@ -1,0 +1,119 @@
+//! Regression tests for `CountingAlloc::realloc` accounting.
+//!
+//! The old implementation recorded a realloc as dealloc(old) followed by
+//! alloc(new): `LIVE` transiently dipped by the full old size, so a
+//! concurrent allocation whose `PEAK.fetch_max` landed in that window
+//! recorded an under-reported peak. The fix applies the signed size
+//! delta in one atomic step, so `LIVE` only ever moves by the actual
+//! change.
+//!
+//! These tests drive the allocator directly through the `GlobalAlloc`
+//! trait (no `#[global_allocator]` installation needed) and live in
+//! their own binary so no unrelated accounting runs concurrently. The
+//! counters are still process-global, so the tests serialize on a mutex.
+
+use std::alloc::{GlobalAlloc, Layout};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use bds_metrics::{heap_stats, reset_peak, CountingAlloc};
+
+const MB: usize = 1 << 20;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[test]
+fn realloc_moves_live_by_the_delta_and_raises_peak() {
+    let _g = serial();
+    let a = CountingAlloc;
+    unsafe {
+        let small = Layout::from_size_align(MB, 8).unwrap();
+        let large = Layout::from_size_align(2 * MB, 8).unwrap();
+
+        let p = a.alloc(small);
+        assert!(!p.is_null());
+        let base = heap_stats().live;
+        reset_peak();
+
+        // Grow 1 MB -> 2 MB: live rises by exactly the 1 MB delta and
+        // the peak records it, even though nothing else allocated.
+        let p = a.realloc(p, small, 2 * MB);
+        assert!(!p.is_null());
+        let s = heap_stats();
+        assert_eq!(s.live, base + MB, "grow must add only the delta");
+        assert!(
+            s.peak_since_reset >= MB,
+            "peak must see the grown buffer (got {})",
+            s.peak_since_reset
+        );
+
+        // Shrink back 2 MB -> 1 MB: live returns to the baseline.
+        let p = a.realloc(p, large, MB);
+        assert!(!p.is_null());
+        assert_eq!(heap_stats().live, base, "shrink must subtract only the delta");
+
+        a.dealloc(p, small);
+    }
+}
+
+#[test]
+fn live_never_dips_while_reallocating_a_large_buffer() {
+    let _g = serial();
+    let a = CountingAlloc;
+
+    // Hold a large buffer; its bytes are permanently live for the whole
+    // test. Under the old dealloc-then-alloc accounting, every grow of
+    // the *second* buffer dipped LIVE by that buffer's full size — far
+    // below the floor — and a sampler could observe it.
+    let held = Layout::from_size_align(32 * MB, 8).unwrap();
+    let held_ptr = unsafe { a.alloc(held) };
+    assert!(!held_ptr.is_null());
+    let floor = heap_stats().live;
+    assert!(floor >= 32 * MB);
+
+    let stop = AtomicBool::new(false);
+    let min_seen = std::thread::scope(|scope| {
+        let sampler = scope.spawn(|| {
+            // Sample at least once even if the realloc loop finishes
+            // before this thread is first scheduled.
+            let mut min_seen = heap_stats().live;
+            while !stop.load(Ordering::Relaxed) {
+                min_seen = min_seen.min(heap_stats().live);
+            }
+            min_seen
+        });
+
+        unsafe {
+            let mut size = 8 * MB;
+            let mut layout = Layout::from_size_align(size, 8).unwrap();
+            let mut p = a.alloc(layout);
+            assert!(!p.is_null());
+            for i in 0..2000 {
+                let new_size = if i % 2 == 0 { 9 * MB } else { 8 * MB };
+                p = a.realloc(p, layout, new_size);
+                assert!(!p.is_null());
+                size = new_size;
+                layout = Layout::from_size_align(size, 8).unwrap();
+            }
+            a.dealloc(p, layout);
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().unwrap()
+    });
+
+    // One-step delta accounting: live can never fall below the held
+    // buffer's floor (small slack for unrelated runtime allocations).
+    assert!(
+        min_seen + MB >= floor,
+        "LIVE dipped to {min_seen} below the {floor} floor: realloc \
+         accounting is not one-step"
+    );
+
+    unsafe { a.dealloc(held_ptr, held) };
+}

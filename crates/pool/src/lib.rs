@@ -31,9 +31,11 @@ mod job;
 mod latch;
 mod registry;
 mod scope;
+pub mod stats;
 
 pub use cancel::{apply_cancellable, CancelToken};
 pub use cancel::{shield, with_token};
+pub use stats::{PoolStats, WorkerStats};
 
 use std::sync::{Arc, OnceLock};
 
@@ -91,6 +93,24 @@ impl Pool {
         // are the unique owner collecting the result.
         unsafe { job.into_result() }
     }
+
+    /// Snapshot the pool's per-worker scheduler counters.
+    ///
+    /// Cheap (`P` relaxed loads per counter) and safe to call at any
+    /// time; while work is in flight the snapshot is a best-effort racy
+    /// read, and in quiescence it is exact. See [`stats::WorkerStats`]
+    /// for field meanings and the accounting invariant.
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
+    }
+
+    /// Zero the pool's scheduler counters, so the next [`Pool::stats`]
+    /// reflects only work submitted after this call. Intended between
+    /// benchmark regions (e.g. between `install` calls); resetting while
+    /// jobs are in flight may lose concurrent increments.
+    pub fn reset_stats(&self) {
+        self.registry.reset_stats();
+    }
 }
 
 impl Drop for Pool {
@@ -110,8 +130,7 @@ pub(crate) fn global_pool_registry() -> &'static Arc<registry::Registry> {
 }
 
 fn global_pool() -> &'static Pool {
-    static GLOBAL: OnceLock<Pool> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
+    static_global_pool_cell().get_or_init(|| {
         let n = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
@@ -126,6 +145,36 @@ pub fn current_num_threads() -> usize {
     match WorkerThread::current() {
         Some(worker) => worker.registry().num_threads(),
         None => global_pool().num_threads(),
+    }
+}
+
+/// True if the lazily created global pool has been spawned. Lets tests
+/// assert that purely delayed construction does not touch the scheduler.
+pub fn global_pool_exists() -> bool {
+    static_global_pool_cell().get().is_some()
+}
+
+fn static_global_pool_cell() -> &'static OnceLock<Pool> {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    &GLOBAL
+}
+
+/// Scheduler statistics of the pool the current thread would execute on:
+/// the enclosing pool from inside [`Pool::install`] (or a worker),
+/// otherwise the global pool (spawning it if needed).
+pub fn pool_stats() -> PoolStats {
+    match WorkerThread::current() {
+        Some(worker) => worker.registry().stats(),
+        None => global_pool().stats(),
+    }
+}
+
+/// Reset the scheduler statistics of the ambient pool; see
+/// [`pool_stats`] and [`Pool::reset_stats`].
+pub fn reset_pool_stats() {
+    match WorkerThread::current() {
+        Some(worker) => worker.registry().reset_stats(),
+        None => global_pool().reset_stats(),
     }
 }
 

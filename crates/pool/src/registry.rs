@@ -4,7 +4,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use crossbeam_utils::Backoff;
@@ -12,6 +12,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::job::JobRef;
 use crate::latch::SpinLatch;
+use crate::stats::{PoolStats, WorkerCounters};
 
 /// Shared state of one thread pool.
 pub(crate) struct Registry {
@@ -22,6 +23,8 @@ pub(crate) struct Registry {
     idle_workers: AtomicUsize,
     terminate: AtomicBool,
     num_threads: usize,
+    /// One padded counter slot per worker; written by that worker only.
+    counters: Vec<WorkerCounters>,
 }
 
 thread_local! {
@@ -55,6 +58,7 @@ impl Registry {
             idle_workers: AtomicUsize::new(0),
             terminate: AtomicBool::new(false),
             num_threads,
+            counters: (0..num_threads).map(|_| WorkerCounters::default()).collect(),
         });
         let handles = workers
             .into_iter()
@@ -101,6 +105,22 @@ impl Registry {
 
     fn any_visible_work(&self) -> bool {
         !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Snapshot every worker's counters (racy while work is in flight;
+    /// exact in quiescence).
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
+        }
+    }
+
+    /// Zero every worker's counters. Concurrent increments may survive
+    /// the reset; call between regions of interest, not during them.
+    pub(crate) fn reset_stats(&self) {
+        for c in &self.counters {
+            c.reset();
+        }
     }
 }
 
@@ -158,14 +178,32 @@ impl WorkerThread {
         (x % self.registry.num_threads as u64) as usize
     }
 
+    /// This worker's counter slot.
+    #[inline]
+    fn counters(&self) -> &WorkerCounters {
+        &self.registry.counters[self.index]
+    }
+
     /// Find a job: local deque, then injector, then steal from a peer.
+    ///
+    /// Every `Some` return bumps exactly one acquisition counter
+    /// (local/injector/steal) *and* `jobs_executed` — both call sites run
+    /// the job immediately — which is the accounting invariant the stats
+    /// tests check.
     pub(crate) fn find_work(&self) -> Option<JobRef> {
+        let counters = self.counters();
         if let Some(job) = self.worker.pop() {
+            WorkerCounters::bump(&counters.local_pops);
+            WorkerCounters::bump(&counters.jobs_executed);
             return Some(job);
         }
         loop {
             match self.registry.injector.steal_batch_and_pop(&self.worker) {
-                Steal::Success(job) => return Some(job),
+                Steal::Success(job) => {
+                    WorkerCounters::bump(&counters.injector_pops);
+                    WorkerCounters::bump(&counters.jobs_executed);
+                    return Some(job);
+                }
                 Steal::Empty => break,
                 Steal::Retry => continue,
             }
@@ -179,8 +217,15 @@ impl WorkerThread {
             }
             loop {
                 match self.registry.stealers[victim].steal() {
-                    Steal::Success(job) => return Some(job),
-                    Steal::Empty => break,
+                    Steal::Success(job) => {
+                        WorkerCounters::bump(&counters.steals);
+                        WorkerCounters::bump(&counters.jobs_executed);
+                        return Some(job);
+                    }
+                    Steal::Empty => {
+                        WorkerCounters::bump(&counters.failed_steals);
+                        break;
+                    }
                     Steal::Retry => continue,
                 }
             }
@@ -206,9 +251,19 @@ impl WorkerThread {
                 continue;
             }
             self.registry.idle_workers.fetch_add(1, Ordering::SeqCst);
-            self.registry
+            let counters = self.counters();
+            WorkerCounters::bump(&counters.parks);
+            let parked_at = Instant::now();
+            let wait = self
+                .registry
                 .sleep_cond
                 .wait_for(&mut guard, Duration::from_millis(1));
+            counters
+                .idle_ns
+                .fetch_add(parked_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if !wait.timed_out() {
+                WorkerCounters::bump(&counters.unparks);
+            }
             self.registry.idle_workers.fetch_sub(1, Ordering::SeqCst);
         }
     }

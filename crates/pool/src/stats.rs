@@ -1,0 +1,211 @@
+//! Per-worker scheduler statistics.
+//!
+//! Every worker owns one cache-line-padded [`WorkerCounters`] slot in the
+//! registry and bumps it with `Relaxed` atomics from its own thread only,
+//! so the counters cost a handful of uncontended fetch-adds per *job*
+//! (a job is a whole block of a delayed sequence — thousands of element
+//! operations), cheap enough to stay on in release builds.
+//!
+//! Snapshots are taken with [`crate::Pool::stats`] (or
+//! [`crate::pool_stats`] for the ambient pool) and are internally
+//! consistent only in quiescence; while work is in flight they are a
+//! best-effort racy read, which is all a profiler needs.
+//!
+//! Accounting invariant (tested in `tests/stats.rs`): every job executed
+//! by a worker was found exactly one way, so
+//! `local_pops + injector_pops + steals == jobs_executed`
+//! whenever the pool is quiescent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Padded, per-worker atomic counters (one slot per worker thread).
+///
+/// The 128-byte alignment keeps two workers' slots off one cache line
+/// (64-byte lines, plus spatial prefetch pairing on x86).
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct WorkerCounters {
+    /// Jobs this worker found and ran through the scheduler
+    /// (`find_work` → `execute`). Inline-run `join` fast paths are not
+    /// scheduler events and are not counted.
+    pub(crate) jobs_executed: AtomicU64,
+    /// Successful pops from the worker's own LIFO deque inside
+    /// `find_work`.
+    pub(crate) local_pops: AtomicU64,
+    /// Jobs taken from the external-submission injector queue.
+    pub(crate) injector_pops: AtomicU64,
+    /// Successful steals from a peer's deque.
+    pub(crate) steals: AtomicU64,
+    /// Victim probes that came up empty (one per peer scanned without
+    /// finding work; a full idle sweep over `P-1` peers adds `P-1`).
+    pub(crate) failed_steals: AtomicU64,
+    /// Times the worker gave up spinning and blocked on the sleep
+    /// condvar.
+    pub(crate) parks: AtomicU64,
+    /// Parks that ended by notification (as opposed to the 1 ms timeout
+    /// used as a lost-wakeup backstop).
+    pub(crate) unparks: AtomicU64,
+    /// Approximate nanoseconds spent blocked on the sleep condvar. This
+    /// undercounts idleness (spinning in `find_work` is not included)
+    /// but tracks the "worker had nothing to do" signal.
+    pub(crate) idle_ns: AtomicU64,
+}
+
+impl WorkerCounters {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+            local_pops: self.local_pops.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            unparks: self.unparks.load(Ordering::Relaxed),
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.jobs_executed.store(0, Ordering::Relaxed);
+        self.local_pops.store(0, Ordering::Relaxed);
+        self.injector_pops.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.failed_steals.store(0, Ordering::Relaxed);
+        self.parks.store(0, Ordering::Relaxed);
+        self.unparks.store(0, Ordering::Relaxed);
+        self.idle_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one worker's scheduler counters; see [`WorkerCounters`]
+/// field docs for what each number means.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs found and executed through the scheduler.
+    pub jobs_executed: u64,
+    /// Successful pops from the worker's own deque.
+    pub local_pops: u64,
+    /// Jobs taken from the injector (external submissions).
+    pub injector_pops: u64,
+    /// Successful steals from peers.
+    pub steals: u64,
+    /// Empty victim probes while hunting for work.
+    pub failed_steals: u64,
+    /// Times the worker blocked on the sleep condvar.
+    pub parks: u64,
+    /// Parks ended by notification rather than timeout.
+    pub unparks: u64,
+    /// Approximate nanoseconds spent parked.
+    pub idle_ns: u64,
+}
+
+impl WorkerStats {
+    /// Jobs acquired from any source; equals [`WorkerStats::jobs_executed`]
+    /// in quiescence.
+    pub fn jobs_found(&self) -> u64 {
+        self.local_pops + self.injector_pops + self.steals
+    }
+
+    fn add(&mut self, other: &WorkerStats) {
+        self.jobs_executed += other.jobs_executed;
+        self.local_pops += other.local_pops;
+        self.injector_pops += other.injector_pops;
+        self.steals += other.steals;
+        self.failed_steals += other.failed_steals;
+        self.parks += other.parks;
+        self.unparks += other.unparks;
+        self.idle_ns += other.idle_ns;
+    }
+
+    fn saturating_sub(&self, other: &WorkerStats) -> WorkerStats {
+        WorkerStats {
+            jobs_executed: self.jobs_executed.saturating_sub(other.jobs_executed),
+            local_pops: self.local_pops.saturating_sub(other.local_pops),
+            injector_pops: self.injector_pops.saturating_sub(other.injector_pops),
+            steals: self.steals.saturating_sub(other.steals),
+            failed_steals: self.failed_steals.saturating_sub(other.failed_steals),
+            parks: self.parks.saturating_sub(other.parks),
+            unparks: self.unparks.saturating_sub(other.unparks),
+            idle_ns: self.idle_ns.saturating_sub(other.idle_ns),
+        }
+    }
+}
+
+/// Snapshot of a whole pool's scheduler counters, one entry per worker.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Per-worker snapshots, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Number of workers in the snapshotted pool.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sum of all workers' counters.
+    pub fn total(&self) -> WorkerStats {
+        let mut acc = WorkerStats::default();
+        for w in &self.workers {
+            acc.add(w);
+        }
+        acc
+    }
+
+    /// Per-field difference `self - baseline` (saturating), for measuring
+    /// one region of interest between two snapshots of the same pool.
+    pub fn since(&self, baseline: &PoolStats) -> PoolStats {
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| match baseline.workers.get(i) {
+                Some(b) => w.saturating_sub(b),
+                None => *w,
+            })
+            .collect();
+        PoolStats { workers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_and_since_subtracts() {
+        let w = |j, s| WorkerStats {
+            jobs_executed: j,
+            steals: s,
+            ..Default::default()
+        };
+        let before = PoolStats {
+            workers: vec![w(1, 0), w(2, 1)],
+        };
+        let after = PoolStats {
+            workers: vec![w(5, 2), w(7, 3)],
+        };
+        assert_eq!(after.total().jobs_executed, 12);
+        let d = after.since(&before);
+        assert_eq!(d.total().jobs_executed, 9);
+        assert_eq!(d.total().steals, 4);
+        assert_eq!(d.num_threads(), 2);
+    }
+
+    #[test]
+    fn jobs_found_sums_sources() {
+        let s = WorkerStats {
+            local_pops: 3,
+            injector_pops: 2,
+            steals: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.jobs_found(), 10);
+    }
+}

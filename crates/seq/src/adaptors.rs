@@ -4,7 +4,7 @@
 //! re-index — and preserve random access whenever their inputs have it
 //! (Figure 10, lines 20-27).
 
-use crate::policy::block_size;
+use crate::policy::LazyBlockSize;
 use crate::traits::{RadBlock, RadSeq, Seq};
 
 // ---------------------------------------------------------------------
@@ -92,13 +92,25 @@ where
 // Zip / ZipWith
 // ---------------------------------------------------------------------
 
-fn check_zip_compatible(a_len: usize, a_bs: usize, b_len: usize, b_bs: usize) {
+fn check_zip_lengths(a_len: usize, b_len: usize) {
     assert_eq!(a_len, b_len, "zip requires equal lengths");
+}
+
+/// Alignment is checked at *consumption* time (when geometry resolves;
+/// see [`LazyBlockSize`]), not at construction: two lazy sequences of
+/// equal length always agree once resolved under one policy, but a side
+/// whose geometry was already pinned by an earlier consumption under a
+/// different pool or [`crate::policy::force_block_size`] override cannot
+/// be streamed pairwise.
+#[inline]
+fn check_zip_aligned(a_bs: usize, b_bs: usize) -> usize {
     assert_eq!(
         a_bs, b_bs,
-        "zip requires aligned blocks; sequences built under different \
-         block-size policies cannot be zipped (force one side first)"
+        "zip requires aligned blocks; sequences whose geometry was pinned \
+         under different block-size policies cannot be zipped (force one \
+         side first)"
     );
+    a_bs
 }
 
 /// Delayed zip (Figure 10 lines 22-27). Both sides must have the same
@@ -112,7 +124,7 @@ pub struct Zip<A, B> {
 
 impl<A: Seq, B: Seq> Zip<A, B> {
     pub(crate) fn new(a: A, b: B) -> Self {
-        check_zip_compatible(a.len(), a.block_size(), b.len(), b.block_size());
+        check_zip_lengths(a.len(), b.len());
         Zip { a, b }
     }
 }
@@ -133,7 +145,7 @@ where
     }
 
     fn block_size(&self) -> usize {
-        self.a.block_size()
+        check_zip_aligned(self.a.block_size(), self.b.block_size())
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -163,7 +175,7 @@ pub struct ZipWith<A, B, F> {
 
 impl<A: Seq, B: Seq, F> ZipWith<A, B, F> {
     pub(crate) fn new(a: A, b: B, f: F) -> Self {
-        check_zip_compatible(a.len(), a.block_size(), b.len(), b.block_size());
+        check_zip_lengths(a.len(), b.len());
         ZipWith { a, b, f }
     }
 }
@@ -213,7 +225,7 @@ where
     }
 
     fn block_size(&self) -> usize {
-        self.a.block_size()
+        check_zip_aligned(self.a.block_size(), self.b.block_size())
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -316,7 +328,7 @@ impl<S: RadSeq> RadSeq for Enumerate<S> {
 pub struct TakeSeq<S> {
     input: S,
     len: usize,
-    bs: usize,
+    bs: LazyBlockSize,
 }
 
 impl<S: RadSeq> TakeSeq<S> {
@@ -325,7 +337,7 @@ impl<S: RadSeq> TakeSeq<S> {
         TakeSeq {
             input,
             len,
-            bs: block_size(len),
+            bs: LazyBlockSize::new(),
         }
     }
 }
@@ -342,7 +354,7 @@ impl<S: RadSeq> Seq for TakeSeq<S> {
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.len)
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -366,7 +378,7 @@ pub struct SkipSeq<S> {
     input: S,
     offset: usize,
     len: usize,
-    bs: usize,
+    bs: LazyBlockSize,
 }
 
 impl<S: RadSeq> SkipSeq<S> {
@@ -377,7 +389,7 @@ impl<S: RadSeq> SkipSeq<S> {
             input,
             offset,
             len,
-            bs: block_size(len),
+            bs: LazyBlockSize::new(),
         }
     }
 }
@@ -394,7 +406,7 @@ impl<S: RadSeq> Seq for SkipSeq<S> {
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.len)
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -496,15 +508,36 @@ mod tests {
     #[test]
     #[should_panic(expected = "aligned blocks")]
     fn zip_misaligned_blocks_panics() {
+        // Geometry resolves at consumption, so pin each side under a
+        // different forced policy by touching `block_size()` while the
+        // override is in effect. The mismatch is then caught when the
+        // zip is consumed, not when it is built.
         let a = {
             let _g = crate::policy::test_sync::test_force(16);
-            tabulate(100, |i| i)
+            let s = tabulate(100, |i| i);
+            let _ = s.block_size();
+            s
         };
         let b = {
             let _g = crate::policy::test_sync::test_force(32);
-            tabulate(100, |i| i)
+            let s = tabulate(100, |i| i);
+            let _ = s.block_size();
+            s
         };
-        let _ = a.zip(b);
+        let z = a.zip(b);
+        let _ = z.to_vec();
+    }
+
+    #[test]
+    fn zip_misaligned_construction_is_allowed() {
+        // Building the zip never resolves geometry: both sides stay
+        // unpinned and agree once the consumer picks a policy.
+        let _l = crate::policy::test_sync::test_lock();
+        let a = tabulate(100, |i| i);
+        let b = tabulate(100, |i| 99 - i);
+        let z = a.zip(b);
+        let v = z.map(|(x, y)| x + y).to_vec();
+        assert!(v.into_iter().all(|s| s == 99));
     }
 
     #[test]

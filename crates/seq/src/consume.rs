@@ -2,6 +2,7 @@
 //! to_vec (the paper's `toArray`).
 
 use crate::counters;
+use crate::profile;
 use crate::traits::Seq;
 use crate::util::build_vec;
 
@@ -19,7 +20,9 @@ where
     if seq.is_empty() {
         return zero;
     }
+    let _span = profile::span(profile::Stage::Reduce);
     let nb = seq.num_blocks();
+    profile::record_geometry(profile::Stage::Reduce, seq.len(), seq.block_size(), nb);
     // Phase 1: per-block partial sums, seeded with each block's first
     // element (so `zero` need not be cloned per block).
     let sums = build_vec(nb, |pv| {
@@ -44,7 +47,10 @@ where
     S: Seq + ?Sized,
     F: Fn(S::Item) + Send + Sync,
 {
-    bds_pool::apply(seq.num_blocks(), |j| {
+    let _span = profile::span(profile::Stage::ForEach);
+    let nb = seq.num_blocks();
+    profile::record_geometry(profile::Stage::ForEach, seq.len(), seq.block_size(), nb);
+    bds_pool::apply(nb, |j| {
         for x in seq.block(j) {
             f(x);
         }
@@ -57,7 +63,10 @@ where
     S: Seq + ?Sized,
     F: Fn(usize, S::Item) + Send + Sync,
 {
-    bds_pool::apply(seq.num_blocks(), |j| {
+    let _span = profile::span(profile::Stage::ForEach);
+    let nb = seq.num_blocks();
+    profile::record_geometry(profile::Stage::ForEach, seq.len(), seq.block_size(), nb);
+    bds_pool::apply(nb, |j| {
         let (lo, _) = seq.block_bounds(j);
         for (k, x) in seq.block(j).enumerate() {
             f(lo + k, x);
@@ -71,7 +80,11 @@ pub(crate) fn to_vec<S>(seq: &S) -> Vec<S::Item>
 where
     S: Seq + ?Sized,
 {
+    let _span = profile::span(profile::Stage::Force);
     let n = seq.len();
+    if n > 0 {
+        profile::record_geometry(profile::Stage::Force, n, seq.block_size(), seq.num_blocks());
+    }
     build_vec(n, |pv| {
         bds_pool::apply(seq.num_blocks(), |j| {
             let (lo, hi) = seq.block_bounds(j);
@@ -96,7 +109,9 @@ where
     if seq.is_empty() {
         return 0;
     }
+    let _span = profile::span(profile::Stage::Count);
     let nb = seq.num_blocks();
+    profile::record_geometry(profile::Stage::Count, seq.len(), seq.block_size(), nb);
     let sums = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {
             let c = seq.block(j).filter(|x| pred(x)).count();

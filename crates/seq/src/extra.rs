@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::policy::block_size;
+use crate::policy::LazyBlockSize;
 use crate::traits::{RadBlock, RadSeq, Seq};
 use crate::util::build_vec;
 
@@ -18,7 +18,7 @@ use crate::util::build_vec;
 pub struct Append<A, B> {
     a: A,
     b: B,
-    bs: usize,
+    bs: LazyBlockSize,
 }
 
 /// Concatenate two RADs into a delayed sequence.
@@ -27,8 +27,11 @@ where
     A: RadSeq,
     B: RadSeq<Item = A::Item>,
 {
-    let bs = block_size(a.len() + b.len());
-    Append { a, b, bs }
+    Append {
+        a,
+        b,
+        bs: LazyBlockSize::new(),
+    }
 }
 
 impl<A, B> Seq for Append<A, B>
@@ -47,7 +50,7 @@ where
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.a.len() + self.b.len())
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {

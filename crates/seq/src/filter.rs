@@ -12,6 +12,7 @@
 
 use crate::counters;
 use crate::flatten::Flattened;
+use crate::profile;
 use crate::sources::Forced;
 use crate::traits::Seq;
 
@@ -57,6 +58,10 @@ where
     K: Fn(S::Item, &mut Vec<U>) + Sync,
 {
     let nb = input.num_blocks();
+    let _span = profile::span(profile::Stage::FilterEager);
+    if nb > 0 {
+        profile::record_geometry(profile::Stage::FilterEager, input.len(), input.block_size(), nb);
+    }
     // One packed survivor array per input block. `packToArray` in the
     // paper uses a dynamically resized array so that only as much memory
     // as needed is allocated; `Vec` is exactly that.

@@ -10,7 +10,8 @@
 //! walk is delayed.
 
 use crate::counters;
-use crate::policy::block_size;
+use crate::policy::LazyBlockSize;
+use crate::profile;
 use crate::traits::{RadSeq, Seq};
 use crate::util::array_scan_exclusive;
 
@@ -23,7 +24,10 @@ pub struct Flattened<Inner> {
     /// (`offsets.len() == inners.len() + 1`).
     offsets: Vec<usize>,
     len: usize,
-    bs: usize,
+    /// Output block geometry: resolved when the flatten is consumed, not
+    /// when it is built (the blocked output space is re-cut from `bs` on
+    /// every `block(j)`, so nothing here depends on an early choice).
+    bs: LazyBlockSize,
 }
 
 /// Flatten a sequence of random-access inner sequences.
@@ -53,15 +57,17 @@ where
 impl<Inner: RadSeq> Flattened<Inner> {
     /// Build directly from a vector of inner sequences.
     pub fn from_inners(inners: Vec<Inner>) -> Self {
+        let _span = profile::span(profile::Stage::FlattenEager);
         let lengths: Vec<usize> = inners.iter().map(|s| s.len()).collect();
         counters::count_reads(inners.len());
         let (mut offsets, total) = array_scan_exclusive(&lengths, 0usize, &|a, b| a + b);
         offsets.push(total);
+        profile::record_segments(profile::Stage::FlattenEager, total, inners.len());
         Flattened {
             inners,
             offsets,
             len: total,
-            bs: block_size(total),
+            bs: LazyBlockSize::new(),
         }
     }
 
@@ -152,7 +158,7 @@ impl<Inner: RadSeq> Seq for Flattened<Inner> {
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.len)
     }
 
     fn block(&self, j: usize) -> RegionIter<'_, Inner> {

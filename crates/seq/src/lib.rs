@@ -79,6 +79,7 @@ pub mod faults;
 pub mod filter;
 pub mod flatten;
 pub mod policy;
+pub mod profile;
 pub mod scan;
 pub mod sources;
 pub mod traits;
@@ -90,6 +91,7 @@ pub use fallible::TrySeqExt;
 pub use filter::Filtered;
 pub use flatten::{flatten, Flattened, RegionIter};
 pub use policy::{block_size, force_block_size, BlockSizeGuard, MIN_BLOCK};
+pub use profile::{profile, profile_on, ProfileReport, Stage, StageReport};
 pub use scan::{Scanned, ScannedIncl};
 pub use sources::{empty, from_slice, range, repeat, tabulate, Forced, FromSlice, Tabulate};
 pub use traits::{RadBlock, RadSeq, Seq};

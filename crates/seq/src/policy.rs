@@ -44,6 +44,81 @@ pub fn num_blocks(n: usize, bs: usize) -> usize {
     ceil_div(n, bs)
 }
 
+/// Block geometry resolved at *consumption* time, then pinned.
+///
+/// Delayed sources and re-indexing adaptors must not bake a block size in
+/// at construction: the policy divides `n` by the ambient pool's `P`, so
+/// a sequence built outside `Pool::install` (or under a differently sized
+/// pool) would capture geometry tuned for the wrong processor count —
+/// and, worse, constructing off-pool would silently spawn the global pool
+/// just to read its `P`. Instead they hold a `LazyBlockSize`: the first
+/// call to [`LazyBlockSize::get`] (always from a consumer, hence under
+/// the consuming pool) resolves the policy and caches the result, and
+/// every later call returns the cached value.
+///
+/// Pinning after first use is load-bearing, not just a cache: sequences
+/// with an eager phase (scan seeds, filter's packed blocks) consume their
+/// input once eagerly and replay its block structure during the delayed
+/// phase, so the geometry observed by the two phases must be identical
+/// even if the ambient pool or a [`force_block_size`] override changed in
+/// between.
+pub struct LazyBlockSize(AtomicUsize);
+
+impl LazyBlockSize {
+    /// An unresolved geometry; resolves on first [`LazyBlockSize::get`].
+    pub const fn new() -> LazyBlockSize {
+        LazyBlockSize(AtomicUsize::new(0))
+    }
+
+    /// The block size for `n` elements: resolved against the current
+    /// policy (ambient pool / override) on first call, cached thereafter.
+    /// Concurrent first calls race benignly — one resolution wins and all
+    /// callers agree on it.
+    #[inline]
+    pub fn get(&self, n: usize) -> usize {
+        match self.0.load(Ordering::Relaxed) {
+            0 => self.resolve(n),
+            bs => bs,
+        }
+    }
+
+    #[cold]
+    fn resolve(&self, n: usize) -> usize {
+        let bs = block_size(n);
+        debug_assert!(bs > 0);
+        match self
+            .0
+            .compare_exchange(0, bs, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => bs,
+            Err(winner) => winner,
+        }
+    }
+}
+
+impl Default for LazyBlockSize {
+    fn default() -> Self {
+        LazyBlockSize::new()
+    }
+}
+
+impl Clone for LazyBlockSize {
+    /// Clones carry over the resolved value (or the unresolved state), so
+    /// a clone of a consumed sequence keeps its pinned geometry.
+    fn clone(&self) -> Self {
+        LazyBlockSize(AtomicUsize::new(self.0.load(Ordering::Relaxed)))
+    }
+}
+
+impl std::fmt::Debug for LazyBlockSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.load(Ordering::Relaxed) {
+            0 => f.write_str("LazyBlockSize(unresolved)"),
+            bs => write!(f, "LazyBlockSize({bs})"),
+        }
+    }
+}
+
 /// RAII guard that forces a fixed block size process-wide while alive.
 ///
 /// Intended for benchmarks and tests; concurrent guards with different

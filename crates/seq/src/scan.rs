@@ -8,6 +8,7 @@
 //! consumes the scan. Only phases 1-2 run eagerly, allocating O(b).
 
 use crate::counters;
+use crate::profile;
 use crate::traits::Seq;
 use crate::util::{build_vec, scan_sequential};
 
@@ -49,6 +50,8 @@ where
     if nb == 0 {
         return (Vec::new(), zero);
     }
+    let _span = profile::span(profile::Stage::ScanEager);
+    profile::record_geometry(profile::Stage::ScanEager, input.len(), input.block_size(), nb);
     // Phase 1: stream-reduce each block (the fusion point with upstream).
     let sums = build_vec(nb, |pv| {
         bds_pool::apply(nb, |j| {

@@ -4,15 +4,17 @@
 use std::sync::Arc;
 
 use crate::counters;
-use crate::policy::block_size;
+use crate::policy::LazyBlockSize;
 use crate::traits::{RadBlock, RadSeq, Seq};
 
 /// Fully delayed sequence defined by an index function (Figure 10 line
-/// 19). Construction is O(1); all work is delayed.
+/// 19). Construction is O(1); all work is delayed — including the block
+/// geometry, which resolves against the *consuming* pool on first use
+/// (see [`LazyBlockSize`]).
 #[must_use = "delayed sequences do nothing until consumed"]
 pub struct Tabulate<F> {
     len: usize,
-    bs: usize,
+    bs: LazyBlockSize,
     f: F,
 }
 
@@ -24,7 +26,7 @@ where
 {
     Tabulate {
         len: n,
-        bs: block_size(n),
+        bs: LazyBlockSize::new(),
         f,
     }
 }
@@ -75,7 +77,7 @@ where
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.len)
     }
 
     fn block(&self, j: usize) -> TabulateBlock<'_, F> {
@@ -105,14 +107,14 @@ where
 #[must_use = "delayed sequences do nothing until consumed"]
 pub struct FromSlice<'a, T> {
     data: &'a [T],
-    bs: usize,
+    bs: LazyBlockSize,
 }
 
 /// View a slice as a random-access delayed sequence.
 pub fn from_slice<T: Clone + Send + Sync>(data: &[T]) -> FromSlice<'_, T> {
     FromSlice {
         data,
-        bs: block_size(data.len()),
+        bs: LazyBlockSize::new(),
     }
 }
 
@@ -149,7 +151,7 @@ impl<'a, T: Clone + Send + Sync> Seq for FromSlice<'a, T> {
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.data.len())
     }
 
     fn block(&self, j: usize) -> SliceBlock<'_, T> {
@@ -175,14 +177,14 @@ impl<'a, T: Clone + Send + Sync> RadSeq for FromSlice<'a, T> {
 /// one-time materialization cost.
 pub struct Forced<T> {
     data: Arc<Vec<T>>,
-    bs: usize,
+    bs: LazyBlockSize,
 }
 
 impl<T> Clone for Forced<T> {
     fn clone(&self) -> Self {
         Forced {
             data: Arc::clone(&self.data),
-            bs: self.bs,
+            bs: self.bs.clone(),
         }
     }
 }
@@ -190,10 +192,9 @@ impl<T> Clone for Forced<T> {
 impl<T: Clone + Send + Sync> Forced<T> {
     /// Wrap an owned vector.
     pub fn from_vec(data: Vec<T>) -> Self {
-        let bs = block_size(data.len());
         Forced {
             data: Arc::new(data),
-            bs,
+            bs: LazyBlockSize::new(),
         }
     }
 
@@ -215,7 +216,7 @@ impl<T: Clone + Send + Sync> Seq for Forced<T> {
     }
 
     fn block_size(&self) -> usize {
-        self.bs
+        self.bs.get(self.data.len())
     }
 
     fn block(&self, j: usize) -> SliceBlock<'_, T> {

@@ -95,7 +95,11 @@ pub trait Seq: Send + Sync {
     /// structure that equal lengths imply under one policy).
     ///
     /// # Panics
-    /// Panics if lengths or block sizes differ.
+    /// Panics immediately if lengths differ. Block alignment is checked
+    /// when the zip is *consumed* — geometry resolves against the
+    /// consuming pool, so two same-length unpinned sides always agree;
+    /// a mismatch can only arise when a side was already pinned under a
+    /// different block-size policy.
     fn zip<B>(self, other: B) -> Zip<Self, B>
     where
         Self: Sized,

@@ -1,0 +1,96 @@
+//! Behavioral tests for the profiling facade. The stage table and the
+//! enabled flag are process-global, so every test here serializes on one
+//! mutex and this binary contains no other pipeline activity.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use bds_seq::prelude::*;
+use bds_seq::profile::{self, Stage};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[test]
+fn profile_captures_stages_and_geometry() {
+    let _g = serial();
+    let pool = bds_pool::Pool::new(2);
+    let ((), report) = profile::profile_on(&pool, || {
+        pool.install(|| {
+            let (scanned, _) = tabulate(100_000, |i| i as u64).scan(0, |a, b| a + b);
+            let filtered = scanned.filter(|&x| x % 3 == 0);
+            let _v = filtered.to_vec();
+        })
+    });
+    let scan = report.stage(Stage::ScanEager).expect("scan stage recorded");
+    assert_eq!(scan.calls, 1);
+    assert_eq!(scan.elements, 100_000);
+    assert!(scan.block_size > 0);
+    // Geometry is consistent: block count tracks the resolved block size.
+    let bs = scan.block_size as usize;
+    assert_eq!(scan.blocks as usize, 100_000usize.div_ceil(bs));
+    assert!(report.stage(Stage::FilterEager).is_some());
+    assert!(report.stage(Stage::FlattenEager).is_some());
+    assert!(report.stage(Stage::Force).is_some());
+    let total = report.sched.total();
+    assert!(total.jobs_executed > 0, "profiled pool did scheduler work");
+    let rendered = report.render();
+    assert!(rendered.contains("scan (eager 1-2)"));
+    assert!(rendered.contains("scheduler (P = 2)"));
+}
+
+#[test]
+fn profile_against_ambient_pool() {
+    let _g = serial();
+    let (sum, report) = profile::profile(|| {
+        tabulate(50_000, |i| i as u64)
+            .map(|x| x + 1)
+            .reduce(0, |a, b| a + b)
+    });
+    assert_eq!(sum, (1..=50_000u64).sum::<u64>());
+    let reduce = report.stage(Stage::Reduce).expect("reduce stage recorded");
+    assert_eq!(reduce.calls, 1);
+    assert_eq!(reduce.elements, 50_000);
+    assert!(report.wall_ns > 0);
+    assert!(report.sched.total().jobs_executed > 0);
+}
+
+#[test]
+fn profile_disables_after_region_and_after_panic() {
+    let _g = serial();
+    let _ = profile::profile(|| tabulate(10_000, |i| i).reduce(0, |a, b| a + b));
+    assert!(!profile::profiling_enabled());
+
+    let caught = std::panic::catch_unwind(|| {
+        profile::profile(|| {
+            tabulate(1000usize, |i| i).for_each(|_| panic!("boom"));
+        })
+    });
+    assert!(caught.is_err());
+    assert!(
+        !profile::profiling_enabled(),
+        "a panicking region must not leave profiling enabled"
+    );
+}
+
+#[test]
+fn report_without_activity_is_empty() {
+    let _g = serial();
+    let (x, report) = profile::profile(|| 42);
+    assert_eq!(x, 42);
+    assert!(report.stages.is_empty());
+    assert!(report.render().contains("wall:"));
+}
+
+#[test]
+fn consumption_outside_region_records_nothing() {
+    let _g = serial();
+    // Warm the pipeline outside any region...
+    let _ = tabulate(10_000, |i| i as u64).to_vec();
+    // ...then an empty region sees none of it.
+    let (_, report) = profile::profile(|| ());
+    assert!(report.stage(Stage::Force).is_none());
+}

@@ -1,20 +1,81 @@
 #!/usr/bin/env python3
-"""Summarize bench_output.txt into per-group ratio highlights.
+"""Summarize benchmark output into per-group ratio highlights.
 
-Parses criterion's plain output (group/function + time lines) and prints,
-for each benchmark group, the measured mean time per variant plus the
-array/delay (or dynamic/static, sob/delay) ratios used in EXPERIMENTS.md.
+Two input formats:
+
+* JSON emitted by the figure binaries' ``--json`` flag (schema
+  ``bds-bench/v1``): renders a table per (op, P) with min/mean/stddev
+  times, peak heap, block geometry, and scheduler steal counts, plus the
+  array/delay and rad/delay ratios (computed from *min* times — the
+  noise-robust statistic).
+* Legacy criterion plain text (``bench_output.txt``): parsed as before.
+
+Usage: summarize_bench.py [out.json | bench_output.txt]
 """
+import json
 import re
 import sys
 from collections import OrderedDict
 
+SUPPORTED_SCHEMAS = {"bds-bench/v1"}
 
-def parse(path):
+
+def fmt_s(secs):
+    if secs >= 1.0:
+        return f"{secs:.2f}s"
+    if secs >= 1e-3:
+        return f"{secs * 1e3:.2f}ms"
+    return f"{secs * 1e6:.1f}us"
+
+
+def fmt_mb(nbytes):
+    return f"{nbytes / (1024 * 1024):.2f}MB"
+
+
+def summarize_json(doc):
+    schema = doc.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        sys.exit(f"error: unsupported schema {schema!r} (supported: {sorted(SUPPORTED_SCHEMAS)})")
+    print(f"{doc['figure']} (scale {doc['scale']}, max procs {doc['max_procs']})")
+    groups = OrderedDict()  # (op, procs) -> {library: record}
+    for rec in doc["records"]:
+        groups.setdefault((rec["op"], rec["procs"]), OrderedDict())[rec["library"]] = rec
+    for (op, procs), libs in groups.items():
+        parts = []
+        for lib, r in libs.items():
+            cell = f"{lib}={fmt_s(r['min_s'])}"
+            if r["stddev_s"] and r["mean_s"]:
+                cell += f" (mean {fmt_s(r['mean_s'])} ±{fmt_s(r['stddev_s'])})"
+            parts.append(cell)
+        line = f"{op} P={procs}: " + "  ".join(parts)
+        ours = libs.get("delay") or libs.get("static")
+        ref = libs.get("array") or libs.get("dynamic") or libs.get("rad")
+        if ref and ours and ours["min_s"] > 0:
+            line += f"  [ratio {ref['min_s'] / ours['min_s']:.2f}x]"
+        print(line)
+        details = []
+        for lib, r in libs.items():
+            bits = []
+            if r["peak_bytes"]:
+                bits.append(f"peak {fmt_mb(r['peak_bytes'])}")
+            if r["block_size"]:
+                bits.append(f"blocks {r['num_blocks']}x{r['block_size']}")
+            sched = r.get("sched")
+            if sched:
+                bits.append(
+                    f"jobs {sched['jobs']} steals {sched['steals']}"
+                    f"/{sched['failed_steals']}fail parks {sched['parks']}"
+                )
+            if bits:
+                details.append(f"    {lib}: " + ", ".join(bits))
+        for d in details:
+            print(d)
+
+
+def parse_legacy(path):
     results = OrderedDict()
     name = None
     for line in open(path):
-        m = re.match(r"^(\S+/\S+)\s*$", line.strip())
         # criterion prints e.g. "fig13/bestcut/array"
         if re.match(r"^[\w/.-]+/[\w.-]+$", line.strip()) and "time:" not in line:
             name = line.strip()
@@ -28,21 +89,31 @@ def parse(path):
     return results
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    results = parse(path)
+def summarize_legacy(path):
+    results = parse_legacy(path)
     groups = OrderedDict()
     for full, secs in results.items():
         group, _, variant = full.rpartition("/")
         groups.setdefault(group, OrderedDict())[variant] = secs
     for group, variants in groups.items():
-        parts = [f"{v}={secs*1e3:.2f}ms" for v, secs in variants.items()]
+        parts = [f"{v}={secs * 1e3:.2f}ms" for v, secs in variants.items()]
         line = f"{group}: " + "  ".join(parts)
         ref = variants.get("array") or variants.get("dynamic")
         ours = variants.get("delay") or variants.get("static")
         if ref and ours:
-            line += f"  [ratio {ref/ours:.2f}x]"
+            line += f"  [ratio {ref / ours:.2f}x]"
         print(line)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    with open(path) as f:
+        head = f.read(1024).lstrip()
+    if head.startswith("{"):
+        with open(path) as f:
+            summarize_json(json.load(f))
+    else:
+        summarize_legacy(path)
 
 
 if __name__ == "__main__":
