@@ -4,7 +4,7 @@
 //! P = max, with the paper's R/Ours improvement ratios.
 //!
 //! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
-//! export, schema `bds-bench/v1`), `--profile` (per-stage pipeline
+//! export, schema `bds-bench/v2`), `--profile` (per-stage pipeline
 //! report for each delay-variant run at P = max).
 
 use bds_bench::json::{JsonReport, Record};

@@ -4,7 +4,7 @@
 //! and peak space, at P = 1 and P = max.
 //!
 //! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
-//! export, schema `bds-bench/v1`), `--profile` (per-stage pipeline
+//! export, schema `bds-bench/v2`), `--profile` (per-stage pipeline
 //! report for each delay-variant run at P = max).
 
 use bds_bench::json::{JsonReport, Record};

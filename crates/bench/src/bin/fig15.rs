@@ -3,7 +3,7 @@
 //! sweep, for all three libraries (delay / rad / array).
 //!
 //! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
-//! export, schema `bds-bench/v1`).
+//! export, schema `bds-bench/v2`).
 
 use bds_bench::json::{JsonReport, Record};
 use bds_bench::{arg_value, max_procs, measure_full, proc_sweep, Scale};

@@ -7,7 +7,7 @@
 //! and stays ≥3.7× slower than block-delayed sequences.
 //!
 //! Flags: `--quick`/`--full` (scale), `--json <path>` (machine-readable
-//! export, schema `bds-bench/v1`; the sob records carry the swept block
+//! export, schema `bds-bench/v2`; the sob records carry the swept block
 //! size in `block_size`).
 
 use bds_bench::json::{JsonReport, Record};

@@ -1,17 +1,18 @@
 //! Versioned JSON export for the figure binaries (no serde in the
 //! offline build — emission is hand-written against a fixed schema).
 //!
-//! # Schema `bds-bench/v1`
+//! # Schema `bds-bench/v2`
 //!
 //! ```json
 //! {
-//!   "schema": "bds-bench/v1",
+//!   "schema": "bds-bench/v2",
 //!   "figure": "fig13",
 //!   "scale": "quick",
 //!   "max_procs": 8,
 //!   "records": [
 //!     {
 //!       "op": "bestcut", "library": "delay", "n": 200000, "procs": 8,
+//!       "policy": "adaptive",
 //!       "mean_s": 0.0042, "min_s": 0.0040, "stddev_s": 0.0002,
 //!       "repeats": 3, "peak_bytes": 1048576,
 //!       "block_size": 1563, "num_blocks": 128,
@@ -26,8 +27,15 @@
 //! ```
 //!
 //! `sched` is `null` for measurements taken without an observability
-//! capture. Times are seconds; comparisons should use `min_s` (the
-//! noise-robust statistic — see `bds_metrics::Timing`).
+//! capture. `policy` is `null` when the run used whatever block policy
+//! was ambient, or the policy label (`"adaptive"`, `"fixed:8"`, ...)
+//! when the binary pinned one — the `--geometry-sweep` mode of the
+//! geometry binary sets it on every record. Times are seconds;
+//! comparisons should use `min_s` (the noise-robust statistic — see
+//! `bds_metrics::Timing`).
+//!
+//! v2 is a strict superset of v1 (it adds `policy`); consumers keyed on
+//! the schema string should accept both.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -35,7 +43,7 @@ use std::io::Write as _;
 use crate::Measurement;
 
 /// The schema identifier emitted in every document.
-pub const SCHEMA: &str = "bds-bench/v1";
+pub const SCHEMA: &str = "bds-bench/v2";
 
 /// One benchmark measurement row.
 pub struct Record {
@@ -47,6 +55,8 @@ pub struct Record {
     pub n: usize,
     /// Thread count.
     pub procs: usize,
+    /// Block-geometry policy the run was pinned to (`None` = ambient).
+    pub policy: Option<String>,
     /// Mean wall seconds over the measured repetitions.
     pub mean_s: f64,
     /// Fastest measured run, seconds.
@@ -74,6 +84,7 @@ impl Record {
             library: library.to_string(),
             n,
             procs: m.procs,
+            policy: None,
             mean_s: m.timing.mean,
             min_s: m.timing.min,
             stddev_s: m.timing.stddev,
@@ -121,11 +132,15 @@ impl JsonReport {
             out.push_str("    {");
             let _ = write!(
                 out,
-                "\"op\": {}, \"library\": {}, \"n\": {}, \"procs\": {}, ",
+                "\"op\": {}, \"library\": {}, \"n\": {}, \"procs\": {}, \"policy\": {}, ",
                 escape(&r.op),
                 escape(&r.library),
                 r.n,
-                r.procs
+                r.procs,
+                match &r.policy {
+                    Some(p) => escape(p),
+                    None => "null".to_string(),
+                }
             );
             let _ = write!(
                 out,
@@ -234,6 +249,7 @@ mod tests {
             block_size: 128,
             num_blocks: 8,
             sched: Some(stats(40, 7)),
+            policy: Some("adaptive".into()),
         });
         rep.push(Record {
             op: "bfs".into(),
@@ -248,9 +264,12 @@ mod tests {
             block_size: 0,
             num_blocks: 0,
             sched: None,
+            policy: None,
         });
         let s = rep.render();
-        assert!(s.contains("\"schema\": \"bds-bench/v1\""));
+        assert!(s.contains("\"schema\": \"bds-bench/v2\""));
+        assert!(s.contains("\"policy\": \"adaptive\""));
+        assert!(s.contains("\"policy\": null"));
         assert!(s.contains("\"figure\": \"fig13\""));
         assert!(s.contains("\"min_s\": 0.25"));
         assert!(s.contains("\"steals\": 7"));

@@ -195,11 +195,25 @@ pub fn measure<R: Send>(
     (m.timing.mean, m.peak_bytes)
 }
 
-/// Number of hardware threads to use as "P = max". Never below 2: a
+/// Number of hardware threads to use as "P = max".
+///
+/// By default this is `available_parallelism()` **floored at 2**: a
 /// single-core machine still runs the multi-worker leg (oversubscribed)
 /// so the scheduler's parallel paths — stealing, parking — are always
 /// exercised and observable in the exported statistics.
+///
+/// Set `BDS_NUM_THREADS` to override both the detection and the floor —
+/// `BDS_NUM_THREADS=1` is the supported way to get a genuinely
+/// single-worker "P = max" leg. Values that fail to parse as a positive
+/// integer are ignored.
 pub fn max_procs() -> usize {
+    if let Ok(v) = std::env::var("BDS_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -239,6 +253,21 @@ mod tests {
         };
         let (secs, _) = measure(2, proto, bds_pool::current_num_threads);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn max_procs_env_override() {
+        // Env mutation: keep this the only test touching BDS_NUM_THREADS.
+        std::env::set_var("BDS_NUM_THREADS", "1");
+        assert_eq!(max_procs(), 1, "explicit override beats the floor of 2");
+        std::env::set_var("BDS_NUM_THREADS", "7");
+        assert_eq!(max_procs(), 7);
+        std::env::set_var("BDS_NUM_THREADS", "zero");
+        assert!(max_procs() >= 2, "unparsable values fall back");
+        std::env::set_var("BDS_NUM_THREADS", "0");
+        assert!(max_procs() >= 2, "zero is not a worker count");
+        std::env::remove_var("BDS_NUM_THREADS");
+        assert!(max_procs() >= 2);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Per-process calibration mapping the abstract cost units of
+//! [`crate::model`] onto wall-clock nanoseconds.
+//!
+//! The static model counts *work units*: one unit is "one simple
+//! function application" ([`crate::SIMPLE`]). To turn a pipeline's unit
+//! count into a block-geometry decision we need two machine-dependent
+//! scalars:
+//!
+//! - [`ns_per_work`] — how long one work unit takes on this machine,
+//!   measured once per process by a tiny pure-CPU microbenchmark
+//!   (~100 µs, no threads spawned);
+//! - [`block_overhead_ns`] — the fixed cost of scheduling one block
+//!   (job allocation, deque push/steal, stream setup), seeded with a
+//!   conservative default and *refined at runtime* from profiling
+//!   observations fed back through [`observe_stage`].
+//!
+//! Both are deliberately coarse: the geometry solver
+//! ([`crate::geometry::solve`]) only needs order-of-magnitude accuracy
+//! to decide whether a pipeline is long enough to justify splitting
+//! into more blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! let cal = bds_cost::calibration();
+//! assert!(cal.ns_per_work > 0.0);
+//! assert!(cal.block_overhead_ns > 0.0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A snapshot of the process-wide calibration table.
+///
+/// Obtain one with [`calibration`]; pass it to
+/// [`crate::geometry::solve`]. The snapshot is plain data — tests can
+/// also construct synthetic calibrations directly to make geometry
+/// decisions deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Nanoseconds per abstract work unit (one simple application).
+    pub ns_per_work: f64,
+    /// Fixed per-block scheduling overhead, in nanoseconds.
+    pub block_overhead_ns: f64,
+}
+
+/// Bounds on a plausible per-work-unit time: anything outside
+/// [0.2 ns, 50 ns] is a measurement artifact (timer granularity, a
+/// descheduled microbenchmark) and is clamped.
+const NS_PER_WORK_MIN: f64 = 0.2;
+const NS_PER_WORK_MAX: f64 = 50.0;
+
+/// Default per-block overhead before any runtime observation: roughly
+/// one job allocation + injector push + steal + park/unpark on a
+/// current x86 server.
+pub const DEFAULT_BLOCK_OVERHEAD_NS: f64 = 1500.0;
+
+/// Bounds on the refined per-block overhead. Observations are noisy
+/// (they include cache effects and imbalance), so the feedback path is
+/// clamped to a physically plausible window.
+const OVERHEAD_MIN_NS: f64 = 100.0;
+const OVERHEAD_MAX_NS: f64 = 100_000.0;
+
+/// EWMA smoothing factor for overhead observations.
+const OVERHEAD_ALPHA: f64 = 0.25;
+
+/// The refined per-block overhead, stored as `f64::to_bits`. Zero means
+/// "no observation yet — use the default". (0u64 is the bit pattern of
+/// +0.0, which is never a legal overhead, so the sentinel is safe.)
+static OVERHEAD_BITS: AtomicU64 = AtomicU64::new(0);
+
+fn measure_ns_per_work() -> f64 {
+    // A dependency chain of cheap integer ops approximating "one simple
+    // function application" per iteration. `black_box` keeps the
+    // optimizer from collapsing the loop. Three rounds, best-of: the
+    // minimum is the least-perturbed estimate.
+    const ITERS: u64 = 100_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut acc: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..ITERS {
+            acc = std::hint::black_box(acc.wrapping_mul(0x2545f4914f6cdd1d) ^ i);
+        }
+        std::hint::black_box(acc);
+        let ns = start.elapsed().as_nanos() as f64;
+        best = best.min(ns / ITERS as f64);
+    }
+    best.clamp(NS_PER_WORK_MIN, NS_PER_WORK_MAX)
+}
+
+/// Nanoseconds per abstract work unit on this machine.
+///
+/// The first call runs the microbenchmark (~100 µs of pure CPU on the
+/// calling thread — no threads or pools are created); subsequent calls
+/// return the cached value.
+pub fn ns_per_work() -> f64 {
+    static CELL: OnceLock<f64> = OnceLock::new();
+    *CELL.get_or_init(measure_ns_per_work)
+}
+
+/// The current estimate of fixed per-block scheduling overhead in
+/// nanoseconds: [`DEFAULT_BLOCK_OVERHEAD_NS`] until runtime profiling
+/// has fed back at least one observation via [`observe_stage`].
+pub fn block_overhead_ns() -> f64 {
+    let bits = OVERHEAD_BITS.load(Ordering::Relaxed);
+    if bits == 0 {
+        DEFAULT_BLOCK_OVERHEAD_NS
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+/// Snapshot the calibration table (running the microbenchmark if this
+/// is the first use in the process).
+pub fn calibration() -> Calibration {
+    Calibration {
+        ns_per_work: ns_per_work(),
+        block_overhead_ns: block_overhead_ns(),
+    }
+}
+
+/// How far the true per-element cost may plausibly exceed the priced
+/// one (un-modeled work, cache misses, memory bandwidth). Observations
+/// whose residual could be explained by mispricing within this factor
+/// are discarded rather than attributed to block overhead.
+const WORK_SLOP: f64 = 4.0;
+
+/// Feed one profiled pipeline-stage observation back into the
+/// calibration table.
+///
+/// `elements` is how many elements the stage processed, `blocks` how
+/// many blocks it was split into, and `total_ns` its wall time. The
+/// element work is priced at [`ns_per_work`] × `per_elem_work` units
+/// and subtracted; the residual, divided by the block count, is an
+/// estimate of per-block overhead.
+///
+/// The residual conflates true scheduling overhead with whatever the
+/// abstract cost model fails to price (memory traffic, expensive user
+/// closures), so an observation is only *attributable* when its blocks
+/// are nearly empty: the potential mispricing per block —
+/// `elements/blocks` × a slop factor × the priced per-element time —
+/// must be small relative to the observed value, otherwise the
+/// observation is discarded. This is exactly the regime where overhead
+/// matters (and is measurable): a saturated block hides its ~µs
+/// scheduling cost inside milliseconds of work. Accepted estimates are
+/// clamped to a plausible window and folded in with an exponentially
+/// weighted moving average, so a single noisy profile run cannot swing
+/// geometry decisions.
+///
+/// Called by `bds-seq`'s profiling facade when `profile_on` is active;
+/// harmless (a no-op) when any argument is zero.
+pub fn observe_stage(elements: u64, blocks: u64, total_ns: u64, per_elem_work: u64) {
+    if elements == 0 || blocks == 0 || total_ns == 0 {
+        return;
+    }
+    let per_elem_ns = per_elem_work.max(1) as f64 * ns_per_work();
+    let elem_ns = elements as f64 * per_elem_ns;
+    let residual = total_ns as f64 - elem_ns;
+    if residual <= 0.0 {
+        // The stage ran faster than the priced element work — the block
+        // overhead was unobservable in this run; nothing to learn.
+        return;
+    }
+    let observed = residual / blocks as f64;
+    let bias_bound = (elements as f64 / blocks as f64) * per_elem_ns * WORK_SLOP;
+    if bias_bound > observed * 0.5 {
+        // Mispriced element work could account for the residual; the
+        // observation says nothing reliable about block overhead.
+        return;
+    }
+    let observed = observed.clamp(OVERHEAD_MIN_NS, OVERHEAD_MAX_NS);
+    let mut cur = OVERHEAD_BITS.load(Ordering::Relaxed);
+    loop {
+        let prev = if cur == 0 {
+            DEFAULT_BLOCK_OVERHEAD_NS
+        } else {
+            f64::from_bits(cur)
+        };
+        let next = prev + OVERHEAD_ALPHA * (observed - prev);
+        let next_bits = next.clamp(OVERHEAD_MIN_NS, OVERHEAD_MAX_NS).to_bits();
+        match OVERHEAD_BITS.compare_exchange_weak(
+            cur,
+            next_bits,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Discard all runtime overhead observations, restoring
+/// [`DEFAULT_BLOCK_OVERHEAD_NS`]. Intended for tests and benchmark
+/// harnesses that need run-to-run reproducibility.
+pub fn reset_block_overhead() {
+    OVERHEAD_BITS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbench_is_plausible_and_cached() {
+        let a = ns_per_work();
+        let b = ns_per_work();
+        assert_eq!(a, b);
+        assert!((NS_PER_WORK_MIN..=NS_PER_WORK_MAX).contains(&a));
+    }
+
+    #[test]
+    fn observations_refine_overhead_within_bounds() {
+        reset_block_overhead();
+        assert_eq!(block_overhead_ns(), DEFAULT_BLOCK_OVERHEAD_NS);
+        // A stage whose residual implies ~10µs per block pulls the
+        // estimate up, but only partway (EWMA).
+        observe_stage(1_000, 100, 1_000_000_000, 1);
+        let refined = block_overhead_ns();
+        assert!(refined > DEFAULT_BLOCK_OVERHEAD_NS);
+        assert!(refined <= OVERHEAD_MAX_NS);
+        // Degenerate observations are ignored.
+        observe_stage(0, 100, 1_000, 1);
+        observe_stage(1_000, 0, 1_000, 1);
+        observe_stage(1_000, 100, 0, 1);
+        assert_eq!(block_overhead_ns(), refined);
+        reset_block_overhead();
+        assert_eq!(block_overhead_ns(), DEFAULT_BLOCK_OVERHEAD_NS);
+    }
+
+    #[test]
+    fn faster_than_priced_work_learns_nothing() {
+        reset_block_overhead();
+        // 1e9 elements in 1ns: residual is hugely negative.
+        observe_stage(1_000_000_000, 8, 1, 1);
+        assert_eq!(block_overhead_ns(), DEFAULT_BLOCK_OVERHEAD_NS);
+    }
+}

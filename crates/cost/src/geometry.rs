@@ -1,0 +1,191 @@
+//! The block-geometry solver: from pipeline cost × input length ×
+//! worker count to a concrete `(block_size, num_blocks)`.
+//!
+//! The paper's performance model (PAPER.md §4–5, Figs. 12–16) pulls in
+//! two directions: more blocks feed the work-stealing pool (parallelism
+//! and load balance), fewer blocks amortize per-block scheduling
+//! overhead over longer sequential streams. [`solve`] balances the two:
+//!
+//! - an upper *usefulness* bound: each block should carry at least
+//!   [`BALANCE_FACTOR`] × the per-block overhead worth of priced work,
+//!   otherwise splitting costs more than it buys;
+//! - an upper *parallelism* bound: beyond
+//!   [`TARGET_BLOCKS_PER_WORKER`] × workers blocks, extra blocks only
+//!   add overhead — the pool is already saturated with enough slack for
+//!   load balancing;
+//! - hard bounds: at least 1 block, at most `len` blocks.
+//!
+//! The priced work comes from the pipeline's accumulated
+//! [`ElemCost`] (each adaptor contributes its per-element cost) and the
+//! process [`Calibration`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bds_cost::{geometry, Calibration, SIMPLE};
+//!
+//! let cal = Calibration { ns_per_work: 1.0, block_overhead_ns: 1000.0 };
+//! // A long, cheap pipeline on 4 workers: saturate the pool.
+//! let g = geometry::solve(1 << 20, SIMPLE + SIMPLE, 4, &cal);
+//! assert_eq!(g.num_blocks, 32); // 8 blocks per worker
+//! // A tiny input: not worth splitting at all.
+//! let g = geometry::solve(64, SIMPLE, 4, &cal);
+//! assert_eq!(g.num_blocks, 1);
+//! ```
+
+use crate::calibrate::Calibration;
+use crate::model::ElemCost;
+
+/// How many blocks per worker the solver aims for when the pipeline is
+/// expensive enough to saturate the pool. Mirrors the seed heuristic's
+/// `8 × procs` multiplier: enough slack for work stealing to balance
+/// uneven blocks, few enough that per-block overhead stays negligible.
+pub const TARGET_BLOCKS_PER_WORKER: usize = 8;
+
+/// Minimum ratio of priced per-block work to per-block overhead: a
+/// block must do at least this many multiples of its own scheduling
+/// cost in real work, or the solver refuses to create it.
+pub const BALANCE_FACTOR: f64 = 4.0;
+
+/// A solved block geometry.
+///
+/// Invariants (for `len > 0`): `1 <= num_blocks <= len`,
+/// `block_size >= 1`, and `block_size * num_blocks >= len` with
+/// `block_size * (num_blocks - 1) < len` (no empty trailing block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Elements per block (the last block may be smaller).
+    pub block_size: usize,
+    /// Number of blocks covering `len` elements.
+    pub num_blocks: usize,
+}
+
+/// Solve for block geometry given the input length, the pipeline's
+/// accumulated per-element cost, the number of workers expected to be
+/// available, and the process calibration.
+///
+/// Deterministic: same arguments, same answer. The number of blocks is
+/// monotone non-decreasing in `workers` and always within `[1, len]`;
+/// for inputs long enough to saturate the pool it is at least
+/// `workers`. `len == 0` yields `block_size = 1, num_blocks = 0`
+/// (a positive block size keeps downstream `ceil_div` arithmetic
+/// well-defined).
+pub fn solve(len: usize, per_elem: ElemCost, workers: usize, cal: &Calibration) -> Geometry {
+    if len == 0 {
+        return Geometry {
+            block_size: 1,
+            num_blocks: 0,
+        };
+    }
+    let workers = workers.max(1);
+    // Total priced pipeline time, in f64 to dodge u64 overflow on huge
+    // len × cost products.
+    let total_ns = len as f64 * per_elem.w.max(1) as f64 * cal.ns_per_work.max(f64::MIN_POSITIVE);
+    // Usefulness bound: each block must amortize its scheduling cost.
+    let per_block_floor_ns = BALANCE_FACTOR * cal.block_overhead_ns.max(1.0);
+    let max_useful = ((total_ns / per_block_floor_ns) as usize).max(1);
+    // Parallelism bound.
+    let target = TARGET_BLOCKS_PER_WORKER.saturating_mul(workers);
+    let nb = target.min(max_useful).clamp(1, len);
+    // Round-trip through the block size so size × count tiles len
+    // exactly the way the blocked iterators will.
+    let block_size = len.div_ceil(nb);
+    let num_blocks = len.div_ceil(block_size);
+    Geometry {
+        block_size,
+        num_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SIMPLE;
+
+    fn cal() -> Calibration {
+        Calibration {
+            ns_per_work: 1.0,
+            block_overhead_ns: 1500.0,
+        }
+    }
+
+    #[test]
+    fn bounds_hold_across_lengths_and_workers() {
+        let cal = cal();
+        for len in [0usize, 1, 2, 7, 64, 1000, 1 << 16, 1 << 22] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let g = solve(len, SIMPLE, workers, &cal);
+                if len == 0 {
+                    assert_eq!(g.num_blocks, 0);
+                    assert_eq!(g.block_size, 1);
+                    continue;
+                }
+                assert!(g.num_blocks >= 1 && g.num_blocks <= len, "len={len} {g:?}");
+                assert!(g.block_size >= 1);
+                assert!(g.block_size * g.num_blocks >= len);
+                assert!(g.block_size * (g.num_blocks - 1) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn num_blocks_monotone_in_workers() {
+        let cal = cal();
+        for len in [1usize, 100, 10_000, 1 << 20] {
+            let mut prev = 0;
+            for workers in 1..=16 {
+                let nb = solve(len, SIMPLE, workers, &cal).num_blocks;
+                assert!(nb >= prev, "len={len} workers={workers}: {nb} < {prev}");
+                prev = nb;
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_input_never_starves_workers() {
+        // len ≫ procs with real per-element work: the pool must get at
+        // least one block per worker (regression for the fixed-k
+        // heuristic's starvation at small k).
+        let cal = cal();
+        for workers in [1usize, 2, 4, 8, 32] {
+            let g = solve(1 << 22, SIMPLE, workers, &cal);
+            assert!(
+                g.num_blocks >= workers,
+                "workers={workers}: {:?}",
+                g.num_blocks
+            );
+            assert_eq!(g.num_blocks, TARGET_BLOCKS_PER_WORKER * workers);
+        }
+    }
+
+    #[test]
+    fn tiny_or_cheap_input_stays_whole() {
+        let cal = cal();
+        // 64 simple elements ≈ 64ns of work vs 6µs of split cost.
+        assert_eq!(solve(64, SIMPLE, 8, &cal).num_blocks, 1);
+    }
+
+    #[test]
+    fn costlier_pipelines_split_sooner() {
+        let cal = cal();
+        let cheap = ElemCost { w: 1, s: 1, a: 0 };
+        let heavy = ElemCost { w: 1000, s: 1000, a: 0 };
+        let n = 50_000;
+        let g_cheap = solve(n, cheap, 8, &cal);
+        let g_heavy = solve(n, heavy, 8, &cal);
+        assert!(g_heavy.num_blocks >= g_cheap.num_blocks);
+        assert_eq!(g_heavy.num_blocks, 64);
+    }
+
+    #[test]
+    fn no_overflow_on_extreme_products() {
+        let cal = cal();
+        let huge = ElemCost {
+            w: u64::MAX,
+            s: 1,
+            a: 0,
+        };
+        let g = solve(usize::MAX, huge, usize::MAX, &cal);
+        assert!(g.num_blocks >= 1);
+    }
+}

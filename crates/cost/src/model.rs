@@ -68,6 +68,39 @@ pub struct ElemCost {
     pub a: u64,
 }
 
+impl ElemCost {
+    /// The free element function: no work, no span, no allocation. The
+    /// additive identity when accumulating per-element costs along a
+    /// pipeline.
+    pub const ZERO: ElemCost = ElemCost { w: 0, s: 0, a: 0 };
+}
+
+/// Stacking two per-element costs: an element that flows through both
+/// stages pays both, so all three components add.
+///
+/// ```
+/// use bds_cost::{ElemCost, SIMPLE};
+/// let two_maps = SIMPLE + SIMPLE;
+/// assert_eq!(two_maps.w, 2);
+/// assert_eq!(SIMPLE + ElemCost::ZERO, SIMPLE);
+/// ```
+impl std::ops::Add for ElemCost {
+    type Output = ElemCost;
+    fn add(self, rhs: ElemCost) -> ElemCost {
+        ElemCost {
+            w: self.w + rhs.w,
+            s: self.s + rhs.s,
+            a: self.a + rhs.a,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ElemCost {
+    fn add_assign(&mut self, rhs: ElemCost) {
+        *self = *self + rhs;
+    }
+}
+
 /// A "simple" function in the paper's sense: constant time, no
 /// allocation.
 pub const SIMPLE: ElemCost = ElemCost { w: 1, s: 1, a: 0 };

@@ -111,6 +111,30 @@ impl Pool {
     pub fn reset_stats(&self) {
         self.registry.reset_stats();
     }
+
+    /// Estimate how many of this pool's workers are free to pick up new
+    /// top-level work right now: `num_threads()` minus the workers
+    /// currently executing a job, never below 1.
+    ///
+    /// When called *from* one of this pool's workers, that worker does
+    /// not count itself as busy (it is asking on behalf of work it is
+    /// about to schedule), so from the closure of a plain
+    /// [`Pool::install`] on a quiescent pool the answer is exactly
+    /// [`Pool::num_threads`] — deterministic, which is what the adaptive
+    /// block-geometry policy in `bds-seq` relies on. While unrelated
+    /// work is in flight the estimate is a best-effort racy read.
+    ///
+    /// ```
+    /// let pool = bds_pool::Pool::new(3);
+    /// assert_eq!(pool.live_workers(), 3); // quiescent
+    /// assert_eq!(pool.install(|| pool.live_workers()), 3); // self excluded
+    /// ```
+    pub fn live_workers(&self) -> usize {
+        let me = WorkerThread::current().and_then(|w| {
+            Arc::ptr_eq(w.registry(), &self.registry).then(|| w.index())
+        });
+        self.registry.live_workers(me)
+    }
 }
 
 impl Drop for Pool {
@@ -157,6 +181,20 @@ pub fn global_pool_exists() -> bool {
 fn static_global_pool_cell() -> &'static OnceLock<Pool> {
     static GLOBAL: OnceLock<Pool> = OnceLock::new();
     &GLOBAL
+}
+
+/// [`Pool::live_workers`] of the pool the current thread would execute
+/// on: the enclosing pool from inside [`Pool::install`] (or a worker),
+/// otherwise the global pool (spawning it if needed). The calling
+/// worker never counts itself busy, so the common quiescent case
+/// deterministically equals [`current_num_threads`]; the estimate only
+/// dips below that when *other* installs are running concurrently on
+/// the same pool.
+pub fn current_live_workers() -> usize {
+    match WorkerThread::current() {
+        Some(worker) => worker.registry().live_workers(Some(worker.index())),
+        None => global_pool().live_workers(),
+    }
 }
 
 /// Scheduler statistics of the pool the current thread would execute on:
@@ -555,6 +593,50 @@ mod tests {
     fn current_num_threads_reports_enclosing_pool() {
         let pool = Pool::new(3);
         assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn live_workers_quiescent_and_inside_install() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.live_workers(), 3);
+        // From inside install, the executing worker excludes itself.
+        assert_eq!(pool.install(|| pool.live_workers()), 3);
+        assert_eq!(pool.install(current_live_workers), 3);
+        // Still quiescent afterwards.
+        assert_eq!(pool.live_workers(), 3);
+    }
+
+    #[test]
+    fn live_workers_sees_busy_peers() {
+        let pool = Pool::new(2);
+        let started = std::sync::Arc::new(AtomicUsize::new(0));
+        let release = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let (started2, release2) = (started.clone(), release.clone());
+            let pool_ref = &pool;
+            s.spawn(move || {
+                pool_ref.install(|| {
+                    started2.store(1, Ordering::SeqCst);
+                    while release2.load(Ordering::SeqCst) == 0 {
+                        std::hint::spin_loop();
+                    }
+                });
+            });
+            while started.load(Ordering::SeqCst) == 0 {
+                std::hint::spin_loop();
+            }
+            // One worker is pinned inside the spinning job; from this
+            // external (non-worker) thread it must show up as busy.
+            assert_eq!(pool.live_workers(), 1);
+            release.store(1, Ordering::SeqCst);
+        });
+        // The gauge clears just *after* install's latch is set, so poll
+        // briefly rather than assert instantly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.live_workers() != 2 {
+            assert!(std::time::Instant::now() < deadline, "gauge never cleared");
+            std::hint::spin_loop();
+        }
     }
 }
 

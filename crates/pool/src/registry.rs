@@ -122,6 +122,41 @@ impl Registry {
             c.reset();
         }
     }
+
+    /// Estimate how many workers are free to pick up new top-level work:
+    /// `num_threads` minus the workers whose main loop is currently
+    /// inside a job, never below 1. `me` (a worker index) is excluded
+    /// from the busy count so a worker sizing work for *itself* counts
+    /// its own slot as available — from a quiescent pool, or from the
+    /// closure of a plain `install`, the answer is exactly
+    /// `num_threads`, which keeps geometry decisions deterministic in
+    /// the common case.
+    pub(crate) fn live_workers(&self, me: Option<usize>) -> usize {
+        let busy_others = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| Some(*i) != me && c.busy.load(Ordering::Relaxed) != 0)
+            .count();
+        self.num_threads.saturating_sub(busy_others).max(1)
+    }
+}
+
+/// RAII: marks a worker's `busy` gauge for the span of one top-level
+/// job execution, clearing it even if the job unwinds.
+struct BusyGuard<'a>(&'a WorkerCounters);
+
+impl<'a> BusyGuard<'a> {
+    fn new(counters: &'a WorkerCounters) -> Self {
+        counters.busy.store(1, Ordering::Relaxed);
+        BusyGuard(counters)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.busy.store(0, Ordering::Relaxed);
+    }
 }
 
 fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
@@ -155,6 +190,11 @@ impl WorkerThread {
 
     pub(crate) fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// This worker's index within its registry.
+    pub(crate) fn index(&self) -> usize {
+        self.index
     }
 
     /// Push a job onto the local LIFO deque, waking a sleeper if any.
@@ -236,6 +276,10 @@ impl WorkerThread {
     fn main_loop(&self) {
         loop {
             if let Some(job) = self.find_work() {
+                // The gauge covers the whole job tree: nested joins and
+                // helping all happen inside this frame, so one flag per
+                // worker suffices.
+                let _busy = BusyGuard::new(self.counters());
                 // SAFETY: ownership of the JobRef means we are its unique
                 // executor.
                 unsafe { job.execute() };

@@ -1,6 +1,6 @@
 //! Per-worker scheduler statistics.
 //!
-//! Every worker owns one cache-line-padded [`WorkerCounters`] slot in the
+//! Every worker owns one cache-line-padded `WorkerCounters` slot in the
 //! registry and bumps it with `Relaxed` atomics from its own thread only,
 //! so the counters cost a handful of uncontended fetch-adds per *job*
 //! (a job is a whole block of a delayed sequence — thousands of element
@@ -49,6 +49,15 @@ pub(crate) struct WorkerCounters {
     /// undercounts idleness (spinning in `find_work` is not included)
     /// but tracks the "worker had nothing to do" signal.
     pub(crate) idle_ns: AtomicU64,
+    /// Gauge, not a counter: 1 while the worker's top-level `main_loop`
+    /// frame is inside `job.execute()`, 0 otherwise. Read by
+    /// [`crate::Pool::live_workers`] to estimate how many workers are
+    /// free for new work; deliberately excluded from [`snapshot`] and
+    /// [`reset`](Self::reset) — it is instantaneous state, not an
+    /// accumulated statistic.
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub(crate) busy: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -82,7 +91,7 @@ impl WorkerCounters {
     }
 }
 
-/// Snapshot of one worker's scheduler counters; see [`WorkerCounters`]
+/// Snapshot of one worker's scheduler counters; see `WorkerCounters`
 /// field docs for what each number means.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {

@@ -3,6 +3,14 @@
 //! All of these cost O(1) eagerly — they only compose functions or
 //! re-index — and preserve random access whenever their inputs have it
 //! (Figure 10, lines 20-27).
+//!
+//! Each adaptor also participates in the cost-model plumbing (see
+//! [`Seq::elem_cost`] / [`Seq::block_size_costed`]): it reports its own
+//! per-element cost as one [`SIMPLE`] application on top of its input's,
+//! and forwards geometry resolution inward with that cost added, so the
+//! source's [`LazyBlockSize`] resolves against the *total* pipeline cost.
+
+use bds_cost::{ElemCost, SIMPLE};
 
 use crate::policy::LazyBlockSize;
 use crate::traits::{RadBlock, RadSeq, Seq};
@@ -68,6 +76,22 @@ where
         self.input.block_size()
     }
 
+    fn elem_cost(&self) -> ElemCost {
+        self.input.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        self.input.block_size_costed(downstream + SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.input.pinned_block_size()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.input.block_size_hinted(hint)
+    }
+
     fn block(&self, j: usize) -> Self::Block<'_> {
         MapBlock {
             inner: self.input.block(j),
@@ -97,11 +121,11 @@ fn check_zip_lengths(a_len: usize, b_len: usize) {
 }
 
 /// Alignment is checked at *consumption* time (when geometry resolves;
-/// see [`LazyBlockSize`]), not at construction: two lazy sequences of
-/// equal length always agree once resolved under one policy, but a side
-/// whose geometry was already pinned by an earlier consumption under a
-/// different pool or [`crate::policy::force_block_size`] override cannot
-/// be streamed pairwise.
+/// see [`LazyBlockSize`]), not at construction. It can only fail when
+/// *both* sides were already pinned — by earlier consumptions under
+/// different pools or [`crate::policy::force_block_size`] overrides —
+/// because [`zip_block_size`] aligns any still-free side to the pinned
+/// one.
 #[inline]
 fn check_zip_aligned(a_bs: usize, b_bs: usize) -> usize {
     assert_eq!(
@@ -111,6 +135,30 @@ fn check_zip_aligned(a_bs: usize, b_bs: usize) -> usize {
          side first)"
     );
     a_bs
+}
+
+/// Geometry resolution shared by [`Zip`] and [`ZipWith`]: the pinned
+/// side wins.
+///
+/// A side that already resolved its geometry (an eager scan/filter
+/// phase, or an earlier consumption) dictates the block size and the
+/// free side adopts it via [`Seq::block_size_hinted`]. Only when both
+/// sides are free does the policy get consulted — once, on side `a`,
+/// priced with the *total* pipeline cost — and `b` then adopts `a`'s
+/// answer. Resolving the two sides independently would be wrong under
+/// [`crate::Policy::Adaptive`]: its inputs (live worker count,
+/// EWMA-refined block overhead) vary over time, so two solves of the
+/// same `(n, cost)` at different instants may legitimately disagree.
+fn zip_block_size<A: Seq, B: Seq>(a: &A, b: &B, downstream: ElemCost) -> usize {
+    match (a.pinned_block_size(), b.pinned_block_size()) {
+        (Some(x), Some(y)) => check_zip_aligned(x, y),
+        (Some(x), None) => check_zip_aligned(x, b.block_size_hinted(x)),
+        (None, Some(y)) => check_zip_aligned(a.block_size_hinted(y), y),
+        (None, None) => {
+            let x = a.block_size_costed(downstream + SIMPLE + b.elem_cost());
+            check_zip_aligned(x, b.block_size_hinted(x))
+        }
+    }
 }
 
 /// Delayed zip (Figure 10 lines 22-27). Both sides must have the same
@@ -145,7 +193,28 @@ where
     }
 
     fn block_size(&self) -> usize {
-        check_zip_aligned(self.a.block_size(), self.b.block_size())
+        self.block_size_costed(ElemCost::ZERO)
+    }
+
+    fn elem_cost(&self) -> ElemCost {
+        self.a.elem_cost() + self.b.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        zip_block_size(&self.a, &self.b, downstream)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.a
+            .pinned_block_size()
+            .or_else(|| self.b.pinned_block_size())
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        check_zip_aligned(
+            self.a.block_size_hinted(hint),
+            self.b.block_size_hinted(hint),
+        )
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -225,7 +294,28 @@ where
     }
 
     fn block_size(&self) -> usize {
-        check_zip_aligned(self.a.block_size(), self.b.block_size())
+        self.block_size_costed(ElemCost::ZERO)
+    }
+
+    fn elem_cost(&self) -> ElemCost {
+        self.a.elem_cost() + self.b.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        zip_block_size(&self.a, &self.b, downstream)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.a
+            .pinned_block_size()
+            .or_else(|| self.b.pinned_block_size())
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        check_zip_aligned(
+            self.a.block_size_hinted(hint),
+            self.b.block_size_hinted(hint),
+        )
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -303,6 +393,22 @@ impl<S: Seq> Seq for Enumerate<S> {
         self.input.block_size()
     }
 
+    fn elem_cost(&self) -> ElemCost {
+        self.input.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        self.input.block_size_costed(downstream + SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.input.pinned_block_size()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.input.block_size_hinted(hint)
+    }
+
     fn block(&self, j: usize) -> Self::Block<'_> {
         let (lo, _) = self.input.block_bounds(j);
         EnumerateBlock {
@@ -357,6 +463,25 @@ impl<S: RadSeq> Seq for TakeSeq<S> {
         self.bs.get(self.len)
     }
 
+    fn elem_cost(&self) -> ElemCost {
+        self.input.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        // Take re-indexes, so it owns its geometry (its length differs
+        // from the input's) but still prices the input's element cost.
+        self.bs
+            .get_costed(self.len, downstream + SIMPLE + self.input.elem_cost())
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.len, hint)
+    }
+
     fn block(&self, j: usize) -> Self::Block<'_> {
         let (lo, hi) = self.block_bounds(j);
         RadBlock::new(self, lo, hi)
@@ -409,6 +534,23 @@ impl<S: RadSeq> Seq for SkipSeq<S> {
         self.bs.get(self.len)
     }
 
+    fn elem_cost(&self) -> ElemCost {
+        self.input.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        self.bs
+            .get_costed(self.len, downstream + SIMPLE + self.input.elem_cost())
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.len, hint)
+    }
+
     fn block(&self, j: usize) -> Self::Block<'_> {
         let (lo, hi) = self.block_bounds(j);
         RadBlock::new(self, lo, hi)
@@ -447,6 +589,22 @@ impl<S: RadSeq> Seq for RevSeq<S> {
 
     fn block_size(&self) -> usize {
         self.input.block_size()
+    }
+
+    fn elem_cost(&self) -> ElemCost {
+        self.input.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        self.input.block_size_costed(downstream + SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.input.pinned_block_size()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.input.block_size_hinted(hint)
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {
@@ -650,6 +808,22 @@ where
 
     fn block_size(&self) -> usize {
         self.input.block_size()
+    }
+
+    fn elem_cost(&self) -> ElemCost {
+        self.input.elem_cost() + SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: ElemCost) -> usize {
+        self.input.block_size_costed(downstream + SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.input.pinned_block_size()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.input.block_size_hinted(hint)
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {

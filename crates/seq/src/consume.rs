@@ -21,6 +21,8 @@ where
         return zero;
     }
     let _span = profile::span(profile::Stage::Reduce);
+    // Pin geometry knowing the consumer pays one combine per element.
+    seq.block_size_costed(bds_cost::SIMPLE);
     let nb = seq.num_blocks();
     profile::record_geometry(profile::Stage::Reduce, seq.len(), seq.block_size(), nb);
     // Phase 1: per-block partial sums, seeded with each block's first
@@ -48,6 +50,8 @@ where
     F: Fn(S::Item) + Send + Sync,
 {
     let _span = profile::span(profile::Stage::ForEach);
+    // One `f` application per element.
+    seq.block_size_costed(bds_cost::SIMPLE);
     let nb = seq.num_blocks();
     profile::record_geometry(profile::Stage::ForEach, seq.len(), seq.block_size(), nb);
     bds_pool::apply(nb, |j| {
@@ -64,6 +68,7 @@ where
     F: Fn(usize, S::Item) + Send + Sync,
 {
     let _span = profile::span(profile::Stage::ForEach);
+    seq.block_size_costed(bds_cost::SIMPLE);
     let nb = seq.num_blocks();
     profile::record_geometry(profile::Stage::ForEach, seq.len(), seq.block_size(), nb);
     bds_pool::apply(nb, |j| {
@@ -82,6 +87,8 @@ where
 {
     let _span = profile::span(profile::Stage::Force);
     let n = seq.len();
+    // One write + one slot of fresh allocation per element.
+    seq.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
     if n > 0 {
         profile::record_geometry(profile::Stage::Force, n, seq.block_size(), seq.num_blocks());
     }
@@ -110,6 +117,8 @@ where
         return 0;
     }
     let _span = profile::span(profile::Stage::Count);
+    // One predicate application per element.
+    seq.block_size_costed(bds_cost::SIMPLE);
     let nb = seq.num_blocks();
     profile::record_geometry(profile::Stage::Count, seq.len(), seq.block_size(), nb);
     let sums = build_vec(nb, |pv| {

@@ -53,6 +53,27 @@ where
         self.bs.get(self.a.len() + self.b.len())
     }
 
+    fn elem_cost(&self) -> bds_cost::ElemCost {
+        // Boundary dispatch plus the costlier side's element cost (a
+        // block may land entirely in either side).
+        let (a, b) = (self.a.elem_cost(), self.b.elem_cost());
+        let worst = if a.w >= b.w { a } else { b };
+        worst + bds_cost::SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        self.bs
+            .get_costed(self.a.len() + self.b.len(), downstream + self.elem_cost())
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.a.len() + self.b.len(), hint)
+    }
+
     fn block(&self, j: usize) -> Self::Block<'_> {
         let (lo, hi) = self.block_bounds(j);
         RadBlock::new(self, lo, hi)
@@ -87,6 +108,8 @@ where
     B: Send,
 {
     let n = seq.len();
+    // Two writes + two slots of fresh allocation per element.
+    seq.block_size_costed(bds_cost::ElemCost { w: 2, s: 2, a: 2 });
     let pa = crate::util::PartialVec::new(n);
     let pb = crate::util::PartialVec::new(n);
     bds_pool::apply(seq.num_blocks(), |j| {
@@ -113,6 +136,8 @@ where
     S: Seq,
     P: Fn(&S::Item) -> bool + Send + Sync,
 {
+    // One predicate application (and a flag check) per element.
+    seq.block_size_costed(bds_cost::SIMPLE);
     let found = AtomicBool::new(false);
     bds_pool::apply(seq.num_blocks(), |j| {
         if found.load(Ordering::Relaxed) {
@@ -153,6 +178,8 @@ where
     if seq.is_empty() {
         return None;
     }
+    // Two key evaluations + a comparison per element.
+    seq.block_size_costed(bds_cost::ElemCost { w: 2, s: 2, a: 0 });
     let nb = seq.num_blocks();
     // Per-block champion with its global index (for deterministic ties).
     let champs: Vec<(usize, S::Item)> = build_vec(nb, |pv| {

@@ -6,7 +6,7 @@
 //! `Err` (or panics) cancels the region: sibling blocks stop at their
 //! next block boundary instead of running to completion, and partial
 //! output buffers drop their initialized elements exactly once (the
-//! [`crate::util::PartialVec`] protocol). The reported error is
+//! `PartialVec` protocol). The reported error is
 //! deterministic — the one from the lowest failing block index — even
 //! when several blocks fail concurrently; a real panic always wins over
 //! an `Err` and is resumed at the join point.
@@ -36,6 +36,8 @@ where
     if seq.is_empty() {
         return Ok(zero);
     }
+    // Pin geometry cost-aware before num_blocks (one combine/element).
+    seq.block_size_costed(bds_cost::SIMPLE);
     let nb = seq.num_blocks();
     let pv = PartialVec::new(nb);
     // Phase 1: per-block partial sums, short-circuiting on failure. On
@@ -78,6 +80,8 @@ where
     if n == 0 {
         return Ok((Forced::from_vec(Vec::new()), zero));
     }
+    // Combine in phase 1 plus a clone + write in phase 3, per element.
+    seq.block_size_costed(bds_cost::ElemCost { w: 2, s: 2, a: 1 });
     let nb = seq.num_blocks();
     // Phase 1: per-block sums (fused with the input's delayed work).
     let sums_pv = PartialVec::new(nb);
@@ -133,6 +137,8 @@ where
     P: Fn(&S::Item) -> Result<bool, E> + Send + Sync,
     E: Send,
 {
+    // One predicate call and a possible survivor copy per element.
+    seq.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
     let nb = seq.num_blocks();
     // Phase 1: pack each block's survivors, short-circuiting on the
     // first predicate failure.
@@ -165,6 +171,8 @@ where
     E: Send,
 {
     let n = seq.len();
+    // One unwrap + write into the fresh buffer per element.
+    seq.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
     let pv = PartialVec::new(n);
     bds_pool::apply_cancellable(seq.num_blocks(), |j| {
         let (lo, hi) = seq.block_bounds(j);

@@ -57,6 +57,9 @@ where
     U: Clone + Send + Sync,
     K: Fn(S::Item, &mut Vec<U>) + Sync,
 {
+    // Pin geometry cost-aware before num_blocks: packing streams every
+    // element once through the predicate and may allocate a survivor.
+    input.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
     let nb = input.num_blocks();
     let _span = profile::span(profile::Stage::FilterEager);
     if nb > 0 {

@@ -161,6 +161,30 @@ impl<Inner: RadSeq> Seq for Flattened<Inner> {
         self.bs.get(self.len)
     }
 
+    fn elem_cost(&self) -> bds_cost::ElemCost {
+        // One SIMPLE for the region walk, plus the inner sequences' own
+        // per-element cost (all inners share a type, so the first is
+        // representative; empty flattens price as simple).
+        self.inners
+            .first()
+            .map_or(bds_cost::ElemCost::ZERO, |i| i.elem_cost())
+            + bds_cost::SIMPLE
+    }
+
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        // The flatten owns its output geometry (the blocked space is the
+        // concatenation, not any one inner).
+        self.bs.get_costed(self.len, downstream + self.elem_cost())
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.len, hint)
+    }
+
     fn block(&self, j: usize) -> RegionIter<'_, Inner> {
         let (lo, hi) = self.block_bounds(j);
         // Binary search: the last inner whose offset is <= lo. Runs of

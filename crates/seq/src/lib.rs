@@ -38,11 +38,31 @@
 //! assert!(best <= 0.25);
 //! ```
 //!
-//! ## Cost model
+//! ## Cost model and adaptive block geometry
 //!
 //! The companion crate `bds-cost` implements the paper's cost semantics
 //! (work, span, allocations — Figure 11) so users can predict when
 //! delaying wins and when a [`Seq::force`] is worth its extra pass.
+//!
+//! The same model drives the runtime. Every adaptor reports a per-element
+//! cost ([`Seq::elem_cost`]); when a consumer runs, the *total* pipeline
+//! cost is threaded from the consumer down to the source
+//! ([`Seq::block_size_costed`]), where the default [`Policy::Adaptive`]
+//! solves for a block count from cost × length × live workers (see
+//! `bds_cost::geometry`). The paper's fixed `~8P blocks` heuristic
+//! remains available as [`Policy::fixed`]:
+//!
+//! ```
+//! use bds_seq::prelude::*;
+//!
+//! // Pin the seed heuristic (8 blocks per worker) for this scope.
+//! let _g = bds_seq::set_policy(bds_seq::Policy::fixed(8));
+//! let total = tabulate(100_000, |i| i as u64).reduce(0, |a, b| a + b);
+//! assert_eq!(total, 99_999 * 100_000 / 2);
+//! // Dropping the guard restores the adaptive default.
+//! ```
+//!
+//! See `docs/ARCHITECTURE.md` for the full geometry-resolution walkthrough.
 //!
 //! ## Failure semantics
 //!
@@ -90,7 +110,10 @@ pub use extra::{all, any, append, max_by_key, min_by_key, unzip, Append};
 pub use fallible::TrySeqExt;
 pub use filter::Filtered;
 pub use flatten::{flatten, Flattened, RegionIter};
-pub use policy::{block_size, force_block_size, BlockSizeGuard, MIN_BLOCK};
+pub use policy::{
+    block_size, block_size_costed, force_block_size, policy, set_policy, BlockSizeGuard, Policy,
+    PolicyGuard, DEFAULT_FIXED_MULTIPLIER, MIN_BLOCK,
+};
 pub use profile::{profile, profile_on, ProfileReport, Stage, StageReport};
 pub use scan::{Scanned, ScannedIncl};
 pub use sources::{empty, from_slice, range, repeat, tabulate, Forced, FromSlice, Tabulate};

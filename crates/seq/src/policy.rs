@@ -3,21 +3,154 @@
 //! The paper (Section 4) leaves the block size `B_n` open: "it could be
 //! set as a constant at compile-time, or could be computed as n/P where P
 //! is the number of processors, etc. Our definitions work the same for any
-//! block-size." We default to `max(MIN_BLOCK, ceil(n / (8 P)))`, which
-//! keeps the number of blocks at roughly `8 P` (the paper: "the number of
-//! blocks is often chosen to be proportional to the number of
-//! processors") while guaranteeing blocks never get so small that
-//! per-block task overhead dominates.
+//! block-size." This module decides `B_n`, in one of three ways, in
+//! priority order:
 //!
-//! A process-global override exists for ablation experiments (the
-//! block-size sweep of Figure 16 and the `blocksize` ablation bench).
+//! 1. **Override** ([`force_block_size`]) — an exact block size, for the
+//!    ablation sweeps (Figure 16) and tests.
+//! 2. **Fixed** ([`Policy::Fixed`]) — the seed heuristic
+//!    `max(MIN_BLOCK, ceil(n / (k·P)))`, keeping the number of blocks at
+//!    roughly `k·P` (the paper: "the number of blocks is often chosen to
+//!    be proportional to the number of processors").
+//! 3. **Adaptive** ([`Policy::Adaptive`], the default) — the cost-model
+//!    path: the pipeline's accumulated per-element [`ElemCost`] ×
+//!    the input length × the live worker count
+//!    ([`bds_pool::current_live_workers`]) is handed to
+//!    [`bds_cost::geometry::solve`], which balances pool saturation
+//!    against per-block scheduling overhead using the per-process
+//!    calibration ([`bds_cost::calibrate`]). Cheap short pipelines stay
+//!    in one block; expensive ones split down to `8·P` blocks.
+//!
+//! Select between 2 and 3 with [`set_policy`] (RAII guard) or the
+//! `BDS_BLOCK_POLICY` environment variable (`adaptive`, `fixed`, or
+//! `fixed:<k>`), read once on first use.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Smallest block the default policy will choose.
+use bds_cost::{ElemCost, SIMPLE};
+
+/// Smallest block the **fixed** policy will choose. The adaptive policy
+/// has no hard floor: its overhead bound serves the same purpose (a
+/// block must amortize its own scheduling cost), but expressed in
+/// calibrated time rather than element count, so pipelines with very
+/// expensive elements may legitimately pick smaller blocks.
 pub const MIN_BLOCK: usize = 1024;
 
+/// Blocks-per-worker multiplier used when `BDS_BLOCK_POLICY=fixed` does
+/// not name a `k` (and the seed repository's historical value).
+pub const DEFAULT_FIXED_MULTIPLIER: usize = 8;
+
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// How block geometry is chosen; see the module docs for the decision
+/// hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Solve geometry from the cost model at consumption time
+    /// (the default).
+    Adaptive,
+    /// The fixed heuristic `ceil(n / (k·P))` with a [`MIN_BLOCK`] floor,
+    /// where `k` is the carried multiplier.
+    Fixed(usize),
+}
+
+impl Policy {
+    /// The fixed `k·P`-blocks heuristic with multiplier `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn fixed(k: usize) -> Policy {
+        assert!(k > 0, "fixed block-policy multiplier must be positive");
+        Policy::Fixed(k)
+    }
+}
+
+/// Selected policy, encoded: 0 = not yet resolved (consult
+/// `BDS_BLOCK_POLICY` on first use), 1 = adaptive, `k+1` = fixed with
+/// multiplier `k`.
+static MODE: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(p: Policy) -> usize {
+    match p {
+        Policy::Adaptive => 1,
+        Policy::Fixed(k) => k
+            .checked_add(1)
+            .expect("fixed block-policy multiplier overflow"),
+    }
+}
+
+fn decode(v: usize) -> Policy {
+    debug_assert!(v > 0);
+    match v {
+        1 => Policy::Adaptive,
+        k => Policy::Fixed(k - 1),
+    }
+}
+
+fn parse_policy(s: &str) -> Option<Policy> {
+    match s {
+        "adaptive" => Some(Policy::Adaptive),
+        "fixed" => Some(Policy::Fixed(DEFAULT_FIXED_MULTIPLIER)),
+        _ => s
+            .strip_prefix("fixed:")
+            .and_then(|k| k.parse().ok())
+            .filter(|&k: &usize| k > 0)
+            .map(Policy::Fixed),
+    }
+}
+
+#[cold]
+fn init_policy() -> Policy {
+    let p = std::env::var("BDS_BLOCK_POLICY")
+        .ok()
+        .as_deref()
+        .and_then(parse_policy)
+        .unwrap_or(Policy::Adaptive);
+    match MODE.compare_exchange(0, encode(p), Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => p,
+        Err(winner) => decode(winner),
+    }
+}
+
+/// The currently selected [`Policy`] (resolving `BDS_BLOCK_POLICY` on
+/// the first call in the process).
+pub fn policy() -> Policy {
+    match MODE.load(Ordering::Relaxed) {
+        0 => init_policy(),
+        v => decode(v),
+    }
+}
+
+/// RAII guard restoring the previous policy selection on drop; see
+/// [`set_policy`].
+pub struct PolicyGuard {
+    previous: usize,
+}
+
+/// Select the block-geometry policy process-wide until the returned
+/// guard is dropped. Like [`force_block_size`], concurrent guards with
+/// different selections are a logic error (last writer wins), and an
+/// active [`force_block_size`] override still takes precedence.
+///
+/// ```
+/// use bds_seq::prelude::*;
+/// let _g = bds_seq::set_policy(bds_seq::Policy::fixed(8));
+/// let sum: u64 = tabulate(10_000, |i| i as u64).reduce(0, |a, b| a + b);
+/// assert_eq!(sum, 9_999 * 10_000 / 2);
+/// ```
+pub fn set_policy(p: Policy) -> PolicyGuard {
+    if let Policy::Fixed(k) = p {
+        assert!(k > 0, "fixed block-policy multiplier must be positive");
+    }
+    let previous = MODE.swap(encode(p), Ordering::Relaxed);
+    PolicyGuard { previous }
+}
+
+impl Drop for PolicyGuard {
+    fn drop(&mut self) {
+        MODE.store(self.previous, Ordering::Relaxed);
+    }
+}
 
 /// Divide, rounding up. `ceil_div(0, b) == 0`.
 #[inline]
@@ -27,15 +160,40 @@ pub fn ceil_div(a: usize, b: usize) -> usize {
 }
 
 /// The block size used for a sequence of `n` elements, under the current
-/// policy (or the active override).
+/// policy (or the active override), pricing the pipeline as one simple
+/// pass. Callers that know their pipeline's accumulated cost use
+/// [`block_size_costed`] instead — this is the entry point for legacy
+/// and cost-oblivious paths.
 #[inline]
 pub fn block_size(n: usize) -> usize {
+    block_size_costed(n, SIMPLE)
+}
+
+/// The block size for `n` elements of a pipeline whose accumulated
+/// per-element cost is `per_elem`, under the current policy (or the
+/// active override).
+///
+/// Under [`Policy::Adaptive`] this is where the cost model meets the
+/// runtime: the geometry solver sees the pipeline cost, the calibrated
+/// per-work-unit and per-block times, and the live worker count of the
+/// ambient pool. Under [`Policy::Fixed`] or a [`force_block_size`]
+/// override, `per_elem` is ignored.
+pub fn block_size_costed(n: usize, per_elem: ElemCost) -> usize {
     let forced = OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
-    let p = bds_pool::current_num_threads();
-    ceil_div(n, 8 * p).max(MIN_BLOCK)
+    match policy() {
+        Policy::Fixed(k) => {
+            let p = bds_pool::current_num_threads();
+            ceil_div(n, k * p).max(MIN_BLOCK)
+        }
+        Policy::Adaptive => {
+            let workers = bds_pool::current_live_workers();
+            let cal = bds_cost::calibration();
+            bds_cost::geometry::solve(n, per_elem, workers, &cal).block_size
+        }
+    }
 }
 
 /// Number of blocks for `n` elements at block size `bs`.
@@ -73,18 +231,74 @@ impl LazyBlockSize {
     /// The block size for `n` elements: resolved against the current
     /// policy (ambient pool / override) on first call, cached thereafter.
     /// Concurrent first calls race benignly — one resolution wins and all
-    /// callers agree on it.
+    /// callers agree on it. Prices the pipeline as one simple pass;
+    /// cost-aware callers use [`LazyBlockSize::get_costed`].
     #[inline]
     pub fn get(&self, n: usize) -> usize {
+        self.get_costed(n, SIMPLE)
+    }
+
+    /// Like [`LazyBlockSize::get`], but resolving (on first call) with
+    /// the pipeline's accumulated per-element cost, so the adaptive
+    /// policy can weigh real work against per-block overhead. Once any
+    /// call — costed or not — has resolved the geometry, the cost
+    /// argument is ignored: pinning wins, by design (eager phases and
+    /// replays must observe identical geometry).
+    #[inline]
+    pub fn get_costed(&self, n: usize, per_elem: ElemCost) -> usize {
         match self.0.load(Ordering::Relaxed) {
-            0 => self.resolve(n),
+            0 => self.resolve(n, per_elem),
+            bs => bs,
+        }
+    }
+
+    /// The pinned block size, or `None` while unresolved. Never
+    /// resolves — this is how [`crate::Seq::pinned_block_size`] peeks at
+    /// geometry without committing to one.
+    #[inline]
+    pub fn peek(&self) -> Option<usize> {
+        match self.0.load(Ordering::Relaxed) {
+            0 => None,
+            bs => Some(bs),
+        }
+    }
+
+    /// Resolve to `hint` if still unresolved, and return the winner
+    /// (the hint on adoption, the already-pinned size otherwise).
+    ///
+    /// Backs [`crate::Seq::block_size_hinted`]: zip aligns its unpinned
+    /// side to its pinned side through this, bypassing the policy — the
+    /// pinned side already paid for a policy decision and the time-
+    /// varying adaptive solver might not reproduce it. An active
+    /// [`force_block_size`] override still takes precedence over the
+    /// hint (overrides model ablation sweeps, which must see their
+    /// exact size everywhere).
+    ///
+    /// # Panics
+    /// Panics if `hint == 0` (debug builds).
+    pub fn get_hinted(&self, n: usize, hint: usize) -> usize {
+        debug_assert!(hint > 0, "block-size hint must be positive");
+        let forced = OVERRIDE.load(Ordering::Relaxed);
+        if forced != 0 {
+            return self.get(n);
+        }
+        match self.0.load(Ordering::Relaxed) {
+            0 => match self.0.compare_exchange(
+                0,
+                hint.max(1),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => hint.max(1),
+                Err(winner) => winner,
+            },
             bs => bs,
         }
     }
 
     #[cold]
-    fn resolve(&self, n: usize) -> usize {
-        let bs = block_size(n);
+    fn resolve(&self, n: usize, per_elem: ElemCost) -> usize {
+        let bs = block_size_costed(n, per_elem);
         debug_assert!(bs > 0);
         match self
             .0
@@ -157,13 +371,16 @@ mod tests {
     }
 
     #[test]
-    fn default_policy_has_min_block() {
+    fn fixed_policy_has_min_block() {
+        let _l = test_sync::test_lock();
+        let _p = set_policy(Policy::fixed(8));
         assert_eq!(block_size(1), MIN_BLOCK);
         assert_eq!(block_size(MIN_BLOCK), MIN_BLOCK);
     }
 
     #[test]
     fn default_policy_scales_with_n() {
+        let _l = test_sync::test_lock();
         let p = bds_pool::current_num_threads();
         let n = 8 * p * MIN_BLOCK * 4;
         let bs = block_size(n);
@@ -172,7 +389,49 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_is_the_default_policy() {
+        let _l = test_sync::test_lock();
+        // Whatever BDS_BLOCK_POLICY said at startup, a fresh guard stack
+        // restores to it; the unset-env default is Adaptive.
+        if std::env::var("BDS_BLOCK_POLICY").is_err() {
+            assert_eq!(policy(), Policy::Adaptive);
+        }
+        // Tiny input under adaptive: one block, no MIN_BLOCK padding.
+        let _p = set_policy(Policy::Adaptive);
+        assert_eq!(block_size(1), 1);
+    }
+
+    #[test]
+    fn policy_env_spelling_parses() {
+        assert_eq!(parse_policy("adaptive"), Some(Policy::Adaptive));
+        assert_eq!(
+            parse_policy("fixed"),
+            Some(Policy::Fixed(DEFAULT_FIXED_MULTIPLIER))
+        );
+        assert_eq!(parse_policy("fixed:3"), Some(Policy::Fixed(3)));
+        assert_eq!(parse_policy("fixed:0"), None);
+        assert_eq!(parse_policy("bogus"), None);
+    }
+
+    #[test]
+    fn set_policy_nests_and_restores() {
+        let _l = test_sync::test_lock();
+        let before = policy();
+        {
+            let _a = set_policy(Policy::fixed(2));
+            assert_eq!(policy(), Policy::Fixed(2));
+            {
+                let _b = set_policy(Policy::Adaptive);
+                assert_eq!(policy(), Policy::Adaptive);
+            }
+            assert_eq!(policy(), Policy::Fixed(2));
+        }
+        assert_eq!(policy(), before);
+    }
+
+    #[test]
     fn override_applies_and_restores() {
+        let _l = test_sync::test_lock();
         let before = block_size(1 << 20);
         {
             let _guard = force_block_size(77);
@@ -185,6 +444,14 @@ mod tests {
             assert_eq!(block_size(5), 77);
         }
         assert_eq!(block_size(1 << 20), before);
+    }
+
+    #[test]
+    fn override_beats_any_policy() {
+        let _l = test_sync::test_lock();
+        let _p = set_policy(Policy::Adaptive);
+        let _guard = force_block_size(33);
+        assert_eq!(block_size_costed(1 << 20, SIMPLE), 33);
     }
 
     #[test]

@@ -328,7 +328,7 @@ impl ProfileReport {
 }
 
 fn collect(wall_ns: u64, sched: bds_pool::PoolStats) -> ProfileReport {
-    let stages = STAGES
+    let stages: Vec<StageReport> = STAGES
         .iter()
         .filter_map(|&stage| {
             let slot = &slots()[stage.index()];
@@ -347,6 +347,18 @@ fn collect(wall_ns: u64, sched: bds_pool::PoolStats) -> ProfileReport {
             })
         })
         .collect();
+    // Feedback into the adaptive geometry model: each stage that ran with
+    // known geometry and a measured wall time refines the calibrated
+    // per-block overhead (EWMA; see `bds_cost::calibrate`). Pricing the
+    // element work at one SIMPLE unit is safe because `observe_stage`
+    // discards observations whose residual could plausibly be mispriced
+    // element work — only stages with nearly empty blocks, where the
+    // per-block scheduling cost is actually measurable, feed back.
+    for s in &stages {
+        if s.blocks > 0 && s.elements > 0 && s.total_ns > 0 {
+            bds_cost::calibrate::observe_stage(s.elements, s.blocks, s.total_ns, 1);
+        }
+    }
     ProfileReport {
         wall_ns,
         stages,

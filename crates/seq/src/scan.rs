@@ -46,6 +46,9 @@ where
     S::Item: Clone + Sync,
     F: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
 {
+    // Pin geometry cost-aware before num_blocks touches it: phase 1
+    // streams the input once and pays one combine per element.
+    input.block_size_costed(bds_cost::SIMPLE);
     let nb = input.num_blocks();
     if nb == 0 {
         return (Vec::new(), zero);
@@ -164,6 +167,23 @@ where
         self.input.block_size()
     }
 
+    fn elem_cost(&self) -> bds_cost::ElemCost {
+        self.input.elem_cost() + bds_cost::SIMPLE
+    }
+
+    fn block_size_costed(&self, _downstream: bds_cost::ElemCost) -> usize {
+        // Geometry was pinned by the eager phases 1-2 (block_seeds) and
+        // must be replayed identically in phase 3, whatever the
+        // downstream cost; see `LazyBlockSize`.
+        self.input.block_size()
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        // Always pinned (by block_seeds): zipping a scan with a fresh
+        // sequence aligns the fresh side to the scan's geometry.
+        Some(self.input.block_size())
+    }
+
     fn block(&self, j: usize) -> Self::Block<'_> {
         ScanBlock {
             inner: self.input.block(j),
@@ -191,6 +211,19 @@ where
 
     fn block_size(&self) -> usize {
         self.input.block_size()
+    }
+
+    fn elem_cost(&self) -> bds_cost::ElemCost {
+        self.input.elem_cost() + bds_cost::SIMPLE
+    }
+
+    fn block_size_costed(&self, _downstream: bds_cost::ElemCost) -> usize {
+        // Pinned by the eager phases; see Scanned::block_size_costed.
+        self.input.block_size()
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        Some(self.input.block_size())
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {

@@ -80,6 +80,19 @@ where
         self.bs.get(self.len)
     }
 
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        // One SIMPLE for the index-function application itself.
+        self.bs.get_costed(self.len, downstream + bds_cost::SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.len, hint)
+    }
+
     fn block(&self, j: usize) -> TabulateBlock<'_, F> {
         let (lo, hi) = self.block_bounds(j);
         TabulateBlock {
@@ -154,6 +167,20 @@ impl<'a, T: Clone + Send + Sync> Seq for FromSlice<'a, T> {
         self.bs.get(self.data.len())
     }
 
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        // One SIMPLE for the read + clone.
+        self.bs
+            .get_costed(self.data.len(), downstream + bds_cost::SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.data.len(), hint)
+    }
+
     fn block(&self, j: usize) -> SliceBlock<'_, T> {
         let (lo, hi) = self.block_bounds(j);
         SliceBlock {
@@ -219,6 +246,19 @@ impl<T: Clone + Send + Sync> Seq for Forced<T> {
         self.bs.get(self.data.len())
     }
 
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        self.bs
+            .get_costed(self.data.len(), downstream + bds_cost::SIMPLE)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        self.bs.peek()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        self.bs.get_hinted(self.data.len(), hint)
+    }
+
     fn block(&self, j: usize) -> SliceBlock<'_, T> {
         let (lo, hi) = self.block_bounds(j);
         SliceBlock {
@@ -265,6 +305,22 @@ impl<S: Seq + ?Sized> Seq for &S {
 
     fn block_size(&self) -> usize {
         (**self).block_size()
+    }
+
+    fn elem_cost(&self) -> bds_cost::ElemCost {
+        (**self).elem_cost()
+    }
+
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        (**self).block_size_costed(downstream)
+    }
+
+    fn pinned_block_size(&self) -> Option<usize> {
+        (**self).pinned_block_size()
+    }
+
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        (**self).block_size_hinted(hint)
     }
 
     fn block(&self, j: usize) -> Self::Block<'_> {

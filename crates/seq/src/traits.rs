@@ -58,6 +58,76 @@ pub trait Seq: Send + Sync {
     /// (plus, for region-based sequences, an O(log) binary search).
     fn block(&self, j: usize) -> Self::Block<'_>;
 
+    /// Estimated cost of producing one element of this sequence,
+    /// accumulated through the whole delayed pipeline (in the abstract
+    /// units of [`bds_cost::model`]; one [`bds_cost::SIMPLE`] per
+    /// source lookup or adaptor stage).
+    ///
+    /// Consulted by [`crate::Policy::Adaptive`] when geometry resolves:
+    /// a costlier pipeline justifies more blocks. The default —
+    /// appropriate for external implementations that don't track
+    /// costs — prices the sequence as one simple pass.
+    fn elem_cost(&self) -> bds_cost::ElemCost {
+        bds_cost::SIMPLE
+    }
+
+    /// Resolve (and pin) this sequence's block geometry knowing that
+    /// each element will additionally pay `downstream` cost units after
+    /// leaving the pipeline (the consumer's combine/write cost plus any
+    /// outer adaptors').
+    ///
+    /// Adaptors implement this by adding their own per-element cost and
+    /// delegating inward, so the source's [`crate::policy::LazyBlockSize`]
+    /// resolves against the *total* pipeline cost — the invariant each
+    /// implementation maintains is that the source ultimately sees
+    /// `downstream + self.elem_cost()`. Sequences whose geometry is
+    /// already pinned (eager phases) ignore `downstream`; the default
+    /// simply forwards to [`Seq::block_size`], which keeps external
+    /// implementations correct (they just price as one simple pass).
+    ///
+    /// Consumers call this once, before [`Seq::num_blocks`], so the
+    /// cost-aware resolution wins the pinning race.
+    fn block_size_costed(&self, downstream: bds_cost::ElemCost) -> usize {
+        let _ = downstream;
+        self.block_size()
+    }
+
+    /// The block size this sequence is already *pinned* to, or `None`
+    /// while its geometry is still free to be chosen at consumption.
+    ///
+    /// Under [`crate::Policy::Adaptive`] the solved geometry depends on
+    /// inputs that vary over time (the live worker count, the
+    /// EWMA-refined per-block overhead), so two resolutions of the same
+    /// `(n, cost)` at different instants may disagree. [`Seq::zip`]
+    /// therefore cannot rely on resolving both sides independently: it
+    /// asks each side whether it is pinned, lets a pinned side dictate
+    /// the geometry, and aligns the free side to it with
+    /// [`Seq::block_size_hinted`]. Adaptors delegate inward; sequences
+    /// owning a [`crate::policy::LazyBlockSize`] report its resolved
+    /// state without resolving it. The default — right for external
+    /// implementations whose `block_size` is a pure function — is
+    /// `None`, which lets zip align them by hint.
+    fn pinned_block_size(&self) -> Option<usize> {
+        None
+    }
+
+    /// Resolve (and pin) this sequence's geometry to `hint` if it is
+    /// still unpinned, and return the final block size — `hint` on
+    /// adoption, the previously pinned size otherwise (an active
+    /// [`crate::policy::force_block_size`] override also still wins).
+    ///
+    /// This is the alignment half of the [`Seq::pinned_block_size`]
+    /// protocol: `zip` calls it on the unpinned side with the pinned
+    /// side's block size so both sides stream identically even though
+    /// the adaptive policy's inputs changed in between. The default
+    /// ignores the hint and reports [`Seq::block_size`], which is
+    /// correct for external implementations with deterministic
+    /// geometry (a mismatch is then caught by zip's alignment check).
+    fn block_size_hinted(&self, hint: usize) -> usize {
+        let _ = hint;
+        self.block_size()
+    }
+
     /// True if the sequence has no elements.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -96,10 +166,11 @@ pub trait Seq: Send + Sync {
     ///
     /// # Panics
     /// Panics immediately if lengths differ. Block alignment is checked
-    /// when the zip is *consumed* — geometry resolves against the
-    /// consuming pool, so two same-length unpinned sides always agree;
-    /// a mismatch can only arise when a side was already pinned under a
-    /// different block-size policy.
+    /// when the zip is *consumed*: a side whose geometry is already
+    /// pinned dictates the block size and the free side adopts it (see
+    /// [`Seq::pinned_block_size`]), so a mismatch can only arise when
+    /// *both* sides were already pinned under different block-size
+    /// policies.
     fn zip<B>(self, other: B) -> Zip<Self, B>
     where
         Self: Sized,

@@ -1,0 +1,167 @@
+//! Integration tests for the adaptive block-geometry policy: the block
+//! count a pipeline resolves at consumption time must be valid
+//! (`1..=len`), monotone in the worker count, and never starve a pool on
+//! inputs far larger than the machine.
+//!
+//! Geometry resolution reads process-global state (the policy mode and
+//! the calibration table), so every test here serializes on one mutex.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use bds_cost::geometry::TARGET_BLOCKS_PER_WORKER;
+use bds_seq::prelude::*;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Block count a fresh `n`-element tabulate+reduce pipeline resolves to
+/// when consumed under a `p`-thread pool. A fresh pipeline per call:
+/// geometry pins on first consumption (see `LazyBlockSize`).
+fn adaptive_blocks(n: usize, p: usize) -> usize {
+    let pool = bds_pool::Pool::new(p);
+    pool.install(|| {
+        let s = tabulate(n, |i| i as u64);
+        let sum = s.reduce(0, |a, b| a + b);
+        assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
+        s.num_blocks()
+    })
+}
+
+#[test]
+fn adaptive_block_count_is_valid_and_monotone_in_workers() {
+    let _g = serial();
+    let n = 1usize << 22;
+    let mut prev = 0;
+    for p in [1, 2, 4] {
+        let nb = adaptive_blocks(n, p);
+        assert!(
+            (1..=n).contains(&nb),
+            "P={p}: block count {nb} outside [1, {n}]"
+        );
+        assert!(
+            nb >= prev,
+            "block count must not shrink as workers grow: P={p} gave {nb}, previous pool gave {prev}"
+        );
+        prev = nb;
+    }
+}
+
+#[test]
+fn adaptive_never_starves_workers_on_large_inputs() {
+    // Regression: for len ≫ procs the solver must hand every worker at
+    // least one block (and stay within the 8-per-worker target).
+    let _g = serial();
+    let n = 1usize << 22;
+    for p in [2, 4] {
+        let nb = adaptive_blocks(n, p);
+        assert!(nb >= p, "P={p}: only {nb} blocks for {n} elements");
+        assert!(
+            nb <= TARGET_BLOCKS_PER_WORKER * p,
+            "P={p}: {nb} blocks exceeds the {TARGET_BLOCKS_PER_WORKER}-per-worker target"
+        );
+    }
+}
+
+#[test]
+fn tiny_inputs_resolve_to_one_block() {
+    // 64 elements cannot amortize even one extra block's overhead at the
+    // calibration clamps, whatever this machine measures.
+    let _g = serial();
+    let pool = bds_pool::Pool::new(4);
+    pool.install(|| {
+        let s = tabulate(64, |i| i);
+        assert_eq!(s.reduce(0, |a, b| a + b), 64 * 63 / 2);
+        assert_eq!(s.num_blocks(), 1);
+    });
+}
+
+#[test]
+fn fixed_policy_matches_seed_heuristic() {
+    // Policy::fixed(k) must reproduce the pre-adaptive geometry exactly:
+    // bs = max(MIN_BLOCK, ceil(n / kP)).
+    let _g = serial();
+    let _p = bds_seq::set_policy(bds_seq::Policy::fixed(8));
+    let pool = bds_pool::Pool::new(2);
+    let n = 1usize << 20;
+    let (bs, nb) = pool.install(|| {
+        let s = tabulate(n, |i| i as u64);
+        assert_eq!(s.reduce(0, |a, b| a + b), (n as u64 - 1) * n as u64 / 2);
+        (s.block_size(), s.num_blocks())
+    });
+    let want_bs = n.div_ceil(8 * 2).max(bds_seq::MIN_BLOCK);
+    assert_eq!(bs, want_bs);
+    assert_eq!(nb, n.div_ceil(want_bs));
+}
+
+#[test]
+fn zip_aligns_fresh_side_to_scan_pinned_under_other_pool() {
+    // Regression: adaptive geometry depends on time-varying inputs (live
+    // worker count, refined overhead), so a scan pinned under one pool
+    // and a fresh sequence resolved under another could disagree — zip
+    // must align the fresh side to the pinned one instead of resolving
+    // both independently.
+    let _g = serial();
+    let n = 1usize << 20;
+    let scanned = {
+        let pool = bds_pool::Pool::new(4);
+        pool.install(|| tabulate(n, |i| (i % 7) as u64).scan(0, |a, b| a + b).0)
+    };
+    let pinned = scanned.block_size();
+    let pool = bds_pool::Pool::new(2);
+    let (bs, total) = pool.install(|| {
+        let fresh = tabulate(n, |_| 1u64);
+        let z = (&scanned).zip_with(fresh, |a, b| a + b);
+        let bs = z.block_size();
+        (bs, z.reduce(0, |a, b| a + b))
+    });
+    assert_eq!(bs, pinned, "fresh side must adopt the scan's pinned geometry");
+    let mut want = n as u64; // the +1 per element
+    let mut acc = 0u64;
+    for i in 0..n as u64 {
+        want += acc;
+        acc += i % 7;
+    }
+    assert_eq!(total, want);
+}
+
+#[test]
+fn policy_guard_restores_adaptive_default() {
+    let _g = serial();
+    {
+        let _p = bds_seq::set_policy(bds_seq::Policy::fixed(4));
+        assert_eq!(bds_seq::policy(), bds_seq::Policy::fixed(4));
+    }
+    assert_eq!(bds_seq::policy(), bds_seq::Policy::Adaptive);
+}
+
+/// A panic injected mid-pipeline must propagate cleanly through the
+/// adaptive geometry path (cancellation and drop-safety are orthogonal
+/// to how the block count was chosen).
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_panic_propagates_through_adaptive_path() {
+    use bds_seq::faults;
+    let _g = serial();
+    let pool = bds_pool::Pool::new(4);
+    let n = 1usize << 18;
+    let _armed = faults::arm(n as u64 / 2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            tabulate(n, |i| {
+                faults::poll_panic();
+                i as u64
+            })
+            .reduce(0, |a, b| a + b)
+        })
+    }));
+    let payload = result.expect_err("the armed fault must surface at the join");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "injected fault");
+    // The pool stays usable after the unwound region.
+    let ok = pool.install(|| tabulate(1000, |i| i).reduce(0, |a, b| a + b));
+    assert_eq!(ok, 999 * 1000 / 2);
+}

@@ -3,11 +3,13 @@
 
 Two input formats:
 
-* JSON emitted by the figure binaries' ``--json`` flag (schema
-  ``bds-bench/v1``): renders a table per (op, P) with min/mean/stddev
-  times, peak heap, block geometry, and scheduler steal counts, plus the
-  array/delay and rad/delay ratios (computed from *min* times — the
-  noise-robust statistic).
+* JSON emitted by the figure binaries' ``--json`` flag (schemas
+  ``bds-bench/v1`` and ``bds-bench/v2``): renders a table per (op, P)
+  with min/mean/stddev times, peak heap, block geometry, and scheduler
+  steal counts, plus the array/delay and rad/delay ratios (computed
+  from *min* times — the noise-robust statistic). v2 adds a per-record
+  ``policy`` label (the geometry binary's sweep); records are then
+  grouped per (op, P, policy).
 * Legacy criterion plain text (``bench_output.txt``): parsed as before.
 
 Usage: summarize_bench.py [out.json | bench_output.txt]
@@ -17,7 +19,7 @@ import re
 import sys
 from collections import OrderedDict
 
-SUPPORTED_SCHEMAS = {"bds-bench/v1"}
+SUPPORTED_SCHEMAS = {"bds-bench/v1", "bds-bench/v2"}
 
 
 def fmt_s(secs):
@@ -37,17 +39,21 @@ def summarize_json(doc):
     if schema not in SUPPORTED_SCHEMAS:
         sys.exit(f"error: unsupported schema {schema!r} (supported: {sorted(SUPPORTED_SCHEMAS)})")
     print(f"{doc['figure']} (scale {doc['scale']}, max procs {doc['max_procs']})")
-    groups = OrderedDict()  # (op, procs) -> {library: record}
+    groups = OrderedDict()  # (op, procs, policy) -> {library: record}
     for rec in doc["records"]:
-        groups.setdefault((rec["op"], rec["procs"]), OrderedDict())[rec["library"]] = rec
-    for (op, procs), libs in groups.items():
+        key = (rec["op"], rec["procs"], rec.get("policy"))
+        groups.setdefault(key, OrderedDict())[rec["library"]] = rec
+    for (op, procs, policy), libs in groups.items():
         parts = []
         for lib, r in libs.items():
             cell = f"{lib}={fmt_s(r['min_s'])}"
             if r["stddev_s"] and r["mean_s"]:
                 cell += f" (mean {fmt_s(r['mean_s'])} ±{fmt_s(r['stddev_s'])})"
             parts.append(cell)
-        line = f"{op} P={procs}: " + "  ".join(parts)
+        head = f"{op} P={procs}"
+        if policy:
+            head += f" policy={policy}"
+        line = head + ": " + "  ".join(parts)
         ours = libs.get("delay") or libs.get("static")
         ref = libs.get("array") or libs.get("dynamic") or libs.get("rad")
         if ref and ours and ours["min_s"] > 0:
