@@ -220,6 +220,50 @@ pub fn max_procs() -> usize {
         .max(2)
 }
 
+/// Shared seed plumbing for reproducible harness runs.
+///
+/// The differential checker (`bds-check`) and any bench harness that
+/// wants replayable randomness agree on one derivation scheme: a
+/// **master seed** (CLI flag or the [`seed::SEED_ENV`] environment
+/// variable) is split into per-case **subseeds** with SplitMix64, so a
+/// single printed subseed reproduces one case without re-running the
+/// whole sweep.
+pub mod seed {
+    /// Environment variable carrying a master seed (decimal or
+    /// `0x`-prefixed hex). A failing `bds-check` case prints the
+    /// offending subseed in `BDS_CHECK_SEED=<n>` form so pasting that
+    /// line in front of any `cargo run` replays it.
+    pub const SEED_ENV: &str = "BDS_CHECK_SEED";
+
+    /// SplitMix64 finalizer: the standard 64-bit mix used to
+    /// decorrelate derived seeds.
+    pub fn splitmix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derive the subseed of case number `k` under `master`. Distinct
+    /// `(master, k)` pairs give decorrelated streams; the same pair
+    /// always gives the same subseed.
+    pub fn subseed(master: u64, k: u64) -> u64 {
+        splitmix64(master ^ splitmix64(k))
+    }
+
+    /// Read a seed from [`SEED_ENV`], if set and parsable (decimal or
+    /// `0x` hex).
+    pub fn from_env() -> Option<u64> {
+        let v = std::env::var(SEED_ENV).ok()?;
+        let v = v.trim();
+        if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            v.parse().ok()
+        }
+    }
+}
+
 /// The processor counts for the Figure 15 sweep: 1, 2, 4, ... up to and
 /// including `max`.
 pub fn proc_sweep(max: usize) -> Vec<usize> {
@@ -268,6 +312,15 @@ mod tests {
         assert!(max_procs() >= 2, "zero is not a worker count");
         std::env::remove_var("BDS_NUM_THREADS");
         assert!(max_procs() >= 2);
+    }
+
+    #[test]
+    fn subseeds_are_deterministic_and_distinct() {
+        assert_eq!(seed::subseed(42, 7), seed::subseed(42, 7));
+        assert_ne!(seed::subseed(42, 7), seed::subseed(42, 8));
+        assert_ne!(seed::subseed(42, 7), seed::subseed(43, 7));
+        // splitmix64 is a bijection, so 0 is not a fixed point trap.
+        assert_ne!(seed::splitmix64(0), 0);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! The random-pipeline AST and its operator vocabulary.
+//!
+//! A [`Pipeline`] is a linear chain: one [`Source`], zero or more
+//! [`Stage`]s, one [`Consumer`], and optionally one injected [`Fault`].
+//! Every operator is *total* — lengths are clamped, zip partners are
+//! indexed modulo their data — so the shrinker can drop any stage and
+//! still have a well-formed pipeline.
+//!
+//! Element type is `u64` throughout, with wrapping arithmetic, so every
+//! operator family contains associative (and some non-commutative)
+//! members without overflow-dependent behavior.
+//!
+//! Fault-site discipline: injected faults only wrap **element-wise**
+//! closures (map bodies and filter/count predicates). Combiner closures
+//! of `reduce`/`scan` are never poisoned: a two-phase reduction applies
+//! the combiner to a different argument-pair multiset than a sequential
+//! fold (block-leading elements never appear as a second argument, and
+//! partial block sums are geometry-dependent), so a value-triggered
+//! fault there could legitimately fire under one block geometry and not
+//! another — that is not a fusion bug. Element-wise closures, by
+//! contrast, see exactly the element stream, which fusion must preserve
+//! bit-for-bit; a fault there must surface identically everywhere.
+
+use std::sync::Arc;
+
+/// Panic payload marker for injected faults. The runner classifies a
+/// caught panic as *injected* iff its payload contains this string.
+pub const FAULT_MARKER: &str = "bds-check: injected fault";
+
+/// Error code produced by `Err`-mode injected faults.
+pub const FAULT_ERR: u64 = 0xBD5_FA17;
+
+/// Erased element-wise map closure.
+pub type F1 = Arc<dyn Fn(u64) -> u64 + Send + Sync>;
+/// Erased predicate closure.
+pub type FP = Arc<dyn Fn(&u64) -> bool + Send + Sync>;
+/// Erased fallible predicate closure.
+pub type FPR = Arc<dyn Fn(&u64) -> Result<bool, u64> + Send + Sync>;
+/// Erased binary combiner closure.
+pub type F2 = Arc<dyn Fn(u64, u64) -> u64 + Send + Sync>;
+
+/// Element-wise map operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// `x + c` (wrapping).
+    AddC(u64),
+    /// `x ^ c`.
+    XorC(u64),
+    /// `x * c` (wrapping; `c` odd so the map is a bijection).
+    MulC(u64),
+    /// `rotate_left(x, r)`.
+    Rot(u32),
+}
+
+impl MapOp {
+    /// Pure semantics.
+    pub fn apply(self, x: u64) -> u64 {
+        match self {
+            MapOp::AddC(c) => x.wrapping_add(c),
+            MapOp::XorC(c) => x ^ c,
+            MapOp::MulC(c) => x.wrapping_mul(c | 1),
+            MapOp::Rot(r) => x.rotate_left(r % 64),
+        }
+    }
+
+    /// Closure form, optionally poisoned: panics with [`FAULT_MARKER`]
+    /// when the *input* equals `poison`.
+    pub fn closure(self, poison: Option<u64>) -> F1 {
+        Arc::new(move |x| {
+            if Some(x) == poison {
+                panic!("{FAULT_MARKER}");
+            }
+            self.apply(x)
+        })
+    }
+}
+
+/// Element-wise predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// `x % m == r` (`m` is forced ≥ 1).
+    ModEq(u64, u64),
+    /// `x < c`.
+    Lt(u64),
+    /// Bit `b % 64` of `x` is set.
+    BitSet(u32),
+}
+
+impl PredOp {
+    /// Pure semantics.
+    pub fn apply(self, x: u64) -> bool {
+        match self {
+            PredOp::ModEq(m, r) => {
+                let m = m.max(1);
+                x % m == r % m
+            }
+            PredOp::Lt(c) => x < c,
+            PredOp::BitSet(b) => (x >> (b % 64)) & 1 == 1,
+        }
+    }
+
+    /// Closure form, optionally panic-poisoned on its input value.
+    pub fn closure(self, poison: Option<u64>) -> FP {
+        Arc::new(move |&x| {
+            if Some(x) == poison {
+                panic!("{FAULT_MARKER}");
+            }
+            self.apply(x)
+        })
+    }
+
+    /// Fallible closure form: `Err(FAULT_ERR)` when the input equals
+    /// `err_poison`, panic when it equals `panic_poison`.
+    pub fn try_closure(self, panic_poison: Option<u64>, err_poison: Option<u64>) -> FPR {
+        Arc::new(move |&x| {
+            if Some(x) == panic_poison {
+                panic!("{FAULT_MARKER}");
+            }
+            if Some(x) == err_poison {
+                return Err(FAULT_ERR);
+            }
+            Ok(self.apply(x))
+        })
+    }
+}
+
+/// Associative binary combiners for `reduce`/`scan`. All are
+/// associative on `u64` with wrapping arithmetic; [`CombOp::Affine`] is
+/// deliberately **non-commutative**, so any reduction or scan that
+/// reorders (rather than just reassociates) its operands is caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombOp {
+    /// Wrapping addition, identity 0.
+    Add,
+    /// Bitwise xor, identity 0.
+    Xor,
+    /// Maximum, identity 0.
+    Max,
+    /// Minimum, identity `u64::MAX`.
+    Min,
+    /// Composition of affine maps over `Z/2^32`: a value packs
+    /// `(m, c)` as `m << 32 | c`, and `a ∘ b` ("apply `a`, then `b`")
+    /// is `(m_a·m_b, c_a·m_b + c_b)`. Identity is `(1, 0)`.
+    /// Associative, not commutative.
+    Affine,
+}
+
+impl CombOp {
+    /// The operator's identity element (used as the `zero` argument of
+    /// every library's `reduce`/`scan`).
+    pub fn identity(self) -> u64 {
+        match self {
+            CombOp::Add | CombOp::Xor | CombOp::Max => 0,
+            CombOp::Min => u64::MAX,
+            CombOp::Affine => 1 << 32,
+        }
+    }
+
+    /// Pure semantics.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            CombOp::Add => a.wrapping_add(b),
+            CombOp::Xor => a ^ b,
+            CombOp::Max => a.max(b),
+            CombOp::Min => a.min(b),
+            CombOp::Affine => {
+                let (ma, ca) = ((a >> 32) as u32, a as u32);
+                let (mb, cb) = ((b >> 32) as u32, b as u32);
+                let m = ma.wrapping_mul(mb);
+                let c = ca.wrapping_mul(mb).wrapping_add(cb);
+                ((m as u64) << 32) | c as u64
+            }
+        }
+    }
+
+    /// Closure form. Never poisoned — see the module docs.
+    pub fn closure(self) -> F2 {
+        Arc::new(move |a, b| self.apply(a, b))
+    }
+}
+
+/// How a zip combines an element with its partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipComb {
+    /// `x + o` (wrapping).
+    Add,
+    /// `x - o` (wrapping; order-sensitive).
+    Sub,
+    /// `x ^ o`.
+    Xor,
+}
+
+impl ZipComb {
+    /// Pure semantics (`x` is the pipeline element, `o` the partner).
+    pub fn apply(self, x: u64, o: u64) -> u64 {
+        match self {
+            ZipComb::Add => x.wrapping_add(o),
+            ZipComb::Sub => x.wrapping_sub(o),
+            ZipComb::Xor => x ^ o,
+        }
+    }
+}
+
+/// Pipeline sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// `0, 1, ..., n-1`, fully delayed (`tabulate`).
+    Iota(usize),
+    /// `f(i) = a·i + b` (wrapping), fully delayed (`tabulate`).
+    TabAffine {
+        /// Number of elements.
+        n: usize,
+        /// Slope.
+        a: u64,
+        /// Intercept.
+        b: u64,
+    },
+    /// A materialized vector (`from-vec`).
+    FromVec(Vec<u64>),
+    /// Concatenation of inner vectors (`flatten` as a source).
+    Flatten(Vec<Vec<u64>>),
+}
+
+impl Source {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Source::Iota(n) | Source::TabAffine { n, .. } => *n,
+            Source::FromVec(v) => v.len(),
+            Source::Flatten(parts) => parts.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// True if the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the source sequentially (oracle view).
+    pub fn eval(&self) -> Vec<u64> {
+        match self {
+            Source::Iota(n) => (0..*n as u64).collect(),
+            Source::TabAffine { n, a, b } => (0..*n as u64)
+                .map(|i| a.wrapping_mul(i).wrapping_add(*b))
+                .collect(),
+            Source::FromVec(v) => v.clone(),
+            Source::Flatten(parts) => parts.iter().flatten().copied().collect(),
+        }
+    }
+}
+
+/// Pipeline stages (adaptors). `Take`/`Skip` clamp to the current
+/// length; `ZipData` indexes its partner modulo the data length — all
+/// stages are total so any stage list is well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stage {
+    /// Element-wise map.
+    Map(MapOp),
+    /// Zip with `iota` (partner of element `i` is `i as u64`).
+    ZipIota(ZipComb),
+    /// Zip with a fresh data vector, partner `data[i % data.len()]`
+    /// (the vector is never empty).
+    ZipData(ZipComb, Vec<u64>),
+    /// Keep elements satisfying the predicate.
+    Filter(PredOp),
+    /// `filterOp`/`mapMaybe`: keep `map(x)` when `pred(x)`.
+    FilterOp(PredOp, MapOp),
+    /// Exclusive scan seeded with the operator's identity (total
+    /// discarded).
+    Scan(CombOp),
+    /// Inclusive scan seeded with the operator's identity.
+    ScanIncl(CombOp),
+    /// First `k` elements (clamped).
+    Take(usize),
+    /// Drop the first `k` elements (clamped).
+    Skip(usize),
+    /// Reverse.
+    Rev,
+}
+
+/// Pipeline consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consumer {
+    /// Materialize to a vector.
+    ToVec,
+    /// Force, then read the forced array back (exercises the dedicated
+    /// force/materialize path where it differs from `to_vec`).
+    Force,
+    /// Two-phase reduction with the operator's identity as zero.
+    Reduce(CombOp),
+    /// Count elements satisfying a predicate.
+    Count(PredOp),
+    /// Filter then materialize.
+    FilterCollect(PredOp),
+    /// Fallible reduction (the combiner is total, so this always takes
+    /// the `Ok` path; it exercises the `try_` plumbing).
+    TryReduce(CombOp),
+    /// Fallible filter-collect; the only legal site for `Err`-mode
+    /// faults (its predicate sees every element exactly once in every
+    /// lowering).
+    TryFilterCollect(PredOp),
+}
+
+/// Where a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The element-wise closure of stage `i` (must be `Map`, `Filter`
+    /// or `FilterOp`).
+    Stage(usize),
+    /// The consumer's predicate (must be `Count`, `FilterCollect` or
+    /// `TryFilterCollect`).
+    Consumer,
+}
+
+/// How the fault surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The poisoned closure panics with [`FAULT_MARKER`].
+    Panic,
+    /// The poisoned predicate returns `Err(FAULT_ERR)`; only legal at
+    /// [`FaultSite::Consumer`] when the consumer is
+    /// [`Consumer::TryFilterCollect`].
+    Err,
+}
+
+/// A value-triggered injected fault: the closure at `site` misbehaves
+/// when its input equals `poison`. Value-triggered (rather than
+/// count-triggered) faults fire identically under every block geometry
+/// and schedule, because fusion preserves the element stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Which closure is poisoned.
+    pub site: FaultSite,
+    /// The triggering input value.
+    pub poison: u64,
+    /// Panic or `Err`.
+    pub mode: FaultMode,
+}
+
+/// A complete pipeline: source → stages → consumer, plus an optional
+/// injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Where elements come from.
+    pub source: Source,
+    /// The adaptor chain.
+    pub stages: Vec<Stage>,
+    /// How the pipeline is consumed.
+    pub consumer: Consumer,
+    /// Optional injected fault.
+    pub fault: Option<Fault>,
+}
+
+impl Pipeline {
+    /// The panic poison for stage `i`, if any.
+    pub fn stage_panic_poison(&self, i: usize) -> Option<u64> {
+        match self.fault {
+            Some(Fault {
+                site: FaultSite::Stage(s),
+                poison,
+                mode: FaultMode::Panic,
+            }) if s == i => Some(poison),
+            _ => None,
+        }
+    }
+
+    /// The consumer predicate's panic poison, if any.
+    pub fn consumer_panic_poison(&self) -> Option<u64> {
+        match self.fault {
+            Some(Fault {
+                site: FaultSite::Consumer,
+                poison,
+                mode: FaultMode::Panic,
+            }) => Some(poison),
+            _ => None,
+        }
+    }
+
+    /// The consumer predicate's `Err` poison, if any.
+    pub fn consumer_err_poison(&self) -> Option<u64> {
+        match self.fault {
+            Some(Fault {
+                site: FaultSite::Consumer,
+                poison,
+                mode: FaultMode::Err,
+            }) => Some(poison),
+            _ => None,
+        }
+    }
+
+    /// A copy with the fault removed.
+    pub fn without_fault(&self) -> Pipeline {
+        Pipeline {
+            fault: None,
+            ..self.clone()
+        }
+    }
+}
+
+/// The result of consuming a pipeline under one evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A materialized vector (`ToVec`, `Force`, `FilterCollect`, and
+    /// the `Ok` side of `TryFilterCollect`).
+    Value(Vec<u64>),
+    /// A scalar (`Reduce` and the `Ok` side of `TryReduce`).
+    Scalar(u64),
+    /// A count (`Count`).
+    Num(usize),
+    /// The `Err` side of a `try_` consumer.
+    ErrCode(u64),
+    /// The evaluation panicked; `injected` is true iff the payload
+    /// carried [`FAULT_MARKER`]. Payload text is reported separately —
+    /// two injected panics are equal regardless of unwind path.
+    Panicked {
+        /// Whether the panic payload carried [`FAULT_MARKER`].
+        injected: bool,
+    },
+}
+
+impl Outcome {
+    /// Short human description for divergence reports.
+    pub fn brief(&self) -> String {
+        match self {
+            Outcome::Value(v) if v.len() > 8 => {
+                format!("Value(len {}, head {:?}…)", v.len(), &v[..8])
+            }
+            Outcome::Value(v) => format!("Value({v:?})"),
+            Outcome::Scalar(x) => format!("Scalar({x:#x})"),
+            Outcome::Num(n) => format!("Num({n})"),
+            Outcome::ErrCode(e) => format!("ErrCode({e:#x})"),
+            Outcome::Panicked { injected } => format!("Panicked {{ injected: {injected} }}"),
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! # bds-check — differential correctness harness
+//!
+//! Seeded random-pipeline fuzzing across the three implementations this
+//! repo compares (`array`, `rad`, the static block-delayed `bds-seq`)
+//! plus the dynamic [`bds_seq::dynseq::DSeq`] union, against a
+//! straight-line sequential oracle — under a matrix of block-geometry
+//! policies and pool widths, with optional fault injection and
+//! bit-for-bit deterministic replay.
+//!
+//! ## Structure
+//!
+//! - [`ast`]: the pipeline AST (sources, stages, consumers, faults) and
+//!   the [`ast::Outcome`] type evaluations are compared on.
+//! - [`gen`]: the seeded generator — one subseed, one pipeline.
+//! - [`eval`]: five lowerings of one AST, sharing one closure-builder
+//!   layer so injected faults behave identically everywhere.
+//! - [`runner`]: the configuration matrix, divergence checker, greedy
+//!   shrinker, and deterministic replay/recording.
+//!
+//! ## Replaying a failure
+//!
+//! Every failing case prints `BDS_CHECK_SEED=<subseed>`. Re-run just
+//! that case — same pipeline, same seeded schedule, same geometry —
+//! with:
+//!
+//! ```text
+//! cargo run -p bds-check -- --replay <subseed>
+//! ```
+//!
+//! or set the environment variable `BDS_CHECK_SEED=<subseed>` and rerun
+//! the harness; it fuzzes with that master seed.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod gen;
+pub mod runner;
+
+use ast::Pipeline;
+use runner::{check_pipeline, shrink, verify_determinism, Divergence, Pools, QuietPanics};
+
+/// Pin the cost-model calibration for the duration of a run so
+/// `Adaptive` geometry decisions are pure functions of (length,
+/// cost-annotation, worker count) — never of measured timings. Hold the
+/// returned guard for the whole run.
+pub fn calibration_pin() -> bds_cost::CalibrationOverride {
+    bds_cost::override_calibration(bds_cost::Calibration {
+        ns_per_work: 1.0,
+        block_overhead_ns: 100.0,
+    })
+}
+
+/// One failing case of a fuzz run.
+pub struct FailureReport {
+    /// The subseed that generated the pipeline (replay with
+    /// `--replay <subseed>`).
+    pub subseed: u64,
+    /// The generated pipeline.
+    pub pipeline: Pipeline,
+    /// Its greedily shrunk local minimum (`None` when the failure was a
+    /// determinism violation rather than a divergence).
+    pub shrunk: Option<Pipeline>,
+    /// Every diverging matrix cell of the original pipeline.
+    pub divergences: Vec<Divergence>,
+    /// Set when the periodic replay self-check found two runs of the
+    /// same subseed disagreeing.
+    pub determinism_error: Option<String>,
+}
+
+/// The summary of a fuzz run.
+pub struct FuzzReport {
+    /// The master seed the run derived its subseeds from.
+    pub master: u64,
+    /// How many pipelines were generated and checked.
+    pub checked: usize,
+    /// Every failing case, in discovery order.
+    pub failures: Vec<FailureReport>,
+}
+
+impl FuzzReport {
+    /// True when every pipeline agreed everywhere and every sampled
+    /// replay was deterministic.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// How often the fuzz loop replays a case twice to verify determinism
+/// (in addition to checking correctness of every case).
+const SELF_CHECK_PERIOD: usize = 128;
+
+/// Fuzz `count` pipelines derived from `master`, checking each against
+/// the oracle under the full configuration matrix. Failing cases are
+/// shrunk and reported on stderr (with their `BDS_CHECK_SEED`) as they
+/// are found; progress goes to stderr every 1000 pipelines when
+/// `verbose`.
+pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
+    let _cal = calibration_pin();
+    let _quiet = QuietPanics::install();
+    let mut pools = Pools::new(master);
+    let mut failures = Vec::new();
+    for k in 0..count {
+        let subseed = bds_bench::seed::subseed(master, k as u64);
+        let pipeline = gen::gen_pipeline(subseed);
+        runner::assert_fault_legal(&pipeline);
+        let divergences = check_pipeline(&pipeline, &mut pools);
+        if !divergences.is_empty() {
+            let shrunk = shrink(&pipeline, &mut pools);
+            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None);
+            failures.push(FailureReport {
+                subseed,
+                pipeline,
+                shrunk: Some(shrunk),
+                divergences,
+                determinism_error: None,
+            });
+        } else if k % SELF_CHECK_PERIOD == SELF_CHECK_PERIOD / 2 {
+            if let Err(e) = verify_determinism(&pipeline, subseed) {
+                report_failure(subseed, &pipeline, None, &[], Some(&e));
+                failures.push(FailureReport {
+                    subseed,
+                    pipeline,
+                    shrunk: None,
+                    divergences: Vec::new(),
+                    determinism_error: Some(e),
+                });
+            }
+        }
+        if verbose && (k + 1) % 1000 == 0 {
+            eprintln!(
+                "bds-check: {}/{} pipelines checked, {} failure(s)",
+                k + 1,
+                count,
+                failures.len(),
+            );
+        }
+    }
+    FuzzReport {
+        master,
+        checked: count,
+        failures,
+    }
+}
+
+fn report_failure(
+    subseed: u64,
+    pipeline: &Pipeline,
+    shrunk: Option<&Pipeline>,
+    divergences: &[Divergence],
+    determinism_error: Option<&str>,
+) {
+    eprintln!("bds-check: FAILURE  BDS_CHECK_SEED={subseed}");
+    eprintln!("  pipeline: {pipeline:?}");
+    if let Some(e) = determinism_error {
+        eprintln!("  determinism: {e}");
+    }
+    for d in divergences {
+        eprintln!("  diverged: {}", d.describe());
+    }
+    if let Some(s) = shrunk {
+        eprintln!("  shrunk:   {s:?}");
+    }
+    eprintln!("  replay:   cargo run -p bds-check -- --replay {subseed}");
+}
+
+/// Replay one subseed: regenerate its pipeline, run the full matrix
+/// twice from fresh seeded pools with geometry recording, verify the
+/// two passes agree bit-for-bit, and report any divergence from the
+/// oracle. Returns `true` when the case is clean (deterministic and
+/// divergence-free).
+pub fn replay(subseed: u64) -> bool {
+    let _cal = calibration_pin();
+    let _quiet = QuietPanics::install();
+    let pipeline = gen::gen_pipeline(subseed);
+    eprintln!("bds-check: replaying BDS_CHECK_SEED={subseed}");
+    eprintln!("  pipeline: {pipeline:?}");
+    match verify_determinism(&pipeline, subseed) {
+        Err(e) => {
+            eprintln!("  NOT deterministic: {e}");
+            false
+        }
+        Ok(run) => {
+            eprintln!(
+                "  deterministic: {} matrix cells, {} geometry decisions, both passes identical",
+                run.outcomes.len(),
+                run.geometry.len(),
+            );
+            if run.divergences.is_empty() {
+                eprintln!("  no divergence from the oracle");
+                true
+            } else {
+                for d in &run.divergences {
+                    eprintln!("  diverged: {}", d.describe());
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Serializes tests that touch process-global state (policy guards,
+/// geometry recording, panic hooks) within this crate's test binary.
+#[cfg(test)]
+pub(crate) mod test_sync {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        LOCK.get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        let _lock = test_sync::lock();
+        let report = run_fuzz(42, 40, false);
+        assert_eq!(report.checked, 40);
+        assert!(
+            report.clean(),
+            "divergences: {:?}",
+            report
+                .failures
+                .iter()
+                .flat_map(|f| f.divergences.iter().map(|d| d.describe()))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn replay_of_a_clean_seed_is_clean() {
+        let _lock = test_sync::lock();
+        assert!(replay(bds_bench::seed::subseed(42, 3)));
+    }
+}

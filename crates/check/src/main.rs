@@ -1,0 +1,61 @@
+//! CLI entry point for the differential checker.
+//!
+//! ```text
+//! bds-check [--pipelines N] [--seed S] [--replay SUBSEED]
+//! ```
+//!
+//! - `--pipelines N` — how many random pipelines to fuzz (default 500).
+//! - `--seed S` — master seed (default: the `BDS_CHECK_SEED`
+//!   environment variable if set, else 42). Decimal or `0x` hex.
+//! - `--replay SUBSEED` — skip fuzzing; regenerate one case and verify
+//!   it replays bit-for-bit (schedule, geometry, outcomes).
+//!
+//! Exits nonzero on any divergence or determinism violation.
+
+use bds_bench::{arg_value, seed};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    if let Some(sub) = arg_value("--replay") {
+        let Some(sub) = parse_u64(&sub) else {
+            eprintln!("bds-check: --replay takes a decimal or 0x-hex subseed");
+            std::process::exit(2);
+        };
+        std::process::exit(if bds_check::replay(sub) { 0 } else { 1 });
+    }
+
+    let pipelines = arg_value("--pipelines")
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(500);
+    let master = arg_value("--seed")
+        .and_then(|v| parse_u64(&v))
+        .or_else(seed::from_env)
+        .unwrap_or(42);
+
+    println!("bds-check: fuzzing {pipelines} pipelines, master seed {master}");
+    let report = bds_check::run_fuzz(master, pipelines, true);
+    let configs = bds_check::runner::thread_counts().len() * bds_check::runner::Geom::all().len();
+    if report.clean() {
+        println!(
+            "bds-check: OK — {} pipelines x {} configurations, zero divergences (seed {})",
+            report.checked, configs, master,
+        );
+    } else {
+        println!(
+            "bds-check: {} failing case(s) out of {} pipelines (seed {}); \
+             replay any printed BDS_CHECK_SEED with --replay",
+            report.failures.len(),
+            report.checked,
+            master,
+        );
+        std::process::exit(1);
+    }
+}

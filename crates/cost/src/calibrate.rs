@@ -28,7 +28,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// A snapshot of the process-wide calibration table.
@@ -112,9 +112,47 @@ pub fn block_overhead_ns() -> f64 {
     }
 }
 
+/// A pinned calibration installed by [`override_calibration`]. `None`
+/// means "measure normally".
+static CAL_OVERRIDE: Mutex<Option<Calibration>> = Mutex::new(None);
+
+/// RAII guard returned by [`override_calibration`]; restores the
+/// previous calibration state (including an outer override) on drop.
+#[must_use = "dropping the guard immediately removes the override"]
+pub struct CalibrationOverride {
+    prev: Option<Calibration>,
+}
+
+/// Pin [`calibration`] to a fixed synthetic table until the returned
+/// guard drops.
+///
+/// The override is **process-global**: it replaces both the measured
+/// `ns_per_work` and any runtime-refined `block_overhead_ns` for every
+/// thread, making all downstream geometry decisions pure functions of
+/// `(len, cost, workers)`. This is the determinism hook used by the
+/// `bds-check` differential harness and by tests that must reproduce
+/// block geometry bit-for-bit; overrides nest (inner guard restores the
+/// outer override).
+pub fn override_calibration(cal: Calibration) -> CalibrationOverride {
+    let mut slot = CAL_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = slot.replace(cal);
+    CalibrationOverride { prev }
+}
+
+impl Drop for CalibrationOverride {
+    fn drop(&mut self) {
+        let mut slot = CAL_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = self.prev;
+    }
+}
+
 /// Snapshot the calibration table (running the microbenchmark if this
-/// is the first use in the process).
+/// is the first use in the process). If an [`override_calibration`]
+/// guard is active, its pinned table is returned instead.
 pub fn calibration() -> Calibration {
+    if let Some(cal) = *CAL_OVERRIDE.lock().unwrap_or_else(|e| e.into_inner()) {
+        return cal;
+    }
     Calibration {
         ns_per_work: ns_per_work(),
         block_overhead_ns: block_overhead_ns(),
@@ -228,6 +266,29 @@ mod tests {
         assert_eq!(block_overhead_ns(), refined);
         reset_block_overhead();
         assert_eq!(block_overhead_ns(), DEFAULT_BLOCK_OVERHEAD_NS);
+    }
+
+    #[test]
+    fn override_pins_and_nests() {
+        let pinned = Calibration {
+            ns_per_work: 1.0,
+            block_overhead_ns: 100.0,
+        };
+        let outer = override_calibration(pinned);
+        assert_eq!(calibration(), pinned);
+        {
+            let inner_cal = Calibration {
+                ns_per_work: 2.0,
+                block_overhead_ns: 200.0,
+            };
+            let _inner = override_calibration(inner_cal);
+            assert_eq!(calibration(), inner_cal);
+        }
+        // Inner guard restored the outer override.
+        assert_eq!(calibration(), pinned);
+        drop(outer);
+        // Back to measured values (whatever they are, not the pin).
+        assert!(calibration().ns_per_work > 0.0);
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! assert_eq!(g.num_blocks, 1);
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
 use crate::calibrate::Calibration;
 use crate::model::ElemCost;
 
@@ -58,6 +61,69 @@ pub struct Geometry {
     pub block_size: usize,
     /// Number of blocks covering `len` elements.
     pub num_blocks: usize,
+}
+
+/// One geometry decision made by [`solve`] while a
+/// [`record_geometry`] guard was active: the solver's inputs and the
+/// geometry it chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GeometryDecision {
+    /// Input length the solver was asked about.
+    pub len: usize,
+    /// Accumulated per-element work units of the pipeline.
+    pub per_elem_work: u64,
+    /// Worker count the decision assumed.
+    pub workers: usize,
+    /// Chosen elements-per-block.
+    pub block_size: usize,
+    /// Chosen number of blocks.
+    pub num_blocks: usize,
+}
+
+/// Whether [`solve`] is currently appending to the decision log.
+static RECORDING: AtomicBool = AtomicBool::new(false);
+
+/// The decision log itself. Appends are mutex-ordered so decisions made
+/// from pool workers interleave safely with the driving thread.
+static DECISIONS: Mutex<Vec<GeometryDecision>> = Mutex::new(Vec::new());
+
+/// RAII guard returned by [`record_geometry`]; stops recording on drop
+/// (the log survives until the next [`record_geometry`] call so it can
+/// still be read with [`recorded_geometry`]).
+#[must_use = "dropping the guard immediately stops recording"]
+pub struct GeometryRecording {
+    _priv: (),
+}
+
+/// Start recording every [`solve`] decision process-wide, clearing any
+/// previous log.
+///
+/// Recording is **process-global** and intended for a single driver at
+/// a time (the `bds-check` replay verifier); overlapping recorders
+/// would share one log. Read the log with [`recorded_geometry`].
+pub fn record_geometry() -> GeometryRecording {
+    DECISIONS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    RECORDING.store(true, Ordering::Release);
+    GeometryRecording { _priv: () }
+}
+
+impl Drop for GeometryRecording {
+    fn drop(&mut self) {
+        RECORDING.store(false, Ordering::Release);
+    }
+}
+
+/// Snapshot the decisions recorded since the last [`record_geometry`]
+/// call. Decisions appear in append order; callers comparing runs that
+/// may resolve geometry from different threads should sort first.
+pub fn recorded_geometry() -> Vec<GeometryDecision> {
+    DECISIONS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
 }
 
 /// Solve for block geometry given the input length, the pipeline's
@@ -91,6 +157,18 @@ pub fn solve(len: usize, per_elem: ElemCost, workers: usize, cal: &Calibration) 
     // exactly the way the blocked iterators will.
     let block_size = len.div_ceil(nb);
     let num_blocks = len.div_ceil(block_size);
+    if RECORDING.load(Ordering::Acquire) {
+        DECISIONS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(GeometryDecision {
+                len,
+                per_elem_work: per_elem.w,
+                workers,
+                block_size,
+                num_blocks,
+            });
+    }
     Geometry {
         block_size,
         num_blocks,
@@ -175,6 +253,26 @@ mod tests {
         let g_heavy = solve(n, heavy, 8, &cal);
         assert!(g_heavy.num_blocks >= g_cheap.num_blocks);
         assert_eq!(g_heavy.num_blocks, 64);
+    }
+
+    #[test]
+    fn recording_captures_decisions_and_stops_on_drop() {
+        let cal = cal();
+        let rec = record_geometry();
+        let g = solve(10_000, SIMPLE, 4, &cal);
+        let log = recorded_geometry();
+        // Other tests may run solve concurrently; find our decision
+        // rather than asserting the log length.
+        assert!(log.iter().any(|d| d.len == 10_000
+            && d.workers == 4
+            && d.block_size == g.block_size
+            && d.num_blocks == g.num_blocks));
+        drop(rec);
+        // A solve after the guard drops must not be recorded; use a
+        // length no other test passes so concurrent solves can't
+        // confuse the check.
+        solve(31_337, SIMPLE, 5, &cal);
+        assert!(!recorded_geometry().iter().any(|d| d.len == 31_337));
     }
 
     #[test]

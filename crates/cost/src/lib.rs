@@ -43,7 +43,10 @@ pub mod geometry;
 pub mod model;
 pub mod rw;
 
-pub use calibrate::{calibration, Calibration};
-pub use geometry::{solve as solve_geometry, Geometry};
+pub use calibrate::{calibration, override_calibration, Calibration, CalibrationOverride};
+pub use geometry::{
+    record_geometry, recorded_geometry, solve as solve_geometry, Geometry, GeometryDecision,
+    GeometryRecording,
+};
 pub use model::{ceil_log2, Cost, ElemCost, Model, Repr, SeqCost, SIMPLE};
 pub use rw::{bestcut_force_first_map, bestcut_fused, bestcut_normal, RwRow, RwTable};

@@ -10,19 +10,20 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use parking_lot::{Condvar, Mutex};
 
 /// Something a finished job can signal.
-pub(crate) trait Latch {
+pub trait Latch {
     /// Signal completion. Must be the final touch of the latch's owner
     /// structure: the memory may be reclaimed immediately afterwards.
     fn set(&self);
 }
 
 /// A latch polled by busy workers.
-pub(crate) struct SpinLatch {
+pub struct SpinLatch {
     done: AtomicBool,
 }
 
 impl SpinLatch {
-    pub(crate) fn new() -> Self {
+    /// A fresh, unset latch.
+    pub fn new() -> Self {
         SpinLatch {
             done: AtomicBool::new(false),
         }
@@ -30,8 +31,14 @@ impl SpinLatch {
 
     /// Has the latch been set? `Acquire` pairs with the `Release` in
     /// [`Latch::set`], making the job's result writes visible.
-    pub(crate) fn probe(&self) -> bool {
+    pub fn probe(&self) -> bool {
         self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Default for SpinLatch {
+    fn default() -> Self {
+        SpinLatch::new()
     }
 }
 
@@ -42,24 +49,33 @@ impl Latch for SpinLatch {
 }
 
 /// A latch an external (non-worker) thread can sleep on.
-pub(crate) struct LockLatch {
+pub struct LockLatch {
     state: Mutex<bool>,
     cond: Condvar,
 }
 
 impl LockLatch {
-    pub(crate) fn new() -> Self {
+    /// A fresh, unset latch.
+    pub fn new() -> Self {
         LockLatch {
             state: Mutex::new(false),
             cond: Condvar::new(),
         }
     }
 
-    pub(crate) fn wait(&self) {
+    /// Block the calling thread until [`Latch::set`] has run. Returns
+    /// immediately if the latch is already set.
+    pub fn wait(&self) {
         let mut done = self.state.lock();
         while !*done {
             self.cond.wait(&mut done);
         }
+    }
+}
+
+impl Default for LockLatch {
+    fn default() -> Self {
+        LockLatch::new()
     }
 }
 

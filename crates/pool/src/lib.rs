@@ -37,6 +37,24 @@ pub use cancel::{apply_cancellable, CancelToken};
 pub use cancel::{shield, with_token};
 pub use stats::{PoolStats, WorkerStats};
 
+/// Model-checking facade: exposes the internal synchronization
+/// primitives so `tests/loom.rs` can explore their interleavings under
+/// `loom`. Compiled only with `--features loom`; this is test-only API
+/// with no stability guarantee.
+#[cfg(feature = "loom")]
+pub mod model_check {
+    pub use crate::latch::{Latch, LockLatch, SpinLatch};
+
+    use crate::cancel::CancelToken;
+
+    /// Record `chunks` skipped leaf chunks against `token`, exactly as
+    /// the cancellable loop primitives do (incrementing every ancestor
+    /// too), so models can check the counter under contention.
+    pub fn note_skipped(token: &CancelToken, chunks: u64) {
+        token.note_skipped(chunks);
+    }
+}
+
 use std::sync::{Arc, OnceLock};
 
 use job::StackJob;
@@ -59,7 +77,28 @@ impl Pool {
     /// # Panics
     /// Panics if `num_threads == 0`.
     pub fn new(num_threads: usize) -> Pool {
-        let (registry, handles) = Registry::new(num_threads);
+        let (registry, handles) = Registry::new(num_threads, None);
+        Pool { registry, handles }
+    }
+
+    /// Create a pool in **deterministic mode**: every worker's
+    /// steal-victim RNG is derived from `seed` (SplitMix64 per worker
+    /// index), and [`Pool::live_workers`] reports `num_threads`
+    /// unconditionally instead of the racy busy-gauge estimate.
+    ///
+    /// Two pools built with the same `(num_threads, seed)` probe steal
+    /// victims in the same order and feed identical worker counts into
+    /// cost-model geometry decisions, so a quiescent `install` replays
+    /// the same schedule shape and block geometry run-to-run. (OS
+    /// timing still decides which probe wins a race, but every
+    /// schedule-*dependent* computation in this workspace — block
+    /// geometry, zip alignment — sees identical inputs.) This is the
+    /// replay hook behind `bds-check`'s `BDS_CHECK_SEED`.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`.
+    pub fn new_seeded(num_threads: usize, seed: u64) -> Pool {
+        let (registry, handles) = Registry::new(num_threads, Some(seed));
         Pool { registry, handles }
     }
 
@@ -587,6 +626,39 @@ mod tests {
             });
             assert_eq!(counter.load(Ordering::Relaxed), n);
         }
+    }
+
+    #[test]
+    fn seeded_pool_reports_full_width_and_computes_correctly() {
+        let pool = Pool::new_seeded(2, 42);
+        // Deterministic mode: live_workers is pinned to num_threads
+        // even while another install is in flight.
+        assert_eq!(pool.live_workers(), 2);
+        let total = pool.install(|| {
+            let inside = pool.live_workers();
+            assert_eq!(inside, 2);
+            parallel_reduce(
+                10_000,
+                64,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, 9_999u64 * 10_000 / 2);
+        // Same seed, same answer (results are deterministic by design;
+        // this exercises the seeded construction path end-to-end).
+        let pool2 = Pool::new_seeded(2, 42);
+        let total2 = pool2.install(|| {
+            parallel_reduce(
+                10_000,
+                64,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, total2);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub(crate) struct Registry {
     idle_workers: AtomicUsize,
     terminate: AtomicBool,
     num_threads: usize,
+    /// `Some(seed)` puts the pool in deterministic mode: worker steal
+    /// RNGs are derived from the seed and [`Registry::live_workers`]
+    /// reports `num_threads` unconditionally, so schedule-dependent
+    /// decisions replay bit-for-bit. See [`crate::Pool::new_seeded`].
+    seed: Option<u64>,
     /// One padded counter slot per worker; written by that worker only.
     counters: Vec<WorkerCounters>,
 }
@@ -45,7 +50,10 @@ pub(crate) struct WorkerThread {
 impl Registry {
     /// Spawn `num_threads` workers and return the shared registry plus the
     /// join handles (kept by the `Pool` so drop can reap them).
-    pub(crate) fn new(num_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+    pub(crate) fn new(
+        num_threads: usize,
+        seed: Option<u64>,
+    ) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
         assert!(num_threads > 0, "a pool needs at least one thread");
         let workers: Vec<Worker<JobRef>> =
             (0..num_threads).map(|_| Worker::new_lifo()).collect();
@@ -58,6 +66,7 @@ impl Registry {
             idle_workers: AtomicUsize::new(0),
             terminate: AtomicBool::new(false),
             num_threads,
+            seed,
             counters: (0..num_threads).map(|_| WorkerCounters::default()).collect(),
         });
         let handles = workers
@@ -132,6 +141,14 @@ impl Registry {
     /// `num_threads`, which keeps geometry decisions deterministic in
     /// the common case.
     pub(crate) fn live_workers(&self, me: Option<usize>) -> usize {
+        if self.seed.is_some() {
+            // Deterministic mode: the busy-gauge read is racy (a thief
+            // may not have cleared its gauge yet after finishing), so a
+            // seeded pool reports its full width unconditionally —
+            // geometry decisions become pure functions of their other
+            // inputs.
+            return self.num_threads;
+        }
         let busy_others = self
             .counters
             .iter()
@@ -159,12 +176,26 @@ impl Drop for BusyGuard<'_> {
     }
 }
 
+/// SplitMix64 finalizer: decorrelates per-worker RNG streams derived
+/// from one pool seed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
+    // xorshift64* needs a nonzero state; `| 1` guarantees it either way.
+    let rng_seed = match registry.seed {
+        Some(seed) => splitmix64(seed ^ (index as u64 + 1)) | 1,
+        None => 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1,
+    };
     let me = WorkerThread {
         worker,
         registry,
         index,
-        rng: Cell::new(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1),
+        rng: Cell::new(rng_seed),
     };
     WORKER.with(|w| w.set(&me as *const WorkerThread));
     me.main_loop();

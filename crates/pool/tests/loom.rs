@@ -1,0 +1,135 @@
+//! Model checks over `bds-pool`'s synchronization primitives.
+//!
+//! Runs only with `--features loom` (a dedicated CI job does:
+//! `cargo test -p bds-pool --features loom --test loom`). The test
+//! bodies are written against the real `loom` API — `loom::model`
+//! explores interleavings of the closure — so they upgrade to true
+//! exhaustive model checking when the registry-backed `loom` replaces
+//! the offline stand-in in `vendor/loom` (which stresses each model
+//! with repeated real-thread runs instead).
+//!
+//! What is checked:
+//! - `SpinLatch` set/probe publishes the job's result writes
+//!   (Release/Acquire pairing in `latch.rs`).
+//! - `LockLatch` wait/set cannot miss the wakeup signal, in either
+//!   arrival order.
+//! - `CancelToken` cancellation is visible across threads, parent
+//!   cancellation reaches children, and child cancellation stays
+//!   contained.
+//! - The skipped-chunk counter never loses increments under contention
+//!   and aggregates child counts into ancestors.
+
+#![cfg(feature = "loom")]
+
+use bds_pool::model_check::{note_skipped, Latch, LockLatch, SpinLatch};
+use bds_pool::CancelToken;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// A write made before `set()` must be visible to a thread that has
+/// observed `probe() == true`: the Relaxed data load is ordered by the
+/// latch's own Release store / Acquire load pair.
+#[test]
+fn spin_latch_publishes_result_writes() {
+    loom::model(|| {
+        let latch = Arc::new(SpinLatch::new());
+        let data = Arc::new(AtomicUsize::new(0));
+        let (l2, d2) = (Arc::clone(&latch), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            l2.set();
+        });
+        while !latch.probe() {
+            thread::yield_now();
+        }
+        assert_eq!(data.load(Ordering::Relaxed), 42);
+        t.join().unwrap();
+    });
+}
+
+/// `wait()` must return no matter how the setter and waiter interleave:
+/// the notify happens under the state lock, so the waiter can never
+/// read `false`, release the lock, and then miss the signal.
+#[test]
+fn lock_latch_never_misses_the_wakeup() {
+    loom::model(|| {
+        let latch = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&latch);
+        let t = thread::spawn(move || l2.set());
+        latch.wait();
+        t.join().unwrap();
+    });
+}
+
+/// The set-before-wait order must also terminate (the waiter sees the
+/// flag without ever sleeping).
+#[test]
+fn lock_latch_set_then_wait_does_not_block() {
+    loom::model(|| {
+        let latch = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&latch);
+        let t = thread::spawn(move || l2.set());
+        t.join().unwrap();
+        latch.wait();
+    });
+}
+
+/// A cancel on the parent must become visible to a child polling
+/// `is_cancelled()` (the ancestor walk reads with Acquire, pairing with
+/// the Release store in `cancel()`).
+#[test]
+fn parent_cancel_reaches_polling_child() {
+    loom::model(|| {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let p2 = parent.clone();
+        let t = thread::spawn(move || p2.cancel());
+        while !child.is_cancelled() {
+            thread::yield_now();
+        }
+        t.join().unwrap();
+        assert!(parent.is_cancelled());
+    });
+}
+
+/// Cancelling a child concurrently with the parent spawning further
+/// children must never mark the parent (or a sibling) cancelled:
+/// failures inside a nested region stay contained.
+#[test]
+fn child_cancel_stays_contained_under_concurrency() {
+    loom::model(|| {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        let t = thread::spawn(move || child.cancel());
+        let sibling = parent.child();
+        t.join().unwrap();
+        assert!(!parent.is_cancelled());
+        assert!(!sibling.is_cancelled());
+    });
+}
+
+/// Concurrent skip recording from two child regions must lose no
+/// increments and must aggregate into the shared parent: the children
+/// see only their own counts, the parent sees the sum.
+#[test]
+fn skipped_counter_aggregates_without_losing_increments() {
+    loom::model(|| {
+        let parent = CancelToken::new();
+        let (c1, c2) = (parent.child(), parent.child());
+        let (c1t, c2t) = (c1.clone(), c2.clone());
+        let t1 = thread::spawn(move || {
+            for _ in 0..3 {
+                note_skipped(&c1t, 1);
+            }
+        });
+        let t2 = thread::spawn(move || {
+            note_skipped(&c2t, 5);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(c1.skipped_blocks(), 3);
+        assert_eq!(c2.skipped_blocks(), 5);
+        assert_eq!(parent.skipped_blocks(), 8);
+    });
+}

@@ -159,8 +159,34 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         }
     }
 
+    /// `BIDfromSeq` with an imposed block size: a RAD is reblocked to
+    /// `bs` instead of asking the current policy; a BID passes through
+    /// unchanged (its geometry was fixed when its eager phase ran).
+    fn into_bid_with(self, bs: usize) -> Self {
+        match self {
+            bid @ DSeq::Bid { .. } => bid,
+            DSeq::Rad { offset, len, f } => DSeq::Bid {
+                len,
+                bs: bs.max(1),
+                b: Arc::new(move |j| {
+                    let bs = bs.max(1);
+                    let lo = offset + j * bs;
+                    let hi = offset + ((j + 1) * bs).min(len);
+                    let f = Arc::clone(&f);
+                    Box::new((lo..hi).map(move |i| f(i)))
+                }),
+            },
+        }
+    }
+
     /// `zip` (Figure 10 lines 22-27): RAD×RAD stays RAD; otherwise both
     /// sides become BIDs and blocks are zipped pairwise.
+    ///
+    /// Alignment follows the static library's pinned-side-wins rule: a
+    /// side that is already a BID had its block size fixed when its
+    /// eager phase ran, so a still-RAD partner adopts that size rather
+    /// than asking the current policy (which, under `Policy::Adaptive`,
+    /// may legitimately answer differently at a later time).
     ///
     /// # Panics
     /// Panics if lengths differ, or if two BIDs have misaligned blocks.
@@ -180,7 +206,15 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
                 f: Arc::new(move |k| (f(offset + k), f2(offset2 + k))),
             },
             (a, b) => {
-                let (a, b) = (a.to_bid(), b.to_bid());
+                let pinned = match (&a, &b) {
+                    (DSeq::Bid { bs, .. }, DSeq::Rad { .. })
+                    | (DSeq::Rad { .. }, DSeq::Bid { bs, .. }) => Some(*bs),
+                    _ => None,
+                };
+                let (a, b) = match pinned {
+                    Some(bs) => (a.into_bid_with(bs), b.into_bid_with(bs)),
+                    None => (a.to_bid(), b.to_bid()),
+                };
                 let (DSeq::Bid { len, bs, b: ba }, DSeq::Bid { bs: bs2, b: bb, .. }) = (a, b)
                 else {
                     unreachable!("to_bid returns Bid")
@@ -406,6 +440,219 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
     pub fn force(self) -> DSeq<T> {
         DSeq::from_vec(self.to_vec())
     }
+
+    /// Prefix of the first `k` elements (`k` is clamped to the length).
+    /// O(1) on both representations: a RAD shrinks its length; a BID
+    /// keeps its block size and truncates the final block's stream.
+    pub fn take(self, k: usize) -> DSeq<T> {
+        let k = k.min(self.len());
+        match self {
+            DSeq::Rad { offset, f, .. } => DSeq::Rad { offset, len: k, f },
+            DSeq::Bid { bs, b, .. } => DSeq::Bid {
+                len: k,
+                bs,
+                b: Arc::new(move |j| {
+                    let lo = j * bs;
+                    Box::new(b(j).take(k.saturating_sub(lo).min(bs)))
+                }),
+            },
+        }
+    }
+
+    /// Drop the first `k` elements (`k` is clamped to the length). O(1)
+    /// on a RAD (the paper's explicit offset field); on a BID the
+    /// suffix stays delayed with the same block size, each output block
+    /// splicing the (at most two) input blocks it straddles.
+    pub fn skip(self, k: usize) -> DSeq<T> {
+        let k = k.min(self.len());
+        match self {
+            DSeq::Rad { offset, len, f } => DSeq::Rad {
+                offset: offset + k,
+                len: len - k,
+                f,
+            },
+            DSeq::Bid { len, bs, b } => {
+                let new_len = len - k;
+                DSeq::Bid {
+                    len: new_len,
+                    bs,
+                    b: Arc::new(move |j| {
+                        // Output block j covers input indices glo..ghi.
+                        let glo = k + j * bs;
+                        let ghi = (glo + bs).min(len);
+                        let j0 = glo / bs;
+                        let off = glo % bs;
+                        let first = (bs - off).min(ghi - glo);
+                        let head: DynStream<T> = Box::new(b(j0).skip(off).take(first));
+                        if ghi > (j0 + 1) * bs {
+                            let second = ghi - (j0 + 1) * bs;
+                            Box::new(head.chain(b(j0 + 1).take(second)))
+                        } else {
+                            head
+                        }
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Reverse. O(1) on a RAD (index flip); a BID is materialized
+    /// first, since block streams only run forward — reversal is a
+    /// random-access operation, as in the paper.
+    pub fn rev(self) -> DSeq<T> {
+        match self {
+            DSeq::Rad { offset, len, f } => DSeq::Rad {
+                offset: 0,
+                len,
+                f: Arc::new(move |i| f(offset + len - 1 - i)),
+            },
+            bid @ DSeq::Bid { .. } => {
+                let mut v = bid.to_vec();
+                v.reverse();
+                DSeq::from_vec(v)
+            }
+        }
+    }
+
+    /// Inclusive three-phase `scan`: element `i` of the result is the
+    /// fold of elements `0..=i`. Implemented directly (not as an
+    /// exclusive scan zipped with the input): under an adaptive policy
+    /// two separate geometry resolutions of the same length could
+    /// legitimately disagree, so the rescan reuses the one geometry its
+    /// own phase 1 fixed.
+    pub fn scan_incl(self, zero: T, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> DSeq<T> {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = bid else {
+            unreachable!()
+        };
+        let nb = ceil_div(len, bs);
+        if nb == 0 {
+            return DSeq::Bid {
+                len: 0,
+                bs: 1,
+                b: Arc::new(|_| Box::new(std::iter::empty())),
+            };
+        }
+        let f = Arc::new(f);
+        // Phase 1: block sums, fused with the input's streams.
+        let sums = {
+            let f = Arc::clone(&f);
+            let b = Arc::clone(&b);
+            build_vec(nb, |pv| {
+                bds_pool::apply(nb, |j| {
+                    let mut stream = b(j);
+                    let first = stream.next().expect("empty block");
+                    let acc = stream.fold(first, |x, y| f(x, y));
+                    pv.writer(j).push(acc);
+                });
+            })
+        };
+        // Phase 2: sequential exclusive scan of block sums gives each
+        // block its incoming prefix.
+        let (seeds, _total) = {
+            let f = Arc::clone(&f);
+            scan_sequential(&sums, zero, &move |a: &T, c: &T| f(a.clone(), c.clone()))
+        };
+        let seeds = Arc::new(seeds);
+        // Phase 3: delayed per-block rescan, emitting the accumulator
+        // *after* folding in each element.
+        DSeq::Bid {
+            len,
+            bs,
+            b: Arc::new(move |j| {
+                let f = Arc::clone(&f);
+                let mut acc = seeds[j].clone();
+                Box::new(b(j).map(move |x| {
+                    acc = f(acc.clone(), x);
+                    acc.clone()
+                }))
+            }),
+        }
+    }
+
+    /// Number of elements satisfying `pred` (blockwise partial counts,
+    /// summed).
+    pub fn count(self, pred: impl Fn(&T) -> bool + Send + Sync) -> usize {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return 0;
+        }
+        let nb = bid.num_blocks(*bs);
+        let counts: Vec<usize> = build_vec(nb, |pv| {
+            bds_pool::apply(nb, |j| {
+                pv.writer(j).push(b(j).filter(|x| pred(x)).count());
+            });
+        });
+        counts.into_iter().sum()
+    }
+
+    /// Fallible [`DSeq::filter`]: the predicate may reject the whole
+    /// pipeline with `Err`. Every element is visited; if several blocks
+    /// error, the error from the lowest block index wins, matching the
+    /// static library's deterministic-error rule.
+    pub fn try_filter_collect<E: Send>(
+        self,
+        pred: impl Fn(&T) -> Result<bool, E> + Send + Sync,
+    ) -> Result<Vec<T>, E> {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return Ok(Vec::new());
+        }
+        let nb = bid.num_blocks(*bs);
+        let parts: Vec<Result<Vec<T>, E>> = build_vec(nb, |pv| {
+            bds_pool::apply(nb, |j| {
+                let kept: Result<Vec<T>, E> = b(j)
+                    .filter_map(|x| match pred(&x) {
+                        Ok(true) => Some(Ok(x)),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    })
+                    .collect();
+                pv.writer(j).push(kept);
+            });
+        });
+        let mut out = Vec::new();
+        for part in parts {
+            out.extend(part?);
+        }
+        Ok(out)
+    }
+
+    /// Fallible two-phase [`DSeq::reduce`]. If several blocks error,
+    /// the error from the lowest block index wins.
+    pub fn try_reduce<E: Send>(
+        self,
+        zero: T,
+        f: impl Fn(T, T) -> Result<T, E> + Send + Sync,
+    ) -> Result<T, E> {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        if *len == 0 {
+            return Ok(zero);
+        }
+        let nb = bid.num_blocks(*bs);
+        let sums: Vec<Result<T, E>> = build_vec(nb, |pv| {
+            bds_pool::apply(nb, |j| {
+                let mut stream = b(j);
+                let first = stream.next().expect("empty block");
+                let acc = stream.try_fold(first, &f);
+                pv.writer(j).push(acc);
+            });
+        });
+        let mut acc = zero;
+        for s in sums {
+            acc = f(acc, s?)?;
+        }
+        Ok(acc)
+    }
 }
 
 /// `getRegion` stream over `Arc`-shared parts (owned flavor of
@@ -569,6 +816,88 @@ mod tests {
                 total.fetch_add(x, Ordering::Relaxed);
             });
         assert_eq!(total.load(Ordering::Relaxed), (1..=10_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn take_skip_rev_on_both_representations() {
+        let want: Vec<u64> = (0..5000u64).collect();
+        // RAD: all O(1) re-indexings.
+        let r = DSeq::tabulate(5000, |i| i as u64);
+        assert_eq!(r.clone().take(100).to_vec(), want[..100]);
+        assert_eq!(r.clone().skip(4900).to_vec(), want[4900..]);
+        let mut rev_want = want.clone();
+        rev_want.reverse();
+        assert_eq!(r.clone().rev().to_vec(), rev_want);
+        assert_eq!(r.clone().take(9999).to_vec(), want); // clamped
+        assert!(r.skip(9999).to_vec().is_empty()); // clamped
+        // BID (scan output): take truncates, skip splices blocks.
+        let scanned = |n: usize| DSeq::tabulate(n, |_| 1u64).scan_incl(0, |a, b| a + b);
+        let incl: Vec<u64> = (1..=5000u64).collect();
+        assert_eq!(scanned(5000).take(137).to_vec(), incl[..137]);
+        for k in [0usize, 1, 7, 1000, 4999, 5000] {
+            assert_eq!(scanned(5000).skip(k).to_vec(), incl[k..], "skip {k}");
+        }
+        let mut incl_rev = incl.clone();
+        incl_rev.reverse();
+        assert_eq!(scanned(5000).rev().to_vec(), incl_rev);
+    }
+
+    #[test]
+    fn scan_incl_matches_reference() {
+        let n = 4_096usize;
+        let s = DSeq::tabulate(n, |i| (i % 5) as u64);
+        let got = s.scan_incl(0, |a, b| a + b).to_vec();
+        let mut acc = 0u64;
+        for (i, g) in got.iter().enumerate() {
+            acc += (i % 5) as u64;
+            assert_eq!(*g, acc, "index {i}");
+        }
+        assert!(DSeq::<u64>::tabulate(0, |_| 0)
+            .scan_incl(0, |a, b| a + b)
+            .to_vec()
+            .is_empty());
+    }
+
+    #[test]
+    fn count_and_try_consumers() {
+        let s = DSeq::tabulate(10_000, |i| i as u64);
+        assert_eq!(s.clone().count(|&x| x % 3 == 0), 3334);
+        let ok: Result<Vec<u64>, &str> = s.clone().try_filter_collect(|&x| Ok(x % 2 == 0));
+        assert_eq!(ok.unwrap().len(), 5000);
+        let err: Result<Vec<u64>, u64> = s
+            .clone()
+            .try_filter_collect(|&x| if x == 7777 { Err(x) } else { Ok(true) });
+        assert_eq!(err.unwrap_err(), 7777);
+        let total: Result<u64, &str> = s.clone().try_reduce(0, |a, b| Ok(a + b));
+        assert_eq!(total.unwrap(), 9_999u64 * 10_000 / 2);
+        let empty: Result<u64, &str> = DSeq::tabulate(0, |_| 0u64).try_reduce(5, |a, b| Ok(a + b));
+        assert_eq!(empty.unwrap(), 5);
+    }
+
+    #[test]
+    fn zip_aligns_free_rad_to_pinned_bid_side() {
+        use crate::policy::{set_policy, Policy};
+        // Serialize against other tests that touch the global policy.
+        let _lock = crate::policy::test_sync::test_lock();
+        // Build the BID side under one fixed policy, then flip the
+        // policy before zipping: the RAD side must adopt the BID's
+        // pinned block size instead of asking the (changed) policy.
+        let guard = set_policy(Policy::Fixed(1));
+        let (scanned, _) = DSeq::tabulate(3000, |i| i as u64).scan(0, |a, b| a + b);
+        drop(guard);
+        let _guard = set_policy(Policy::Fixed(4));
+        let idx = DSeq::tabulate(3000, |i| i as u64);
+        for (zipped, flipped) in [(scanned.clone().zip(idx.clone()), false),
+            (idx.zip(scanned), true)]
+        {
+            let v = if flipped {
+                zipped.map(|(a, b)| (b, a)).to_vec()
+            } else {
+                zipped.to_vec()
+            };
+            assert_eq!(v[10], (45, 10));
+            assert_eq!(v.len(), 3000);
+        }
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub mod adaptors;
 mod consume;
 pub mod counters;
 pub mod dynseq;
+pub mod erased;
 pub mod extra;
 pub mod fallible;
 pub mod faults;
@@ -106,6 +107,7 @@ pub mod traits;
 mod util;
 
 pub use adaptors::{map_with_index, Enumerate, Map, MapWithIndex, RevSeq, SkipSeq, TakeSeq, Zip, ZipWith};
+pub use erased::{BoxRad, BoxSeq, ErasedRadSeq, ErasedSeq};
 pub use extra::{all, any, append, max_by_key, min_by_key, unzip, Append};
 pub use fallible::TrySeqExt;
 pub use filter::Filtered;

@@ -129,6 +129,66 @@ fn zip_aligns_fresh_side_to_scan_pinned_under_other_pool() {
 }
 
 #[test]
+fn zip_pinned_side_wins_across_thread_counts() {
+    // The pinned-side-wins rule must hold whatever pool widths pinned
+    // the scan and consume the zip — 1, 2, and the machine's full width
+    // on either side, with the pinned sequence as either zip operand.
+    // Under Adaptive policy the two pools generally resolve different
+    // geometries for the same length, so any cell where the fresh side
+    // kept its own resolution shows up as a block-size mismatch (and,
+    // before the alignment fix, as misaligned zip blocks).
+    let _g = serial();
+    let n = 1usize << 20;
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .max(2);
+    let mut widths = vec![1, 2, max];
+    widths.dedup();
+    let want_total: u64 = {
+        let mut acc = 0u64;
+        let mut t = n as u64; // the +1 per element from the fresh side
+        for i in 0..n as u64 {
+            t += acc;
+            acc += i % 7;
+        }
+        t
+    };
+    for &p_pin in &widths {
+        for &p_zip in &widths {
+            let scanned = {
+                let pool = bds_pool::Pool::new(p_pin);
+                pool.install(|| tabulate(n, |i| (i % 7) as u64).scan(0, |a, b| a + b).0)
+            };
+            let pinned = scanned.block_size();
+            let pool = bds_pool::Pool::new(p_zip);
+            // Pinned sequence on the left.
+            let (bs, total) = pool.install(|| {
+                let fresh = tabulate(n, |_| 1u64);
+                let z = (&scanned).zip_with(fresh, |a, b| a + b);
+                (z.block_size(), z.reduce(0, |a, b| a + b))
+            });
+            assert_eq!(
+                bs, pinned,
+                "pin pool {p_pin}, zip pool {p_zip}: fresh right side kept its own geometry"
+            );
+            assert_eq!(total, want_total, "pin pool {p_pin}, zip pool {p_zip}");
+            // Pinned sequence on the right.
+            let (bs, total) = pool.install(|| {
+                let fresh = tabulate(n, |_| 1u64);
+                let z = fresh.zip_with(&scanned, |a, b| a + b);
+                (z.block_size(), z.reduce(0, |a, b| a + b))
+            });
+            assert_eq!(
+                bs, pinned,
+                "pin pool {p_pin}, zip pool {p_zip}: fresh left side kept its own geometry"
+            );
+            assert_eq!(total, want_total, "pin pool {p_pin}, zip pool {p_zip} (reversed)");
+        }
+    }
+}
+
+#[test]
 fn policy_guard_restores_adaptive_default() {
     let _g = serial();
     {

@@ -1,0 +1,30 @@
+//! Tier-1 smoke over the differential harness itself: a short fuzz run
+//! must be clean, and replaying a seed must be deterministic. The deep
+//! runs live in CI (`differential` job: 500 pipelines; nightly: 10k) —
+//! this just guards the harness against bit-rot in the default test
+//! sweep.
+//!
+//! One test function on purpose: the harness pins process-global state
+//! (policy, calibration, geometry recording, panic hook), so concurrent
+//! tests in this binary would race.
+
+#[test]
+fn short_fuzz_and_replay_are_clean() {
+    let report = bds_check::run_fuzz(0xBD5, 48, false);
+    assert_eq!(report.checked, 48);
+    assert!(
+        report.clean(),
+        "differential fuzz found divergences: {:?}",
+        report
+            .failures
+            .iter()
+            .flat_map(|f| f.divergences.iter().map(|d| d.describe()))
+            .collect::<Vec<_>>(),
+    );
+
+    // Any subseed must replay bit-for-bit (outcomes and geometry).
+    assert!(
+        bds_check::replay(0x5EED_0001),
+        "replay of a clean subseed reported a divergence or nondeterminism"
+    );
+}

@@ -15,16 +15,22 @@ use proptest::prelude::*;
 /// (which would, e.g., misalign a zip's two sides).
 static BLOCK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+/// Field order is load-bearing: struct fields drop in declaration
+/// order, so the block-size override (`_guard`) must be declared
+/// *before* the mutex guard (`_lock`) — the override is restored first,
+/// and only then is the lock released. The reverse order would unlock
+/// while the forced block size is still in effect, leaking it into
+/// whichever test grabs the lock (or runs unlocked in parallel) next.
 struct SerialBlock {
-    _lock: std::sync::MutexGuard<'static, ()>,
     _guard: block_delayed_sequences::seq::BlockSizeGuard,
+    _lock: std::sync::MutexGuard<'static, ()>,
 }
 
 fn lock_block_size(bs: usize) -> SerialBlock {
     let lock = BLOCK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     SerialBlock {
-        _lock: lock,
         _guard: force_block_size(bs),
+        _lock: lock,
     }
 }
 

@@ -1,0 +1,73 @@
+//! Offline stand-in for the `loom` permutation-based model checker.
+//!
+//! The real loom replaces the `std::sync` primitives with instrumented
+//! versions and exhaustively explores the interleavings of the closure
+//! passed to [`model`]. This container has no registry access, so this
+//! crate keeps the *API shape* (`loom::model`, `loom::thread`,
+//! `loom::sync`, `loom::sync::atomic`) but implements it as **bounded
+//! randomized stress**: the closure runs many times on real OS threads
+//! with the scheduler free to interleave them, which hunts the same bug
+//! classes — missed wakeups, unsynchronized visibility, torn
+//! counters — probabilistically rather than exhaustively.
+//!
+//! Tests written against this facade compile unchanged against the real
+//! loom: when a registry is reachable, delete the `loom` entry from the
+//! workspace `[patch.crates-io]` table and the same test bodies upgrade
+//! to true exhaustive model checking.
+
+/// How many times [`model`] repeats the closure. Overridable with the
+/// `LOOM_STANDIN_ITERS` environment variable.
+const DEFAULT_ITERS: usize = 128;
+
+fn iters() -> usize {
+    std::env::var("LOOM_STANDIN_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS)
+}
+
+/// Run `f` repeatedly, letting the OS scheduler vary the interleaving
+/// of any threads it spawns. The real loom instead enumerates every
+/// interleaving of one execution; the signature is identical so test
+/// bodies are source-compatible.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for _ in 0..iters() {
+        f();
+    }
+}
+
+/// Mirror of `loom::thread`: real `std` threads plus an explicit yield
+/// so stress iterations visit more schedules.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Mirror of `loom::sync`: the `std` primitives the real loom would
+/// replace with instrumented versions.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex};
+
+    /// Mirror of `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_the_closure_repeatedly() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        super::model(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+}
