@@ -20,6 +20,10 @@
 //!         "jobs": 640, "local_pops": 500, "injector_pops": 30,
 //!         "steals": 110, "failed_steals": 45, "parks": 12,
 //!         "idle_ns": 123456
+//!       },
+//!       "gov": {
+//!         "sheds": 0, "respawns": 1,
+//!         "deadline_trips": 12, "mem_trips": 3
 //!       }
 //!     }
 //!   ]
@@ -30,12 +34,16 @@
 //! capture. `policy` is `null` when the run used whatever block policy
 //! was ambient, or the policy label (`"adaptive"`, `"fixed:8"`, ...)
 //! when the binary pinned one — the `--geometry-sweep` mode of the
-//! geometry binary sets it on every record. Times are seconds;
-//! comparisons should use `min_s` (the noise-robust statistic — see
-//! `bds_metrics::Timing`).
+//! geometry binary sets it on every record. `gov` is `null` except for
+//! resource-governance runs (the soak binary), where it carries the
+//! admission/overload counters: pipelines shed to degraded sequential
+//! execution, workers respawned after a crash, and budget trips by
+//! kind. Times are seconds; comparisons should use `min_s` (the
+//! noise-robust statistic — see `bds_metrics::Timing`).
 //!
-//! v2 is a strict superset of v1 (it adds `policy`); consumers keyed on
-//! the schema string should accept both.
+//! v2 is a strict superset of v1 (it adds `policy`, and later the
+//! optional `gov` block); consumers keyed on the schema string should
+//! accept both.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -44,6 +52,19 @@ use crate::Measurement;
 
 /// The schema identifier emitted in every document.
 pub const SCHEMA: &str = "bds-bench/v2";
+
+/// Resource-governance counters attached to soak/overload records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovCounters {
+    /// Pipelines shed to degraded (sequential, in-caller) execution.
+    pub sheds: u64,
+    /// Workers respawned after a crash.
+    pub respawns: u64,
+    /// Governed runs refused because their deadline passed.
+    pub deadline_trips: u64,
+    /// Governed runs refused because their memory budget was exceeded.
+    pub mem_trips: u64,
+}
 
 /// One benchmark measurement row.
 pub struct Record {
@@ -73,6 +94,9 @@ pub struct Record {
     pub num_blocks: usize,
     /// Scheduler counters from the capture run, if one was taken.
     pub sched: Option<bds_pool::WorkerStats>,
+    /// Resource-governance counters, if the run governed its pipelines
+    /// (soak/overload binaries); `None` for ordinary measurements.
+    pub gov: Option<GovCounters>,
 }
 
 impl Record {
@@ -93,6 +117,7 @@ impl Record {
             block_size,
             num_blocks,
             sched: m.capture.as_ref().map(|c| c.sched),
+            gov: None,
         }
     }
 }
@@ -173,6 +198,17 @@ impl JsonReport {
                 }
                 None => out.push_str("\"sched\": null"),
             }
+            match &r.gov {
+                Some(g) => {
+                    let _ = write!(
+                        out,
+                        ", \"gov\": {{\"sheds\": {}, \"respawns\": {}, \
+                         \"deadline_trips\": {}, \"mem_trips\": {}}}",
+                        g.sheds, g.respawns, g.deadline_trips, g.mem_trips
+                    );
+                }
+                None => out.push_str(", \"gov\": null"),
+            }
             out.push('}');
             if i + 1 < self.records.len() {
                 out.push(',');
@@ -250,6 +286,12 @@ mod tests {
             num_blocks: 8,
             sched: Some(stats(40, 7)),
             policy: Some("adaptive".into()),
+            gov: Some(GovCounters {
+                sheds: 2,
+                respawns: 1,
+                deadline_trips: 12,
+                mem_trips: 3,
+            }),
         });
         rep.push(Record {
             op: "bfs".into(),
@@ -265,6 +307,7 @@ mod tests {
             num_blocks: 0,
             sched: None,
             policy: None,
+            gov: None,
         });
         let s = rep.render();
         assert!(s.contains("\"schema\": \"bds-bench/v2\""));
@@ -274,6 +317,10 @@ mod tests {
         assert!(s.contains("\"min_s\": 0.25"));
         assert!(s.contains("\"steals\": 7"));
         assert!(s.contains("\"sched\": null"));
+        assert!(s.contains(
+            "\"gov\": {\"sheds\": 2, \"respawns\": 1, \"deadline_trips\": 12, \"mem_trips\": 3}"
+        ));
+        assert!(s.contains("\"gov\": null"));
         // Exactly one comma between the two records.
         assert_eq!(s.matches("},\n").count(), 1);
     }

@@ -35,6 +35,7 @@
 pub mod ast;
 pub mod eval;
 pub mod gen;
+pub mod governed;
 pub mod runner;
 
 use ast::Pipeline;
@@ -66,6 +67,9 @@ pub struct FailureReport {
     /// Set when the periodic replay self-check found two runs of the
     /// same subseed disagreeing.
     pub determinism_error: Option<String>,
+    /// Violations of the resource-governance invariants found by the
+    /// periodic governed sweep (see [`governed::check_governed`]).
+    pub governed_violations: Vec<String>,
 }
 
 /// The summary of a fuzz run.
@@ -90,6 +94,12 @@ impl FuzzReport {
 /// (in addition to checking correctness of every case).
 const SELF_CHECK_PERIOD: usize = 128;
 
+/// How often the fuzz loop additionally runs the case (fault-free)
+/// under expired/short deadlines and tiny memory budgets, asserting
+/// each governed lowering either refuses with the matching
+/// [`bds_pool::Exceeded`] variant or completes with the full value.
+const GOVERNED_CHECK_PERIOD: usize = 16;
+
 /// Fuzz `count` pipelines derived from `master`, checking each against
 /// the oracle under the full configuration matrix. Failing cases are
 /// shrunk and reported on stderr (with their `BDS_CHECK_SEED`) as they
@@ -107,23 +117,42 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
         let divergences = check_pipeline(&pipeline, &mut pools);
         if !divergences.is_empty() {
             let shrunk = shrink(&pipeline, &mut pools);
-            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None);
+            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[]);
             failures.push(FailureReport {
                 subseed,
                 pipeline,
                 shrunk: Some(shrunk),
                 divergences,
                 determinism_error: None,
+                governed_violations: Vec::new(),
             });
         } else if k % SELF_CHECK_PERIOD == SELF_CHECK_PERIOD / 2 {
             if let Err(e) = verify_determinism(&pipeline, subseed) {
-                report_failure(subseed, &pipeline, None, &[], Some(&e));
+                report_failure(subseed, &pipeline, None, &[], Some(&e), &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
                     shrunk: None,
                     divergences: Vec::new(),
                     determinism_error: Some(e),
+                    governed_violations: Vec::new(),
+                });
+            }
+        } else if k % GOVERNED_CHECK_PERIOD == GOVERNED_CHECK_PERIOD / 2 {
+            let violations = governed::check_governed(&pipeline, &mut pools, subseed);
+            if !violations.is_empty() {
+                let described: Vec<String> = violations
+                    .iter()
+                    .map(governed::GovernViolation::describe)
+                    .collect();
+                report_failure(subseed, &pipeline, None, &[], None, &described);
+                failures.push(FailureReport {
+                    subseed,
+                    pipeline,
+                    shrunk: None,
+                    divergences: Vec::new(),
+                    determinism_error: None,
+                    governed_violations: described,
                 });
             }
         }
@@ -149,6 +178,7 @@ fn report_failure(
     shrunk: Option<&Pipeline>,
     divergences: &[Divergence],
     determinism_error: Option<&str>,
+    governed_violations: &[String],
 ) {
     eprintln!("bds-check: FAILURE  BDS_CHECK_SEED={subseed}");
     eprintln!("  pipeline: {pipeline:?}");
@@ -157,6 +187,9 @@ fn report_failure(
     }
     for d in divergences {
         eprintln!("  diverged: {}", d.describe());
+    }
+    for v in governed_violations {
+        eprintln!("  governed: {v}");
     }
     if let Some(s) = shrunk {
         eprintln!("  shrunk:   {s:?}");

@@ -40,6 +40,10 @@ struct CancelState {
     /// observes skips that happened inside nested regions.
     skipped: AtomicU64,
     parent: Option<Arc<CancelState>>,
+    /// The governed run this token belongs to, if any (see
+    /// [`crate::govern`]). Children inherit it, so memory charges made
+    /// on stolen workers reach the right budget with no extra plumbing.
+    govern: Option<Arc<crate::govern::GovernCtx>>,
 }
 
 impl CancelState {
@@ -73,21 +77,56 @@ impl CancelToken {
                 cancelled: AtomicBool::new(false),
                 skipped: AtomicU64::new(0),
                 parent: None,
+                govern: None,
             }),
         }
     }
 
     /// A child token: cancelled when either it or `self` is cancelled.
     /// Cancelling the child does *not* cancel `self` — failures inside
-    /// a nested region stay contained in it.
+    /// a nested region stay contained in it. The child inherits the
+    /// parent's governed run (if any), so nested regions keep charging
+    /// the same budget.
     pub fn child(&self) -> CancelToken {
         CancelToken {
             state: Arc::new(CancelState {
                 cancelled: AtomicBool::new(false),
                 skipped: AtomicU64::new(0),
                 parent: Some(Arc::clone(&self.state)),
+                govern: self.state.govern.clone(),
             }),
         }
+    }
+
+    /// A fresh parentless token bound to a governed run.
+    pub(crate) fn new_governed(ctx: Arc<crate::govern::GovernCtx>) -> CancelToken {
+        CancelToken {
+            state: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                skipped: AtomicU64::new(0),
+                parent: None,
+                govern: Some(ctx),
+            }),
+        }
+    }
+
+    /// A child of `self` bound to a *new* governed run: inner budgets
+    /// shadow outer ones, while cancellation still flows downward from
+    /// the parent.
+    pub(crate) fn child_governed(&self, ctx: Arc<crate::govern::GovernCtx>) -> CancelToken {
+        CancelToken {
+            state: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                skipped: AtomicU64::new(0),
+                parent: Some(Arc::clone(&self.state)),
+                govern: Some(ctx),
+            }),
+        }
+    }
+
+    /// The governed run this token (via inheritance) belongs to.
+    pub(crate) fn govern_ctx(&self) -> Option<Arc<crate::govern::GovernCtx>> {
+        self.state.govern.clone()
     }
 
     /// Request cancellation. Sibling blocks stop at their next block
@@ -202,6 +241,58 @@ pub fn abort_region() -> ! {
 /// Is this panic payload the [`Cancelled`] sentinel?
 pub fn is_cancellation(payload: &(dyn Any + Send)) -> bool {
     payload.is::<Cancelled>()
+}
+
+/// Amortized per-element cancellation poll for long sequential loops.
+///
+/// The loop primitives only observe a [`CancelToken`] at block
+/// boundaries, so a single huge block (a forced geometry, a `flatten`
+/// region spanning many segments, a scan's sequential phase) could run
+/// for an unbounded time after cancellation. Leaf element iterators
+/// embed a `PollTicker` and call [`tick`](PollTicker::tick) once per
+/// element: every [`INTERVAL`](PollTicker::INTERVAL) elements it checks
+/// the ambient token and abandons the region via [`abort_region`] if
+/// cancellation was requested — bounding cancellation latency by one
+/// poll chunk regardless of block geometry.
+///
+/// The common path is a single decrement-and-branch; the thread-local
+/// token read happens once per `INTERVAL` elements.
+#[derive(Debug, Clone)]
+pub struct PollTicker {
+    left: u32,
+}
+
+impl PollTicker {
+    /// Elements between ambient-token polls.
+    pub const INTERVAL: u32 = 1024;
+
+    /// A fresh ticker, due to poll after [`INTERVAL`](Self::INTERVAL)
+    /// elements.
+    pub const fn new() -> PollTicker {
+        PollTicker {
+            left: Self::INTERVAL,
+        }
+    }
+
+    /// Count one element; on every `INTERVAL`-th call, poll the ambient
+    /// token and abandon the region (sentinel panic) if cancellation
+    /// was requested.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.left -= 1;
+        if self.left == 0 {
+            self.left = Self::INTERVAL;
+            if cancellation_requested() {
+                abort_region();
+            }
+        }
+    }
+}
+
+impl Default for PollTicker {
+    fn default() -> Self {
+        PollTicker::new()
+    }
 }
 
 /// First failure observed across the blocks of one `apply_cancellable`.

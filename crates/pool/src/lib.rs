@@ -27,14 +27,16 @@
 //! ```
 
 pub mod cancel;
+pub mod govern;
 mod job;
 mod latch;
 mod registry;
 mod scope;
 pub mod stats;
 
-pub use cancel::{apply_cancellable, CancelToken};
+pub use cancel::{apply_cancellable, CancelToken, PollTicker};
 pub use cancel::{shield, with_token};
+pub use govern::{retry_with_backoff, run_governed, Budget, Exceeded};
 pub use stats::{PoolStats, WorkerStats};
 
 /// Model-checking facade: exposes the internal synchronization
@@ -122,6 +124,14 @@ impl Pool {
                 return f();
             }
         }
+        // Admission control: under sustained saturation (or past the
+        // `BDS_MAX_INFLIGHT` cap) run `f` degraded — sequentially on
+        // the calling thread — instead of queueing unboundedly. The
+        // caller still gets a correct result; it just doesn't get
+        // parallelism. Seeded pools never shed.
+        let Some(_inflight) = self.registry.try_admit() else {
+            return run_degraded(f);
+        };
         let job = StackJob::new(f, LockLatch::new());
         // SAFETY: we block on the latch below, so the stack frame (and the
         // job in it) outlives the unique execution of the JobRef.
@@ -174,6 +184,21 @@ impl Pool {
         });
         self.registry.live_workers(me)
     }
+
+    /// Fault-injection hook: ask worker `index` to crash (panic out of
+    /// its main loop). The registry detects the unwind, salvages the
+    /// worker's deque, respawns a replacement at the same index, and
+    /// counts the incident in [`PoolStats::respawns`]. Queued and
+    /// in-flight work on *other* workers is unaffected; the crashing
+    /// worker itself is between jobs when it dies (the hook is polled
+    /// at the top of the main loop, never mid-job).
+    ///
+    /// # Panics
+    /// Panics if `index >= num_threads()`.
+    pub fn inject_worker_crash(&self, index: usize) {
+        assert!(index < self.num_threads(), "worker index out of range");
+        self.registry.request_worker_crash(index);
+    }
 }
 
 impl Drop for Pool {
@@ -182,7 +207,42 @@ impl Drop for Pool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        // Workers respawned after a crash are reaped separately; loop,
+        // because a respawned worker may itself have crashed and
+        // spawned a successor before exiting.
+        loop {
+            let respawned = self.registry.drain_respawned();
+            if respawned.is_empty() {
+                break;
+            }
+            for handle in respawned {
+                let _ = handle.join();
+            }
+        }
     }
+}
+
+thread_local! {
+    /// Set while a shed `install` runs its closure degraded on the
+    /// calling thread: `join` runs both sides sequentially instead of
+    /// touching any pool.
+    static DEGRADED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn run_degraded<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            DEGRADED.with(|d| d.set(self.0));
+        }
+    }
+    let prev = DEGRADED.with(|d| d.replace(true));
+    let _reset = Reset(prev);
+    f()
+}
+
+fn is_degraded() -> bool {
+    DEGRADED.with(|d| d.get())
 }
 
 pub use scope::{scope, Scope};
@@ -207,6 +267,7 @@ fn global_pool() -> &'static Pool {
 pub fn current_num_threads() -> usize {
     match WorkerThread::current() {
         Some(worker) => worker.registry().num_threads(),
+        None if is_degraded() => 1,
         None => global_pool().num_threads(),
     }
 }
@@ -232,6 +293,7 @@ fn static_global_pool_cell() -> &'static OnceLock<Pool> {
 pub fn current_live_workers() -> usize {
     match WorkerThread::current() {
         Some(worker) => worker.registry().live_workers(Some(worker.index())),
+        None if is_degraded() => 1,
         None => global_pool().live_workers(),
     }
 }
@@ -266,6 +328,8 @@ where
 {
     match WorkerThread::current() {
         Some(worker) => join_on_worker(worker, oper_a, oper_b),
+        // Degraded mode (shed install): stay on the calling thread.
+        None if is_degraded() => (oper_a(), oper_b()),
         None => global_pool().install(|| join(oper_a, oper_b)),
     }
 }

@@ -2,7 +2,7 @@
 //! `join` loop.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +30,23 @@ pub(crate) struct Registry {
     seed: Option<u64>,
     /// One padded counter slot per worker; written by that worker only.
     counters: Vec<WorkerCounters>,
+    /// Crash-injection flags, one per worker slot: when set, that worker
+    /// panics out of its main loop at the next iteration (then the flag
+    /// is cleared and the registry respawns the worker). Test/fault
+    /// hook; see [`crate::Pool::inject_worker_crash`].
+    kill_requests: Vec<AtomicBool>,
+    /// Workers respawned after an unexpected unwind out of `main_loop`.
+    respawns: AtomicU64,
+    /// Join handles of respawned workers, reaped by `Pool::drop`.
+    respawned: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// External `install`s declined by admission control and degraded
+    /// to sequential in-caller execution.
+    sheds: AtomicU64,
+    /// External `install`s currently admitted (injected or running).
+    inflight: AtomicUsize,
+    /// Admission cap from `BDS_MAX_INFLIGHT` (read at pool creation);
+    /// `None` means no explicit cap, saturation shedding only.
+    max_inflight: Option<usize>,
 }
 
 thread_local! {
@@ -58,6 +75,10 @@ impl Registry {
         let workers: Vec<Worker<JobRef>> =
             (0..num_threads).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
+        let max_inflight = std::env::var("BDS_MAX_INFLIGHT")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&m| m > 0);
         let registry = Arc::new(Registry {
             stealers,
             injector: Injector::new(),
@@ -68,6 +89,12 @@ impl Registry {
             num_threads,
             seed,
             counters: (0..num_threads).map(|_| WorkerCounters::default()).collect(),
+            kill_requests: (0..num_threads).map(|_| AtomicBool::new(false)).collect(),
+            respawns: AtomicU64::new(0),
+            respawned: Mutex::new(Vec::new()),
+            sheds: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            max_inflight,
         });
         let handles = workers
             .into_iter()
@@ -121,7 +148,85 @@ impl Registry {
     pub(crate) fn stats(&self) -> PoolStats {
         PoolStats {
             workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
         }
+    }
+
+    /// Ask worker `index` to crash: it panics out of its main loop at
+    /// the next iteration (within ~1 ms even when idle, thanks to the
+    /// park timeout) and the registry respawns it onto the same deque.
+    pub(crate) fn request_worker_crash(&self, index: usize) {
+        self.kill_requests[index].store(true, Ordering::Release);
+        // Wake a parked target promptly; a busy one polls on its next
+        // main-loop iteration.
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_all();
+    }
+
+    fn poll_crash(&self, index: usize) {
+        if self.kill_requests[index].swap(false, Ordering::AcqRel) {
+            std::panic::panic_any(InjectedCrash);
+        }
+    }
+
+    /// Admission control for external `install`s: `None` means the call
+    /// was shed (counted) and must degrade to sequential in-caller
+    /// execution; `Some(guard)` tracks the in-flight call.
+    ///
+    /// Sheds when the explicit `BDS_MAX_INFLIGHT` cap is reached, or
+    /// when the pool is saturated: every worker busy *and* the injector
+    /// backlog beyond `2 * num_threads` queued jobs. Seeded
+    /// (deterministic) pools never shed — admission decisions depend on
+    /// racy gauges, and replay must not.
+    pub(crate) fn try_admit(&self) -> Option<InflightGuard<'_>> {
+        if self.should_shed() {
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        Some(InflightGuard(self))
+    }
+
+    fn should_shed(&self) -> bool {
+        if self.seed.is_some() {
+            return false;
+        }
+        if let Some(max) = self.max_inflight {
+            if self.inflight.load(Ordering::SeqCst) >= max {
+                return true;
+            }
+        }
+        let all_busy = self
+            .counters
+            .iter()
+            .all(|c| c.busy.load(Ordering::Relaxed) != 0);
+        all_busy && self.injector.len() > 2 * self.num_threads
+    }
+
+    /// Respawn a crashed worker onto its old deque (stealers keep
+    /// working: they share the deque's backing store). No-op once the
+    /// pool is terminating. The new handle is parked in `respawned` for
+    /// `Pool::drop` to reap.
+    fn respawn_worker(self: &Arc<Registry>, worker: Worker<JobRef>, index: usize) {
+        if self.terminating() {
+            return;
+        }
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+        let registry = Arc::clone(self);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name(format!("bds-pool-{index}"))
+            .spawn(move || worker_main(worker, registry, index))
+        {
+            self.respawned.lock().push(handle);
+        }
+    }
+
+    /// Take the handles of workers respawned so far (drop-time reaping;
+    /// call in a loop until empty, since a respawned worker may itself
+    /// crash and respawn a successor).
+    pub(crate) fn drain_respawned(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut *self.respawned.lock())
     }
 
     /// Zero every worker's counters. Concurrent increments may survive
@@ -156,6 +261,19 @@ impl Registry {
             .filter(|(i, c)| Some(*i) != me && c.busy.load(Ordering::Relaxed) != 0)
             .count();
         self.num_threads.saturating_sub(busy_others).max(1)
+    }
+}
+
+/// Panic payload of an injected worker crash (the fault-injection hook
+/// behind [`crate::Pool::inject_worker_crash`]).
+struct InjectedCrash;
+
+/// RAII: decrements the registry's external-install gauge on drop.
+pub(crate) struct InflightGuard<'a>(&'a Registry);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -198,8 +316,20 @@ fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
         rng: Cell::new(rng_seed),
     };
     WORKER.with(|w| w.set(&me as *const WorkerThread));
-    me.main_loop();
+    // Job panics are caught at the join point and never unwind the main
+    // loop; anything that *does* unwind here is a crashed worker — the
+    // injected-crash hook, or a scheduler bug. Either way: salvage the
+    // deque (stealers share its backing store, so queued jobs survive)
+    // and respawn a replacement at the same index.
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| me.main_loop()));
     WORKER.with(|w| w.set(std::ptr::null()));
+    if outcome.is_err() {
+        let WorkerThread {
+            worker, registry, ..
+        } = me;
+        registry.respawn_worker(worker, index);
+    }
 }
 
 impl WorkerThread {
@@ -306,6 +436,8 @@ impl WorkerThread {
 
     fn main_loop(&self) {
         loop {
+            WorkerCounters::bump(&self.counters().heartbeats);
+            self.registry.poll_crash(self.index);
             if let Some(job) = self.find_work() {
                 // The gauge covers the whole job tree: nested joins and
                 // helping all happen inside this frame, so one flag per

@@ -49,6 +49,10 @@ pub(crate) struct WorkerCounters {
     /// undercounts idleness (spinning in `find_work` is not included)
     /// but tracks the "worker had nothing to do" signal.
     pub(crate) idle_ns: AtomicU64,
+    /// Main-loop iterations: bumped once per trip around the worker's
+    /// top-level loop. A liveness signal — a worker whose heartbeat has
+    /// stopped advancing is either wedged inside one job or dead.
+    pub(crate) heartbeats: AtomicU64,
     /// Gauge, not a counter: 1 while the worker's top-level `main_loop`
     /// frame is inside `job.execute()`, 0 otherwise. Read by
     /// [`crate::Pool::live_workers`] to estimate how many workers are
@@ -76,6 +80,7 @@ impl WorkerCounters {
             parks: self.parks.load(Ordering::Relaxed),
             unparks: self.unparks.load(Ordering::Relaxed),
             idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +93,7 @@ impl WorkerCounters {
         self.parks.store(0, Ordering::Relaxed);
         self.unparks.store(0, Ordering::Relaxed);
         self.idle_ns.store(0, Ordering::Relaxed);
+        self.heartbeats.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,6 +117,8 @@ pub struct WorkerStats {
     pub unparks: u64,
     /// Approximate nanoseconds spent parked.
     pub idle_ns: u64,
+    /// Main-loop iterations (liveness heartbeat).
+    pub heartbeats: u64,
 }
 
 impl WorkerStats {
@@ -129,6 +137,7 @@ impl WorkerStats {
         self.parks += other.parks;
         self.unparks += other.unparks;
         self.idle_ns += other.idle_ns;
+        self.heartbeats += other.heartbeats;
     }
 
     fn saturating_sub(&self, other: &WorkerStats) -> WorkerStats {
@@ -141,15 +150,26 @@ impl WorkerStats {
             parks: self.parks.saturating_sub(other.parks),
             unparks: self.unparks.saturating_sub(other.unparks),
             idle_ns: self.idle_ns.saturating_sub(other.idle_ns),
+            heartbeats: self.heartbeats.saturating_sub(other.heartbeats),
         }
     }
 }
 
-/// Snapshot of a whole pool's scheduler counters, one entry per worker.
+/// Snapshot of a whole pool's scheduler counters, one entry per worker,
+/// plus pool-level resilience counters.
 #[derive(Debug, Clone, Default)]
 pub struct PoolStats {
     /// Per-worker snapshots, indexed by worker id.
     pub workers: Vec<WorkerStats>,
+    /// Workers that crashed (unexpected unwind out of the main loop —
+    /// e.g. via the crash-injection hook) and were respawned by the
+    /// registry. Cumulative over the pool's lifetime; not cleared by
+    /// [`crate::Pool::reset_stats`].
+    pub respawns: u64,
+    /// `install` calls the pool declined to queue and degraded to
+    /// sequential in-caller execution instead (admission control /
+    /// saturation shedding). Cumulative over the pool's lifetime.
+    pub sheds: u64,
 }
 
 impl PoolStats {
@@ -179,7 +199,11 @@ impl PoolStats {
                 None => *w,
             })
             .collect();
-        PoolStats { workers }
+        PoolStats {
+            workers,
+            respawns: self.respawns.saturating_sub(baseline.respawns),
+            sheds: self.sheds.saturating_sub(baseline.sheds),
+        }
     }
 }
 
@@ -196,15 +220,20 @@ mod tests {
         };
         let before = PoolStats {
             workers: vec![w(1, 0), w(2, 1)],
+            ..Default::default()
         };
         let after = PoolStats {
             workers: vec![w(5, 2), w(7, 3)],
+            respawns: 1,
+            sheds: 2,
         };
         assert_eq!(after.total().jobs_executed, 12);
         let d = after.since(&before);
         assert_eq!(d.total().jobs_executed, 9);
         assert_eq!(d.total().steals, 4);
         assert_eq!(d.num_threads(), 2);
+        assert_eq!(d.respawns, 1);
+        assert_eq!(d.sheds, 2);
     }
 
     #[test]

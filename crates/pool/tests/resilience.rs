@@ -1,0 +1,220 @@
+//! Self-healing and overload-degradation tests: crashed workers are
+//! respawned (and counted), shed installs run degraded but correct.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use bds_pool::Pool;
+
+/// Serializes the tests in this binary: they read process-global state
+/// (`BDS_MAX_INFLIGHT` is sampled at pool creation).
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// How many distinct OS threads run the blocks of one sizable `apply`.
+fn threads_used(pool: &Pool) -> usize {
+    let seen = Mutex::new(std::collections::HashSet::new());
+    pool.install(|| {
+        bds_pool::apply(4096, |_| {
+            std::hint::black_box((0..200).sum::<u64>());
+            seen.lock().unwrap().insert(std::thread::current().id());
+        })
+    });
+    let n = seen.lock().unwrap().len();
+    n
+}
+
+#[test]
+fn crashed_worker_is_respawned_and_parallelism_recovers() {
+    let _serial = serial();
+    let pool = Pool::new(2);
+    assert_eq!(pool.stats().respawns, 0);
+
+    // Healthy warm-up.
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        bds_pool::apply(100, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 100);
+
+    pool.inject_worker_crash(0);
+    wait_for(|| pool.stats().respawns == 1, "worker respawn");
+
+    // The next run must complete, with both workers participating.
+    wait_for(|| threads_used(&pool) == 2, "full parallelism after respawn");
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        bds_pool::apply(1000, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 1000);
+    assert_eq!(pool.stats().respawns, 1);
+}
+
+#[test]
+fn repeated_crashes_keep_the_pool_alive() {
+    let _serial = serial();
+    let pool = Pool::new(2);
+    for round in 1..=3u64 {
+        pool.inject_worker_crash((round as usize) % 2);
+        wait_for(|| pool.stats().respawns == round, "worker respawn");
+        let total: u64 = pool.install(|| {
+            bds_pool::parallel_reduce(
+                10_000,
+                64,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, 9_999u64 * 10_000 / 2);
+    }
+    // Drop with respawned workers outstanding must shut down cleanly.
+}
+
+#[test]
+fn crash_mid_run_still_completes_the_run() {
+    let _serial = serial();
+    let pool = Pool::new(2);
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        bds_pool::apply(20_000, |i| {
+            if i == 64 {
+                // Crash a worker while blocks are still queued. The
+                // other worker (or the respawned one) finishes the job:
+                // the crashing worker dies *between* jobs, never while
+                // holding one.
+                pool.inject_worker_crash(1);
+            }
+            std::hint::black_box((0..100).sum::<u64>());
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 20_000);
+    wait_for(|| pool.stats().respawns == 1, "worker respawn");
+}
+
+#[test]
+fn heartbeats_advance() {
+    let _serial = serial();
+    let pool = Pool::new(2);
+    pool.install(|| bds_pool::apply(64, |_| {}));
+    let stats = pool.stats();
+    assert!(
+        stats.workers.iter().any(|w| w.heartbeats > 0),
+        "at least one worker must have iterated its main loop: {stats:?}"
+    );
+}
+
+#[test]
+fn max_inflight_sheds_to_degraded_sequential_execution() {
+    let _serial = serial();
+    std::env::set_var("BDS_MAX_INFLIGHT", "1");
+    let pool = Pool::new(2);
+    std::env::remove_var("BDS_MAX_INFLIGHT");
+
+    let occupied = std::sync::Arc::new(AtomicUsize::new(0));
+    let release = std::sync::Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        let (occupied2, release2) = (occupied.clone(), release.clone());
+        let pool_ref = &pool;
+        s.spawn(move || {
+            pool_ref.install(|| {
+                occupied2.store(1, Ordering::SeqCst);
+                while release2.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        while occupied.load(Ordering::SeqCst) == 0 {
+            std::hint::spin_loop();
+        }
+
+        // One install is in flight; the cap is 1, so this one is shed
+        // and must run on *this* thread — degraded, still correct.
+        let caller = std::thread::current().id();
+        let total: u64 = pool.install(|| {
+            assert_eq!(std::thread::current().id(), caller);
+            bds_pool::parallel_reduce(
+                100_000,
+                64,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, 99_999u64 * 100_000 / 2);
+        assert_eq!(pool.stats().sheds, 1);
+
+        release.store(1, Ordering::SeqCst);
+    });
+
+    // Back under the cap: installs are admitted (and parallel) again.
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        bds_pool::apply(100, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 100);
+    assert_eq!(pool.stats().sheds, 1);
+}
+
+#[test]
+fn degraded_mode_observes_cancellation() {
+    let _serial = serial();
+    std::env::set_var("BDS_MAX_INFLIGHT", "1");
+    let pool = Pool::new(1);
+    std::env::remove_var("BDS_MAX_INFLIGHT");
+
+    let occupied = std::sync::Arc::new(AtomicUsize::new(0));
+    let release = std::sync::Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        let (occupied2, release2) = (occupied.clone(), release.clone());
+        let pool_ref = &pool;
+        s.spawn(move || {
+            pool_ref.install(|| {
+                occupied2.store(1, Ordering::SeqCst);
+                while release2.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        while occupied.load(Ordering::SeqCst) == 0 {
+            std::hint::spin_loop();
+        }
+
+        // Shed install under a pre-cancelled token: every chunk must be
+        // skipped even on the degraded sequential path.
+        let token = bds_pool::CancelToken::new();
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        pool.install(|| {
+            bds_pool::with_token(&token, || {
+                bds_pool::apply(100, |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        assert_eq!(token.skipped_blocks(), 100);
+
+        release.store(1, Ordering::SeqCst);
+    });
+}

@@ -25,6 +25,41 @@ use crate::util::{build_vec, scan_sequential};
 /// A boxed block stream.
 pub type DynStream<T> = Box<dyn Iterator<Item = T> + Send>;
 
+/// Leaf-stream adaptor that polls the ambient [`bds_pool::CancelToken`]
+/// every [`bds_pool::PollTicker::INTERVAL`] elements. Every stream a
+/// `DSeq` hands out bottoms out in one of these (either wrapping a
+/// RAD's index walk or inside [`RegionStream`]), so cancellation —
+/// including governed deadline/memory trips — is observed within one
+/// poll chunk even for huge blocks.
+struct Ticked<I> {
+    inner: I,
+    ticker: bds_pool::PollTicker,
+}
+
+impl<I> Ticked<I> {
+    fn new(inner: I) -> Self {
+        Ticked {
+            inner,
+            ticker: bds_pool::PollTicker::new(),
+        }
+    }
+}
+
+impl<I: Iterator> Iterator for Ticked<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        let x = self.inner.next()?;
+        self.ticker.tick();
+        Some(x)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
 type IndexFn<T> = Arc<dyn Fn(usize) -> T + Send + Sync>;
 type BlockFn<T> = Arc<dyn Fn(usize) -> DynStream<T> + Send + Sync>;
 
@@ -127,7 +162,7 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
                         let lo = offset + j * bs;
                         let hi = offset + ((j + 1) * bs).min(len);
                         let f = Arc::clone(&f);
-                        Box::new((lo..hi).map(move |i| f(i)))
+                        Box::new(Ticked::new((lo..hi).map(move |i| f(i))))
                     }),
                 }
             }
@@ -173,7 +208,7 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
                     let lo = offset + j * bs;
                     let hi = offset + ((j + 1) * bs).min(len);
                     let f = Arc::clone(&f);
-                    Box::new((lo..hi).map(move |i| f(i)))
+                    Box::new(Ticked::new((lo..hi).map(move |i| f(i))))
                 }),
             },
         }
@@ -328,6 +363,7 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         let parts: Vec<Vec<T>> = build_vec(nb, |pv| {
             bds_pool::apply(nb, |j| {
                 let kept: Vec<T> = b(j).filter(|x| pred(x)).collect();
+                crate::util::charge_elems::<T>(kept.len());
                 pv.writer(j).push(kept);
             });
         });
@@ -363,6 +399,7 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
                     part,
                     within: lo - offsets[part],
                     remaining: hi - lo,
+                    ticker: bds_pool::PollTicker::new(),
                 })
             }),
         }
@@ -389,6 +426,7 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         let parts: Vec<Vec<U>> = build_vec(nb, |pv| {
             bds_pool::apply(nb, |j| {
                 let kept: Vec<U> = b(j).filter_map(&g).collect();
+                crate::util::charge_elems::<U>(kept.len());
                 pv.writer(j).push(kept);
             });
         });
@@ -656,12 +694,14 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
 }
 
 /// `getRegion` stream over `Arc`-shared parts (owned flavor of
-/// [`crate::flatten::RegionIter`]).
+/// [`crate::flatten::RegionIter`]). Polls cancellation per element
+/// chunk, like its static counterpart: one region can span many parts.
 struct RegionStream<T> {
     parts: Arc<Vec<Vec<T>>>,
     part: usize,
     within: usize,
     remaining: usize,
+    ticker: bds_pool::PollTicker,
 }
 
 impl<T: Clone> Iterator for RegionStream<T> {
@@ -671,6 +711,7 @@ impl<T: Clone> Iterator for RegionStream<T> {
         if self.remaining == 0 {
             return None;
         }
+        self.ticker.tick();
         loop {
             let part = self.parts.get(self.part)?;
             if self.within < part.len() {

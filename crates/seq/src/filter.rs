@@ -74,6 +74,10 @@ where
             for x in input.block(j) {
                 keep(x, &mut kept);
             }
+            // Survivors are the filter's real allocation; charge them
+            // against the ambient memory budget (abandons the region on
+            // exhaustion — the survivor vec is dropped normally).
+            crate::util::charge_elems::<U>(kept.len());
             counters::count_writes(kept.len());
             counters::count_allocs(kept.len());
             pv.writer(j).push(Forced::from_vec(kept));

@@ -113,11 +113,18 @@ where
 /// Block stream of [`Flattened`]: the paper's `getRegion` walk. Starts at
 /// a binary-searched (inner, within) position and streams `remaining`
 /// elements across adjacent inner sequences, skipping empties.
+///
+/// The walk polls the ambient [`bds_pool::CancelToken`] every
+/// [`bds_pool::PollTicker::INTERVAL`] elements: a region can span many
+/// inner segments (and, under forced geometry, the whole flatten), so
+/// without a per-chunk poll point cancellation would only be observed
+/// at the *block* boundary — unbounded latency for one long region.
 pub struct RegionIter<'s, Inner: RadSeq> {
     inners: &'s [Inner],
     part: usize,
     within: usize,
     remaining: usize,
+    ticker: bds_pool::PollTicker,
 }
 
 impl<'s, Inner: RadSeq> Iterator for RegionIter<'s, Inner> {
@@ -128,6 +135,7 @@ impl<'s, Inner: RadSeq> Iterator for RegionIter<'s, Inner> {
         if self.remaining == 0 {
             return None;
         }
+        self.ticker.tick();
         loop {
             let inner = self.inners.get(self.part)?;
             if self.within < inner.len() {
@@ -195,6 +203,7 @@ impl<Inner: RadSeq> Seq for Flattened<Inner> {
             part,
             within: lo - self.offsets[part],
             remaining: hi - lo,
+            ticker: bds_pool::PollTicker::new(),
         }
     }
 }

@@ -33,10 +33,16 @@ where
 
 /// Block stream of a [`Tabulate`]: applies the index function across a
 /// contiguous index range.
+///
+/// Embeds a [`bds_pool::PollTicker`]: leaf iterators are where long
+/// sequential block bodies spend their time, so polling here bounds
+/// cancellation latency by one poll chunk even under forced or huge
+/// block geometries.
 pub struct TabulateBlock<'s, F> {
     f: &'s F,
     next: usize,
     end: usize,
+    ticker: bds_pool::PollTicker,
 }
 
 impl<'s, T, F> Iterator for TabulateBlock<'s, F>
@@ -50,6 +56,7 @@ where
         if self.next >= self.end {
             return None;
         }
+        self.ticker.tick();
         let x = (self.f)(self.next);
         self.next += 1;
         Some(x)
@@ -99,6 +106,7 @@ where
             f: &self.f,
             next: lo,
             end: hi,
+            ticker: bds_pool::PollTicker::new(),
         }
     }
 }
@@ -132,9 +140,11 @@ pub fn from_slice<T: Clone + Send + Sync>(data: &[T]) -> FromSlice<'_, T> {
 }
 
 /// Block stream of a slice-backed sequence; counts element reads when the
-/// `counters` feature is on.
+/// `counters` feature is on. Polls the ambient cancellation token every
+/// [`bds_pool::PollTicker::INTERVAL`] elements.
 pub struct SliceBlock<'s, T> {
     inner: std::slice::Iter<'s, T>,
+    ticker: bds_pool::PollTicker,
 }
 
 impl<'s, T: Clone> Iterator for SliceBlock<'s, T> {
@@ -143,6 +153,7 @@ impl<'s, T: Clone> Iterator for SliceBlock<'s, T> {
     #[inline]
     fn next(&mut self) -> Option<T> {
         let x = self.inner.next()?;
+        self.ticker.tick();
         counters::count_reads(1);
         Some(x.clone())
     }
@@ -185,6 +196,7 @@ impl<'a, T: Clone + Send + Sync> Seq for FromSlice<'a, T> {
         let (lo, hi) = self.block_bounds(j);
         SliceBlock {
             inner: self.data[lo..hi].iter(),
+            ticker: bds_pool::PollTicker::new(),
         }
     }
 }
@@ -263,6 +275,7 @@ impl<T: Clone + Send + Sync> Seq for Forced<T> {
         let (lo, hi) = self.block_bounds(j);
         SliceBlock {
             inner: self.data[lo..hi].iter(),
+            ticker: bds_pool::PollTicker::new(),
         }
     }
 }

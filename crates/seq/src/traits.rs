@@ -470,10 +470,14 @@ pub trait RadSeq: Seq {
 }
 
 /// Generic block stream over any [`RadSeq`]: yields `get(lo..hi)`.
+/// Polls the ambient cancellation token every
+/// [`bds_pool::PollTicker::INTERVAL`] elements, so even a single huge
+/// block observes cancellation within one poll chunk.
 pub struct RadBlock<'s, S: RadSeq + ?Sized> {
     seq: &'s S,
     next: usize,
     end: usize,
+    ticker: bds_pool::PollTicker,
 }
 
 impl<'s, S: RadSeq + ?Sized> RadBlock<'s, S> {
@@ -484,6 +488,7 @@ impl<'s, S: RadSeq + ?Sized> RadBlock<'s, S> {
             seq,
             next: lo,
             end: hi,
+            ticker: bds_pool::PollTicker::new(),
         }
     }
 }
@@ -496,6 +501,7 @@ impl<'s, S: RadSeq + ?Sized> Iterator for RadBlock<'s, S> {
         if self.next >= self.end {
             return None;
         }
+        self.ticker.tick();
         let x = self.seq.get(self.next);
         self.next += 1;
         Some(x)

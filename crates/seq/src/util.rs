@@ -45,8 +45,28 @@ unsafe impl<T: Send> Sync for PartialVec<T> {}
 unsafe impl<T: Send> Send for PartialVec<T> {}
 
 impl<T: Send> PartialVec<T> {
+    /// Allocate the backing buffer for `n` slots.
+    ///
+    /// This is the single choke point for materializing allocations:
+    /// the buffer's bytes are charged against the ambient memory budget
+    /// (see [`bds_pool::govern`]) *before* the allocation, and the
+    /// reservation itself is fallible (`try_reserve_exact`). Either
+    /// failure abandons the region — a budget trip or, under
+    /// governance, a real allocator failure surfaces as
+    /// `Err(Exceeded::Memory)` at the enclosing `run_governed` instead
+    /// of aborting the process.
     pub(crate) fn new(n: usize) -> Self {
-        let mut buf: Vec<T> = Vec::with_capacity(n);
+        charge_elems::<T>(n);
+        let mut buf: Vec<T> = Vec::new();
+        if buf.try_reserve_exact(n).is_err() {
+            if bds_pool::govern::note_alloc_failure() {
+                bds_pool::cancel::abort_region();
+            }
+            panic!(
+                "allocation of {} bytes for {n} elements failed",
+                n.saturating_mul(std::mem::size_of::<T>())
+            );
+        }
         counters::count_allocs(n);
         PartialVec {
             ptr: buf.as_mut_ptr(),
@@ -240,12 +260,21 @@ where
     (out, total)
 }
 
+/// Charge `n` elements of `T` against the ambient memory budget,
+/// abandoning the region (sentinel) when the budget is exhausted. The
+/// hook every materializing allocation in this crate goes through.
+#[inline]
+pub(crate) fn charge_elems<T>(n: usize) {
+    bds_pool::govern::charge_or_abort(n.saturating_mul(std::mem::size_of::<T>()));
+}
+
 /// Sequential exclusive scan, used for small inputs and as phase 2.
 pub(crate) fn scan_sequential<T, F>(xs: &[T], zero: T, f: &F) -> (Vec<T>, T)
 where
     T: Clone,
     F: Fn(&T, &T) -> T,
 {
+    charge_elems::<T>(xs.len());
     counters::count_allocs(xs.len());
     counters::count_reads(xs.len());
     counters::count_writes(xs.len());

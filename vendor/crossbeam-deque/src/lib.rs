@@ -150,6 +150,12 @@ impl<T> Injector<T> {
             .is_empty()
     }
 
+    /// Number of tasks currently queued (racy under concurrency, exact
+    /// in quiescence), as in the real crate.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
     /// Steal a batch of tasks into `worker`'s deque and pop one of them,
     /// as in the real crate: moves roughly half the queue (at least one)
     /// and returns the first.
