@@ -1,0 +1,369 @@
+//! Service soak: sustain four tenants × 256 outstanding requests each
+//! (1024 concurrent governed pipelines) against a `bds_service::Service`
+//! while a chaos thread crashes a pool worker every 250 ms, and hold the
+//! delivery claims for the whole run:
+//!
+//! - **no lost responses** — every accepted ticket resolves (a lost one
+//!   would hang the drain and trip the watchdog below);
+//! - **no duplicated responses** — `bds-service`'s exactly-once tripwire
+//!   panics the run if a ticket completes twice;
+//! - **no partial responses** — every `Ok` is bit-identical to the
+//!   pipeline's known value;
+//! - **typed refusals only** — tight-deadline requests either fail fast
+//!   at admission, trip as `Exceeded::Deadline`, or deliver the full
+//!   value; nothing else is acceptable;
+//! - **the admission ledger balances** — per tenant,
+//!   `submitted == (admitted == completed) + rejected` at quiescence;
+//! - **no tenant starves** — every tenant's completion share is within
+//!   2x of its fair share, both bounds.
+//!
+//! Flags: `--seconds <n>` (duration, default 30), `--procs <p>` (pool
+//! width, default 3), `--json <path>` (machine-readable results in the
+//! `bds-bench/v2` schema with the `svc` block populated: sustained QPS
+//! and p50/p99 submit-to-response latency next to the gov counters).
+//!
+//! Exit status is non-zero if any claim is violated, so CI can run this
+//! binary directly as a gate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bds_bench::arg_value;
+use bds_bench::json::{GovCounters, JsonReport, Record, SvcCounters};
+use bds_pool::govern::trip_counts;
+use bds_seq::prelude::*;
+use bds_service::{
+    Budget, Exceeded, Rejected, Service, ServiceConfig, ServiceError, Ticket,
+};
+
+/// Outstanding requests each tenant's driver keeps in flight.
+const WINDOW: usize = 256;
+/// Tenants (and driver threads).
+const TENANTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+/// Every Nth request runs under a tight deadline instead of an
+/// unlimited budget, exercising fail-fast admission and in-flight
+/// deadline trips under load.
+const TIGHT_EVERY: u64 = 16;
+/// The tight deadline. Far below the queueing delay of a 1024-deep
+/// backlog on purpose: most of these must be refused or tripped, and
+/// the claim is that the refusal is always clean and typed.
+const TIGHT_DEADLINE: Duration = Duration::from_millis(2);
+/// Problem size of the pipeline each request runs.
+const N: usize = 4096;
+
+/// The one pipeline every request executes, with a value known in
+/// advance so a partial or corrupted response is detectable.
+fn expected_value() -> u64 {
+    (0..N as u64).map(|i| i.wrapping_mul(31).wrapping_add(7)).sum()
+}
+
+fn submit_one(
+    svc: &Service,
+    tenant: bds_service::Tenant,
+    budget: Budget,
+) -> Result<Ticket<u64>, Rejected> {
+    tabulate(N, |i| (i as u64).wrapping_mul(31).wrapping_add(7))
+        .submit_reduce(svc, tenant, budget, 0, |a, b| a.wrapping_add(b))
+}
+
+/// One in-flight request as the driver tracks it.
+struct Outstanding {
+    submitted_at: Instant,
+    tight: bool,
+    ticket: Ticket<u64>,
+}
+
+struct DriverOut {
+    latencies_s: Vec<f64>,
+    violations: Vec<String>,
+}
+
+/// Drive one tenant: keep [`WINDOW`] requests outstanding until `stop`,
+/// then drain. Latency is measured submit-to-response, so it includes
+/// queueing — the number a caller of the service would see.
+fn drive(
+    svc: &Service,
+    name: &str,
+    stop: &AtomicBool,
+    high_water: &AtomicU64,
+) -> DriverOut {
+    let tenant = svc.tenant(name);
+    let expected = expected_value();
+    let mut window: VecDeque<Outstanding> = VecDeque::with_capacity(WINDOW);
+    let mut out = DriverOut {
+        latencies_s: Vec::new(),
+        violations: Vec::new(),
+    };
+    let mut k = 0u64;
+    let flag = |violations: &mut Vec<String>, msg: String| {
+        if violations.len() < 64 {
+            violations.push(format!("tenant {name}: {msg}"));
+        }
+    };
+    loop {
+        let draining = stop.load(Ordering::Relaxed);
+        if !draining && window.len() < WINDOW {
+            let tight = k % TIGHT_EVERY == TIGHT_EVERY - 1;
+            let budget = if tight {
+                Budget::unlimited().with_deadline(TIGHT_DEADLINE)
+            } else {
+                Budget::unlimited()
+            };
+            k += 1;
+            match submit_one(svc, tenant, budget) {
+                Ok(ticket) => {
+                    window.push_back(Outstanding {
+                        submitted_at: Instant::now(),
+                        tight,
+                        ticket,
+                    });
+                    // Track the fleet-wide concurrent high water mark
+                    // (outstanding = accepted and not yet resolved).
+                    let total: u64 = window.len() as u64;
+                    let mut seen = high_water.load(Ordering::Relaxed);
+                    while total > seen {
+                        match high_water.compare_exchange_weak(
+                            seen,
+                            total,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(cur) => seen = cur,
+                        }
+                    }
+                    continue;
+                }
+                Err(Rejected::Deadline) if tight => continue, // clean fail-fast
+                Err(Rejected::QueueFull) => {
+                    // Transient backpressure: fall through and retire
+                    // the oldest request before re-offering.
+                }
+                Err(other) => {
+                    flag(&mut out.violations, format!("unexpected rejection: {other:?}"));
+                    continue;
+                }
+            }
+        }
+        let Some(oldest) = window.pop_front() else {
+            if draining {
+                return out;
+            }
+            continue;
+        };
+        let response = oldest.ticket.wait();
+        out.latencies_s
+            .push(oldest.submitted_at.elapsed().as_secs_f64());
+        match response {
+            Ok(v) if v == expected => {}
+            Ok(v) => flag(
+                &mut out.violations,
+                format!("partial/corrupt value: got {v:#x}, want {expected:#x}"),
+            ),
+            Err(ServiceError::Exceeded(Exceeded::Deadline)) if oldest.tight => {}
+            Err(e) => flag(&mut out.violations, format!("unexpected error: {e}")),
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    // Crash injection unwinds workers with sentinel panics; the default
+    // hook would print a backtrace for each. Silence it for the run.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let seconds: u64 = arg_value("--seconds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+        .max(1);
+    let procs: usize = arg_value("--procs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(2);
+
+    let svc = Service::new(ServiceConfig {
+        workers: procs,
+        // Deep enough that a full driver window fits queued; QueueFull
+        // then only appears transiently, as designed backpressure.
+        queue_capacity: 2 * WINDOW,
+        max_concurrent: 2 * procs,
+        quantum: 1,
+        breaker: bds_service::BreakerConfig::default(),
+    });
+    let trips_before = trip_counts();
+
+    eprintln!(
+        "service_soak: {seconds}s, {} tenants x {WINDOW} outstanding on {procs} workers, \
+         crash every 250 ms",
+        TENANTS.len(),
+    );
+
+    let stop = AtomicBool::new(false);
+    let high_water = AtomicU64::new(0);
+    let crashes = AtomicU64::new(0);
+    let started = Instant::now();
+    let outs: Vec<DriverOut> = std::thread::scope(|scope| {
+        let chaos = scope.spawn(|| {
+            let mut k = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(250));
+                svc.inject_worker_crash(k % procs);
+                crashes.fetch_add(1, Ordering::Relaxed);
+                k += 1;
+            }
+        });
+        let (svc, stop, high_water) = (&svc, &stop, &high_water);
+        let drivers: Vec<_> = TENANTS
+            .iter()
+            .map(|&name| scope.spawn(move || drive(svc, name, stop, high_water)))
+            .collect();
+        std::thread::sleep(Duration::from_secs(seconds));
+        stop.store(true, Ordering::Relaxed);
+        let outs = drivers.into_iter().map(|d| d.join().unwrap()).collect();
+        chaos.join().unwrap();
+        outs
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    for out in outs {
+        failures.extend(out.violations);
+        latencies.extend(out.latencies_s);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Quiescent ledger: every driver has drained its window, so per
+    // tenant everything submitted was either rejected at admission or
+    // delivered through its ticket.
+    let stats = svc.stats();
+    let mut tenant_completions: Vec<(String, u64)> = Vec::new();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    for t in &stats.tenants {
+        if t.submitted != t.completed + t.rejected() {
+            failures.push(format!(
+                "tenant {}: ledger out of balance: {} submitted != {} completed + {} rejected",
+                t.name,
+                t.submitted,
+                t.completed,
+                t.rejected(),
+            ));
+        }
+        if t.admitted != t.completed {
+            failures.push(format!(
+                "tenant {}: lost responses: {} admitted but {} completed",
+                t.name, t.admitted, t.completed,
+            ));
+        }
+        submitted += t.submitted;
+        completed += t.completed;
+        rejected += t.rejected();
+        tenant_completions.push((t.name.clone(), t.completed));
+    }
+
+    // Fairness: with identical offered load, each tenant's completion
+    // share must be within 2x of fair share, both bounds.
+    let fair = completed as f64 / TENANTS.len() as f64;
+    for (name, done) in &tenant_completions {
+        let share = *done as f64;
+        if share < fair / 2.0 || share > fair * 2.0 {
+            failures.push(format!(
+                "tenant {name} starved or hogged: {share} completions vs fair share {fair:.0}"
+            ));
+        }
+    }
+
+    let concurrent_per_tenant = high_water.load(Ordering::Relaxed);
+    // Each driver independently reached its high water; the fleet claim
+    // (>= 1k concurrent) holds when every window filled at least once.
+    if concurrent_per_tenant < WINDOW as u64 {
+        failures.push(format!(
+            "offered concurrency never reached the target: per-tenant high water \
+             {concurrent_per_tenant} < {WINDOW}"
+        ));
+    }
+    if stats.respawns == 0 && crashes.load(Ordering::Relaxed) > 0 {
+        failures.push("crashes were injected but no worker respawned".into());
+    }
+
+    let trips = trip_counts();
+    let gov = GovCounters {
+        sheds: stats.sheds,
+        respawns: stats.respawns,
+        deadline_trips: trips.deadline.saturating_sub(trips_before.deadline),
+        mem_trips: trips.memory.saturating_sub(trips_before.memory),
+    };
+    let qps = completed as f64 / elapsed;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+
+    eprintln!(
+        "service_soak: {submitted} submitted, {completed} completed, {rejected} rejected; \
+         {:.0} qps, p50 {:.1} ms, p99 {:.1} ms; {} crashes, {} respawns, \
+         trips: {} deadline / {} memory",
+        qps,
+        p50 * 1e3,
+        p99 * 1e3,
+        crashes.load(Ordering::Relaxed),
+        gov.respawns,
+        gov.deadline_trips,
+        gov.mem_trips,
+    );
+
+    if let Some(path) = arg_value("--json") {
+        let mut rep = JsonReport::new("service_soak", &format!("{seconds}s"));
+        rep.push(Record {
+            op: "service_soak".into(),
+            library: "service".into(),
+            n: N,
+            procs,
+            policy: None,
+            mean_s: mean,
+            min_s: percentile(&latencies, 0.0),
+            stddev_s: 0.0,
+            repeats: latencies.len(),
+            peak_bytes: 0,
+            block_size: 0,
+            num_blocks: 0,
+            sched: Some(stats.total()),
+            gov: Some(gov),
+            svc: Some(SvcCounters {
+                qps,
+                p50_s: p50,
+                p99_s: p99,
+                submitted,
+                completed,
+                rejected,
+                tenants: tenant_completions,
+            }),
+        });
+        rep.write(&path).expect("writing service_soak JSON");
+        eprintln!("service_soak: wrote {path}");
+    }
+
+    drop(svc);
+    if failures.is_empty() {
+        eprintln!("service_soak: clean shutdown, all claims held");
+    } else {
+        failures.truncate(32);
+        for f in &failures {
+            eprintln!("service_soak: VIOLATION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

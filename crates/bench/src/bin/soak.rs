@@ -296,6 +296,7 @@ fn main() {
             num_blocks: 0,
             sched: Some(out.sched),
             gov: Some(out.gov),
+            svc: None,
         });
         rep.write(&path).expect("writing soak JSON");
         eprintln!("soak: wrote {path}");

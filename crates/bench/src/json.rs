@@ -24,6 +24,11 @@
 //!       "gov": {
 //!         "sheds": 0, "respawns": 1,
 //!         "deadline_trips": 12, "mem_trips": 3
+//!       },
+//!       "svc": {
+//!         "qps": 5120.0, "p50_s": 0.0011, "p99_s": 0.0089,
+//!         "submitted": 40960, "completed": 40940, "rejected": 20,
+//!         "tenants": [{"name": "alpha", "completed": 10235}]
 //!       }
 //!     }
 //!   ]
@@ -41,9 +46,16 @@
 //! kind. Times are seconds; comparisons should use `min_s` (the
 //! noise-robust statistic — see `bds_metrics::Timing`).
 //!
+//! `svc` is `null` except for service benchmark runs (the
+//! `service_soak` binary), where it carries the request-level view:
+//! sustained queries per second, request latency quantiles measured
+//! from submit to response, the admission ledger (`submitted` =
+//! `completed` + `rejected` at quiescence), and per-tenant completion
+//! counts for fairness auditing.
+//!
 //! v2 is a strict superset of v1 (it adds `policy`, and later the
-//! optional `gov` block); consumers keyed on the schema string should
-//! accept both.
+//! optional `gov` and `svc` blocks); consumers keyed on the schema
+//! string should accept both.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -64,6 +76,28 @@ pub struct GovCounters {
     pub deadline_trips: u64,
     /// Governed runs refused because their memory budget was exceeded.
     pub mem_trips: u64,
+}
+
+/// Request-level counters attached to service benchmark records.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SvcCounters {
+    /// Completed requests per second of wall time.
+    pub qps: f64,
+    /// Median submit-to-response latency, seconds.
+    pub p50_s: f64,
+    /// 99th-percentile submit-to-response latency, seconds.
+    pub p99_s: f64,
+    /// Requests offered to the service.
+    pub submitted: u64,
+    /// Requests whose ticket resolved (success, budget trip, or panic —
+    /// all are deliveries).
+    pub completed: u64,
+    /// Requests refused at admission (queue-full, deadline, breaker,
+    /// shutdown).
+    pub rejected: u64,
+    /// `(tenant name, completed requests)` per tenant, for fairness
+    /// auditing.
+    pub tenants: Vec<(String, u64)>,
 }
 
 /// One benchmark measurement row.
@@ -97,6 +131,10 @@ pub struct Record {
     /// Resource-governance counters, if the run governed its pipelines
     /// (soak/overload binaries); `None` for ordinary measurements.
     pub gov: Option<GovCounters>,
+    /// Request-level service counters, if the run drove a
+    /// `bds_service::Service` (the `service_soak` binary); `None` for
+    /// ordinary measurements.
+    pub svc: Option<SvcCounters>,
 }
 
 impl Record {
@@ -118,6 +156,7 @@ impl Record {
             num_blocks,
             sched: m.capture.as_ref().map(|c| c.sched),
             gov: None,
+            svc: None,
         }
     }
 }
@@ -209,6 +248,35 @@ impl JsonReport {
                 }
                 None => out.push_str(", \"gov\": null"),
             }
+            match &r.svc {
+                Some(v) => {
+                    let _ = write!(
+                        out,
+                        ", \"svc\": {{\"qps\": {}, \"p50_s\": {}, \"p99_s\": {}, \
+                         \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \
+                         \"tenants\": [",
+                        num(v.qps),
+                        num(v.p50_s),
+                        num(v.p99_s),
+                        v.submitted,
+                        v.completed,
+                        v.rejected
+                    );
+                    for (t, (name, completed)) in v.tenants.iter().enumerate() {
+                        if t > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"name\": {}, \"completed\": {}}}",
+                            escape(name),
+                            completed
+                        );
+                    }
+                    out.push_str("]}");
+                }
+                None => out.push_str(", \"svc\": null"),
+            }
             out.push('}');
             if i + 1 < self.records.len() {
                 out.push(',');
@@ -292,6 +360,15 @@ mod tests {
                 deadline_trips: 12,
                 mem_trips: 3,
             }),
+            svc: Some(SvcCounters {
+                qps: 5120.0,
+                p50_s: 0.0011,
+                p99_s: 0.0089,
+                submitted: 100,
+                completed: 98,
+                rejected: 2,
+                tenants: vec![("alpha".into(), 49), ("beta".into(), 49)],
+            }),
         });
         rep.push(Record {
             op: "bfs".into(),
@@ -308,6 +385,7 @@ mod tests {
             sched: None,
             policy: None,
             gov: None,
+            svc: None,
         });
         let s = rep.render();
         assert!(s.contains("\"schema\": \"bds-bench/v2\""));
@@ -321,6 +399,13 @@ mod tests {
             "\"gov\": {\"sheds\": 2, \"respawns\": 1, \"deadline_trips\": 12, \"mem_trips\": 3}"
         ));
         assert!(s.contains("\"gov\": null"));
+        assert!(s.contains(
+            "\"svc\": {\"qps\": 5120, \"p50_s\": 0.0011, \"p99_s\": 0.0089, \
+             \"submitted\": 100, \"completed\": 98, \"rejected\": 2, \
+             \"tenants\": [{\"name\": \"alpha\", \"completed\": 49}, \
+             {\"name\": \"beta\", \"completed\": 49}]}"
+        ));
+        assert!(s.contains("\"svc\": null"));
         // Exactly one comma between the two records.
         assert_eq!(s.matches("},\n").count(), 1);
     }

@@ -37,6 +37,7 @@ pub mod eval;
 pub mod gen;
 pub mod governed;
 pub mod runner;
+pub mod service;
 
 use ast::Pipeline;
 use runner::{check_pipeline, shrink, verify_determinism, Divergence, Pools, QuietPanics};
@@ -70,6 +71,9 @@ pub struct FailureReport {
     /// Violations of the resource-governance invariants found by the
     /// periodic governed sweep (see [`governed::check_governed`]).
     pub governed_violations: Vec<String>,
+    /// Violations of the service delivery invariants found by the
+    /// periodic served sweep (see [`service::check_service`]).
+    pub service_violations: Vec<String>,
 }
 
 /// The summary of a fuzz run.
@@ -100,6 +104,13 @@ const SELF_CHECK_PERIOD: usize = 128;
 /// [`bds_pool::Exceeded`] variant or completes with the full value.
 const GOVERNED_CHECK_PERIOD: usize = 16;
 
+/// How often the fuzz loop additionally serves the case (fault-free)
+/// through a `bds_service::Service` across two tenants and a budget
+/// mix, with worker crashes injected between submissions, asserting
+/// every accepted ticket resolves to exactly the oracle's value or a
+/// clean typed refusal (see [`service::check_service`]).
+const SERVICE_CHECK_PERIOD: usize = 32;
+
 /// Fuzz `count` pipelines derived from `master`, checking each against
 /// the oracle under the full configuration matrix. Failing cases are
 /// shrunk and reported on stderr (with their `BDS_CHECK_SEED`) as they
@@ -117,7 +128,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
         let divergences = check_pipeline(&pipeline, &mut pools);
         if !divergences.is_empty() {
             let shrunk = shrink(&pipeline, &mut pools);
-            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[]);
+            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[], &[]);
             failures.push(FailureReport {
                 subseed,
                 pipeline,
@@ -125,10 +136,11 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                 divergences,
                 determinism_error: None,
                 governed_violations: Vec::new(),
+                service_violations: Vec::new(),
             });
         } else if k % SELF_CHECK_PERIOD == SELF_CHECK_PERIOD / 2 {
             if let Err(e) = verify_determinism(&pipeline, subseed) {
-                report_failure(subseed, &pipeline, None, &[], Some(&e), &[]);
+                report_failure(subseed, &pipeline, None, &[], Some(&e), &[], &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -136,6 +148,25 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     divergences: Vec::new(),
                     determinism_error: Some(e),
                     governed_violations: Vec::new(),
+                    service_violations: Vec::new(),
+                });
+            }
+        } else if k % SERVICE_CHECK_PERIOD == SERVICE_CHECK_PERIOD * 3 / 4 {
+            let violations = service::check_service(&pipeline, subseed);
+            if !violations.is_empty() {
+                let described: Vec<String> = violations
+                    .iter()
+                    .map(service::ServiceViolation::describe)
+                    .collect();
+                report_failure(subseed, &pipeline, None, &[], None, &[], &described);
+                failures.push(FailureReport {
+                    subseed,
+                    pipeline,
+                    shrunk: None,
+                    divergences: Vec::new(),
+                    determinism_error: None,
+                    governed_violations: Vec::new(),
+                    service_violations: described,
                 });
             }
         } else if k % GOVERNED_CHECK_PERIOD == GOVERNED_CHECK_PERIOD / 2 {
@@ -145,7 +176,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     .iter()
                     .map(governed::GovernViolation::describe)
                     .collect();
-                report_failure(subseed, &pipeline, None, &[], None, &described);
+                report_failure(subseed, &pipeline, None, &[], None, &described, &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -153,6 +184,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     divergences: Vec::new(),
                     determinism_error: None,
                     governed_violations: described,
+                    service_violations: Vec::new(),
                 });
             }
         }
@@ -179,6 +211,7 @@ fn report_failure(
     divergences: &[Divergence],
     determinism_error: Option<&str>,
     governed_violations: &[String],
+    service_violations: &[String],
 ) {
     eprintln!("bds-check: FAILURE  BDS_CHECK_SEED={subseed}");
     eprintln!("  pipeline: {pipeline:?}");
@@ -190,6 +223,9 @@ fn report_failure(
     }
     for v in governed_violations {
         eprintln!("  governed: {v}");
+    }
+    for v in service_violations {
+        eprintln!("  served: {v}");
     }
     if let Some(s) = shrunk {
         eprintln!("  shrunk:   {s:?}");

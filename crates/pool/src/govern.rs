@@ -381,13 +381,44 @@ pub fn run_governed<R>(budget: Budget, f: impl FnOnce() -> R) -> Result<R, Excee
     }
 }
 
-/// Retry `f` up to `attempts` times with exponential backoff (`base`,
-/// `2*base`, `4*base`, … between attempts), returning the first `Ok` or
-/// the last `Err`.
+/// The jittered backoff delay before retry `attempt + 1`: uniform in
+/// `[d/2, d]` where `d = base * 2^attempt` ("equal jitter").
+///
+/// A fixed exponential schedule synchronizes concurrent retriers: every
+/// caller shed by the same overload event sleeps the same `base`,
+/// `2*base`, … and the whole herd thunders back at once, re-creating
+/// the overload it is backing off from. Randomizing the upper half of
+/// each delay keeps the exponential spacing (worst case unchanged,
+/// mean `3/4` of the fixed schedule) while spreading retriers across
+/// half a period.
+///
+/// The randomness is a process-global Weyl sequence fed through
+/// SplitMix64 — race-tolerant (one relaxed `fetch_add`), no seeding,
+/// and well distributed even when many threads draw concurrently.
+pub fn backoff_delay(attempt: usize, base: Duration) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let nanos = exp.as_nanos().min(u64::MAX as u128) as u64;
+    if nanos < 2 {
+        return exp;
+    }
+    let half = nanos / 2;
+    let jitter = jitter_next() % (nanos - half + 1);
+    Duration::from_nanos(half + jitter)
+}
+
+fn jitter_next() -> u64 {
+    static STATE: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
+    crate::registry::splitmix64(STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
+}
+
+/// Retry `f` up to `attempts` times with jittered exponential backoff
+/// (uniform in `[d/2, d]` for `d = base`, `2*base`, `4*base`, … — see
+/// [`backoff_delay`]), returning the first `Ok` or the last `Err`.
 ///
 /// The companion to [`run_governed`] for transient failures: a run shed
 /// under overload or cut short by a deadline often succeeds on a calmer
-/// retry. `f` receives the attempt index (0-based).
+/// retry, and the jitter keeps a crowd of shed callers from retrying in
+/// lockstep. `f` receives the attempt index (0-based).
 ///
 /// # Panics
 /// Panics if `attempts == 0`.
@@ -404,7 +435,7 @@ pub fn retry_with_backoff<T, E>(
             Err(e) => {
                 last_err = Some(e);
                 if attempt + 1 < attempts {
-                    std::thread::sleep(base * (1u32 << attempt.min(16)));
+                    std::thread::sleep(backoff_delay(attempt, base));
                 }
             }
         }
@@ -510,6 +541,33 @@ mod tests {
         });
         assert_eq!(r, Err(2));
         assert_eq!(tried.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn backoff_delay_stays_within_equal_jitter_bounds() {
+        let base = Duration::from_millis(1);
+        for attempt in 0..6usize {
+            let full = base * (1u32 << attempt);
+            for _ in 0..200 {
+                let d = backoff_delay(attempt, base);
+                assert!(d >= full / 2, "attempt {attempt}: {d:?} < {:?}", full / 2);
+                assert!(d <= full, "attempt {attempt}: {d:?} > {full:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_delay_actually_jitters() {
+        // 64 draws over a 0.5 ms window: collisions of all 64 values
+        // would mean the jitter source is constant.
+        let seen: std::collections::HashSet<Duration> =
+            (0..64).map(|_| backoff_delay(0, Duration::from_millis(1))).collect();
+        assert!(seen.len() > 1, "backoff delays are not jittered");
+    }
+
+    #[test]
+    fn backoff_delay_zero_base_is_zero() {
+        assert_eq!(backoff_delay(3, Duration::ZERO), Duration::ZERO);
     }
 
     #[test]

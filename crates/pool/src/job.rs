@@ -55,6 +55,40 @@ impl JobRef {
     }
 }
 
+/// A heap-allocated, self-owning job for fire-and-forget spawns
+/// ([`crate::Pool::spawn`]): the closure is boxed, erased into a
+/// [`JobRef`], and reclaimed (`Box::from_raw`) by whichever worker
+/// executes it.
+///
+/// Unlike [`StackJob`] there is no latch and no result slot — the
+/// closure communicates through whatever it captured. A panic that
+/// escapes the closure unwinds the executing worker's main loop, which
+/// the registry treats as a crash: the worker is respawned and the
+/// incident counted in [`crate::PoolStats::respawns`]. Callers that
+/// care should catch panics inside the closure.
+pub(crate) struct HeapJob<F: FnOnce() + Send + 'static> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send + 'static> HeapJob<F> {
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Erase into a [`JobRef`], transferring ownership of the box.
+    ///
+    /// SAFETY (caller): the returned job must be executed exactly once;
+    /// the box leaks otherwise.
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::from_raw_parts(Box::into_raw(self) as *const (), Self::execute_erased)
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = Box::from_raw(ptr as *mut Self);
+        (job.func)();
+    }
+}
+
 /// The result slot of a [`StackJob`]: not yet run, or finished with either
 /// a value or a captured panic payload.
 enum JobResult<R> {

@@ -1,11 +1,15 @@
 //! Completion latches.
 //!
-//! A latch starts unset and is set exactly once when a job finishes. Two
-//! flavors: [`SpinLatch`] for waiters that keep themselves busy stealing
-//! work (workers inside the pool), and [`LockLatch`] for external threads
-//! that should block in the OS.
+//! A latch starts unset and is set exactly once when a job finishes.
+//! Three flavors: [`SpinLatch`] for waiters that keep themselves busy
+//! stealing work (workers inside the pool), [`LockLatch`] for external
+//! threads that should block in the OS, and [`AsyncLatch`] for waiters
+//! that are futures — it can park a [`Waker`] instead of an OS thread,
+//! which is what lets `bds-service` hand out awaitable tickets without
+//! one parked thread per outstanding request.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::task::{Poll, Waker};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -89,6 +93,100 @@ impl Latch for LockLatch {
     }
 }
 
+/// A latch that both futures and OS threads can wait on.
+///
+/// `poll_set` registers the caller's [`Waker`] so an executor is woken
+/// when the latch fires; `wait` blocks the calling thread like
+/// `LockLatch`. Both styles may be mixed on one latch. Unlike the
+/// other latches this one is expected to be shared (e.g. behind an
+/// `Arc`) between the job that sets it and the waiters.
+pub struct AsyncLatch {
+    /// Fast-path flag. `Release` store in `set` pairs with the
+    /// `Acquire` loads in `probe`/`wait`/`poll_set`, making the result
+    /// writes that preceded `set` visible to waiters.
+    done: AtomicBool,
+    /// Wakers parked by `poll_set`, drained exactly once by `set`.
+    /// The lock also serializes the set-vs-register race: `set` flips
+    /// `done` while holding it, so a waiter that re-checks `done` under
+    /// the lock and still sees `false` is guaranteed its waker will be
+    /// observed (and woken) by `set`.
+    waiters: Mutex<Vec<Waker>>,
+    cond: Condvar,
+}
+
+impl AsyncLatch {
+    /// A fresh, unset latch.
+    pub fn new() -> Self {
+        AsyncLatch {
+            done: AtomicBool::new(false),
+            waiters: Mutex::new(Vec::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Has the latch been set?
+    pub fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block the calling OS thread until the latch is set. Returns
+    /// immediately if it already is.
+    pub fn wait(&self) {
+        if self.probe() {
+            return;
+        }
+        let mut waiters = self.waiters.lock();
+        while !self.done.load(Ordering::Acquire) {
+            self.cond.wait(&mut waiters);
+        }
+    }
+
+    /// Future-style wait: `Ready` if the latch is set, otherwise parks
+    /// `waker` (to be woken by [`Latch::set`]) and returns `Pending`.
+    ///
+    /// Safe to call repeatedly with different wakers (each poll parks
+    /// the latest one, as the `Future` contract requires).
+    pub fn poll_set(&self, waker: &Waker) -> Poll<()> {
+        if self.probe() {
+            return Poll::Ready(());
+        }
+        let mut waiters = self.waiters.lock();
+        // Re-check under the lock: `set` flips `done` while holding it,
+        // so either we see `true` here or our waker is registered
+        // before `set` drains the list.
+        if self.done.load(Ordering::Acquire) {
+            return Poll::Ready(());
+        }
+        waiters.push(waker.clone());
+        Poll::Pending
+    }
+}
+
+impl Default for AsyncLatch {
+    fn default() -> Self {
+        AsyncLatch::new()
+    }
+}
+
+impl Latch for AsyncLatch {
+    fn set(&self) {
+        let wakers = {
+            let mut waiters = self.waiters.lock();
+            self.done.store(true, Ordering::Release);
+            // Notify blocking waiters while holding the lock (same
+            // missed-signal argument as LockLatch).
+            self.cond.notify_all();
+            std::mem::take(&mut *waiters)
+        };
+        // Wake executors outside the lock: a waker may run arbitrary
+        // executor code, and it must not be able to deadlock against a
+        // waiter taking `waiters`.
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +217,66 @@ mod tests {
         let l = LockLatch::new();
         l.set();
         l.wait(); // must not block
+    }
+
+    /// Waker that flips a flag and unparks a thread, for poll tests.
+    fn flag_waker(flag: Arc<std::sync::atomic::AtomicBool>) -> std::task::Waker {
+        struct FlagWake(Arc<std::sync::atomic::AtomicBool>);
+        impl std::task::Wake for FlagWake {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        std::task::Waker::from(Arc::new(FlagWake(flag)))
+    }
+
+    #[test]
+    fn async_latch_poll_then_set_wakes() {
+        let l = Arc::new(AsyncLatch::new());
+        let woken = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waker = flag_waker(Arc::clone(&woken));
+        assert_eq!(l.poll_set(&waker), Poll::Pending);
+        assert!(!woken.load(Ordering::SeqCst));
+        l.set();
+        assert!(woken.load(Ordering::SeqCst));
+        assert_eq!(l.poll_set(&waker), Poll::Ready(()));
+    }
+
+    #[test]
+    fn async_latch_set_before_poll_is_ready() {
+        let l = AsyncLatch::new();
+        l.set();
+        let woken = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waker = flag_waker(Arc::clone(&woken));
+        assert_eq!(l.poll_set(&waker), Poll::Ready(()));
+        // No spurious wake: the waker was never parked.
+        assert!(!woken.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn async_latch_blocking_wait_cross_thread() {
+        let l = Arc::new(AsyncLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.probe());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn async_latch_mixed_waiters() {
+        let l = Arc::new(AsyncLatch::new());
+        let woken = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waker = flag_waker(Arc::clone(&woken));
+        assert_eq!(l.poll_set(&waker), Poll::Pending);
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || l2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        l.set();
+        h.join().unwrap();
+        assert!(woken.load(Ordering::SeqCst));
     }
 }

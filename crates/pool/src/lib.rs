@@ -36,8 +36,10 @@ pub mod stats;
 
 pub use cancel::{apply_cancellable, CancelToken, PollTicker};
 pub use cancel::{shield, with_token};
-pub use govern::{retry_with_backoff, run_governed, Budget, Exceeded};
-pub use stats::{PoolStats, WorkerStats};
+pub use govern::{backoff_delay, retry_with_backoff, run_governed, Budget, Exceeded};
+pub use latch::{AsyncLatch, Latch};
+pub use registry::AdmitToken;
+pub use stats::{PoolStats, TenantSlot, TenantStats, WorkerStats};
 
 /// Model-checking facade: exposes the internal synchronization
 /// primitives so `tests/loom.rs` can explore their interleavings under
@@ -59,9 +61,9 @@ pub mod model_check {
 
 use std::sync::{Arc, OnceLock};
 
-use job::StackJob;
+use job::{HeapJob, StackJob};
 use latch::{LockLatch, SpinLatch};
-use registry::{Registry, WorkerThread};
+use registry::{Admission, Registry, WorkerThread};
 
 /// A fixed-size work-stealing thread pool.
 ///
@@ -79,7 +81,26 @@ impl Pool {
     /// # Panics
     /// Panics if `num_threads == 0`.
     pub fn new(num_threads: usize) -> Pool {
-        let (registry, handles) = Registry::new(num_threads, None);
+        let (registry, handles) =
+            Registry::new(num_threads, None, Registry::env_max_inflight());
+        Pool { registry, handles }
+    }
+
+    /// Create a pool with an explicit admission cap: at most
+    /// `max_inflight` external [`Pool::install`] calls (plus
+    /// [`Pool::try_reserve`] slots) are admitted concurrently; the rest
+    /// shed to degraded in-caller execution. Overrides the
+    /// `BDS_MAX_INFLIGHT` environment variable, which is racy to mutate
+    /// from tests and invisible to library callers.
+    ///
+    /// The cap is strict: admission uses a compare-and-swap, so
+    /// concurrent racers at the boundary shed rather than overshoot.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0` or `max_inflight == 0`.
+    pub fn with_max_inflight(num_threads: usize, max_inflight: usize) -> Pool {
+        assert!(max_inflight > 0, "an admission cap of 0 admits nothing");
+        let (registry, handles) = Registry::new(num_threads, None, Some(max_inflight));
         Pool { registry, handles }
     }
 
@@ -100,7 +121,8 @@ impl Pool {
     /// # Panics
     /// Panics if `num_threads == 0`.
     pub fn new_seeded(num_threads: usize, seed: u64) -> Pool {
-        let (registry, handles) = Registry::new(num_threads, Some(seed));
+        let (registry, handles) =
+            Registry::new(num_threads, Some(seed), Registry::env_max_inflight());
         Pool { registry, handles }
     }
 
@@ -125,12 +147,15 @@ impl Pool {
             }
         }
         // Admission control: under sustained saturation (or past the
-        // `BDS_MAX_INFLIGHT` cap) run `f` degraded — sequentially on
-        // the calling thread — instead of queueing unboundedly. The
-        // caller still gets a correct result; it just doesn't get
-        // parallelism. Seeded pools never shed.
-        let Some(_inflight) = self.registry.try_admit() else {
-            return run_degraded(f);
+        // in-flight cap) run `f` degraded — sequentially on the calling
+        // thread — instead of queueing unboundedly. The caller still
+        // gets a correct result; it just doesn't get parallelism.
+        // Seeded pools never shed. Either arm holds its RAII gauge
+        // guard for the whole execution, so a panicking closure still
+        // balances the in-flight accounting.
+        let _admission = match self.registry.try_admit() {
+            Admission::Admitted(guard) => guard,
+            Admission::Shed(_shed) => return run_degraded(f),
         };
         let job = StackJob::new(f, LockLatch::new());
         // SAFETY: we block on the latch below, so the stack frame (and the
@@ -141,6 +166,74 @@ impl Pool {
         // SAFETY: latch observed set; executor's writes are visible and we
         // are the unique owner collecting the result.
         unsafe { job.into_result() }
+    }
+
+    /// Spawn a fire-and-forget job on the pool: `f` runs on some worker,
+    /// at some point, without blocking the caller. The asynchronous
+    /// counterpart of [`Pool::install`] — submission is non-blocking, and
+    /// completion is communicated through whatever `f` captured (e.g. an
+    /// [`AsyncLatch`] a future is parked on; `bds-service` builds its
+    /// ticket protocol this way).
+    ///
+    /// `spawn` deliberately bypasses admission control: an external
+    /// scheduler that spawns is expected to gate itself with
+    /// [`Pool::try_reserve`] first. A panic that escapes `f` unwinds the
+    /// executing worker, which is detected and respawned (counted in
+    /// [`PoolStats::respawns`]) — catch panics inside `f` if they are an
+    /// expected outcome.
+    ///
+    /// Jobs still queued when the pool is dropped are run (degraded,
+    /// sequentially) on the dropping thread, so a spawned job is never
+    /// silently lost; panics from such teardown runs are swallowed.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let job = HeapJob::new(f);
+        // SAFETY: the injected JobRef is executed exactly once — by a
+        // worker, or by `Pool::drop`'s teardown drain after every worker
+        // has exited.
+        let job_ref = unsafe { job.into_job_ref() };
+        self.registry.inject(job_ref);
+    }
+
+    /// Try to reserve one admission slot, under the same shedding rules
+    /// as [`Pool::install`] (in-flight cap, saturation backlog) but
+    /// without counting a refusal in [`PoolStats::sheds`] — a refused
+    /// reservation is expected to stay queued at the caller and retry,
+    /// not to degrade.
+    ///
+    /// The returned token is owned and `Send`: an external scheduler
+    /// (such as `bds-service`'s dispatcher) holds one per dispatched
+    /// request, moves it into the [`Pool::spawn`]ed job, and drops it on
+    /// completion, so pool-level admission applies to asynchronous
+    /// submissions exactly as it does to blocking `install`s.
+    pub fn try_reserve(&self) -> Option<AdmitToken> {
+        self.registry.try_reserve()
+    }
+
+    /// Current number of admitted external submissions in flight
+    /// ([`Pool::install`] calls plus live [`AdmitToken`]s). A gauge,
+    /// exact only in quiescence; rises and falls with load and returns
+    /// to zero when the pool is idle — even when submissions panic.
+    pub fn inflight(&self) -> usize {
+        self.registry.inflight_count()
+    }
+
+    /// Current number of shed [`Pool::install`] calls running degraded
+    /// on their caller's thread. Returns to zero in quiescence — even
+    /// when degraded closures panic.
+    pub fn degraded_inflight(&self) -> usize {
+        self.registry.degraded_count()
+    }
+
+    /// Get or create the named per-tenant counter slot of this pool's
+    /// statistics. Slots are keyed by name (the same name returns the
+    /// same slot) and surface in [`PoolStats::tenants`]; the handle is
+    /// how a multi-tenant front-end records admission and completion
+    /// events against the pool it runs on.
+    pub fn tenant_slot(&self, name: &str) -> TenantSlot {
+        self.registry.tenant_slot(name)
     }
 
     /// Snapshot the pool's per-worker scheduler counters.
@@ -219,6 +312,19 @@ impl Drop for Pool {
                 let _ = handle.join();
             }
         }
+        // Every worker has exited. Jobs spawned with `Pool::spawn` that
+        // no worker ever picked up would leak their boxes (and leave
+        // their completion latches unset forever); run them here,
+        // degraded, instead. Panics are swallowed: unwinding out of a
+        // destructor aborts if we are already panicking, and a teardown
+        // job's panic has no owner left to report to.
+        while let Some(job) = self.registry.pop_injected() {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: the injector owned this JobRef; we are its
+                // unique executor.
+                run_degraded(|| unsafe { job.execute() })
+            }));
+        }
     }
 }
 
@@ -243,6 +349,14 @@ fn run_degraded<R>(f: impl FnOnce() -> R) -> R {
 
 fn is_degraded() -> bool {
     DEGRADED.with(|d| d.get())
+}
+
+/// True while the current thread is executing a shed [`Pool::install`]
+/// degraded (sequentially, in-caller). Lets callers and tests observe
+/// which admission path a closure took; inside a degraded run,
+/// [`current_num_threads`] reports 1 and `join` never touches a pool.
+pub fn running_degraded() -> bool {
+    is_degraded()
 }
 
 pub use scope::{scope, Scope};

@@ -12,7 +12,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::job::JobRef;
 use crate::latch::SpinLatch;
-use crate::stats::{PoolStats, WorkerCounters};
+use crate::stats::{PoolStats, TenantCounters, TenantSlot, WorkerCounters};
 
 /// Shared state of one thread pool.
 pub(crate) struct Registry {
@@ -42,11 +42,22 @@ pub(crate) struct Registry {
     /// External `install`s declined by admission control and degraded
     /// to sequential in-caller execution.
     sheds: AtomicU64,
-    /// External `install`s currently admitted (injected or running).
+    /// External submissions currently admitted (injected or running):
+    /// `install`s plus reservations taken via [`Registry::try_reserve`].
     inflight: AtomicUsize,
-    /// Admission cap from `BDS_MAX_INFLIGHT` (read at pool creation);
-    /// `None` means no explicit cap, saturation shedding only.
+    /// Shed `install`s currently running degraded on their caller's
+    /// thread. Tracked separately from `inflight` so degraded work does
+    /// not consume admission slots.
+    degraded_inflight: AtomicUsize,
+    /// Admission cap (explicit constructor argument, or read from
+    /// `BDS_MAX_INFLIGHT` at pool creation); `None` means no explicit
+    /// cap, saturation shedding only.
     max_inflight: Option<usize>,
+    /// Named per-tenant counter slots handed out by
+    /// [`Registry::tenant_slot`]; snapshotted into
+    /// [`PoolStats::tenants`]. Small (one entry per tenant) and touched
+    /// only on slot creation and snapshot, so a mutex is fine.
+    tenants: Mutex<Vec<Arc<TenantCounters>>>,
 }
 
 thread_local! {
@@ -70,15 +81,12 @@ impl Registry {
     pub(crate) fn new(
         num_threads: usize,
         seed: Option<u64>,
+        max_inflight: Option<usize>,
     ) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
         assert!(num_threads > 0, "a pool needs at least one thread");
         let workers: Vec<Worker<JobRef>> =
             (0..num_threads).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
-        let max_inflight = std::env::var("BDS_MAX_INFLIGHT")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&m| m > 0);
         let registry = Arc::new(Registry {
             stealers,
             injector: Injector::new(),
@@ -94,7 +102,9 @@ impl Registry {
             respawned: Mutex::new(Vec::new()),
             sheds: AtomicU64::new(0),
             inflight: AtomicUsize::new(0),
+            degraded_inflight: AtomicUsize::new(0),
             max_inflight,
+            tenants: Mutex::new(Vec::new()),
         });
         let handles = workers
             .into_iter()
@@ -108,6 +118,16 @@ impl Registry {
             })
             .collect();
         (registry, handles)
+    }
+
+    /// The admission cap configured by the environment
+    /// (`BDS_MAX_INFLIGHT`), used by the pool constructors that do not
+    /// take an explicit cap.
+    pub(crate) fn env_max_inflight() -> Option<usize> {
+        std::env::var("BDS_MAX_INFLIGHT")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&m| m > 0)
     }
 
     pub(crate) fn num_threads(&self) -> usize {
@@ -150,6 +170,12 @@ impl Registry {
             workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
             respawns: self.respawns.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
+            tenants: self
+                .tenants
+                .lock()
+                .iter()
+                .map(|t| t.snapshot())
+                .collect(),
         }
     }
 
@@ -170,38 +196,107 @@ impl Registry {
         }
     }
 
-    /// Admission control for external `install`s: `None` means the call
-    /// was shed (counted) and must degrade to sequential in-caller
-    /// execution; `Some(guard)` tracks the in-flight call.
+    /// Admission control for external `install`s. `Admitted` carries the
+    /// RAII guard for the in-flight gauge; `Shed` means the call was
+    /// declined (counted in `sheds`) and must degrade to sequential
+    /// in-caller execution — its guard tracks the degraded run on the
+    /// `degraded_inflight` gauge so a panic in the degraded closure
+    /// still balances the books.
     ///
-    /// Sheds when the explicit `BDS_MAX_INFLIGHT` cap is reached, or
-    /// when the pool is saturated: every worker busy *and* the injector
+    /// Sheds when the explicit `max_inflight` cap is reached, or when
+    /// the pool is saturated: every worker busy *and* the injector
     /// backlog beyond `2 * num_threads` queued jobs. Seeded
     /// (deterministic) pools never shed — admission decisions depend on
     /// racy gauges, and replay must not.
-    pub(crate) fn try_admit(&self) -> Option<InflightGuard<'_>> {
-        if self.should_shed() {
+    pub(crate) fn try_admit(&self) -> Admission<'_> {
+        if self.reserve_slot() {
+            Admission::Admitted(InflightGuard(self))
+        } else {
             self.sheds.fetch_add(1, Ordering::Relaxed);
-            return None;
+            self.degraded_inflight.fetch_add(1, Ordering::SeqCst);
+            Admission::Shed(ShedGuard(self))
         }
-        self.inflight.fetch_add(1, Ordering::SeqCst);
-        Some(InflightGuard(self))
     }
 
-    fn should_shed(&self) -> bool {
+    /// Quiet admission probe for external schedulers (`bds-service`'s
+    /// dispatcher): reserve one in-flight slot under the same rules as
+    /// [`Registry::try_admit`], but without counting a refusal as a
+    /// shed — the caller keeps its work queued and retries, it does not
+    /// degrade. The returned token is owned (keeps the registry alive),
+    /// so it can travel into a spawned job and be released on
+    /// completion.
+    pub(crate) fn try_reserve(self: &Arc<Registry>) -> Option<AdmitToken> {
+        self.reserve_slot().then(|| AdmitToken {
+            registry: Arc::clone(self),
+        })
+    }
+
+    /// Try to take one in-flight admission slot. The explicit cap is
+    /// enforced with a CAS loop, so `inflight` never exceeds
+    /// `max_inflight` — concurrent racers at the boundary shed instead
+    /// of overshooting.
+    fn reserve_slot(&self) -> bool {
         if self.seed.is_some() {
+            // Deterministic pools admit unconditionally (but still
+            // track the gauge).
+            self.inflight.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        if self.saturated() {
             return false;
         }
-        if let Some(max) = self.max_inflight {
-            if self.inflight.load(Ordering::SeqCst) >= max {
-                return true;
+        match self.max_inflight {
+            None => {
+                self.inflight.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Some(max) => {
+                let mut current = self.inflight.load(Ordering::SeqCst);
+                loop {
+                    if current >= max {
+                        return false;
+                    }
+                    match self.inflight.compare_exchange_weak(
+                        current,
+                        current + 1,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => return true,
+                        Err(observed) => current = observed,
+                    }
+                }
             }
         }
+    }
+
+    fn saturated(&self) -> bool {
         let all_busy = self
             .counters
             .iter()
             .all(|c| c.busy.load(Ordering::Relaxed) != 0);
         all_busy && self.injector.len() > 2 * self.num_threads
+    }
+
+    /// Current value of the admitted-in-flight gauge.
+    pub(crate) fn inflight_count(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Current value of the degraded-in-flight gauge.
+    pub(crate) fn degraded_count(&self) -> usize {
+        self.degraded_inflight.load(Ordering::SeqCst)
+    }
+
+    /// Get or create the named per-tenant counter slot.
+    pub(crate) fn tenant_slot(&self, name: &str) -> TenantSlot {
+        let mut tenants = self.tenants.lock();
+        if let Some(existing) = tenants.iter().find(|t| t.name() == name) {
+            return TenantSlot::new(Arc::clone(existing));
+        }
+        let counters = Arc::new(TenantCounters::new(name));
+        tenants.push(Arc::clone(&counters));
+        TenantSlot::new(counters)
     }
 
     /// Respawn a crashed worker onto its old deque (stealers keep
@@ -227,6 +322,19 @@ impl Registry {
     /// crash and respawn a successor).
     pub(crate) fn drain_respawned(&self) -> Vec<std::thread::JoinHandle<()>> {
         std::mem::take(&mut *self.respawned.lock())
+    }
+
+    /// Pop one job from the injector, if any. Only used by `Pool::drop`
+    /// after every worker has exited, to run leftover spawned jobs
+    /// rather than leak them.
+    pub(crate) fn pop_injected(&self) -> Option<JobRef> {
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
     }
 
     /// Zero every worker's counters. Concurrent increments may survive
@@ -268,12 +376,55 @@ impl Registry {
 /// behind [`crate::Pool::inject_worker_crash`]).
 struct InjectedCrash;
 
+/// Outcome of [`Registry::try_admit`]: either way the caller gets an
+/// RAII guard, so both the admitted and the degraded path balance their
+/// gauge even when the governed closure unwinds.
+pub(crate) enum Admission<'a> {
+    /// The call may run on the pool; holds an in-flight slot.
+    Admitted(#[allow(dead_code)] InflightGuard<'a>),
+    /// The call was shed and must run degraded on the caller's thread.
+    Shed(#[allow(dead_code)] ShedGuard<'a>),
+}
+
 /// RAII: decrements the registry's external-install gauge on drop.
 pub(crate) struct InflightGuard<'a>(&'a Registry);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII: decrements the registry's degraded-in-flight gauge on drop.
+/// Held across the whole degraded execution of a shed `install`, so the
+/// gauge is balanced whether the closure returns or panics.
+pub(crate) struct ShedGuard<'a>(&'a Registry);
+
+impl Drop for ShedGuard<'_> {
+    fn drop(&mut self) {
+        self.0.degraded_inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// An owned in-flight admission slot, handed out by
+/// [`crate::Pool::try_reserve`]. Dropping the token releases the slot.
+///
+/// Unlike the borrow-based guard used by `install`, the token holds the
+/// registry alive, so an external scheduler can move it into a spawned
+/// job and release admission exactly when the job finishes.
+pub struct AdmitToken {
+    registry: Arc<Registry>,
+}
+
+impl Drop for AdmitToken {
+    fn drop(&mut self) {
+        self.registry.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for AdmitToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmitToken").finish_non_exhaustive()
     }
 }
 
@@ -295,8 +446,8 @@ impl Drop for BusyGuard<'_> {
 }
 
 /// SplitMix64 finalizer: decorrelates per-worker RNG streams derived
-/// from one pool seed.
-fn splitmix64(x: u64) -> u64 {
+/// from one pool seed (also used for retry jitter in `govern`).
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -17,6 +17,7 @@
 //! whenever the pool is quiescent.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Padded, per-worker atomic counters (one slot per worker thread).
 ///
@@ -155,6 +156,177 @@ impl WorkerStats {
     }
 }
 
+/// Per-tenant submission counters, shared between the registry (which
+/// snapshots them into [`PoolStats::tenants`]) and the [`TenantSlot`]
+/// handles a multi-tenant front-end increments through. All fields are
+/// relaxed atomics: monotone counters, exact in quiescence.
+#[derive(Debug, Default)]
+pub(crate) struct TenantCounters {
+    name: String,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_breaker: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    panicked: AtomicU64,
+    exceeded: AtomicU64,
+}
+
+impl TenantCounters {
+    pub(crate) fn new(name: &str) -> TenantCounters {
+        TenantCounters {
+            name: name.to_string(),
+            ..TenantCounters::default()
+        }
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn snapshot(&self) -> TenantStats {
+        TenantStats {
+            name: self.name.clone(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_breaker: self.rejected_breaker.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            exceeded: self.exceeded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cloneable handle to one tenant's counter slot in a pool's
+/// statistics (see [`crate::Pool::tenant_slot`]). A multi-tenant
+/// front-end calls the `note_*` methods at its admission and completion
+/// points; the counts surface in [`PoolStats::tenants`].
+#[derive(Debug, Clone)]
+pub struct TenantSlot(Arc<TenantCounters>);
+
+impl TenantSlot {
+    pub(crate) fn new(counters: Arc<TenantCounters>) -> TenantSlot {
+        TenantSlot(counters)
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    /// A request was submitted (counted before any admission decision).
+    pub fn note_submitted(&self) {
+        WorkerCounters::bump(&self.0.submitted);
+    }
+
+    /// A request passed admission and was queued.
+    pub fn note_admitted(&self) {
+        WorkerCounters::bump(&self.0.admitted);
+    }
+
+    /// A response was delivered (success, budget trip, or panic — every
+    /// admitted request is counted here exactly once when it resolves).
+    pub fn note_completed(&self) {
+        WorkerCounters::bump(&self.0.completed);
+    }
+
+    /// A submission was refused because the tenant's queue was full.
+    pub fn note_rejected_queue_full(&self) {
+        WorkerCounters::bump(&self.0.rejected_queue_full);
+    }
+
+    /// A submission was refused because its deadline could not be met.
+    pub fn note_rejected_deadline(&self) {
+        WorkerCounters::bump(&self.0.rejected_deadline);
+    }
+
+    /// A submission was refused by the tenant's circuit breaker.
+    pub fn note_rejected_breaker(&self) {
+        WorkerCounters::bump(&self.0.rejected_breaker);
+    }
+
+    /// A submission was refused because the front-end is shutting down.
+    pub fn note_rejected_shutdown(&self) {
+        WorkerCounters::bump(&self.0.rejected_shutdown);
+    }
+
+    /// An admitted request's closure panicked (also counted in
+    /// `completed`: the panic was delivered as a typed response).
+    pub fn note_panicked(&self) {
+        WorkerCounters::bump(&self.0.panicked);
+    }
+
+    /// An admitted request tripped its budget (also counted in
+    /// `completed`).
+    pub fn note_exceeded(&self) {
+        WorkerCounters::bump(&self.0.exceeded);
+    }
+}
+
+/// Snapshot of one tenant's counters; see [`TenantSlot`] for when each
+/// is incremented.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name (the key: stable across snapshots).
+    pub name: String,
+    /// Requests submitted, before any admission decision.
+    pub submitted: u64,
+    /// Requests that passed admission and were queued.
+    pub admitted: u64,
+    /// Responses delivered (one per admitted request, eventually).
+    pub completed: u64,
+    /// Submissions refused: tenant queue full.
+    pub rejected_queue_full: u64,
+    /// Submissions refused: deadline unmeetable at admission time.
+    pub rejected_deadline: u64,
+    /// Submissions refused: circuit breaker open.
+    pub rejected_breaker: u64,
+    /// Submissions refused: front-end shutting down.
+    pub rejected_shutdown: u64,
+    /// Admitted requests whose closure panicked.
+    pub panicked: u64,
+    /// Admitted requests that tripped their budget.
+    pub exceeded: u64,
+}
+
+impl TenantStats {
+    /// Submissions refused for any reason.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_deadline
+            + self.rejected_breaker
+            + self.rejected_shutdown
+    }
+
+    fn saturating_sub(&self, other: &TenantStats) -> TenantStats {
+        TenantStats {
+            name: self.name.clone(),
+            submitted: self.submitted.saturating_sub(other.submitted),
+            admitted: self.admitted.saturating_sub(other.admitted),
+            completed: self.completed.saturating_sub(other.completed),
+            rejected_queue_full: self
+                .rejected_queue_full
+                .saturating_sub(other.rejected_queue_full),
+            rejected_deadline: self
+                .rejected_deadline
+                .saturating_sub(other.rejected_deadline),
+            rejected_breaker: self
+                .rejected_breaker
+                .saturating_sub(other.rejected_breaker),
+            rejected_shutdown: self
+                .rejected_shutdown
+                .saturating_sub(other.rejected_shutdown),
+            panicked: self.panicked.saturating_sub(other.panicked),
+            exceeded: self.exceeded.saturating_sub(other.exceeded),
+        }
+    }
+}
+
 /// Snapshot of a whole pool's scheduler counters, one entry per worker,
 /// plus pool-level resilience counters.
 #[derive(Debug, Clone, Default)]
@@ -170,6 +342,10 @@ pub struct PoolStats {
     /// sequential in-caller execution instead (admission control /
     /// saturation shedding). Cumulative over the pool's lifetime.
     pub sheds: u64,
+    /// Per-tenant submission counters, one entry per slot created with
+    /// [`crate::Pool::tenant_slot`], in creation order. Empty unless a
+    /// multi-tenant front-end is using the pool.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl PoolStats {
@@ -199,10 +375,19 @@ impl PoolStats {
                 None => *w,
             })
             .collect();
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| match baseline.tenants.iter().find(|b| b.name == t.name) {
+                Some(b) => t.saturating_sub(b),
+                None => t.clone(),
+            })
+            .collect();
         PoolStats {
             workers,
             respawns: self.respawns.saturating_sub(baseline.respawns),
             sheds: self.sheds.saturating_sub(baseline.sheds),
+            tenants,
         }
     }
 }
@@ -226,6 +411,7 @@ mod tests {
             workers: vec![w(5, 2), w(7, 3)],
             respawns: 1,
             sheds: 2,
+            ..Default::default()
         };
         assert_eq!(after.total().jobs_executed, 12);
         let d = after.since(&before);
@@ -234,6 +420,40 @@ mod tests {
         assert_eq!(d.num_threads(), 2);
         assert_eq!(d.respawns, 1);
         assert_eq!(d.sheds, 2);
+    }
+
+    #[test]
+    fn tenant_since_matches_by_name() {
+        let t = |name: &str, submitted, completed| TenantStats {
+            name: name.to_string(),
+            submitted,
+            completed,
+            ..Default::default()
+        };
+        let before = PoolStats {
+            tenants: vec![t("a", 10, 8)],
+            ..Default::default()
+        };
+        let after = PoolStats {
+            tenants: vec![t("a", 15, 12), t("b", 3, 3)],
+            ..Default::default()
+        };
+        let d = after.since(&before);
+        assert_eq!(d.tenants[0], t("a", 5, 4));
+        // "b" appeared after the baseline: reported whole.
+        assert_eq!(d.tenants[1], t("b", 3, 3));
+    }
+
+    #[test]
+    fn tenant_rejected_sums_reasons() {
+        let t = TenantStats {
+            rejected_queue_full: 1,
+            rejected_deadline: 2,
+            rejected_breaker: 3,
+            rejected_shutdown: 4,
+            ..Default::default()
+        };
+        assert_eq!(t.rejected(), 10);
     }
 
     #[test]

@@ -109,6 +109,7 @@ pub mod governed;
 pub mod policy;
 pub mod profile;
 pub mod scan;
+pub mod service;
 pub mod sources;
 pub mod traits;
 mod util;
@@ -126,6 +127,7 @@ pub use policy::{
 };
 pub use profile::{profile, profile_on, ProfileReport, Stage, StageReport};
 pub use scan::{Scanned, ScannedIncl};
+pub use service::ServiceExt;
 pub use sources::{empty, from_slice, range, repeat, tabulate, Forced, FromSlice, Tabulate};
 pub use traits::{RadBlock, RadSeq, Seq};
 
@@ -134,6 +136,7 @@ pub mod prelude {
     pub use crate::fallible::TrySeqExt;
     pub use crate::flatten::flatten;
     pub use crate::governed::GovernedExt;
+    pub use crate::service::ServiceExt;
     pub use crate::sources::{empty, from_slice, range, repeat, tabulate};
     pub use crate::traits::{RadSeq, Seq};
 }

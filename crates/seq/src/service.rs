@@ -1,0 +1,224 @@
+//! Service submission: run a pipeline's consumer on a
+//! [`bds_service::Service`] and get a [`Ticket`] instead of blocking.
+//!
+//! These adapters close the loop between the lazy pipeline layer and
+//! the multi-tenant execution layer: build a block-delayed pipeline as
+//! usual, then **submit** its eager consumer instead of running it on
+//! the calling thread. The service runs the consumer under the given
+//! [`Budget`] on its own pool — the internal `apply` fork-join executes
+//! on the service's workers — and the caller holds a ticket it can
+//! `wait()` on or `await`.
+//!
+//! The pipeline is taken **by value**: it is shipped to a worker thread,
+//! so it must be `Send + 'static` (owned sources like
+//! [`tabulate`](crate::sources::tabulate) and
+//! [`Forced`] qualify; borrowed
+//! [`from_slice`](crate::sources::from_slice) views do not — `force`
+//! them first).
+//!
+//! ```
+//! use bds_seq::prelude::*;
+//! use bds_seq::service::ServiceExt;
+//! use bds_service::{Budget, Service, ServiceConfig};
+//!
+//! let svc = Service::new(ServiceConfig::default());
+//! let tenant = svc.tenant("pipelines");
+//! let ticket = tabulate(1 << 14, |i| i as u64)
+//!     .map(|x| x * 2)
+//!     .submit_reduce(&svc, tenant, Budget::unlimited(), 0, |a, b| a + b)
+//!     .expect("admitted");
+//! let n = (1u64 << 14) - 1;
+//! assert_eq!(ticket.wait(), Ok(n * (n + 1)));
+//! ```
+
+use bds_service::{Budget, Rejected, Service, Tenant, Ticket};
+
+use crate::sources::Forced;
+use crate::traits::Seq;
+
+/// Submit a pipeline's eager consumer to a [`Service`].
+///
+/// Each method is the submission form of the like-named [`Seq`]
+/// consumer: the returned [`Ticket`] resolves to the consumer's value,
+/// to `Err(ServiceError::Exceeded(_))` if the budget trips, or to
+/// `Err(ServiceError::Panicked(_))` if the pipeline panics — the same
+/// contract as [`Service::submit`]. `Err(Rejected)` means the service
+/// refused the request before any work ran.
+pub trait ServiceExt: Seq + Send + Sized + 'static {
+    /// Submit [`Seq::to_vec`]: materialize every element.
+    fn submit_to_vec(
+        self,
+        svc: &Service,
+        tenant: Tenant,
+        budget: Budget,
+    ) -> Result<Ticket<Vec<Self::Item>>, Rejected>
+    where
+        Self::Item: Send + 'static,
+    {
+        svc.submit(tenant, budget, move || self.to_vec())
+    }
+
+    /// Submit [`Seq::reduce`] with identity `zero` and associative
+    /// `combine`.
+    fn submit_reduce<F>(
+        self,
+        svc: &Service,
+        tenant: Tenant,
+        budget: Budget,
+        zero: Self::Item,
+        combine: F,
+    ) -> Result<Ticket<Self::Item>, Rejected>
+    where
+        Self::Item: Send + 'static,
+        F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync + 'static,
+    {
+        svc.submit(tenant, budget, move || self.reduce(zero, combine))
+    }
+
+    /// Submit [`Seq::force`]: materialize into a shareable [`Forced`].
+    fn submit_force(
+        self,
+        svc: &Service,
+        tenant: Tenant,
+        budget: Budget,
+    ) -> Result<Ticket<Forced<Self::Item>>, Rejected>
+    where
+        Self::Item: Clone + Send + Sync + 'static,
+    {
+        svc.submit(tenant, budget, move || self.force())
+    }
+
+    /// Submit [`Seq::for_each`]: run `f` over every element for its
+    /// effects; the ticket resolves to `Ok(())` on completion.
+    fn submit_for_each<F>(
+        self,
+        svc: &Service,
+        tenant: Tenant,
+        budget: Budget,
+        f: F,
+    ) -> Result<Ticket<()>, Rejected>
+    where
+        F: Fn(Self::Item) + Send + Sync + 'static,
+    {
+        svc.submit(tenant, budget, move || self.for_each(f))
+    }
+}
+
+impl<S: Seq + Send + Sized + 'static> ServiceExt for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use bds_service::{block_on, Exceeded, ServiceConfig, ServiceError};
+    use std::time::{Duration, Instant};
+
+    fn service() -> Service {
+        Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn submitted_to_vec_matches_inline() {
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let expected: Vec<u64> = tabulate(10_000, |i| i as u64).map(|x| x * 3 + 1).to_vec();
+        let ticket = tabulate(10_000, |i| i as u64)
+            .map(|x| x * 3 + 1)
+            .submit_to_vec(&svc, tenant, Budget::unlimited())
+            .expect("admitted");
+        assert_eq!(ticket.wait(), Ok(expected));
+    }
+
+    #[test]
+    fn submitted_fused_pipeline_matches_inline() {
+        // A filter + scan pipeline exercises the non-trivial BID path
+        // on the service's pool.
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let inline = tabulate(4096, |i| i as u64)
+            .filter(|x| x % 3 == 0)
+            .scan(0, |a, b| a + b)
+            .0
+            .to_vec();
+        let ticket = tabulate(4096, |i| i as u64)
+            .filter(|x| x % 3 == 0)
+            .scan(0, |a, b| a + b)
+            .0
+            .submit_to_vec(&svc, tenant, Budget::unlimited())
+            .expect("admitted");
+        assert_eq!(ticket.wait(), Ok(inline));
+    }
+
+    #[test]
+    fn submitted_force_is_shareable_afterwards() {
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let forced = tabulate(2048, |i| i as u32)
+            .submit_force(&svc, tenant, Budget::unlimited())
+            .expect("admitted")
+            .wait()
+            .expect("completed");
+        assert_eq!(forced.as_slice().len(), 2048);
+        // The forced result plugs straight back into a new pipeline.
+        let total: u32 = forced.reduce(0, |a, b| a + b);
+        assert_eq!(total, (0..2048).sum::<u32>());
+    }
+
+    #[test]
+    fn submitted_for_each_runs_every_element() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        let ticket = tabulate(5000, |i| i as u64)
+            .submit_for_each(&svc, tenant, Budget::unlimited(), move |x| {
+                s.fetch_add(x, Ordering::Relaxed);
+            })
+            .expect("admitted");
+        assert_eq!(ticket.wait(), Ok(()));
+        assert_eq!(sum.load(Ordering::Relaxed), (0..5000).sum::<u64>());
+    }
+
+    #[test]
+    fn budget_trip_arrives_through_the_ticket() {
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let err = tabulate(100_000, |i| i as u64)
+            .submit_to_vec(
+                &svc,
+                tenant,
+                Budget::unlimited().with_mem_bytes(16),
+            )
+            .expect("admitted")
+            .wait()
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Exceeded(Exceeded::Memory));
+    }
+
+    #[test]
+    fn tickets_are_awaitable() {
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let ticket = tabulate(1000, |i| i as u64)
+            .submit_reduce(&svc, tenant, Budget::unlimited(), 0, |a, b| a + b)
+            .expect("admitted");
+        assert_eq!(block_on(ticket), Ok((0..1000).sum::<u64>()));
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_submit() {
+        let svc = service();
+        let tenant = svc.tenant("t");
+        let r = tabulate(1000, |i| i).submit_to_vec(
+            &svc,
+            tenant,
+            Budget::unlimited().deadline_at(Instant::now() - Duration::from_millis(1)),
+        );
+        assert!(matches!(r, Err(Rejected::Deadline)));
+    }
+}

@@ -1,0 +1,948 @@
+//! The service proper: admission, per-tenant queues, the deficit
+//! round-robin dispatcher, and shutdown draining.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! submit ──► admission checks ──► tenant queue ──► DRR dispatch ──► pool
+//!              │                                     │               │
+//!              ├─ Rejected::Shutdown                 │               ├─ Ok(value)
+//!              ├─ Rejected::QueueFull                └─ gated by     ├─ Err(Exceeded)   ── typed
+//!              ├─ Rejected::Deadline                    max_concurrent   │                  responses,
+//!              └─ Rejected::CircuitOpen                 + Pool::try_reserve                 exactly one
+//!                                                                   └─ Err(Panicked)       per ticket
+//! ```
+//!
+//! Every request the service *accepts* (returns `Ok(Ticket)`) resolves
+//! to exactly one [`Response`](crate::Response) — on success, budget
+//! trip, panic, worker crash-and-respawn, or service drop (which drains
+//! all queues before the dispatcher exits). Nothing is lost, nothing is
+//! delivered twice, and a refusal is always a typed [`Rejected`] at
+//! submit time.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bds_pool::{backoff_delay, run_governed, Budget, Pool, PoolStats, TenantSlot};
+use parking_lot::{Condvar, Mutex};
+
+use crate::breaker::{Breaker, BreakerConfig};
+use crate::ticket::{Shared, ServiceError, Ticket};
+
+/// Why a submission was refused (fail-fast, before any work ran).
+///
+/// The counterpart of [`ServiceError`]: `Rejected` means *no ticket was
+/// issued* — the request never consumed pool time and the caller may
+/// retry (see [`Service::submit_with_retry`]). `QueueFull` and
+/// `CircuitOpen` are transient; `Deadline` and `Shutdown` are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The tenant's bounded queue is at capacity — backpressure,
+    /// instead of unbounded buffering.
+    QueueFull,
+    /// The request's deadline cannot be met given the current queue
+    /// depth and the observed service time; rejecting now is cheaper
+    /// than running work guaranteed to trip
+    /// [`Exceeded::Deadline`](bds_pool::Exceeded::Deadline).
+    Deadline,
+    /// The tenant's circuit breaker is open after repeated panics;
+    /// retry after the hinted cool-down.
+    CircuitOpen {
+        /// Time until the breaker half-opens and admits a probe.
+        retry_after: Duration,
+    },
+    /// The service is shutting down and accepts no new work.
+    Shutdown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "tenant queue full"),
+            Rejected::Deadline => write!(f, "deadline unmeetable at admission"),
+            Rejected::CircuitOpen { retry_after } => {
+                write!(f, "circuit breaker open (retry after {retry_after:?})")
+            }
+            Rejected::Shutdown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the service's pool.
+    pub workers: usize,
+    /// Per-tenant queue bound; submissions past it get
+    /// [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Requests dispatched (running or injected) concurrently, across
+    /// all tenants. Also installed as the pool's strict admission cap,
+    /// so [`bds_pool::Pool::try_reserve`] enforces it even if a future
+    /// second dispatcher raced this one.
+    pub max_concurrent: usize,
+    /// Deficit round-robin quantum: a tenant with weight `w` may
+    /// dispatch `quantum * w` consecutive requests before the cursor
+    /// moves on.
+    pub quantum: u32,
+    /// Circuit-breaker tuning, applied per tenant.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            workers,
+            queue_capacity: 1024,
+            max_concurrent: 2 * workers,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// A registered tenant of a [`Service`]; obtain one with
+/// [`Service::tenant`]. Copyable — hand it to whatever submits on the
+/// tenant's behalf. Valid only for the service that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tenant {
+    idx: usize,
+}
+
+/// One queued request: the type-erased execution closure (budget,
+/// user closure, ticket completion, and counter updates are all baked
+/// in at submit time).
+struct Request {
+    run: Box<dyn FnOnce() + Send>,
+}
+
+struct TenantState {
+    name: String,
+    weight: u32,
+    /// Remaining DRR credit; topped up to `quantum * weight` when the
+    /// cursor reaches this tenant with work queued and no credit left.
+    deficit: u64,
+    queue: VecDeque<Request>,
+    breaker: Arc<Breaker>,
+    slot: TenantSlot,
+}
+
+struct DispatchState {
+    tenants: Vec<TenantState>,
+    /// DRR cursor over `tenants` (modulo its length).
+    cursor: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    pool: Pool,
+    cfg: ServiceConfig,
+    state: Mutex<DispatchState>,
+    /// Wakes the dispatcher: new submission, request completion,
+    /// shutdown.
+    work: Condvar,
+    /// Requests dispatched and not yet completed.
+    inflight: AtomicUsize,
+    /// Requests sitting in tenant queues.
+    queued: AtomicUsize,
+    /// EWMA of request service time (ns), for deadline-aware
+    /// admission. 0 until the first completion.
+    ewma_ns: AtomicU64,
+}
+
+impl Inner {
+    /// Expected queueing delay for a newly admitted request: everything
+    /// ahead of it, divided across the dispatch lanes, at the observed
+    /// service time. Optimistically zero until a first completion
+    /// calibrates the estimate.
+    fn estimated_start_delay(&self) -> Duration {
+        let ewma = self.ewma_ns.load(Ordering::Relaxed);
+        if ewma == 0 {
+            return Duration::ZERO;
+        }
+        let ahead = self.queued.load(Ordering::SeqCst) + self.inflight.load(Ordering::SeqCst);
+        let lanes = self.cfg.max_concurrent.max(1) as u64;
+        Duration::from_nanos(ewma.saturating_mul(ahead as u64) / lanes)
+    }
+
+    /// Completion bookkeeping, called by the execution closure on the
+    /// worker that finished the request.
+    fn note_finished(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        // EWMA, alpha = 1/8. Racy read-modify-write is fine: this is a
+        // smoothed estimate, not an invariant.
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.ewma_ns.store(new.max(1), Ordering::Relaxed);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        // Wake the dispatcher under the lock so it cannot be between
+        // its re-check and its wait when we notify.
+        let _st = self.state.lock();
+        self.work.notify_all();
+    }
+}
+
+/// Pop the next request under weighted deficit round-robin.
+///
+/// Starvation-freedom: the cursor advances past a tenant once its
+/// credit (`quantum * weight`) is spent, so with `T` non-empty queues a
+/// tenant of weight `w` is guaranteed `quantum * w` dispatches out of
+/// every `quantum * Σw` — one hot tenant cannot monopolize dispatch no
+/// matter how fast it submits. Empty queues lose their credit (classic
+/// DRR: you cannot bank fairness while idle).
+fn pick(st: &mut DispatchState, quantum: u32) -> Option<Request> {
+    let n = st.tenants.len();
+    for _ in 0..n {
+        let i = st.cursor % n;
+        let t = &mut st.tenants[i];
+        if t.queue.is_empty() {
+            t.deficit = 0;
+            st.cursor = st.cursor.wrapping_add(1);
+            continue;
+        }
+        if t.deficit == 0 {
+            t.deficit = u64::from(quantum) * u64::from(t.weight);
+        }
+        t.deficit -= 1;
+        let req = t.queue.pop_front().expect("non-empty queue");
+        if t.deficit == 0 {
+            st.cursor = st.cursor.wrapping_add(1);
+        }
+        return Some(req);
+    }
+    None
+}
+
+fn dispatcher_main(inner: Arc<Inner>) {
+    let quantum = inner.cfg.quantum;
+    let mut st = inner.state.lock();
+    loop {
+        // Dispatch while there is concurrency headroom, pool admission,
+        // and queued work.
+        while inner.inflight.load(Ordering::SeqCst) < inner.cfg.max_concurrent {
+            // Pool-level admission first (the `try_admit` machinery):
+            // a saturated pool refuses the reservation and the request
+            // stays queued — backpressure, not shedding.
+            let Some(permit) = inner.pool.try_reserve() else {
+                break;
+            };
+            let Some(req) = pick(&mut st, quantum) else {
+                // Nothing to dispatch; the unused permit just drops.
+                break;
+            };
+            inner.queued.fetch_sub(1, Ordering::SeqCst);
+            inner.inflight.fetch_add(1, Ordering::SeqCst);
+            inner.pool.spawn(move || {
+                // The permit rides inside the job: pool admission is
+                // held for exactly the request's execution.
+                let _permit = permit;
+                (req.run)();
+            });
+        }
+        if st.shutdown
+            && inner.queued.load(Ordering::SeqCst) == 0
+            && inner.inflight.load(Ordering::SeqCst) == 0
+        {
+            // Graceful drain complete: every accepted ticket has
+            // resolved.
+            return;
+        }
+        // Park until a submission/completion/shutdown wakes us. The
+        // timeout doubles as the retry tick while the pool refuses
+        // reservations and as a lost-wakeup backstop.
+        inner
+            .work
+            .wait_for(&mut st, Duration::from_millis(1));
+    }
+}
+
+/// Stringify a panic payload (the conventional `&str`/`String` cases).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// An async, multi-tenant execution front-end over a
+/// [`bds_pool::Pool`].
+///
+/// Submitted closures run under their [`Budget`] on the service's pool;
+/// the caller gets a [`Ticket`] future immediately. Admission is
+/// bounded and fair: per-tenant bounded queues, weighted deficit
+/// round-robin dispatch, deadline-aware fail-fast, and a per-tenant
+/// circuit breaker. See the crate docs for an end-to-end example.
+///
+/// Dropping the service **drains** it: new submissions are refused with
+/// [`Rejected::Shutdown`], everything already accepted runs to
+/// completion, and only then do the dispatcher and pool shut down — an
+/// accepted ticket never dangles.
+pub struct Service {
+    inner: Arc<Inner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Spawn a service (pool workers plus one dispatcher thread).
+    ///
+    /// # Panics
+    /// Panics if any of `workers`, `queue_capacity`, `max_concurrent`,
+    /// `quantum`, or `breaker.trip_after` is zero.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        assert!(cfg.workers > 0, "a service needs at least one worker");
+        assert!(cfg.queue_capacity > 0, "queue_capacity must be at least 1");
+        assert!(cfg.max_concurrent > 0, "max_concurrent must be at least 1");
+        assert!(cfg.quantum > 0, "quantum must be at least 1");
+        // The pool's strict CAS cap mirrors max_concurrent, so the
+        // reservation the dispatcher takes per request is the same
+        // admission the pool applies to blocking `install`s.
+        let pool = Pool::with_max_inflight(cfg.workers, cfg.max_concurrent);
+        let inner = Arc::new(Inner {
+            pool,
+            cfg,
+            state: Mutex::new(DispatchState {
+                tenants: Vec::new(),
+                cursor: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            inflight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            ewma_ns: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("bds-service-dispatch".into())
+                .spawn(move || dispatcher_main(inner))
+                .expect("failed to spawn service dispatcher")
+        };
+        Service {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Register (or look up) a tenant with weight 1.
+    pub fn tenant(&self, name: &str) -> Tenant {
+        self.tenant_with_weight(name, 1)
+    }
+
+    /// Register a tenant with a DRR `weight` (its fair share relative
+    /// to other tenants). Registering an existing name returns the
+    /// original tenant unchanged (the weight argument is ignored).
+    ///
+    /// # Panics
+    /// Panics if `weight == 0`.
+    pub fn tenant_with_weight(&self, name: &str, weight: u32) -> Tenant {
+        assert!(weight > 0, "a tenant weight of 0 would starve it");
+        let mut st = self.inner.state.lock();
+        if let Some(idx) = st.tenants.iter().position(|t| t.name == name) {
+            return Tenant { idx };
+        }
+        st.tenants.push(TenantState {
+            name: name.to_string(),
+            weight,
+            deficit: 0,
+            queue: VecDeque::new(),
+            breaker: Arc::new(Breaker::new(self.inner.cfg.breaker.clone())),
+            slot: self.inner.pool.tenant_slot(name),
+        });
+        Tenant {
+            idx: st.tenants.len() - 1,
+        }
+    }
+
+    /// Submit `f` to run under `budget` on behalf of `tenant`.
+    ///
+    /// Fail-fast admission, in order: shutdown, queue bound, deadline
+    /// feasibility (given queue depth and the observed service time),
+    /// circuit breaker. On `Ok`, the returned [`Ticket`] resolves to
+    /// exactly one [`Response`](crate::Response): `Ok(value)`,
+    /// `Err(ServiceError::Exceeded(_))` on a budget trip, or
+    /// `Err(ServiceError::Panicked(_))` if `f` panicked.
+    ///
+    /// # Panics
+    /// Panics if `tenant` was issued by a different service.
+    pub fn submit<R, F>(&self, tenant: Tenant, budget: Budget, f: F) -> Result<Ticket<R>, Rejected>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let inner = &self.inner;
+        let now = Instant::now();
+        let est = inner.estimated_start_delay();
+        let mut st = inner.state.lock();
+        let shutting_down = st.shutdown;
+        let t = st
+            .tenants
+            .get_mut(tenant.idx)
+            .expect("Tenant handle used on a service that did not issue it");
+        t.slot.note_submitted();
+        if shutting_down {
+            t.slot.note_rejected_shutdown();
+            return Err(Rejected::Shutdown);
+        }
+        if t.queue.len() >= inner.cfg.queue_capacity {
+            t.slot.note_rejected_queue_full();
+            return Err(Rejected::QueueFull);
+        }
+        if let Some(at) = budget.deadline {
+            if now + est >= at {
+                t.slot.note_rejected_deadline();
+                return Err(Rejected::Deadline);
+            }
+        }
+        if let Err(retry_after) = t.breaker.check(now) {
+            t.slot.note_rejected_breaker();
+            return Err(Rejected::CircuitOpen { retry_after });
+        }
+
+        let shared = Shared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        let breaker = Arc::clone(&t.breaker);
+        let slot = t.slot.clone();
+        let done = Arc::clone(inner);
+        let run: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let started = Instant::now();
+            // The catch_unwind boundary is what turns a panicking
+            // request into a typed response instead of a crashed
+            // worker. AssertUnwindSafe: `f` is consumed either way, and
+            // run_governed's partial state is reclaimed by its own drop
+            // guards.
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_governed(budget, f)));
+            let elapsed = started.elapsed();
+            let response = match outcome {
+                Ok(Ok(value)) => {
+                    breaker.on_success();
+                    Ok(value)
+                }
+                Ok(Err(exceeded)) => {
+                    // A budget trip is the budget working, not the
+                    // tenant crashing: it clears breaker strikes.
+                    breaker.on_success();
+                    slot.note_exceeded();
+                    Err(ServiceError::Exceeded(exceeded))
+                }
+                Err(payload) => {
+                    breaker.on_panic(Instant::now());
+                    slot.note_panicked();
+                    Err(ServiceError::Panicked(panic_message(payload)))
+                }
+            };
+            shared.complete(response);
+            slot.note_completed();
+            done.note_finished(elapsed);
+        });
+        t.queue.push_back(Request { run });
+        t.slot.note_admitted();
+        inner.queued.fetch_add(1, Ordering::SeqCst);
+        inner.work.notify_all();
+        Ok(ticket)
+    }
+
+    /// [`Service::submit`] with jittered-backoff retries on *transient*
+    /// rejections ([`Rejected::QueueFull`], [`Rejected::CircuitOpen`]).
+    /// Non-transient rejections (`Deadline`, `Shutdown`) return
+    /// immediately. `make` is called once per attempt to produce the
+    /// closure (the previous attempt consumed its copy).
+    ///
+    /// The sleep schedule is [`bds_pool::backoff_delay`] — the same
+    /// equal-jitter curve `retry_with_backoff` uses, so a crowd of
+    /// rejected submitters spreads out instead of thundering back in
+    /// lockstep.
+    ///
+    /// # Panics
+    /// Panics if `attempts == 0`.
+    pub fn submit_with_retry<R, F>(
+        &self,
+        tenant: Tenant,
+        budget: Budget,
+        attempts: usize,
+        base: Duration,
+        mut make: impl FnMut() -> F,
+    ) -> Result<Ticket<R>, Rejected>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        assert!(attempts > 0, "submit_with_retry needs at least one attempt");
+        let mut last = None;
+        for attempt in 0..attempts {
+            match self.submit(tenant, budget, make()) {
+                Ok(ticket) => return Ok(ticket),
+                Err(e @ (Rejected::QueueFull | Rejected::CircuitOpen { .. })) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(backoff_delay(attempt, base));
+                    }
+                }
+                Err(terminal) => return Err(terminal),
+            }
+        }
+        Err(last.expect("attempts > 0"))
+    }
+
+    /// Snapshot the underlying pool's statistics — per-worker scheduler
+    /// counters, respawns, sheds, and the per-tenant counters this
+    /// service maintains ([`PoolStats::tenants`]).
+    pub fn stats(&self) -> PoolStats {
+        self.inner.pool.stats()
+    }
+
+    /// Requests currently waiting in tenant queues.
+    pub fn queued(&self) -> usize {
+        self.inner.queued.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently dispatched and not yet completed.
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Number of pool workers serving requests.
+    pub fn num_workers(&self) -> usize {
+        self.inner.pool.num_threads()
+    }
+
+    /// Fault-injection hook: crash pool worker `index` (it respawns;
+    /// see [`bds_pool::Pool::inject_worker_crash`]). Because the crash
+    /// hook fires between jobs — never mid-job — and crashed workers'
+    /// queues are salvaged by their replacements, in-flight and queued
+    /// requests survive: their tickets still resolve normally.
+    ///
+    /// # Panics
+    /// Panics if `index >= num_workers()`.
+    pub fn inject_worker_crash(&self, index: usize) {
+        self.inner.pool.inject_worker_crash(index);
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+            self.inner.work.notify_all();
+        }
+        // The dispatcher drains every queue and waits out every
+        // in-flight request before exiting; joining it is what makes
+        // "an accepted ticket always resolves" hold across drop.
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::block_on;
+
+    fn small(workers: usize) -> Service {
+        Service::new(ServiceConfig {
+            workers,
+            queue_capacity: 64,
+            max_concurrent: workers,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        })
+    }
+
+    /// Spin until `svc` has dispatched at least `n` requests — tests
+    /// that wedge a lane must not race the dispatcher thread.
+    fn wait_for_inflight(svc: &Service, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while svc.inflight() < n {
+            assert!(Instant::now() < deadline, "dispatcher never picked up work");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let svc = small(2);
+        let tenant = svc.tenant("t");
+        let ticket = svc
+            .submit(tenant, Budget::unlimited(), || 21 * 2)
+            .expect("admitted");
+        assert_eq!(ticket.wait(), Ok(42));
+    }
+
+    #[test]
+    fn submit_and_await_round_trip() {
+        let svc = small(2);
+        let tenant = svc.tenant("t");
+        let ticket = svc
+            .submit(tenant, Budget::unlimited(), || String::from("async"))
+            .expect("admitted");
+        assert_eq!(block_on(ticket), Ok(String::from("async")));
+    }
+
+    #[test]
+    fn expired_deadline_rejected_at_submit() {
+        let svc = small(2);
+        let tenant = svc.tenant("t");
+        let budget = Budget::unlimited().deadline_at(Instant::now() - Duration::from_millis(1));
+        let err = svc.submit(tenant, budget, || 1).unwrap_err();
+        assert_eq!(err, Rejected::Deadline);
+        let stats = svc.stats();
+        assert_eq!(stats.tenants[0].rejected_deadline, 1);
+    }
+
+    #[test]
+    fn queue_full_is_a_typed_rejection() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_concurrent: 1,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        });
+        let tenant = svc.tenant("t");
+        let gate = Arc::new(AtomicUsize::new(0));
+        // One request occupies the single lane...
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(tenant, Budget::unlimited(), move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            })
+            .expect("admitted");
+        wait_for_inflight(&svc, 1);
+        // ...two fill the queue; the third must be refused.
+        let mut queued = Vec::new();
+        let mut refused = 0;
+        for _ in 0..8 {
+            match svc.submit(tenant, Budget::unlimited(), || ()) {
+                Ok(t) => queued.push(t),
+                Err(Rejected::QueueFull) => refused += 1,
+                Err(other) => panic!("unexpected rejection: {other:?}"),
+            }
+        }
+        assert!(refused > 0, "the bounded queue never pushed back");
+        gate.store(1, Ordering::SeqCst);
+        assert_eq!(blocker.wait(), Ok(()));
+        for t in queued {
+            assert_eq!(t.wait(), Ok(()));
+        }
+        assert_eq!(svc.stats().tenants[0].rejected_queue_full, refused);
+    }
+
+    #[test]
+    fn panics_become_typed_responses_and_trip_the_breaker() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_concurrent: 2,
+            quantum: 1,
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cool_down: Duration::from_millis(40),
+                max_cool_down: Duration::from_secs(1),
+            },
+        });
+        let tenant = svc.tenant("crashy");
+        for _ in 0..2 {
+            let t = svc
+                .submit(tenant, Budget::unlimited(), || -> u32 { panic!("kaboom") })
+                .expect("admitted");
+            match t.wait() {
+                Err(ServiceError::Panicked(msg)) => assert!(msg.contains("kaboom")),
+                other => panic!("expected a panic response, got {other:?}"),
+            }
+        }
+        // Breaker open: fail-fast with a retry hint.
+        match svc.submit(tenant, Budget::unlimited(), || 1u32) {
+            Err(Rejected::CircuitOpen { retry_after }) => {
+                assert!(retry_after <= Duration::from_millis(40));
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        // After the cool-down, the half-open probe succeeds and closes
+        // the breaker again.
+        std::thread::sleep(Duration::from_millis(60));
+        let probe = svc
+            .submit(tenant, Budget::unlimited(), || 7u32)
+            .expect("half-open probe admitted");
+        assert_eq!(probe.wait(), Ok(7));
+        let healed = svc
+            .submit(tenant, Budget::unlimited(), || 8u32)
+            .expect("breaker closed after probe success");
+        assert_eq!(healed.wait(), Ok(8));
+        let stats = svc.stats();
+        assert_eq!(stats.tenants[0].panicked, 2);
+        assert!(stats.tenants[0].rejected_breaker >= 1);
+        // The pool healed too: panics were caught at the request
+        // boundary, not by crashing workers.
+        assert_eq!(stats.respawns, 0);
+    }
+
+    #[test]
+    fn budget_trips_do_not_trip_the_breaker() {
+        let svc = Service::new(ServiceConfig {
+            breaker: BreakerConfig {
+                trip_after: 1,
+                ..BreakerConfig::default()
+            },
+            ..ServiceConfig::default()
+        });
+        let tenant = svc.tenant("t");
+        for _ in 0..3 {
+            // An expired-at-execution deadline: admitted (no service
+            // history yet -> optimistic), runs, trips.
+            let budget = Budget::unlimited().deadline_at(Instant::now() + Duration::from_micros(1));
+            if let Ok(ticket) = svc.submit(tenant, budget, || {
+                std::thread::sleep(Duration::from_millis(5));
+            }) {
+                let r = ticket.wait();
+                assert!(
+                    matches!(r, Err(ServiceError::Exceeded(_)) | Ok(())),
+                    "unexpected {r:?}"
+                );
+            }
+            // Either way the breaker must still admit.
+            let ok = svc.submit(tenant, Budget::unlimited(), || 1).unwrap();
+            assert_eq!(ok.wait(), Ok(1));
+        }
+    }
+
+    #[test]
+    fn fairness_hot_tenant_cannot_starve_quiet_one() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_concurrent: 1, // single lane: dispatch order is visible
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        });
+        let hot = svc.tenant("hot");
+        let quiet = svc.tenant("quiet");
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let gate = Arc::new(AtomicUsize::new(0));
+        // Wedge the lane so everything below queues up before dispatch.
+        let g = Arc::clone(&gate);
+        let wedge = svc
+            .submit(hot, Budget::unlimited(), move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            })
+            .unwrap();
+        let mut tickets = Vec::new();
+        for _ in 0..40 {
+            let order = Arc::clone(&order);
+            tickets.push(
+                svc.submit(hot, Budget::unlimited(), move || order.lock().push("hot"))
+                    .unwrap(),
+            );
+        }
+        for _ in 0..5 {
+            let order = Arc::clone(&order);
+            tickets.push(
+                svc.submit(quiet, Budget::unlimited(), move || order.lock().push("quiet"))
+                    .unwrap(),
+            );
+        }
+        gate.store(1, Ordering::SeqCst);
+        wedge.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let order = order.lock();
+        // DRR with equal weights alternates: all 5 quiet requests must
+        // have dispatched within the first ~10 slots, not after the 40
+        // hot ones.
+        let last_quiet = order
+            .iter()
+            .rposition(|s| *s == "quiet")
+            .expect("quiet ran");
+        assert!(
+            last_quiet < 15,
+            "quiet tenant starved: last dispatch at position {last_quiet} of {}",
+            order.len()
+        );
+    }
+
+    #[test]
+    fn weighted_tenants_get_proportional_share() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_concurrent: 1,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        });
+        let heavy = svc.tenant_with_weight("heavy", 3);
+        let light = svc.tenant_with_weight("light", 1);
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let wedge = svc
+            .submit(light, Budget::unlimited(), move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            })
+            .unwrap();
+        let mut tickets = Vec::new();
+        for _ in 0..30 {
+            let o = Arc::clone(&order);
+            tickets.push(
+                svc.submit(heavy, Budget::unlimited(), move || o.lock().push("heavy"))
+                    .unwrap(),
+            );
+            let o = Arc::clone(&order);
+            tickets.push(
+                svc.submit(light, Budget::unlimited(), move || o.lock().push("light"))
+                    .unwrap(),
+            );
+        }
+        gate.store(1, Ordering::SeqCst);
+        wedge.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let order = order.lock();
+        // In the first 20 dispatches, weight-3 heavy should get about
+        // 3x the light tenant's share (15 vs 5).
+        let heavy_early = order[..20].iter().filter(|s| **s == "heavy").count();
+        assert!(
+            (12..=18).contains(&heavy_early),
+            "weight-3 tenant got {heavy_early}/20 early dispatches"
+        );
+    }
+
+    #[test]
+    fn drop_drains_accepted_work() {
+        let completed = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<Ticket<usize>> = {
+            let svc = small(2);
+            let tenant = svc.tenant("t");
+            (0..50)
+                .map(|i| {
+                    let completed = Arc::clone(&completed);
+                    svc.submit(tenant, Budget::unlimited(), move || {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        i
+                    })
+                    .expect("admitted")
+                })
+                .collect()
+            // Service drops here with most requests still queued.
+        };
+        assert_eq!(completed.load(Ordering::SeqCst), 50);
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn submit_after_drop_begins_is_rejected_shutdown() {
+        // Simulate the race by flipping the flag directly.
+        let svc = small(1);
+        let tenant = svc.tenant("t");
+        svc.inner.state.lock().shutdown = true;
+        assert_eq!(
+            svc.submit(tenant, Budget::unlimited(), || 1).unwrap_err(),
+            Rejected::Shutdown
+        );
+        // Un-flip so drop's dispatcher drain terminates normally.
+        svc.inner.state.lock().shutdown = false;
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_a_full_queue() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_concurrent: 1,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        });
+        let tenant = svc.tenant("t");
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(tenant, Budget::unlimited(), move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            })
+            .unwrap();
+        wait_for_inflight(&svc, 1);
+        let filler = svc.submit(tenant, Budget::unlimited(), || ()).unwrap();
+        // Queue is now full; open the gate from another thread after a
+        // few ms so a retrying submit eventually gets in.
+        let opener = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                gate.store(1, Ordering::SeqCst);
+            })
+        };
+        let retried = svc
+            .submit_with_retry(tenant, Budget::unlimited(), 10, Duration::from_millis(4), || {
+                || 99
+            })
+            .expect("retry should land once the queue drains");
+        assert_eq!(retried.wait(), Ok(99));
+        assert_eq!(blocker.wait(), Ok(()));
+        assert_eq!(filler.wait(), Ok(()));
+        opener.join().unwrap();
+    }
+
+    #[test]
+    fn responses_survive_worker_crashes() {
+        // Deep queue: this test hammers one tenant far faster than two
+        // workers drain it, and backpressure is not what's under test.
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 4096,
+            max_concurrent: 2,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+        });
+        let tenant = svc.tenant("t");
+        let mut tickets = Vec::new();
+        for wave in 0..10 {
+            for i in 0..20u64 {
+                tickets.push((
+                    wave * 20 + i,
+                    svc.submit(tenant, Budget::unlimited(), move || {
+                        std::hint::black_box((0..500).sum::<u64>());
+                        wave * 20 + i
+                    })
+                    .expect("admitted"),
+                ));
+            }
+            svc.inject_worker_crash((wave % 2) as usize);
+        }
+        for (expected, ticket) in tickets {
+            assert_eq!(ticket.wait(), Ok(expected), "lost or corrupted response");
+        }
+        assert!(svc.stats().respawns > 0, "crashes should have been injected");
+    }
+
+    #[test]
+    fn tenant_handles_are_stable_and_deduplicated() {
+        let svc = small(1);
+        let a = svc.tenant("a");
+        let b = svc.tenant("b");
+        let a2 = svc.tenant_with_weight("a", 9); // ignored: already registered
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! Tickets: the awaitable half of a submitted request.
+//!
+//! A [`Ticket`] is a one-shot future backed by an
+//! [`AsyncLatch`](bds_pool::AsyncLatch): the worker that finishes the
+//! request writes the response into a shared slot and sets the latch,
+//! which wakes every parked waker and unblocks every parked thread.
+//! Nothing in between holds an OS thread — that is the whole point:
+//! thousands of outstanding tickets cost thousands of small heap
+//! allocations, not thousands of parked threads.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+use bds_pool::{AsyncLatch, Exceeded, Latch};
+use parking_lot::Mutex;
+
+/// Why a request that *was* admitted did not produce a value.
+///
+/// This is the error side of a delivered [`Response`] — distinct from
+/// [`Rejected`](crate::Rejected), which means the request was never
+/// accepted in the first place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request ran and tripped its [`Budget`](bds_pool::Budget);
+    /// partial work was reclaimed, nothing escaped.
+    Exceeded(Exceeded),
+    /// The request's closure panicked; the payload's message is
+    /// preserved. The worker that ran it is unaffected (panics are
+    /// caught at the request boundary).
+    Panicked(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Exceeded(e) => write!(f, "budget exceeded: {e}"),
+            ServiceError::Panicked(msg) => write!(f, "request panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What a ticket resolves to: the request's value, or a typed error.
+pub type Response<R> = Result<R, ServiceError>;
+
+/// Shared between a [`Ticket`] and the worker completing it.
+pub(crate) struct Shared<R> {
+    latch: AsyncLatch,
+    slot: Mutex<Option<Response<R>>>,
+    /// Tripwire against duplicated delivery: `complete` must run
+    /// exactly once per ticket.
+    completions: AtomicU32,
+}
+
+impl<R> Shared<R> {
+    pub(crate) fn new() -> Arc<Shared<R>> {
+        Arc::new(Shared {
+            latch: AsyncLatch::new(),
+            slot: Mutex::new(None),
+            completions: AtomicU32::new(0),
+        })
+    }
+
+    /// Deliver the response and wake all waiters. Exactly-once: a
+    /// second call is a service bug and panics.
+    pub(crate) fn complete(&self, response: Response<R>) {
+        let prior = self.completions.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(prior, 0, "bds-service bug: ticket completed twice");
+        *self.slot.lock() = Some(response);
+        self.latch.set();
+    }
+}
+
+/// A claim on one submitted request's eventual [`Response`].
+///
+/// Redeem it either way:
+///
+/// * **await it** — `Ticket` implements [`Future`]; any executor works,
+///   including the minimal [`block_on`] shipped here;
+/// * **block on it** — [`Ticket::wait`] parks the calling OS thread on
+///   the underlying pool latch.
+///
+/// Dropping a ticket is fine: the request still runs (and its counters
+/// still tick); only the response is discarded.
+pub struct Ticket<R> {
+    shared: Arc<Shared<R>>,
+}
+
+impl<R> Ticket<R> {
+    pub(crate) fn new(shared: Arc<Shared<R>>) -> Ticket<R> {
+        Ticket { shared }
+    }
+
+    /// Has the response been delivered? (Non-blocking; a `true` means
+    /// `wait`/`await` will return immediately.)
+    pub fn is_ready(&self) -> bool {
+        self.shared.latch.probe()
+    }
+
+    /// Block the calling thread until the response is delivered, then
+    /// return it.
+    pub fn wait(self) -> Response<R> {
+        self.shared.latch.wait();
+        self.shared
+            .slot
+            .lock()
+            .take()
+            .expect("latch set but response slot empty")
+    }
+}
+
+impl<R> std::fmt::Debug for Ticket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<R> Future for Ticket<R> {
+    type Output = Response<R>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.shared.latch.poll_set(cx.waker()) {
+            Poll::Ready(()) => Poll::Ready(
+                self.shared
+                    .slot
+                    .lock()
+                    .take()
+                    .expect("ticket polled again after completion"),
+            ),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Drive any future to completion on the calling thread, parking the
+/// thread between polls.
+///
+/// The minimal executor that makes tickets awaitable without an async
+/// runtime dependency: a [`Waker`](std::task::Waker) that unparks this
+/// thread. Fine for tests, benchmarks, and call sites that want async
+/// composition (`join` several tickets) without pulling in a runtime.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = std::task::Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_returns_completed_value() {
+        let shared = Shared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        shared.complete(Ok(42));
+        assert!(ticket.is_ready());
+        assert_eq!(ticket.wait(), Ok(42));
+    }
+
+    #[test]
+    fn block_on_resolves_cross_thread() {
+        let shared = Shared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            shared.complete(Ok("done"));
+        });
+        assert_eq!(block_on(ticket), Ok("done"));
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_completion_is_a_bug() {
+        let shared = Shared::new();
+        shared.complete(Ok(1));
+        shared.complete(Ok(2));
+    }
+
+    #[test]
+    fn error_response_comes_through_typed() {
+        let shared = Shared::<u32>::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        shared.complete(Err(ServiceError::Exceeded(Exceeded::Deadline)));
+        assert_eq!(
+            ticket.wait(),
+            Err(ServiceError::Exceeded(Exceeded::Deadline))
+        );
+    }
+}

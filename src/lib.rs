@@ -15,7 +15,9 @@
 //! * [`cost`] (`bds-cost`) — the paper's cost semantics, executable;
 //! * [`graph`] (`bds-graph`) — CSR graphs and the R-MAT generator;
 //! * [`workloads`] (`bds-workloads`) — the 13 evaluation benchmarks;
-//! * [`metrics`] (`bds-metrics`) — peak-heap and timing instrumentation.
+//! * [`metrics`] (`bds-metrics`) — peak-heap and timing instrumentation;
+//! * [`service`] (`bds-service`) — the async multi-tenant submission
+//!   front-end (tickets, fair admission, circuit breakers).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use bds_graph as graph;
 pub use bds_metrics as metrics;
 pub use bds_pool as pool;
 pub use bds_seq as seq;
+pub use bds_service as service;
 pub use bds_workloads as workloads;
 
 /// The sequence traits and constructors, plus the pool entry points.

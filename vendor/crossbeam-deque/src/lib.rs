@@ -156,6 +156,19 @@ impl<T> Injector<T> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Steal one task from the front of the queue, as in the real crate.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
     /// Steal a batch of tasks into `worker`'s deque and pop one of them,
     /// as in the real crate: moves roughly half the queue (at least one)
     /// and returns the first.
