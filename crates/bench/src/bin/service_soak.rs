@@ -15,12 +15,20 @@
 //! - **the admission ledger balances** — per tenant,
 //!   `submitted == (admitted == completed) + rejected` at quiescence;
 //! - **no tenant starves** — every tenant's completion share is within
-//!   2x of its fair share, both bounds.
+//!   2x of its fair share, both bounds;
+//! - **the plan cache stays warm** — each tenant cycles through
+//!   [`SHAPES`] distinct pipeline shapes resolved through a per-tenant
+//!   `bds_plan::TenantPlanner`, so after one optimizer run per shape
+//!   every later submission must hit the cache: the per-tenant hit rate
+//!   at quiescence must be ≥ 0.9 (it is (n − SHAPES) / n in practice).
 //!
 //! Flags: `--seconds <n>` (duration, default 30), `--procs <p>` (pool
-//! width, default 3), `--json <path>` (machine-readable results in the
-//! `bds-bench/v2` schema with the `svc` block populated: sustained QPS
-//! and p50/p99 submit-to-response latency next to the gov counters).
+//! width, default 3), `--no-plan-cache` (A/B leg: plan every request
+//! from a cold planner, skipping the hit-rate claim), `--json <path>`
+//! (machine-readable results in the `bds-bench/v2` schema with the
+//! `svc` and `plan` blocks populated: sustained QPS and p50/p99
+//! submit-to-response latency next to the gov counters and the
+//! aggregated plan-cache hits/misses).
 //!
 //! Exit status is non-zero if any claim is violated, so CI can run this
 //! binary directly as a gate.
@@ -29,10 +37,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use bds_bench::arg_value;
-use bds_bench::json::{GovCounters, JsonReport, Record, SvcCounters};
+use bds_bench::{arg_value, has_flag};
+use bds_bench::json::{GovCounters, JsonReport, PlanCounters, Record, SvcCounters};
+use bds_plan::{submit_reduce, Pipe, TenantPlanner};
 use bds_pool::govern::trip_counts;
-use bds_seq::prelude::*;
 use bds_service::{
     Budget, Exceeded, Rejected, Service, ServiceConfig, ServiceError, Ticket,
 };
@@ -51,26 +59,84 @@ const TIGHT_EVERY: u64 = 16;
 const TIGHT_DEADLINE: Duration = Duration::from_millis(2);
 /// Problem size of the pipeline each request runs.
 const N: usize = 4096;
+/// Distinct pipeline shapes each tenant cycles through. Shape `k % 4`
+/// is rebuilt from scratch (fresh closures) for every request, so plan
+/// reuse is purely shape-keyed — exactly the production pattern the
+/// plan cache exists for.
+const SHAPES: u64 = 4;
+/// Plans each tenant's cache may hold — comfortably above [`SHAPES`],
+/// so a warm run never evicts.
+const PLAN_CAPACITY: usize = 8;
 
-/// The one pipeline every request executes, with a value known in
-/// advance so a partial or corrupted response is detectable.
-fn expected_value() -> u64 {
-    (0..N as u64).map(|i| i.wrapping_mul(31).wrapping_add(7)).sum()
+/// Build shape `k`'s pipeline, fresh closures every call. The shapes
+/// exercise the optimizer's main rewrites under load: plain tabulate
+/// (sequential-vs-parallel mode pick), a fusable map+filter run, a
+/// gather-collapsible rev/skip/take cut chain, and a map+scan prefix.
+fn build_pipe(shape: u64) -> Pipe<u64> {
+    match shape % SHAPES {
+        0 => Pipe::tabulate(N, |i| (i as u64).wrapping_mul(31).wrapping_add(7)),
+        1 => Pipe::tabulate(N, |i| i as u64)
+            .map(|x| x.wrapping_mul(0x9e37_79b9))
+            .filter(|&x| x % 3 != 0),
+        2 => Pipe::tabulate(N, |i| i as u64).rev().skip(7).take(N / 2),
+        _ => Pipe::tabulate(N, |i| i as u64)
+            .map(|x| x ^ 0x5bd1)
+            .scan(0, |a, b| a.wrapping_add(b)),
+    }
 }
 
+/// The known reduction value of each shape, so a partial or corrupted
+/// response is detectable. Mirrors [`build_pipe`] with plain iterators.
+fn expected_values() -> [u64; SHAPES as usize] {
+    let v0 = (0..N as u64)
+        .map(|i| i.wrapping_mul(31).wrapping_add(7))
+        .fold(0u64, u64::wrapping_add);
+    let v1 = (0..N as u64)
+        .map(|x| x.wrapping_mul(0x9e37_79b9))
+        .filter(|&x| x % 3 != 0)
+        .fold(0u64, u64::wrapping_add);
+    let v2 = (0..N as u64)
+        .rev()
+        .skip(7)
+        .take(N / 2)
+        .fold(0u64, u64::wrapping_add);
+    // Shape 3 reduces the *exclusive* prefix scan of the mapped input.
+    let mut acc = 0u64;
+    let mut v3 = 0u64;
+    for x in (0..N as u64).map(|x| x ^ 0x5bd1) {
+        v3 = v3.wrapping_add(acc);
+        acc = acc.wrapping_add(x);
+    }
+    [v0, v1, v2, v3]
+}
+
+/// Submit shape `shape`'s pipeline. With a shared planner the plan
+/// comes from the tenant's warm cache; without one (`--no-plan-cache`)
+/// every request plans from a cold single-slot planner — the A/B
+/// baseline that pays the optimizer on every submission.
 fn submit_one(
     svc: &Service,
     tenant: bds_service::Tenant,
+    planner: Option<&TenantPlanner>,
+    name: &str,
     budget: Budget,
+    shape: u64,
 ) -> Result<Ticket<u64>, Rejected> {
-    tabulate(N, |i| (i as u64).wrapping_mul(31).wrapping_add(7))
-        .submit_reduce(svc, tenant, budget, 0, |a, b| a.wrapping_add(b))
+    let pipe = build_pipe(shape);
+    match planner {
+        Some(p) => submit_reduce(svc, tenant, p, budget, pipe, 0, |a, b| a.wrapping_add(b)),
+        None => {
+            let cold = TenantPlanner::new(svc, name, 1);
+            submit_reduce(svc, tenant, &cold, budget, pipe, 0, |a, b| a.wrapping_add(b))
+        }
+    }
 }
 
 /// One in-flight request as the driver tracks it.
 struct Outstanding {
     submitted_at: Instant,
     tight: bool,
+    expected: u64,
     ticket: Ticket<u64>,
 }
 
@@ -85,11 +151,12 @@ struct DriverOut {
 fn drive(
     svc: &Service,
     name: &str,
+    planner: Option<&TenantPlanner>,
     stop: &AtomicBool,
     high_water: &AtomicU64,
 ) -> DriverOut {
     let tenant = svc.tenant(name);
-    let expected = expected_value();
+    let expected = expected_values();
     let mut window: VecDeque<Outstanding> = VecDeque::with_capacity(WINDOW);
     let mut out = DriverOut {
         latencies_s: Vec::new(),
@@ -110,12 +177,14 @@ fn drive(
             } else {
                 Budget::unlimited()
             };
+            let shape = k % SHAPES;
             k += 1;
-            match submit_one(svc, tenant, budget) {
+            match submit_one(svc, tenant, planner, name, budget, shape) {
                 Ok(ticket) => {
                     window.push_back(Outstanding {
                         submitted_at: Instant::now(),
                         tight,
+                        expected: expected[(shape % SHAPES) as usize],
                         ticket,
                     });
                     // Track the fleet-wide concurrent high water mark
@@ -156,10 +225,13 @@ fn drive(
         out.latencies_s
             .push(oldest.submitted_at.elapsed().as_secs_f64());
         match response {
-            Ok(v) if v == expected => {}
+            Ok(v) if v == oldest.expected => {}
             Ok(v) => flag(
                 &mut out.violations,
-                format!("partial/corrupt value: got {v:#x}, want {expected:#x}"),
+                format!(
+                    "partial/corrupt value: got {v:#x}, want {:#x}",
+                    oldest.expected
+                ),
             ),
             Err(ServiceError::Exceeded(Exceeded::Deadline)) if oldest.tight => {}
             Err(e) => flag(&mut out.violations, format!("unexpected error: {e}")),
@@ -188,6 +260,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
         .max(2);
+    let plan_cache = !has_flag("--no-plan-cache");
 
     let svc = Service::new(ServiceConfig {
         workers: procs,
@@ -197,13 +270,21 @@ fn main() {
         max_concurrent: 2 * procs,
         quantum: 1,
         breaker: bds_service::BreakerConfig::default(),
+        cold_start_work: bds_service::DEFAULT_COLD_START_WORK,
     });
     let trips_before = trip_counts();
+    let planners: Option<Vec<TenantPlanner>> = plan_cache.then(|| {
+        TENANTS
+            .iter()
+            .map(|&name| TenantPlanner::new(&svc, name, PLAN_CAPACITY))
+            .collect()
+    });
 
     eprintln!(
         "service_soak: {seconds}s, {} tenants x {WINDOW} outstanding on {procs} workers, \
-         crash every 250 ms",
+         crash every 250 ms, plan cache {}",
         TENANTS.len(),
+        if plan_cache { "on" } else { "OFF" },
     );
 
     let stop = AtomicBool::new(false);
@@ -221,9 +302,14 @@ fn main() {
             }
         });
         let (svc, stop, high_water) = (&svc, &stop, &high_water);
+        let planners = &planners;
         let drivers: Vec<_> = TENANTS
             .iter()
-            .map(|&name| scope.spawn(move || drive(svc, name, stop, high_water)))
+            .enumerate()
+            .map(|(i, &name)| {
+                let planner = planners.as_ref().map(|ps| &ps[i]);
+                scope.spawn(move || drive(svc, name, planner, stop, high_water))
+            })
             .collect();
         std::thread::sleep(Duration::from_secs(seconds));
         stop.store(true, Ordering::Relaxed);
@@ -296,6 +382,29 @@ fn main() {
         failures.push("crashes were injected but no worker respawned".into());
     }
 
+    // Plan-cache claim: with per-tenant caches on, each tenant pays the
+    // optimizer once per shape and every later lookup (admitted or
+    // rejected — planning precedes admission) must hit the cache.
+    let mut plan = PlanCounters::default();
+    for t in &stats.tenants {
+        plan.hits += t.plan_hits;
+        plan.misses += t.plan_misses;
+        if plan_cache {
+            match t.plan_hit_rate() {
+                Some(r) if r >= 0.9 => {}
+                r => failures.push(format!(
+                    "tenant {}: plan-cache hit rate {} below the 0.9 floor",
+                    t.name,
+                    r.map(|x| format!("{x:.3}")).unwrap_or_else(|| "n/a".into()),
+                )),
+            }
+        }
+    }
+    plan.entries = planners
+        .as_ref()
+        .map(|ps| ps.iter().map(|p| p.cache().len() as u64).sum())
+        .unwrap_or(0);
+
     let trips = trip_counts();
     let gov = GovCounters {
         sheds: stats.sheds,
@@ -315,7 +424,7 @@ fn main() {
     eprintln!(
         "service_soak: {submitted} submitted, {completed} completed, {rejected} rejected; \
          {:.0} qps, p50 {:.1} ms, p99 {:.1} ms; {} crashes, {} respawns, \
-         trips: {} deadline / {} memory",
+         trips: {} deadline / {} memory; plan cache: {} hits / {} misses ({:.3} hit rate)",
         qps,
         p50 * 1e3,
         p99 * 1e3,
@@ -323,6 +432,9 @@ fn main() {
         gov.respawns,
         gov.deadline_trips,
         gov.mem_trips,
+        plan.hits,
+        plan.misses,
+        plan.hit_rate(),
     );
 
     if let Some(path) = arg_value("--json") {
@@ -351,6 +463,7 @@ fn main() {
                 rejected,
                 tenants: tenant_completions,
             }),
+            plan: Some(plan),
         });
         rep.write(&path).expect("writing service_soak JSON");
         eprintln!("service_soak: wrote {path}");

@@ -297,6 +297,7 @@ fn main() {
             sched: Some(out.sched),
             gov: Some(out.gov),
             svc: None,
+            plan: None,
         });
         rep.write(&path).expect("writing soak JSON");
         eprintln!("soak: wrote {path}");

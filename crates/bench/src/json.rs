@@ -29,6 +29,10 @@
 //!         "qps": 5120.0, "p50_s": 0.0011, "p99_s": 0.0089,
 //!         "submitted": 40960, "completed": 40940, "rejected": 20,
 //!         "tenants": [{"name": "alpha", "completed": 10235}]
+//!       },
+//!       "plan": {
+//!         "hits": 40944, "misses": 16, "entries": 16,
+//!         "hit_rate": 0.99961
 //!       }
 //!     }
 //!   ]
@@ -53,9 +57,16 @@
 //! `completed` + `rejected` at quiescence), and per-tenant completion
 //! counts for fairness auditing.
 //!
+//! `plan` is `null` except for runs that resolved their pipelines
+//! through a `bds_plan::PlanCache` (the `service_soak` binary), where
+//! it carries the shape-cache view aggregated over every tenant: cache
+//! hits and misses (a miss runs the optimizer, a hit reuses a plan),
+//! resident plan count at the end of the run, and the hit rate
+//! (`hits / (hits + misses)`, `0` when there were no lookups).
+//!
 //! v2 is a strict superset of v1 (it adds `policy`, and later the
-//! optional `gov` and `svc` blocks); consumers keyed on the schema
-//! string should accept both.
+//! optional `gov`, `svc`, and `plan` blocks); consumers keyed on the
+//! schema string should accept both.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -76,6 +87,30 @@ pub struct GovCounters {
     pub deadline_trips: u64,
     /// Governed runs refused because their memory budget was exceeded.
     pub mem_trips: u64,
+}
+
+/// Plan-cache counters attached to records whose pipelines were
+/// resolved through a `bds_plan::PlanCache`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCounters {
+    /// Shape lookups answered with a cached plan.
+    pub hits: u64,
+    /// Shape lookups that had to run the optimizer.
+    pub misses: u64,
+    /// Plans resident in the cache(s) at the end of the run.
+    pub entries: u64,
+}
+
+impl PlanCounters {
+    /// `hits / (hits + misses)`, or 0 when there were no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Request-level counters attached to service benchmark records.
@@ -135,6 +170,9 @@ pub struct Record {
     /// `bds_service::Service` (the `service_soak` binary); `None` for
     /// ordinary measurements.
     pub svc: Option<SvcCounters>,
+    /// Plan-cache counters, if the run resolved its pipelines through a
+    /// `bds_plan::PlanCache`; `None` for ordinary measurements.
+    pub plan: Option<PlanCounters>,
 }
 
 impl Record {
@@ -157,6 +195,7 @@ impl Record {
             sched: m.capture.as_ref().map(|c| c.sched),
             gov: None,
             svc: None,
+            plan: None,
         }
     }
 }
@@ -277,6 +316,20 @@ impl JsonReport {
                 }
                 None => out.push_str(", \"svc\": null"),
             }
+            match &r.plan {
+                Some(p) => {
+                    let _ = write!(
+                        out,
+                        ", \"plan\": {{\"hits\": {}, \"misses\": {}, \
+                         \"entries\": {}, \"hit_rate\": {}}}",
+                        p.hits,
+                        p.misses,
+                        p.entries,
+                        num(p.hit_rate())
+                    );
+                }
+                None => out.push_str(", \"plan\": null"),
+            }
             out.push('}');
             if i + 1 < self.records.len() {
                 out.push(',');
@@ -369,6 +422,11 @@ mod tests {
                 rejected: 2,
                 tenants: vec![("alpha".into(), 49), ("beta".into(), 49)],
             }),
+            plan: Some(PlanCounters {
+                hits: 96,
+                misses: 4,
+                entries: 4,
+            }),
         });
         rep.push(Record {
             op: "bfs".into(),
@@ -386,6 +444,7 @@ mod tests {
             policy: None,
             gov: None,
             svc: None,
+            plan: None,
         });
         let s = rep.render();
         assert!(s.contains("\"schema\": \"bds-bench/v2\""));
@@ -406,8 +465,23 @@ mod tests {
              {\"name\": \"beta\", \"completed\": 49}]}"
         ));
         assert!(s.contains("\"svc\": null"));
+        assert!(s.contains(
+            "\"plan\": {\"hits\": 96, \"misses\": 4, \"entries\": 4, \"hit_rate\": 0.96}"
+        ));
+        assert!(s.contains("\"plan\": null"));
         // Exactly one comma between the two records.
         assert_eq!(s.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn plan_hit_rate_handles_empty_and_full() {
+        assert_eq!(PlanCounters::default().hit_rate(), 0.0);
+        let p = PlanCounters {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        assert_eq!(p.hit_rate(), 0.75);
     }
 
     #[test]

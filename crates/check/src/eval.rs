@@ -15,6 +15,12 @@
 //! Evaluators return an [`Outcome`] or panic/`Err` exactly where the
 //! underlying library would; the runner wraps each call in
 //! `catch_unwind` and classifies panics.
+//!
+//! Index-space cuts (`take`/`skip`/`rev`) follow **one** fault-
+//! surfacing rule in every lowering — *cuts narrow demand on RAD
+//! segments and force BID segments whole* (see [`demand_windows`]) —
+//! so pipelines may freely place cuts after fault sites and still
+//! agree bit-for-bit on whether the fault fires.
 
 use std::sync::Arc;
 
@@ -169,19 +175,133 @@ pub fn apply_stage_pure(v: Vec<u64>, stage: &Stage) -> Vec<u64> {
 }
 
 // ---------------------------------------------------------------------
+// Demand windows: the canonical fault-surfacing semantics for cuts.
+// ---------------------------------------------------------------------
+
+/// Which input indices of each stage are **demanded** under the
+/// canonical fault-surfacing semantics for index-space cuts
+/// (take/skip/rev), per stage: `Some((lo, hi))` is a half-open index
+/// range of that stage's input, `None` means every index.
+///
+/// The rule (enforced by every lowering, documented in DESIGN.md):
+///
+/// * **RAD segments narrow.** An element-wise closure whose input is
+///   still random-access-delayed is evaluated only on the indices that
+///   survive the downstream cut chain, up to the next collapse point
+///   (filter / scan / the consumer — those always demand their whole
+///   input).
+/// * **BID cuts force.** A cut applied to a block-iterable stream
+///   forces the *whole* stream first, so every fused closure observes
+///   its full input; the cut happens on the materialized result.
+///
+/// Only `Map` stages can end up with a narrowed window: zips are never
+/// fault sites, and filters/scans/consumers sit at collapse points.
+/// A fault whose poison only occurs outside the demanded window must
+/// not fire in **any** lowering — eager evaluators (oracle, array)
+/// consult these windows to suppress exactly those closure
+/// applications.
+pub fn demand_windows(p: &Pipeline) -> Vec<Option<(usize, usize)>> {
+    let n = p.stages.len();
+    // Forward pass: each stage's input length and representation.
+    let mut lens = Vec::with_capacity(n + 1);
+    let mut reprs = Vec::with_capacity(n);
+    let mut v = p.source.eval();
+    let mut bidlike = matches!(p.source, Source::Flatten(_));
+    for stage in &p.stages {
+        lens.push(v.len());
+        reprs.push(bidlike);
+        bidlike = match stage {
+            Stage::Map(_) | Stage::ZipIota(_) | Stage::ZipData(..) => bidlike,
+            Stage::Filter(_) | Stage::FilterOp(..) | Stage::Scan(_) | Stage::ScanIncl(_) => true,
+            Stage::Take(_) | Stage::Skip(_) | Stage::Rev => false,
+        };
+        v = apply_stage_pure(v, stage);
+    }
+    lens.push(v.len());
+
+    (0..n)
+        .map(|i| {
+            if !matches!(p.stages[i], Stage::Map(_)) || reprs[i] {
+                return None;
+            }
+            // Walk forward to the next collapse point; everything in
+            // between is element-wise or a cut, both index-trackable.
+            let mut j = i + 1;
+            while j < n
+                && !matches!(
+                    p.stages[j],
+                    Stage::Filter(_) | Stage::FilterOp(..) | Stage::Scan(_) | Stage::ScanIncl(_)
+                )
+            {
+                j += 1;
+            }
+            // Full demand at the boundary, composed backwards through
+            // the cuts into stage i's input index space. The starting
+            // length already reflects every take/skip in between.
+            let (mut lo, mut hi) = (0usize, lens[j]);
+            for k in (i + 1..j).rev() {
+                let len_in = lens[k];
+                match &p.stages[k] {
+                    // A prefix: indices are unchanged (the narrowing is
+                    // carried by the boundary length).
+                    Stage::Take(_) => {}
+                    Stage::Skip(s) => {
+                        let s = (*s).min(len_in);
+                        lo += s;
+                        hi += s;
+                    }
+                    Stage::Rev => (lo, hi) = (len_in - hi, len_in - lo),
+                    // Element-wise: index-preserving.
+                    _ => {}
+                }
+            }
+            if (lo, hi) == (0, lens[i]) {
+                None
+            } else {
+                Some((lo, hi))
+            }
+        })
+        .collect()
+}
+
+/// The demand windows when the pipeline carries a fault — fault-free
+/// pipelines behave identically with or without narrowing, so the
+/// extra reference evaluation is skipped.
+fn demand_windows_if_faulted(p: &Pipeline) -> Vec<Option<(usize, usize)>> {
+    if p.fault.is_some() {
+        demand_windows(p)
+    } else {
+        vec![None; p.stages.len()]
+    }
+}
+
+// ---------------------------------------------------------------------
 // Oracle: straight-line sequential evaluation with poisoned closures.
 // ---------------------------------------------------------------------
 
 /// Evaluate sequentially with single loops — no blocks, no pool, no
-/// fusion. Panics exactly where a poisoned closure fires.
+/// fusion. Panics exactly where a poisoned closure fires, restricted
+/// to the demanded indices of each stage ([`demand_windows`]).
 pub fn eval_oracle(p: &Pipeline) -> Outcome {
+    let windows = demand_windows_if_faulted(p);
     let mut v = p.source.eval();
     for (i, stage) in p.stages.iter().enumerate() {
         let poison = p.stage_panic_poison(i);
         v = match stage {
             Stage::Map(op) => {
                 let f = map_fn(*op, poison);
-                v.into_iter().map(f).collect()
+                match windows[i] {
+                    None => v.into_iter().map(f).collect(),
+                    // Outside the demanded window the closure never
+                    // runs in a delayed lowering; apply the pure op
+                    // (same value, no poison check) — those positions
+                    // are cut before they can reach the output anyway.
+                    Some((lo, hi)) => v
+                        .into_iter()
+                        .enumerate()
+                        .map(|(idx, x)| if lo <= idx && idx < hi { f(x) } else { op.apply(x) })
+                        .collect(),
+                }
             }
             Stage::Filter(pr) => {
                 let f = pred_fn(*pr, poison);
@@ -233,6 +353,7 @@ pub fn eval_oracle(p: &Pipeline) -> Outcome {
 /// cancellation machinery, and the fault discipline guarantees the
 /// result is deterministic either way.
 pub fn eval_array(p: &Pipeline) -> Outcome {
+    let windows = demand_windows_if_faulted(p);
     let mut v = match &p.source {
         Source::Iota(n) => array::tabulate(*n, |i| i as u64),
         Source::TabAffine { n, a, b } => {
@@ -247,7 +368,24 @@ pub fn eval_array(p: &Pipeline) -> Outcome {
         v = match stage {
             Stage::Map(op) => {
                 let f = map_fn(*op, poison);
-                array::map(&v, move |&x| f(x))
+                match windows[i] {
+                    None => array::map(&v, move |&x| f(x)),
+                    // Eager parallel map, but the poisoned closure only
+                    // fires on demanded indices (see demand_windows).
+                    Some((lo, hi)) => {
+                        let op = *op;
+                        let src = Arc::new(v);
+                        let s = Arc::clone(&src);
+                        array::tabulate(src.len(), move |i| {
+                            let x = s[i];
+                            if lo <= i && i < hi {
+                                f(x)
+                            } else {
+                                op.apply(x)
+                            }
+                        })
+                    }
+                }
             }
             Stage::ZipIota(zc) => {
                 let zc = *zc;
@@ -326,6 +464,12 @@ pub fn eval_array(p: &Pipeline) -> Outcome {
 struct RadState {
     len: usize,
     f: Arc<dyn Fn(usize) -> u64 + Send + Sync>,
+    /// True when the canonical static lowering would hold this stream
+    /// as a BID (flatten source, filter/scan output, and maps over
+    /// those): index cuts must then force the whole stream — running
+    /// every composed closure — before narrowing, instead of composing
+    /// an index transform that narrows demand (see [`demand_windows`]).
+    bidlike: bool,
 }
 
 impl RadState {
@@ -335,6 +479,26 @@ impl RadState {
         RadState {
             len,
             f: Arc::new(move |i| data[i]),
+            bidlike: false,
+        }
+    }
+
+    fn into_bidlike(self) -> RadState {
+        RadState {
+            bidlike: true,
+            ..self
+        }
+    }
+
+    /// The cut-ready form of this state: RAD states pass through
+    /// untouched (cuts narrow demand); BID-like states are forced
+    /// first, firing every composed closure exactly as the static
+    /// lowering's `force()`-at-cut does.
+    fn into_cuttable(self) -> RadState {
+        if self.bidlike {
+            RadState::from_vec(self.to_vec())
+        } else {
+            self
         }
     }
 
@@ -348,24 +512,30 @@ impl RadState {
 /// Evaluate with `bds_baseline::rad`: maps, zips, takes, skips and
 /// reversals compose into the index closure (O(1), fused); filters and
 /// scans are eager points that call into the rad library and rebuild
-/// the state from its output.
+/// the state from its output. Cuts applied to a BID-like state (a
+/// flatten, a filter/scan output, or maps over one) force it first —
+/// the uniform fault-surfacing rule of [`demand_windows`].
 pub fn eval_rad(p: &Pipeline) -> Outcome {
     let mut st = match &p.source {
         Source::Iota(n) => RadState {
             len: *n,
             f: Arc::new(|i| i as u64),
+            bidlike: false,
         },
         Source::TabAffine { n, a, b } => {
             let (a, b) = (*a, *b);
             RadState {
                 len: *n,
                 f: Arc::new(move |i| a.wrapping_mul(i as u64).wrapping_add(b)),
+                bidlike: false,
             }
         }
         Source::FromVec(data) => RadState::from_vec(data.clone()),
+        // Flattens are block-iterable in the canonical lowering.
         Source::Flatten(parts) => RadState::from_vec(
             rad::flatten_with(parts.len(), |p| parts[p].len(), |p, i| parts[p][i]),
-        ),
+        )
+        .into_bidlike(),
     };
     for (i, stage) in p.stages.iter().enumerate() {
         let poison = p.stage_panic_poison(i);
@@ -376,6 +546,7 @@ pub fn eval_rad(p: &Pipeline) -> Outcome {
                 RadState {
                     len: st.len,
                     f: Arc::new(move |i| g(f(i))),
+                    bidlike: st.bidlike,
                 }
             }
             Stage::ZipIota(zc) => {
@@ -384,6 +555,7 @@ pub fn eval_rad(p: &Pipeline) -> Outcome {
                 RadState {
                     len: st.len,
                     f: Arc::new(move |i| zc.apply(f(i), i as u64)),
+                    bidlike: st.bidlike,
                 }
             }
             Stage::ZipData(zc, data) => {
@@ -394,6 +566,7 @@ pub fn eval_rad(p: &Pipeline) -> Outcome {
                 RadState {
                     len: st.len,
                     f: Arc::new(move |i| zc.apply(f(i), data[i % dlen])),
+                    bidlike: st.bidlike,
                 }
             }
             Stage::Filter(pr) => {
@@ -401,17 +574,19 @@ pub fn eval_rad(p: &Pipeline) -> Outcome {
                 RadState::from_vec(
                     rad::tabulate(st.len, move |i| f(i)).filter(pred_fn(*pr, poison)),
                 )
+                .into_bidlike()
             }
             Stage::FilterOp(pr, m) => {
                 let f = Arc::clone(&st.f);
                 let g = filter_op_fn(*pr, *m, poison);
                 RadState::from_vec(rad::tabulate(st.len, move |i| f(i)).filter_op(g))
+                    .into_bidlike()
             }
             Stage::Scan(c) => {
                 let f = Arc::clone(&st.f);
                 let (excl, _total) =
                     rad::tabulate(st.len, move |i| f(i)).scan(c.identity(), comb_fn(*c));
-                RadState::from_vec(excl)
+                RadState::from_vec(excl).into_bidlike()
             }
             Stage::ScanIncl(c) => {
                 let f = Arc::clone(&st.f);
@@ -422,26 +597,34 @@ pub fn eval_rad(p: &Pipeline) -> Outcome {
                     excl.push(total);
                     excl.remove(0);
                 }
-                RadState::from_vec(excl)
+                RadState::from_vec(excl).into_bidlike()
             }
-            Stage::Take(k) => RadState {
-                len: st.len.min(*k),
-                f: st.f,
-            },
+            Stage::Take(k) => {
+                let st = st.into_cuttable();
+                RadState {
+                    len: st.len.min(*k),
+                    f: st.f,
+                    bidlike: false,
+                }
+            }
             Stage::Skip(k) => {
+                let st = st.into_cuttable();
                 let k = (*k).min(st.len);
                 let f = st.f;
                 RadState {
                     len: st.len - k,
                     f: Arc::new(move |i| f(i + k)),
+                    bidlike: false,
                 }
             }
             Stage::Rev => {
+                let st = st.into_cuttable();
                 let len = st.len;
                 let f = st.f;
                 RadState {
                     len,
                     f: Arc::new(move |i| f(len - 1 - i)),
+                    bidlike: false,
                 }
             }
         };

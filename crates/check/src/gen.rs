@@ -14,13 +14,15 @@
 //! - A fault site is always an element-wise closure: a `Map`, `Filter`
 //!   or `FilterOp` stage, or a `Count`/`FilterCollect`/
 //!   `TryFilterCollect` consumer predicate.
-//! - No `Take` or `Skip` stage appears **after** a faulted stage:
-//!   lazy lowerings (RAD closure composition) would never evaluate the
-//!   dropped suffix while eager lowerings (the oracle, the array
-//!   baseline, a forced BID) evaluate it during the earlier stage, so a
-//!   poison there could legitimately fire in one lowering and not
-//!   another. (`Rev` only reorders and `Filter` evaluates every input,
-//!   so they remain legal after a fault.)
+//! - A fault's poison is drawn from the **demanded** sub-stream of the
+//!   site's input ([`crate::eval::demand_windows`]). Under the uniform
+//!   cut semantics — take/skip/rev narrow demand on RAD segments and
+//!   force BID segments whole — the demanded indices are exactly the
+//!   ones every lowering evaluates, so an injected fault always fires,
+//!   *including* when cuts follow the fault site. (Earlier revisions
+//!   forbade `Take`/`Skip` after a fault site; that restriction papered
+//!   over a real lazy/eager divergence in the dynamic lowering's cuts,
+//!   which now force-first like everything else.)
 //! - `Err`-mode faults only target the `TryFilterCollect` consumer
 //!   predicate — the one closure whose `Err` every lowering surfaces
 //!   with identical deterministic semantics.
@@ -55,13 +57,14 @@ pub fn gen_pipeline(subseed: u64) -> Pipeline {
     streams.push(cur.clone());
 
     let consumer = gen_consumer(&mut rng);
-    let fault = maybe_gen_fault(&mut rng, &stages, &streams, consumer);
-    Pipeline {
+    let mut p = Pipeline {
         source,
         stages,
         consumer,
-        fault,
-    }
+        fault: None,
+    };
+    p.fault = maybe_gen_fault(&mut rng, &p, &streams);
+    p
 }
 
 fn gen_source(rng: &mut SmallRng) -> Source {
@@ -220,38 +223,37 @@ fn gen_pred_blind(rng: &mut SmallRng) -> PredOp {
 
 /// With probability ~1/3, inject a fault at a legal site whose poison
 /// provably reaches the poisoned closure.
-fn maybe_gen_fault(
-    rng: &mut SmallRng,
-    stages: &[Stage],
-    streams: &[Vec<u64>],
-    consumer: Consumer,
-) -> Option<Fault> {
+fn maybe_gen_fault(rng: &mut SmallRng, p: &Pipeline, streams: &[Vec<u64>]) -> Option<Fault> {
     if rng.gen_range(0..3) != 0 {
         return None;
     }
 
-    // Candidate sites: element-wise stages with a nonempty input stream
-    // and no Take/Skip after them (see module docs), plus the consumer
-    // predicate when the consumer has one and its input is nonempty.
-    let mut last_cut = None;
-    for (i, s) in stages.iter().enumerate() {
-        if matches!(s, Stage::Take(_) | Stage::Skip(_)) {
-            last_cut = Some(i);
+    // Candidate sites: element-wise stages whose *demanded* input
+    // sub-stream is nonempty — downstream cuts may narrow which indices
+    // any lowering evaluates (see [`crate::eval::demand_windows`]), so
+    // the poison is drawn from exactly that window; a poison outside it
+    // would never fire anywhere. The consumer predicate qualifies when
+    // the consumer has one and its (always fully demanded) input is
+    // nonempty.
+    let windows = crate::eval::demand_windows(p);
+    let demanded = |i: usize| -> &[u64] {
+        match windows[i] {
+            Some((lo, hi)) => &streams[i][lo..hi],
+            None => &streams[i],
         }
-    }
+    };
     let mut sites: Vec<FaultSite> = Vec::new();
-    for (i, s) in stages.iter().enumerate() {
+    for (i, s) in p.stages.iter().enumerate() {
         let elementwise = matches!(s, Stage::Map(_) | Stage::Filter(_) | Stage::FilterOp(..));
-        let before_cut = last_cut.is_some_and(|c| i < c);
-        if elementwise && !before_cut && !streams[i].is_empty() {
+        if elementwise && !demanded(i).is_empty() {
             sites.push(FaultSite::Stage(i));
         }
     }
     let consumer_has_pred = matches!(
-        consumer,
+        p.consumer,
         Consumer::Count(_) | Consumer::FilterCollect(_) | Consumer::TryFilterCollect(_)
     );
-    if consumer_has_pred && !streams[stages.len()].is_empty() {
+    if consumer_has_pred && !streams[p.stages.len()].is_empty() {
         sites.push(FaultSite::Consumer);
     }
     if sites.is_empty() {
@@ -259,13 +261,13 @@ fn maybe_gen_fault(
     }
 
     let site = sites[rng.gen_range(0..sites.len())];
-    let stream = match site {
-        FaultSite::Stage(i) => &streams[i],
-        FaultSite::Consumer => &streams[stages.len()],
+    let stream: &[u64] = match site {
+        FaultSite::Stage(i) => demanded(i),
+        FaultSite::Consumer => &streams[p.stages.len()],
     };
     let poison = stream[rng.gen_range(0..stream.len())];
     let mode = if site == FaultSite::Consumer
-        && matches!(consumer, Consumer::TryFilterCollect(_))
+        && matches!(p.consumer, Consumer::TryFilterCollect(_))
         && rng.gen_bool(0.5)
     {
         FaultMode::Err
@@ -288,22 +290,9 @@ mod tests {
     }
 
     #[test]
-    fn faults_never_precede_take_or_skip() {
+    fn err_faults_only_target_try_filter_collect() {
         for seed in 0..2000u64 {
             let p = gen_pipeline(seed);
-            if let Some(Fault {
-                site: FaultSite::Stage(i),
-                ..
-            }) = p.fault
-            {
-                assert!(
-                    !p.stages[i + 1..]
-                        .iter()
-                        .any(|s| matches!(s, Stage::Take(_) | Stage::Skip(_))),
-                    "seed {seed}: fault at stage {i} precedes a cut in {:?}",
-                    p.stages,
-                );
-            }
             if let Some(Fault {
                 mode: FaultMode::Err,
                 site,
@@ -317,21 +306,54 @@ mod tests {
     }
 
     #[test]
-    fn fault_poisons_flow_from_live_streams() {
-        // Every generated fault's poison must appear in the oracle
-        // stream feeding the poisoned closure.
+    fn cuts_after_fault_sites_are_generated() {
+        // The old generator forbade Take/Skip after a fault site; the
+        // uniform cut semantics makes them legal and this coverage must
+        // not silently regress.
+        let mut cut_after_fault = 0;
+        for seed in 0..2000u64 {
+            let p = gen_pipeline(seed);
+            if let Some(Fault {
+                site: FaultSite::Stage(i),
+                ..
+            }) = p.fault
+            {
+                if p.stages[i + 1..]
+                    .iter()
+                    .any(|s| matches!(s, Stage::Take(_) | Stage::Skip(_)))
+                {
+                    cut_after_fault += 1;
+                }
+            }
+        }
+        assert!(
+            cut_after_fault > 20,
+            "generator stopped exploring take/skip after fault sites \
+             ({cut_after_fault} in 2000 seeds)"
+        );
+    }
+
+    #[test]
+    fn fault_poisons_flow_from_demanded_streams() {
+        // Every generated fault's poison must appear in the *demanded*
+        // part of the oracle stream feeding the poisoned closure — the
+        // indices every lowering agrees to evaluate.
         let mut seen_faults = 0;
         for seed in 0..500u64 {
             let p = gen_pipeline(seed);
             let Some(fault) = p.fault else { continue };
             seen_faults += 1;
+            let windows = crate::eval::demand_windows(&p);
             let mut cur = p.source.eval();
-            let site_stream = match fault.site {
+            let site_stream: Vec<u64> = match fault.site {
                 FaultSite::Stage(i) => {
                     for s in &p.stages[..i] {
                         cur = apply_stage_pure(cur, s);
                     }
-                    cur
+                    match windows[i] {
+                        Some((lo, hi)) => cur[lo..hi].to_vec(),
+                        None => cur,
+                    }
                 }
                 FaultSite::Consumer => {
                     for s in &p.stages {
@@ -342,7 +364,7 @@ mod tests {
             };
             assert!(
                 site_stream.contains(&fault.poison),
-                "seed {seed}: poison {} not in site stream",
+                "seed {seed}: poison {} not in demanded site stream",
                 fault.poison,
             );
         }

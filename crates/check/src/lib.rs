@@ -14,6 +14,10 @@
 //! - [`gen`]: the seeded generator — one subseed, one pipeline.
 //! - [`eval`]: five lowerings of one AST, sharing one closure-builder
 //!   layer so injected faults behave identically everywhere.
+//! - [`plan`]: a sixth and seventh lowering through the `bds-plan`
+//!   optimizer — the optimized plan (drawn from a shared shape-keyed
+//!   cache, so pipelines constantly *share* plans) and the un-rewritten
+//!   plan on the same executor. Disable with `--plan off`.
 //! - [`runner`]: the configuration matrix, divergence checker, greedy
 //!   shrinker, and deterministic replay/recording.
 //!
@@ -36,6 +40,7 @@ pub mod ast;
 pub mod eval;
 pub mod gen;
 pub mod governed;
+pub mod plan;
 pub mod runner;
 pub mod service;
 

@@ -1,7 +1,7 @@
 //! CLI entry point for the differential checker.
 //!
 //! ```text
-//! bds-check [--pipelines N] [--seed S] [--replay SUBSEED]
+//! bds-check [--pipelines N] [--seed S] [--replay SUBSEED] [--plan on|off]
 //! ```
 //!
 //! - `--pipelines N` — how many random pipelines to fuzz (default 500).
@@ -9,6 +9,8 @@
 //!   environment variable if set, else 42). Decimal or `0x` hex.
 //! - `--replay SUBSEED` — skip fuzzing; regenerate one case and verify
 //!   it replays bit-for-bit (schedule, geometry, outcomes).
+//! - `--plan on|off` — include or exclude the plan-optimizer legs of
+//!   the matrix (default on; CI runs both as separate legs).
 //!
 //! Exits nonzero on any divergence or determinism violation.
 
@@ -24,6 +26,15 @@ fn parse_u64(s: &str) -> Option<u64> {
 }
 
 fn main() {
+    match arg_value("--plan").as_deref().map(str::trim) {
+        None | Some("on") => {}
+        Some("off") => bds_check::plan::set_plan_legs(false),
+        Some(other) => {
+            eprintln!("bds-check: --plan takes `on` or `off`, not `{other}`");
+            std::process::exit(2);
+        }
+    }
+
     if let Some(sub) = arg_value("--replay") {
         let Some(sub) = parse_u64(&sub) else {
             eprintln!("bds-check: --replay takes a decimal or 0x-hex subseed");

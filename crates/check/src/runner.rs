@@ -169,7 +169,16 @@ pub fn run_catching(f: impl FnOnce() -> Outcome) -> Outcome {
 pub struct Pools {
     seed: u64,
     pools: Vec<(usize, Pool)>,
+    /// The shared shape-keyed plan cache the "plan" legs draw from.
+    /// Living here gives it the same lifecycle as the pools: shared
+    /// across one fuzz loop (so same-shaped pipelines exercise plan
+    /// *sharing*), fresh per recorded replay (so replay stays
+    /// bit-for-bit — the cache's LRU ticks are part of the schedule).
+    plan_cache: bds_plan::PlanCache,
 }
+
+/// Plans held per matrix pass for one pipeline's plan legs.
+const PLAN_CACHE_CAPACITY: usize = 64;
 
 impl Pools {
     /// Create an empty cache whose pools derive from `seed`.
@@ -177,6 +186,7 @@ impl Pools {
         Pools {
             seed,
             pools: Vec::new(),
+            plan_cache: bds_plan::PlanCache::new(PLAN_CACHE_CAPACITY),
         }
     }
 
@@ -208,7 +218,24 @@ fn collect_outcomes(
     let want = run_catching(|| eval::eval_oracle(p));
     let mut outcomes = vec![("oracle".to_string(), want.clone())];
     let mut divs = Vec::new();
+    let plan_case = if crate::plan::plan_legs_enabled() {
+        crate::plan::build_case(p)
+    } else {
+        None
+    };
     for threads in thread_counts() {
+        // Resolve the plans before borrowing the pool: "plan" comes
+        // from the shared shape-keyed cache (the first leg optimizes,
+        // later legs and later same-shaped pipelines share), "planraw"
+        // is the un-rewritten stage list pinned to the parallel
+        // executor so the plan machinery itself is checked without the
+        // optimizer's rewrites.
+        let plans = plan_case.as_ref().map(|case| {
+            let shape = case.shape();
+            let (optimized, _hit) = pools.plan_cache.plan(shape.clone(), threads);
+            let raw = bds_plan::identity_plan(shape, bds_plan::ExecMode::Parallel);
+            (optimized, raw)
+        });
         let pool = pools.get(threads);
         for geom in Geom::all() {
             let _g = apply_geom(geom);
@@ -223,6 +250,23 @@ fn collect_outcomes(
                         got,
                         want: want.clone(),
                     });
+                }
+            }
+            if let (Some(case), Some((optimized, raw))) = (plan_case.as_ref(), plans.as_ref()) {
+                let legs: [(&'static str, &bds_plan::Plan); 2] =
+                    [("plan", optimized), ("planraw", raw)];
+                for (name, plan) in legs {
+                    let got = run_catching(|| pool.install(|| case.eval(plan)));
+                    outcomes.push((format!("{name}/{geom:?}/p{threads}"), got.clone()));
+                    if got != want {
+                        divs.push(Divergence {
+                            eval: name,
+                            geom,
+                            threads,
+                            got,
+                            want: want.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -430,13 +474,14 @@ pub fn assert_fault_legal(p: &Pipeline) {
     let Some(fault) = p.fault else { return };
     match fault.site {
         FaultSite::Stage(i) => {
+            // Cuts after the site are legal: the uniform fault
+            // semantics (demand-narrowing RAD, force-at-cut BID — see
+            // `crate::eval::demand_windows`) makes every lowering agree
+            // on whether a downstream-cut poison fires.
             debug_assert!(matches!(
                 p.stages.get(i),
                 Some(Stage::Map(_) | Stage::Filter(_) | Stage::FilterOp(..))
             ));
-            debug_assert!(!p.stages[i + 1..]
-                .iter()
-                .any(|s| matches!(s, Stage::Take(_) | Stage::Skip(_))));
         }
         FaultSite::Consumer => {
             debug_assert!(matches!(

@@ -92,6 +92,10 @@ pub fn check_service(p: &Pipeline, subseed: u64) -> Vec<ServiceViolation> {
             trip_after: u32::MAX,
             ..Default::default()
         },
+        // Under the pinned check calibration (ns_per_work = 1.0) this
+        // seeds a ~4 µs cold estimate; short-deadline legs may now be
+        // refused at admission, which the matcher below tolerates.
+        cold_start_work: 4096,
     });
 
     // (tenant, leg, ticket) for every accepted submission.

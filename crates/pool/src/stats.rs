@@ -172,6 +172,8 @@ pub(crate) struct TenantCounters {
     rejected_shutdown: AtomicU64,
     panicked: AtomicU64,
     exceeded: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 impl TenantCounters {
@@ -198,6 +200,8 @@ impl TenantCounters {
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             exceeded: self.exceeded.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -266,6 +270,18 @@ impl TenantSlot {
     pub fn note_exceeded(&self) {
         WorkerCounters::bump(&self.0.exceeded);
     }
+
+    /// A pipeline submission reused a cached execution plan for its
+    /// shape (no optimizer run was needed).
+    pub fn note_plan_hit(&self) {
+        WorkerCounters::bump(&self.0.plan_hits);
+    }
+
+    /// A pipeline submission had no cached plan for its shape and paid
+    /// for an optimizer run.
+    pub fn note_plan_miss(&self) {
+        WorkerCounters::bump(&self.0.plan_misses);
+    }
 }
 
 /// Snapshot of one tenant's counters; see [`TenantSlot`] for when each
@@ -292,9 +308,20 @@ pub struct TenantStats {
     pub panicked: u64,
     /// Admitted requests that tripped their budget.
     pub exceeded: u64,
+    /// Pipeline submissions that reused a cached execution plan.
+    pub plan_hits: u64,
+    /// Pipeline submissions that paid for an optimizer run.
+    pub plan_misses: u64,
 }
 
 impl TenantStats {
+    /// Fraction of plan lookups served from the cache, or `None` if the
+    /// tenant never looked a plan up.
+    pub fn plan_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_hits + self.plan_misses;
+        (total > 0).then(|| self.plan_hits as f64 / total as f64)
+    }
+
     /// Submissions refused for any reason.
     pub fn rejected(&self) -> u64 {
         self.rejected_queue_full
@@ -323,6 +350,8 @@ impl TenantStats {
                 .saturating_sub(other.rejected_shutdown),
             panicked: self.panicked.saturating_sub(other.panicked),
             exceeded: self.exceeded.saturating_sub(other.exceeded),
+            plan_hits: self.plan_hits.saturating_sub(other.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(other.plan_misses),
         }
     }
 }
@@ -454,6 +483,23 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(t.rejected(), 10);
+    }
+
+    #[test]
+    fn plan_counters_snapshot_and_rate() {
+        let slot = TenantSlot::new(Arc::new(TenantCounters::new("t")));
+        assert_eq!(slot.0.snapshot().plan_hit_rate(), None);
+        slot.note_plan_miss();
+        slot.note_plan_hit();
+        slot.note_plan_hit();
+        slot.note_plan_hit();
+        let snap = slot.0.snapshot();
+        assert_eq!(snap.plan_hits, 3);
+        assert_eq!(snap.plan_misses, 1);
+        assert_eq!(snap.plan_hit_rate(), Some(0.75));
+        let diff = snap.saturating_sub(&snap);
+        assert_eq!(diff.plan_hits, 0);
+        assert_eq!(diff.plan_misses, 0);
     }
 
     #[test]

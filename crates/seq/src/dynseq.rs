@@ -480,27 +480,32 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
     }
 
     /// Prefix of the first `k` elements (`k` is clamped to the length).
-    /// O(1) on both representations: a RAD shrinks its length; a BID
-    /// keeps its block size and truncates the final block's stream.
+    /// O(1) on a RAD (it just shrinks its length); a BID is **forced
+    /// first**, then cut. Forcing is the uniform fault-surfacing rule
+    /// for index-space cuts (see DESIGN.md): every fused closure in a
+    /// block-iterable stream observes its whole input before the cut,
+    /// exactly as the static library's `Seq::force().take(..)` does —
+    /// a lazily truncated block stream would instead skip closure
+    /// applications (and their panics) past the cut.
     pub fn take(self, k: usize) -> DSeq<T> {
         let k = k.min(self.len());
         match self {
             DSeq::Rad { offset, f, .. } => DSeq::Rad { offset, len: k, f },
-            DSeq::Bid { bs, b, .. } => DSeq::Bid {
-                len: k,
-                bs,
-                b: Arc::new(move |j| {
-                    let lo = j * bs;
-                    Box::new(b(j).take(k.saturating_sub(lo).min(bs)))
-                }),
-            },
+            bid @ DSeq::Bid { .. } => {
+                let mut v = bid.to_vec();
+                v.truncate(k);
+                DSeq::from_vec(v)
+            }
         }
     }
 
     /// Drop the first `k` elements (`k` is clamped to the length). O(1)
-    /// on a RAD (the paper's explicit offset field); on a BID the
-    /// suffix stays delayed with the same block size, each output block
-    /// splicing the (at most two) input blocks it straddles.
+    /// on a RAD (the paper's explicit offset field); a BID is **forced
+    /// first**, then cut — the same uniform fault-surfacing rule as
+    /// [`DSeq::take`]. (The previous lazy block-splicing suffix ran
+    /// skipped elements through `Iterator::skip` on only *some* blocks,
+    /// so whether a fused closure fired on a dropped element depended
+    /// on block geometry.)
     pub fn skip(self, k: usize) -> DSeq<T> {
         let k = k.min(self.len());
         match self {
@@ -509,27 +514,14 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
                 len: len - k,
                 f,
             },
-            DSeq::Bid { len, bs, b } => {
-                let new_len = len - k;
-                DSeq::Bid {
-                    len: new_len,
-                    bs,
-                    b: Arc::new(move |j| {
-                        // Output block j covers input indices glo..ghi.
-                        let glo = k + j * bs;
-                        let ghi = (glo + bs).min(len);
-                        let j0 = glo / bs;
-                        let off = glo % bs;
-                        let first = (bs - off).min(ghi - glo);
-                        let head: DynStream<T> = Box::new(b(j0).skip(off).take(first));
-                        if ghi > (j0 + 1) * bs {
-                            let second = ghi - (j0 + 1) * bs;
-                            Box::new(head.chain(b(j0 + 1).take(second)))
-                        } else {
-                            head
-                        }
-                    }),
+            bid @ DSeq::Bid { .. } => {
+                let mut v = bid.to_vec();
+                if k < v.len() {
+                    v.drain(..k);
+                } else {
+                    v.clear();
                 }
+                DSeq::from_vec(v)
             }
         }
     }

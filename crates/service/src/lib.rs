@@ -44,7 +44,7 @@ mod service;
 mod ticket;
 
 pub use breaker::BreakerConfig;
-pub use service::{Rejected, Service, ServiceConfig, Tenant};
+pub use service::{Rejected, Service, ServiceConfig, Tenant, DEFAULT_COLD_START_WORK};
 pub use ticket::{block_on, Response, ServiceError, Ticket};
 
 // Re-exported so call sites can build budgets and match budget trips

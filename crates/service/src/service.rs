@@ -92,6 +92,14 @@ pub struct ServiceConfig {
     pub quantum: u32,
     /// Circuit-breaker tuning, applied per tenant.
     pub breaker: BreakerConfig,
+    /// Abstract work units a typical request is expected to cost, used
+    /// to seed deadline-aware admission **before the first completion**
+    /// calibrates the service-time EWMA: while the EWMA is cold the
+    /// per-request estimate is `bds_cost` `ns_per_work ×
+    /// cold_start_work` nanoseconds. Without this seed a cold service
+    /// estimated zero delay and admitted an entire first burst of
+    /// requests that could not possibly meet their deadlines.
+    pub cold_start_work: u64,
 }
 
 impl Default for ServiceConfig {
@@ -105,9 +113,16 @@ impl Default for ServiceConfig {
             max_concurrent: 2 * workers,
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: DEFAULT_COLD_START_WORK,
         }
     }
 }
+
+/// Default [`ServiceConfig::cold_start_work`]: a few thousand work
+/// units — the cost of a small pipeline — keeps the cold estimate in
+/// the microsecond range on real hardware, so only genuinely
+/// unmeetable deadlines are refused before the EWMA warms up.
+pub const DEFAULT_COLD_START_WORK: u64 = 4096;
 
 /// A registered tenant of a [`Service`]; obtain one with
 /// [`Service::tenant`]. Copyable — hand it to whatever submits on the
@@ -158,19 +173,41 @@ struct Inner {
     ewma_ns: AtomicU64,
 }
 
+/// Expected queueing delay in nanoseconds: `per_request_ns` for each of
+/// the `ahead` requests already admitted, divided across `lanes`
+/// dispatch lanes.
+///
+/// The multiply runs in `u128`: the old `saturating_mul(..) / lanes`
+/// capped the *product* at `u64::MAX` before dividing, so a large EWMA
+/// times a deep queue silently shrank to `u64::MAX / lanes` — an
+/// **under**-estimate exactly when the backlog was worst, letting the
+/// deadline gate admit doomed requests. Only the final quotient is
+/// clamped.
+fn queue_delay_ns(per_request_ns: u64, ahead: u64, lanes: u64) -> u64 {
+    let wide = u128::from(per_request_ns) * u128::from(ahead) / u128::from(lanes.max(1));
+    u64::try_from(wide).unwrap_or(u64::MAX)
+}
+
 impl Inner {
     /// Expected queueing delay for a newly admitted request: everything
     /// ahead of it, divided across the dispatch lanes, at the observed
-    /// service time. Optimistically zero until a first completion
-    /// calibrates the estimate.
+    /// service time. Until a first completion calibrates the EWMA, the
+    /// per-request time is seeded from the `bds_cost` calibration table
+    /// (`ns_per_work × cold_start_work`) instead of the old optimistic
+    /// zero, which admitted a cold service's whole first burst
+    /// regardless of deadlines. An idle service (nothing queued or in
+    /// flight) still estimates zero either way.
     fn estimated_start_delay(&self) -> Duration {
-        let ewma = self.ewma_ns.load(Ordering::Relaxed);
-        if ewma == 0 {
-            return Duration::ZERO;
+        let mut per_request_ns = self.ewma_ns.load(Ordering::Relaxed);
+        if per_request_ns == 0 {
+            let seed = bds_cost::calibration().ns_per_work * self.cfg.cold_start_work as f64;
+            // f64 -> u64 `as` saturates; a sub-nanosecond seed rounds
+            // up to 1 so "cold" is never mistaken for "calibrated zero".
+            per_request_ns = (seed as u64).max(1);
         }
         let ahead = self.queued.load(Ordering::SeqCst) + self.inflight.load(Ordering::SeqCst);
         let lanes = self.cfg.max_concurrent.max(1) as u64;
-        Duration::from_nanos(ewma.saturating_mul(ahead as u64) / lanes)
+        Duration::from_nanos(queue_delay_ns(per_request_ns, ahead as u64, lanes))
     }
 
     /// Completion bookkeeping, called by the execution closure on the
@@ -298,12 +335,17 @@ impl Service {
     ///
     /// # Panics
     /// Panics if any of `workers`, `queue_capacity`, `max_concurrent`,
-    /// `quantum`, or `breaker.trip_after` is zero.
+    /// `quantum`, `cold_start_work`, or `breaker.trip_after` is zero.
     pub fn new(cfg: ServiceConfig) -> Service {
         assert!(cfg.workers > 0, "a service needs at least one worker");
         assert!(cfg.queue_capacity > 0, "queue_capacity must be at least 1");
         assert!(cfg.max_concurrent > 0, "max_concurrent must be at least 1");
         assert!(cfg.quantum > 0, "quantum must be at least 1");
+        assert!(
+            cfg.cold_start_work > 0,
+            "cold_start_work must be at least 1 (a zero hint would \
+             re-open the cold-start admission hole)"
+        );
         // The pool's strict CAS cap mirrors max_concurrent, so the
         // reservation the dispatcher takes per request is the same
         // admission the pool applies to blocking `install`s.
@@ -501,6 +543,22 @@ impl Service {
         self.inner.pool.stats()
     }
 
+    /// The pool-registry counter slot for tenant `name` (registering it
+    /// in the stats registry if needed). Layers *outside* the request
+    /// path — e.g. a per-tenant plan cache — bump tenant-scoped
+    /// counters through this slot and they surface in
+    /// [`PoolStats::tenants`] next to the admission ledger.
+    pub fn tenant_slot(&self, name: &str) -> TenantSlot {
+        self.inner.pool.tenant_slot(name)
+    }
+
+    /// Number of pool workers this service executes on (the configured
+    /// [`ServiceConfig::workers`]). Plan-level geometry decisions size
+    /// their parallelism against this.
+    pub fn workers(&self) -> usize {
+        self.inner.cfg.workers
+    }
+
     /// Requests currently waiting in tenant queues.
     pub fn queued(&self) -> usize {
         self.inner.queued.load(Ordering::SeqCst)
@@ -557,6 +615,7 @@ mod tests {
             max_concurrent: workers,
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: 4096,
         })
     }
 
@@ -609,6 +668,7 @@ mod tests {
             max_concurrent: 1,
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: 4096,
         });
         let tenant = svc.tenant("t");
         let gate = Arc::new(AtomicUsize::new(0));
@@ -653,6 +713,7 @@ mod tests {
                 cool_down: Duration::from_millis(40),
                 max_cool_down: Duration::from_secs(1),
             },
+            cold_start_work: 4096,
         });
         let tenant = svc.tenant("crashy");
         for _ in 0..2 {
@@ -727,6 +788,7 @@ mod tests {
             max_concurrent: 1, // single lane: dispatch order is visible
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: 4096,
         });
         let hot = svc.tenant("hot");
         let quiet = svc.tenant("quiet");
@@ -784,6 +846,7 @@ mod tests {
             max_concurrent: 1,
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: 4096,
         });
         let heavy = svc.tenant_with_weight("heavy", 3);
         let light = svc.tenant_with_weight("light", 1);
@@ -871,6 +934,7 @@ mod tests {
             max_concurrent: 1,
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: 4096,
         });
         let tenant = svc.tenant("t");
         let gate = Arc::new(AtomicUsize::new(0));
@@ -914,6 +978,7 @@ mod tests {
             max_concurrent: 2,
             quantum: 1,
             breaker: BreakerConfig::default(),
+            cold_start_work: 4096,
         });
         let tenant = svc.tenant("t");
         let mut tickets = Vec::new();
@@ -944,5 +1009,57 @@ mod tests {
         let a2 = svc.tenant_with_weight("a", 9); // ignored: already registered
         assert_eq!(a, a2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cold_start_estimate_rejects_unmeetable_deadlines() {
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_concurrent: 1,
+            quantum: 1,
+            breaker: BreakerConfig::default(),
+            // Absurdly expensive requests: even at the minimum
+            // calibrated ns_per_work the seeded estimate is seconds.
+            cold_start_work: 1 << 40,
+        });
+        let tenant = svc.tenant("t");
+        // An idle cold service has nothing ahead, so even a huge
+        // per-request seed estimates zero delay: admit.
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let wedge = svc
+            .submit(tenant, Budget::unlimited(), move || {
+                while g.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+            })
+            .expect("idle cold service must admit");
+        wait_for_inflight(&svc, 1);
+        // One request ahead and the EWMA still cold: the old code
+        // estimated zero here and admitted a request that could not
+        // start for seconds; the calibration seed refuses it.
+        let budget =
+            Budget::unlimited().deadline_at(Instant::now() + Duration::from_millis(50));
+        assert_eq!(
+            svc.submit(tenant, budget, || 1).unwrap_err(),
+            Rejected::Deadline
+        );
+        assert_eq!(svc.stats().tenants[0].rejected_deadline, 1);
+        gate.store(1, Ordering::SeqCst);
+        assert_eq!(wedge.wait(), Ok(()));
+    }
+
+    #[test]
+    fn queue_delay_survives_large_ewma_times_deep_queue() {
+        // 2^62 ns EWMA x 8 ahead / 4 lanes: exact answer 2^63. The old
+        // saturate-then-divide capped the product at u64::MAX before
+        // dividing and returned 2^62 — a 2x under-estimate precisely
+        // when the backlog was deepest.
+        assert_eq!(queue_delay_ns(1 << 62, 8, 4), 1 << 63);
+        // A quotient past u64::MAX clamps instead of wrapping.
+        assert_eq!(queue_delay_ns(u64::MAX, 8, 2), u64::MAX);
+        // Degenerate lane counts never divide by zero.
+        assert_eq!(queue_delay_ns(100, 3, 0), 300);
     }
 }
