@@ -69,11 +69,15 @@ impl Driver<'_> {
     }
 
     /// A deadline over a pipeline that would take seconds: must refuse
-    /// as `Deadline` within 2x the deadline.
+    /// as `Deadline` within 2x the deadline. The input must stay far
+    /// (>10x) above what the host can reduce inside the deadline, or
+    /// the leg races its own completion: complete-result-wins would
+    /// legitimately return `Ok` just under the wire, and near-complete
+    /// runs drag the cancellation observation past the 2x bound.
     fn deadline_leg(&self, pool: &Pool) {
         let started = Instant::now();
         let r = pool.install(|| {
-            tabulate(100_000_000usize, |i| (i as u64).wrapping_mul(31).wrapping_add(7))
+            tabulate(2_000_000_000usize, |i| (i as u64).wrapping_mul(31).wrapping_add(7))
                 .reduce_governed(Budget::unlimited().with_deadline(DEADLINE), 0, |a, b| {
                     a.wrapping_add(b)
                 })

@@ -43,6 +43,7 @@ pub mod governed;
 pub mod plan;
 pub mod runner;
 pub mod service;
+pub mod simd;
 
 use ast::Pipeline;
 use runner::{check_pipeline, shrink, verify_determinism, Divergence, Pools, QuietPanics};
@@ -79,6 +80,10 @@ pub struct FailureReport {
     /// Violations of the service delivery invariants found by the
     /// periodic served sweep (see [`service::check_service`]).
     pub service_violations: Vec<String>,
+    /// Divergences between the forced-scalar oracle and the CPU's SIMD
+    /// dispatch levels found by the periodic SIMD sweep (see
+    /// [`simd::check_simd`]).
+    pub simd_violations: Vec<String>,
 }
 
 /// The summary of a fuzz run.
@@ -116,6 +121,13 @@ const GOVERNED_CHECK_PERIOD: usize = 16;
 /// clean typed refusal (see [`service::check_service`]).
 const SERVICE_CHECK_PERIOD: usize = 32;
 
+/// How often the fuzz loop additionally runs the SIMD differential
+/// sweep: the case's subseed feeds [`simd::check_simd`], which compares
+/// every `bds_seq::simd` driver at forced scalar against every dispatch
+/// level the CPU supports (bit-for-bit for integer/byte kernels,
+/// ULP-bounded for float sums).
+const SIMD_CHECK_PERIOD: usize = 64;
+
 /// Fuzz `count` pipelines derived from `master`, checking each against
 /// the oracle under the full configuration matrix. Failing cases are
 /// shrunk and reported on stderr (with their `BDS_CHECK_SEED`) as they
@@ -133,7 +145,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
         let divergences = check_pipeline(&pipeline, &mut pools);
         if !divergences.is_empty() {
             let shrunk = shrink(&pipeline, &mut pools);
-            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[], &[]);
+            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[], &[], &[]);
             failures.push(FailureReport {
                 subseed,
                 pipeline,
@@ -142,10 +154,11 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                 determinism_error: None,
                 governed_violations: Vec::new(),
                 service_violations: Vec::new(),
+                simd_violations: Vec::new(),
             });
         } else if k % SELF_CHECK_PERIOD == SELF_CHECK_PERIOD / 2 {
             if let Err(e) = verify_determinism(&pipeline, subseed) {
-                report_failure(subseed, &pipeline, None, &[], Some(&e), &[], &[]);
+                report_failure(subseed, &pipeline, None, &[], Some(&e), &[], &[], &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -154,6 +167,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     determinism_error: Some(e),
                     governed_violations: Vec::new(),
                     service_violations: Vec::new(),
+                    simd_violations: Vec::new(),
                 });
             }
         } else if k % SERVICE_CHECK_PERIOD == SERVICE_CHECK_PERIOD * 3 / 4 {
@@ -163,7 +177,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     .iter()
                     .map(service::ServiceViolation::describe)
                     .collect();
-                report_failure(subseed, &pipeline, None, &[], None, &[], &described);
+                report_failure(subseed, &pipeline, None, &[], None, &[], &described, &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -172,6 +186,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     determinism_error: None,
                     governed_violations: Vec::new(),
                     service_violations: described,
+                    simd_violations: Vec::new(),
                 });
             }
         } else if k % GOVERNED_CHECK_PERIOD == GOVERNED_CHECK_PERIOD / 2 {
@@ -181,7 +196,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     .iter()
                     .map(governed::GovernViolation::describe)
                     .collect();
-                report_failure(subseed, &pipeline, None, &[], None, &described, &[]);
+                report_failure(subseed, &pipeline, None, &[], None, &described, &[], &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -190,6 +205,23 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     determinism_error: None,
                     governed_violations: described,
                     service_violations: Vec::new(),
+                    simd_violations: Vec::new(),
+                });
+            }
+        } else if k % SIMD_CHECK_PERIOD == SIMD_CHECK_PERIOD * 3 / 4 {
+            let pool = bds_pool::Pool::new_seeded(3, subseed);
+            let violations = pool.install(|| simd::check_simd(subseed));
+            if !violations.is_empty() {
+                report_failure(subseed, &pipeline, None, &[], None, &[], &[], &violations);
+                failures.push(FailureReport {
+                    subseed,
+                    pipeline,
+                    shrunk: None,
+                    divergences: Vec::new(),
+                    determinism_error: None,
+                    governed_violations: Vec::new(),
+                    service_violations: Vec::new(),
+                    simd_violations: violations,
                 });
             }
         }
@@ -217,6 +249,7 @@ fn report_failure(
     determinism_error: Option<&str>,
     governed_violations: &[String],
     service_violations: &[String],
+    simd_violations: &[String],
 ) {
     eprintln!("bds-check: FAILURE  BDS_CHECK_SEED={subseed}");
     eprintln!("  pipeline: {pipeline:?}");
@@ -231,6 +264,9 @@ fn report_failure(
     }
     for v in service_violations {
         eprintln!("  served: {v}");
+    }
+    for v in simd_violations {
+        eprintln!("  simd: {v}");
     }
     if let Some(s) = shrunk {
         eprintln!("  shrunk:   {s:?}");

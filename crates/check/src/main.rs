@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bds-check [--pipelines N] [--seed S] [--replay SUBSEED] [--plan on|off]
+//!           [--simd N]
 //! ```
 //!
 //! - `--pipelines N` — how many random pipelines to fuzz (default 500).
@@ -11,6 +12,11 @@
 //!   it replays bit-for-bit (schedule, geometry, outcomes).
 //! - `--plan on|off` — include or exclude the plan-optimizer legs of
 //!   the matrix (default on; CI runs both as separate legs).
+//! - `--simd N` — skip pipeline fuzzing; run N rounds of the dedicated
+//!   SIMD differential sweep instead (forced-scalar oracle vs every
+//!   dispatch level the CPU supports, lane/chunk-seam lengths; see
+//!   `bds_check::simd`). The fuzz loop also runs this sweep
+//!   periodically — this flag is the concentrated version.
 //!
 //! Exits nonzero on any divergence or determinism violation.
 
@@ -41,6 +47,34 @@ fn main() {
             std::process::exit(2);
         };
         std::process::exit(if bds_check::replay(sub) { 0 } else { 1 });
+    }
+
+    if let Some(rounds) = arg_value("--simd") {
+        let Some(rounds) = rounds.trim().parse::<usize>().ok().filter(|&r| r > 0) else {
+            eprintln!("bds-check: --simd takes a positive round count");
+            std::process::exit(2);
+        };
+        let master = arg_value("--seed")
+            .and_then(|v| parse_u64(&v))
+            .or_else(seed::from_env)
+            .unwrap_or(42);
+        println!(
+            "bds-check: SIMD sweep, {rounds} rounds, master seed {master}, levels {:?}",
+            bds_seq::simd::supported_levels()
+                .iter()
+                .map(|l| l.name())
+                .collect::<Vec<_>>(),
+        );
+        let violations = bds_check::simd::run_simd_sweep(master, rounds, true);
+        if violations.is_empty() {
+            println!("bds-check: OK — {rounds} SIMD rounds, zero divergences (seed {master})");
+            std::process::exit(0);
+        }
+        println!(
+            "bds-check: {} SIMD violation(s) in {rounds} rounds (seed {master})",
+            violations.len(),
+        );
+        std::process::exit(1);
     }
 
     let pipelines = arg_value("--pipelines")

@@ -54,6 +54,39 @@ pub struct Plan {
     pub mode: ExecMode,
 }
 
+impl Plan {
+    /// Whether step `i` remains a straight-line per-element loop after
+    /// rewriting — the shape the SIMD fast paths can lower. A single
+    /// stage inherits its kind's [`StageKind::is_vectorizable`]; a
+    /// fused `filter_op` run is always vectorizable (fusable kinds are
+    /// a subset of vectorizable kinds, so fusion can only *keep* a run
+    /// vectorizable, never break it); a gather is index-space, not an
+    /// element loop.
+    pub fn step_vectorizable(&self, i: usize) -> bool {
+        match &self.steps[i] {
+            PlanStep::Stage(s) => self.shape.stages[*s].kind.is_vectorizable(),
+            PlanStep::FusedFilterMap(_) => true,
+            PlanStep::Gather(_) => false,
+        }
+    }
+
+    /// How many of this plan's steps are vectorizable — surfaced in
+    /// plan statistics so benchmark reports can say how much of a
+    /// pipeline the SIMD tiers could touch.
+    pub fn vectorizable_steps(&self) -> usize {
+        (0..self.steps.len()).filter(|&i| self.step_vectorizable(i)).count()
+    }
+}
+
+/// Work-class discount applied when every stage of a shape is
+/// vectorizable: a conservative ×4 (the 64-bit AVX2 lane count — the
+/// narrowest win the dispatcher would bother with). Cheaper effective
+/// per-element work means the geometry solver picks larger blocks,
+/// which is exactly what vector kernels want: long straight runs.
+fn vector_work_discount() -> u64 {
+    bds_cost::lanes::lanes(bds_cost::lanes::AVX2_VECTOR_BYTES, 8) as u64
+}
+
 /// Produce the optimized plan for `shape` on a pool of `workers`.
 pub fn optimize(shape: PlanShape, workers: usize) -> Plan {
     let steps = rewrite_steps(&shape.stages);
@@ -132,11 +165,18 @@ fn pick_mode(shape: &PlanShape, workers: usize) -> ExecMode {
         return ExecMode::Parallel;
     }
     let len = 1usize << u32::from(shape.len_class).min(62);
-    let work: u64 = 1 + shape
+    let mut work: u64 = 1 + shape
         .stages
         .iter()
         .map(|k| 1u64 << u32::from(k.cost_class).min(62))
         .sum::<u64>();
+    // A fully vectorizable pipeline retires elements lane-parallel, so
+    // its effective per-element work is a lane factor cheaper; pricing
+    // that in here biases the solver toward the larger blocks vector
+    // kernels want.
+    if !shape.stages.is_empty() && shape.stages.iter().all(|k| k.kind.is_vectorizable()) {
+        work = (work / vector_work_discount()).max(1);
+    }
     let per_elem = ElemCost { w: work, s: 1, a: 0 };
     let cal = bds_cost::calibration();
     let g = bds_cost::geometry::solve(len, per_elem, workers.max(1), &cal);
@@ -163,6 +203,43 @@ mod tests {
             stages,
             consumer: ConsumerKind::Collect,
         }
+    }
+
+    #[test]
+    fn vectorizable_metadata_tracks_rewrites() {
+        let plan = optimize(
+            shape_of(vec![
+                key(StageKind::Map, 2),
+                key(StageKind::Filter, 0),
+                key(StageKind::Scan, 1),
+                key(StageKind::Take, 0),
+                key(StageKind::Skip, 0),
+                key(StageKind::MapIdx, 0),
+            ]),
+            8,
+        );
+        // map+filter fuse (filter class ≤ map class) and stay
+        // vectorizable; the scan is not; the cut pair gathers; the
+        // trailing map_idx is vectorizable on its own.
+        assert_eq!(
+            plan.steps,
+            vec![
+                PlanStep::FusedFilterMap(vec![0, 1]),
+                PlanStep::Stage(2),
+                PlanStep::Gather(vec![3, 4]),
+                PlanStep::Stage(5),
+            ]
+        );
+        assert!(plan.step_vectorizable(0));
+        assert!(!plan.step_vectorizable(1));
+        assert!(!plan.step_vectorizable(2));
+        assert!(plan.step_vectorizable(3));
+        assert_eq!(plan.vectorizable_steps(), 2);
+    }
+
+    #[test]
+    fn vector_discount_is_a_sane_lane_count() {
+        assert_eq!(vector_work_discount(), 4);
     }
 
     #[test]

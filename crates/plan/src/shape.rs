@@ -62,6 +62,21 @@ impl StageKind {
     pub fn is_filterish(self) -> bool {
         matches!(self, StageKind::Filter | StageKind::FilterMap)
     }
+
+    /// Stage whose per-element work is a straight-line loop with no
+    /// loop-carried dependency — the shape the `bds_seq::simd` fast
+    /// paths (and LLVM's autovectorizer) can lower at vector width.
+    /// Scans carry their accumulator between elements and cuts are
+    /// index-space gathers, so neither qualifies. Every
+    /// [`StageKind::is_fusable`] kind is vectorizable, which is why a
+    /// fused `filter_op` run *stays* vectorizable (see
+    /// [`crate::Plan::step_vectorizable`]).
+    pub fn is_vectorizable(self) -> bool {
+        matches!(
+            self,
+            StageKind::Map | StageKind::MapIdx | StageKind::Filter | StageKind::FilterMap
+        )
+    }
 }
 
 /// One stage's contribution to the cache key: its kind plus the
@@ -138,7 +153,18 @@ mod tests {
             if kind.is_filterish() {
                 assert!(kind.is_fusable());
             }
+            // Fusion preserves vectorizability: anything that can join
+            // a fused run can also be lowered at vector width.
+            if kind.is_fusable() {
+                assert!(kind.is_vectorizable());
+            }
+            if kind.is_cut() {
+                assert!(!kind.is_vectorizable());
+            }
         }
         assert!(!StageKind::MapIdx.is_fusable());
+        assert!(StageKind::MapIdx.is_vectorizable());
+        assert!(!StageKind::Scan.is_vectorizable());
+        assert!(!StageKind::ScanIncl.is_vectorizable());
     }
 }

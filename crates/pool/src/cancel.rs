@@ -287,6 +287,32 @@ impl PollTicker {
             }
         }
     }
+
+    /// Count `n` elements at once — the bulk counterpart of
+    /// [`tick`](Self::tick) for kernels that process a whole chunk of
+    /// elements between polls (the SIMD fast paths in `bds-seq`).
+    ///
+    /// Equivalent to `n` calls to `tick` except that crossing several
+    /// poll boundaries in one bulk step polls the ambient token once,
+    /// not once per boundary: what `tick` guarantees — and what this
+    /// preserves — is the *latency* bound (at most `INTERVAL` elements
+    /// of work after cancellation before the region is abandoned),
+    /// provided callers keep `n` at or below
+    /// [`INTERVAL`](Self::INTERVAL).
+    #[inline]
+    pub fn tick_n(&mut self, n: usize) {
+        let left = u64::from(self.left);
+        let n = n as u64;
+        if n < left {
+            self.left -= n as u32;
+            return;
+        }
+        let past = (n - left) % u64::from(Self::INTERVAL);
+        self.left = Self::INTERVAL - past as u32;
+        if cancellation_requested() {
+            abort_region();
+        }
+    }
 }
 
 impl Default for PollTicker {
@@ -541,6 +567,43 @@ mod tests {
         });
         assert_eq!(ran.load(Ordering::Relaxed), 100);
         assert_eq!(token.skipped_blocks(), 0);
+    }
+
+    #[test]
+    fn tick_n_matches_tick_budget() {
+        // With no ambient token, tick_n is pure bookkeeping; its
+        // remaining budget must agree with n single ticks at every
+        // chunk size, including exact multiples of the interval.
+        for chunk in [1usize, 7, 64, 1023, 1024, 1025, 4096] {
+            let mut bulk = PollTicker::new();
+            let mut single = PollTicker::new();
+            for _ in 0..3 {
+                bulk.tick_n(chunk);
+                for _ in 0..chunk {
+                    single.tick();
+                }
+                assert_eq!(bulk.left, single.left, "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn tick_n_aborts_within_one_interval_of_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_token(&token, || {
+                let mut t = PollTicker::new();
+                // Chunked ticking must poll at the same ~INTERVAL
+                // granularity as per-element ticking: two 512-element
+                // chunks cross the first boundary.
+                t.tick_n(512);
+                t.tick_n(512);
+                unreachable!("poll at the interval boundary must abort");
+            })
+        }));
+        let payload = caught.expect_err("cancelled region must abort");
+        assert!(is_cancellation(&*payload));
     }
 
     #[test]

@@ -82,8 +82,52 @@ impl Pool {
     /// Panics if `num_threads == 0`.
     pub fn new(num_threads: usize) -> Pool {
         let (registry, handles) =
-            Registry::new(num_threads, None, Registry::env_max_inflight());
+            Registry::new(num_threads, None, Registry::env_max_inflight(), None);
         Pool { registry, handles }
+    }
+
+    /// Create a pool whose workers are partitioned into exactly
+    /// `num_groups` placement groups (contiguous ranges of worker
+    /// indices, as equal-sized as divisibility allows). Idle workers
+    /// sweep same-group victims before crossing a group boundary, and
+    /// successful cross-group steals are counted in
+    /// [`WorkerStats::cross_steals`] — the steal-locally-first
+    /// discipline that keeps work on the socket that owns its cache
+    /// lines.
+    ///
+    /// The other constructors pick the group count automatically:
+    /// `BDS_NUMA_GROUPS` if set, else one group per NUMA node probed
+    /// from `/sys/devices/system/node` (so single-socket machines get
+    /// one group and the classic randomized sweep). This constructor
+    /// overrides both, for in-process A/B comparisons.
+    ///
+    /// `num_groups` is clamped to `[1, num_threads]`.
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0`.
+    pub fn new_grouped(num_threads: usize, num_groups: usize) -> Pool {
+        let (registry, handles) = Registry::new(
+            num_threads,
+            None,
+            Registry::env_max_inflight(),
+            Some(num_groups.max(1)),
+        );
+        Pool { registry, handles }
+    }
+
+    /// Number of placement groups this pool's workers are partitioned
+    /// into (1 unless NUMA grouping is active).
+    pub fn num_groups(&self) -> usize {
+        self.registry.num_groups()
+    }
+
+    /// Placement group of worker `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= num_threads()`.
+    pub fn worker_group(&self, index: usize) -> usize {
+        assert!(index < self.num_threads(), "worker index out of range");
+        self.registry.group_of(index)
     }
 
     /// Create a pool with an explicit admission cap: at most
@@ -100,7 +144,8 @@ impl Pool {
     /// Panics if `num_threads == 0` or `max_inflight == 0`.
     pub fn with_max_inflight(num_threads: usize, max_inflight: usize) -> Pool {
         assert!(max_inflight > 0, "an admission cap of 0 admits nothing");
-        let (registry, handles) = Registry::new(num_threads, None, Some(max_inflight));
+        let (registry, handles) =
+            Registry::new(num_threads, None, Some(max_inflight), None);
         Pool { registry, handles }
     }
 
@@ -122,7 +167,7 @@ impl Pool {
     /// Panics if `num_threads == 0`.
     pub fn new_seeded(num_threads: usize, seed: u64) -> Pool {
         let (registry, handles) =
-            Registry::new(num_threads, Some(seed), Registry::env_max_inflight());
+            Registry::new(num_threads, Some(seed), Registry::env_max_inflight(), None);
         Pool { registry, handles }
     }
 
@@ -837,6 +882,57 @@ mod tests {
             )
         });
         assert_eq!(total, total2);
+    }
+
+    #[test]
+    fn grouped_pool_partitions_workers_contiguously() {
+        let pool = Pool::new_grouped(4, 2);
+        assert_eq!(pool.num_groups(), 2);
+        let groups: Vec<usize> = (0..4).map(|i| pool.worker_group(i)).collect();
+        assert_eq!(groups, vec![0, 0, 1, 1]);
+        // Uneven split still covers every group with contiguous ranges.
+        let pool = Pool::new_grouped(5, 2);
+        let groups: Vec<usize> = (0..5).map(|i| pool.worker_group(i)).collect();
+        assert_eq!(groups, vec![0, 0, 0, 1, 1]);
+        // Group count clamps to the worker count.
+        let pool = Pool::new_grouped(2, 8);
+        assert_eq!(pool.num_groups(), 2);
+    }
+
+    #[test]
+    fn grouped_pool_computes_correctly_and_counts_cross_steals() {
+        let pool = Pool::new_grouped(4, 2);
+        let total = pool.install(|| {
+            parallel_reduce(
+                100_000,
+                64,
+                0u64,
+                &|lo, hi| (lo..hi).map(|i| i as u64).sum(),
+                &|a, b| a + b,
+            )
+        });
+        assert_eq!(total, 99_999u64 * 100_000 / 2);
+        let stats = pool.stats();
+        assert_eq!(stats.num_groups, 2);
+        let t = stats.total();
+        assert!(
+            t.cross_steals <= t.steals,
+            "cross-group steals are a subset of steals"
+        );
+        // Accounting invariant holds under grouped stealing too.
+        assert_eq!(t.jobs_found(), t.jobs_executed);
+    }
+
+    #[test]
+    fn single_group_pool_reports_no_cross_steals() {
+        let pool = Pool::new_grouped(4, 1);
+        pool.install(|| {
+            parallel_for(50_000, |i| {
+                std::hint::black_box(i);
+            })
+        });
+        let t = pool.stats().total();
+        assert_eq!(t.cross_steals, 0, "one group has no boundary to cross");
     }
 
     #[test]

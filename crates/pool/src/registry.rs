@@ -23,6 +23,16 @@ pub(crate) struct Registry {
     idle_workers: AtomicUsize,
     terminate: AtomicBool,
     num_threads: usize,
+    /// Placement group of each worker (contiguous ranges of worker
+    /// indices, one range per group). Victim selection in `find_work`
+    /// sweeps same-group peers before crossing a group boundary, and a
+    /// successful cross-group steal is counted separately — the
+    /// steal-locally-first discipline NUMA-aware schedulers use to keep
+    /// work on the socket that owns its cache lines.
+    groups: Vec<usize>,
+    /// Number of distinct placement groups (`1` = no grouping; victim
+    /// order then degenerates to the classic single randomized sweep).
+    num_groups: usize,
     /// `Some(seed)` puts the pool in deterministic mode: worker steal
     /// RNGs are derived from the seed and [`Registry::live_workers`]
     /// reports `num_threads` unconditionally, so schedule-dependent
@@ -82,8 +92,16 @@ impl Registry {
         num_threads: usize,
         seed: Option<u64>,
         max_inflight: Option<usize>,
+        num_groups: Option<usize>,
     ) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
         assert!(num_threads > 0, "a pool needs at least one thread");
+        let num_groups = num_groups
+            .or_else(Registry::env_numa_groups)
+            .unwrap_or_else(probe_numa_nodes)
+            .clamp(1, num_threads);
+        let groups = (0..num_threads)
+            .map(|idx| idx * num_groups / num_threads)
+            .collect();
         let workers: Vec<Worker<JobRef>> =
             (0..num_threads).map(|_| Worker::new_lifo()).collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
@@ -95,6 +113,8 @@ impl Registry {
             idle_workers: AtomicUsize::new(0),
             terminate: AtomicBool::new(false),
             num_threads,
+            groups,
+            num_groups,
             seed,
             counters: (0..num_threads).map(|_| WorkerCounters::default()).collect(),
             kill_requests: (0..num_threads).map(|_| AtomicBool::new(false)).collect(),
@@ -134,6 +154,26 @@ impl Registry {
         self.num_threads
     }
 
+    pub(crate) fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Placement group of worker `index`.
+    pub(crate) fn group_of(&self, index: usize) -> usize {
+        self.groups[index]
+    }
+
+    /// The placement-group count requested by the environment
+    /// (`BDS_NUMA_GROUPS`), used by the pool constructors that do not
+    /// take an explicit group count. Zero or unparsable values are
+    /// ignored.
+    pub(crate) fn env_numa_groups() -> Option<usize> {
+        std::env::var("BDS_NUMA_GROUPS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&g| g > 0)
+    }
+
     /// Push a job from an external thread.
     pub(crate) fn inject(&self, job: JobRef) {
         self.injector.push(job);
@@ -168,6 +208,7 @@ impl Registry {
     pub(crate) fn stats(&self) -> PoolStats {
         PoolStats {
             workers: self.counters.iter().map(WorkerCounters::snapshot).collect(),
+            num_groups: self.num_groups,
             respawns: self.respawns.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
             tenants: self
@@ -372,6 +413,26 @@ impl Registry {
     }
 }
 
+/// Count the machine's NUMA nodes by probing
+/// `/sys/devices/system/node/node*`. Falls back to 1 (no grouping) on
+/// platforms without that sysfs tree or when it is unreadable — the
+/// pool then behaves exactly as it did before placement awareness.
+fn probe_numa_nodes() -> usize {
+    let Ok(entries) = std::fs::read_dir("/sys/devices/system/node") else {
+        return 1;
+    };
+    let nodes = entries
+        .flatten()
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.strip_prefix("node")
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        })
+        .count();
+    nodes.max(1)
+}
+
 /// Panic payload of an injected worker crash (the fault-injection hook
 /// behind [`crate::Pool::inject_worker_crash`]).
 struct InjectedCrash;
@@ -561,24 +622,39 @@ impl WorkerThread {
             }
         }
         let n = self.registry.num_threads;
+        let my_group = self.registry.groups[self.index];
         let start = self.next_victim();
-        for k in 0..n {
-            let victim = (start + k) % n;
-            if victim == self.index {
-                continue;
-            }
-            loop {
-                match self.registry.stealers[victim].steal() {
-                    Steal::Success(job) => {
-                        WorkerCounters::bump(&counters.steals);
-                        WorkerCounters::bump(&counters.jobs_executed);
-                        return Some(job);
+        // Steal-locally-first: one randomized sweep over same-group
+        // peers, then a second over the remaining (cross-group) peers.
+        // With one group the first sweep visits everyone and the second
+        // is empty — the classic single randomized sweep. Each peer is
+        // probed at most once per idle sweep either way, so the
+        // failed-steal accounting (`P-1` per empty sweep) is unchanged.
+        for cross in [false, true] {
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == self.index {
+                    continue;
+                }
+                if (self.registry.groups[victim] != my_group) != cross {
+                    continue;
+                }
+                loop {
+                    match self.registry.stealers[victim].steal() {
+                        Steal::Success(job) => {
+                            WorkerCounters::bump(&counters.steals);
+                            if cross {
+                                WorkerCounters::bump(&counters.cross_steals);
+                            }
+                            WorkerCounters::bump(&counters.jobs_executed);
+                            return Some(job);
+                        }
+                        Steal::Empty => {
+                            WorkerCounters::bump(&counters.failed_steals);
+                            break;
+                        }
+                        Steal::Retry => continue,
                     }
-                    Steal::Empty => {
-                        WorkerCounters::bump(&counters.failed_steals);
-                        break;
-                    }
-                    Steal::Retry => continue,
                 }
             }
         }

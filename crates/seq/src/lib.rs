@@ -110,6 +110,7 @@ pub mod policy;
 pub mod profile;
 pub mod scan;
 pub mod service;
+pub mod simd;
 pub mod sources;
 pub mod traits;
 mod util;
@@ -128,6 +129,7 @@ pub use policy::{
 pub use profile::{profile, profile_on, ProfileReport, Stage, StageReport};
 pub use scan::{Scanned, ScannedIncl};
 pub use service::ServiceExt;
+pub use simd::{force_level, SimdLevel, SimdLevelGuard};
 pub use sources::{empty, from_slice, range, repeat, tabulate, Forced, FromSlice, Tabulate};
 pub use traits::{RadBlock, RadSeq, Seq};
 

@@ -181,6 +181,69 @@ pub fn try_run_delay(text: &[u8], pattern: &[u8]) -> Result<GrepResult, BinaryIn
     Ok(GrepResult { lines, bytes })
 }
 
+/// SIMD version: the newline scan — the byte-bound phase — runs
+/// through `bds_seq::simd`'s dispatched `par_positions_eq` kernel
+/// (vectorized count, exact-size allocation, match-only extraction);
+/// positions are narrowed to `u32` with a vectorized `par_map` so the
+/// per-line phase is byte-for-byte the same as [`run_delay`]'s.
+/// Bit-identical to [`run_delay`] at every dispatch level.
+pub fn run_simd(text: &[u8], pattern: &[u8]) -> GrepResult {
+    use bds_seq::simd;
+    let n = text.len();
+    let positions = simd::par_positions_eq(text, b'\n');
+    let newlines: Vec<u32> = simd::par_map(&positions, |p| p as u32);
+    drop(positions);
+    let nl = num_lines(&newlines, n);
+    let (lines, bytes) = tabulate(nl, |k| {
+        let (s, e) = line_bounds(&newlines, k, n);
+        if e > s && contains(&text[s..e], pattern) {
+            (1usize, (e - s) as u64)
+        } else {
+            (0, 0)
+        }
+    })
+    .reduce((0, 0), |(c1, b1), (c2, b2)| (c1 + c2, b1 + b2));
+    GrepResult { lines, bytes }
+}
+
+/// Fallible SIMD version: like [`try_run_delay`] but the NUL scan is a
+/// vectorized [`bds_seq::simd::count_where`] per block (re-walked
+/// scalar for the offset only on failure), fused into the same
+/// `try_reduce` pass that locates newlines; faults are polled once per
+/// block, the SIMD granularity.
+pub fn try_run_simd(text: &[u8], pattern: &[u8]) -> Result<GrepResult, BinaryInput> {
+    use bds_seq::simd;
+    let n = text.len();
+    if n == 0 {
+        return Ok(GrepResult { lines: 0, bytes: 0 });
+    }
+    let bs = bds_seq::block_size(n);
+    let nb = n.div_ceil(bs);
+    tabulate(nb, |j| -> Result<(), BinaryInput> {
+        let lo = j * bs;
+        let hi = (lo + bs).min(n);
+        let block = &text[lo..hi];
+        if bds_seq::faults::poll() {
+            return Err(BinaryInput { pos: lo });
+        }
+        if simd::count_where(block, |c| c == 0) > 0 {
+            let i = block
+                .iter()
+                .position(|&c| c == 0)
+                .expect("count_where found a NUL");
+            return Err(BinaryInput { pos: lo + i });
+        }
+        Ok(())
+    })
+    .try_reduce(Ok(()), |a, b| {
+        a?;
+        b?;
+        Ok(Ok(()))
+    })?
+    .expect("combine propagates inner errors");
+    Ok(run_simd(text, pattern))
+}
+
 /// `rad` version: the newline filter materializes (as in `array`) but
 /// the per-line flag/length computations fuse into the reduces.
 pub fn run_rad(text: &[u8], pattern: &[u8]) -> GrepResult {
@@ -223,6 +286,19 @@ mod tests {
         assert!(want.lines > 0, "generator produced no matches");
         assert_eq!(run_array(&text, &p.pattern), want);
         assert_eq!(run_delay(&text, &p.pattern), want);
+        assert_eq!(run_simd(&text, &p.pattern), want);
+        assert_eq!(try_run_simd(&text, &p.pattern), Ok(want));
+    }
+
+    #[test]
+    fn simd_version_rejects_nul() {
+        let p = Params { n: 60_000, ..Default::default() };
+        let mut text = generate(&p);
+        text[31_337] = 0;
+        assert_eq!(
+            try_run_simd(&text, &p.pattern),
+            Err(BinaryInput { pos: 31_337 })
+        );
     }
 
     #[test]

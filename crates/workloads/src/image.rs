@@ -1,0 +1,154 @@
+//! **image** (numeric set): a grayscale filter chain — horizontal
+//! 3-tap blur, saturating brighten, invert — over a seeded random
+//! image, added as an honest SIMD A/B workload for `u8` pixel ops.
+//!
+//! The chain is elementwise with only *horizontal* neighbor reads, so
+//! one fused pass per pixel computes the whole thing; `u8`/`u16`
+//! arithmetic packs 32–64 pixels per vector register, which is where
+//! the SIMD tiers earn their keep. Everything is integer, so every
+//! variant at every dispatch level is bit-identical — asserted by the
+//! differential tests.
+
+use bds_seq::prelude::*;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// RNG seed for the input image.
+    pub seed: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            width: 2048,
+            height: 1024,
+            seed: 0x1A6E,
+        }
+    }
+}
+
+impl Params {
+    /// Total pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// Generate the grayscale input image (splitmix64-whitened bytes).
+pub fn generate(p: Params) -> Vec<u8> {
+    let mut state = p.seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = p.pixels();
+    let mut img = Vec::with_capacity(n);
+    while img.len() < n {
+        let w = next();
+        for k in 0..8 {
+            if img.len() == n {
+                break;
+            }
+            img.push((w >> (8 * k)) as u8);
+        }
+    }
+    img
+}
+
+/// Brighten amount for the chain's middle stage.
+const BRIGHTEN: u8 = 32;
+
+/// The fused per-pixel chain: clamped horizontal `[1 2 1]/4` blur, then
+/// saturating `+BRIGHTEN`, then invert. Pure integer, branch-free
+/// except the row-edge clamps, so it autovectorizes under the
+/// feature-gated kernels.
+#[inline(always)]
+pub fn filter_at(img: &[u8], width: usize, i: usize) -> u8 {
+    let col = i % width;
+    let c = img[i];
+    let l = if col == 0 { c } else { img[i - 1] };
+    let r = if col + 1 == width { c } else { img[i + 1] };
+    let blurred =
+        ((u16::from(l) + 2 * u16::from(c) + u16::from(r)) / 4) as u8;
+    255 - blurred.saturating_add(BRIGHTEN)
+}
+
+/// Sequential reference: one scalar loop over pixels.
+pub fn reference(p: Params, img: &[u8]) -> Vec<u8> {
+    (0..p.pixels()).map(|i| filter_at(img, p.width, i)).collect()
+}
+
+/// `delay` version (ours, scalar blocks): the chain as a fused tabulate
+/// over pixels, materialized block-parallel on the ambient pool.
+pub fn run_delay(p: Params, img: &[u8]) -> Vec<u8> {
+    tabulate(p.pixels(), |i| filter_at(img, p.width, i)).to_vec()
+}
+
+/// SIMD version: the same chain driven by
+/// `bds_seq::simd::par_tabulate` so the whole fused pixel function
+/// autovectorizes at the dispatched width. Respects `BDS_SIMD` and
+/// [`bds_seq::force_level`].
+pub fn run_simd(p: Params, img: &[u8]) -> Vec<u8> {
+    bds_seq::simd::par_tabulate(p.pixels(), |i| filter_at(img, p.width, i))
+}
+
+/// rayon baseline: identical kernel on a rayon parallel iterator.
+pub fn run_rayon(p: Params, img: &[u8]) -> Vec<u8> {
+    use rayon::prelude::*;
+    (0..p.pixels())
+        .into_par_iter()
+        .map(|i| filter_at(img, p.width, i))
+        .collect()
+}
+
+/// Harness checksum: wrapping byte sum.
+pub fn checksum(out: &[u8]) -> u64 {
+    out.iter().fold(0u64, |a, &b| a.wrapping_add(u64::from(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_bit_identical() {
+        let p = Params {
+            width: 257, // odd width exercises the edge clamps mid-vector
+            height: 33,
+            seed: 7,
+        };
+        let img = generate(p);
+        let want = reference(p, &img);
+        assert_eq!(run_delay(p, &img), want);
+        assert_eq!(run_rayon(p, &img), want);
+        for level in bds_seq::simd::supported_levels() {
+            let _g = bds_seq::force_level(level);
+            assert_eq!(run_simd(p, &img), want, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn chain_math_hand_checked() {
+        // Row [0, 4, 8], middle pixel: blur = (0 + 8 + 8)/4 = 4,
+        // brighten → 36, invert → 219.
+        let img = [0u8, 4, 8];
+        assert_eq!(filter_at(&img, 3, 1), 255 - 36);
+        // Left edge clamps to itself: (0 + 0 + 4)/4 = 1 → 33 → 222.
+        assert_eq!(filter_at(&img, 3, 0), 255 - 33);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = Params { width: 100, height: 10, seed: 42 };
+        assert_eq!(generate(p), generate(p));
+        assert_eq!(generate(p).len(), 1000);
+    }
+}

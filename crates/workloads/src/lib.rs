@@ -12,6 +12,11 @@
 //! **RAD set** (Figure 14): [`grep`], [`integrate`], [`linearrec`],
 //! [`linefit`], [`mcss`], [`quickhull`], [`spmv`], [`wc`] — these are
 //! dominated by index fusion of tabulate/map/zip into reduces.
+//!
+//! **Numeric set** (not from the paper): [`mandelbrot`] and [`image`] —
+//! regular float/byte kernels with sequential, rayon, and SIMD
+//! (`bds_seq::simd`) variants, the honest A/B for the SIMD fast paths;
+//! [`grep`] and [`wc`] also gain `run_simd` byte-kernel variants.
 
 #![warn(missing_docs)]
 
@@ -24,6 +29,9 @@ pub mod primes;
 pub mod tokens;
 
 pub mod grep;
+pub mod image;
+pub mod mandelbrot;
+
 pub mod dedup;
 pub mod invindex;
 pub mod raytrace;

@@ -1,0 +1,434 @@
+//! Offline stand-in for the real `rayon` crate, providing just the
+//! indexed parallel-iterator subset the bds benchmarks use as their
+//! comparison baseline: `ThreadPoolBuilder` → `ThreadPool::install`,
+//! `into_par_iter()` on ranges, `par_iter()` on slices, and the
+//! `map` / `sum` / `reduce` / `min` / `max` / `for_each` / `collect`
+//! combinators.
+//!
+//! Scheduling model: every consumer splits its index space into one
+//! contiguous stripe per worker and runs the stripes on
+//! `std::thread::scope` threads (the calling thread takes the first
+//! stripe). That is static partitioning, not work stealing — fine for
+//! the regular, balanced kernels benchmarked here, and honest about
+//! what it is. The stand-in exists because this build environment is
+//! offline; it keeps the A/B harness compilable and gives a real
+//! multi-threaded baseline without vendoring rayon wholesale.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Ambient worker count installed by [`ThreadPool::install`]; 0 means
+/// "no pool installed", falling back to available parallelism.
+static CURRENT_WIDTH: AtomicUsize = AtomicUsize::new(0);
+
+fn ambient_width() -> usize {
+    match CURRENT_WIDTH.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        w => w,
+    }
+}
+
+/// Error type mirroring rayon's builder error (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (all available cores).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count; 0 means "all available cores".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in the stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// Mirrors `rayon::ThreadPool`: a worker-count scope for parallel
+/// iterators run under [`ThreadPool::install`].
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's width as the ambient parallelism for
+    /// every parallel iterator it consumes.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = CURRENT_WIDTH.swap(self.width, Ordering::Relaxed);
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_WIDTH.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// The ambient worker count (installed pool, else available cores).
+pub fn current_num_threads() -> usize {
+    ambient_width()
+}
+
+/// Run `body(lo, hi)` over `w` contiguous stripes of `0..n` on scoped
+/// threads; the calling thread takes stripe 0.
+fn run_stripes<B: Fn(usize, usize, usize) + Sync>(n: usize, body: B) {
+    let w = ambient_width().max(1).min(n.max(1));
+    if w <= 1 || n == 0 {
+        body(0, 0, n);
+        return;
+    }
+    let stripe = n.div_ceil(w);
+    std::thread::scope(|s| {
+        for k in 1..w {
+            let lo = k * stripe;
+            let hi = ((k + 1) * stripe).min(n);
+            if lo >= hi {
+                break;
+            }
+            let body = &body;
+            s.spawn(move || body(k, lo, hi));
+        }
+        body(0, 0, stripe.min(n));
+    });
+}
+
+/// Covariant raw-pointer wrapper so disjoint stripe writers can share
+/// one output allocation across scoped threads.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+pub mod iter {
+    //! The parallel-iterator traits, mirroring `rayon::iter`.
+
+    use super::{run_stripes, SendPtr};
+
+    /// A random-access parallel source: the stand-in models rayon's
+    /// *indexed* iterators only, which is all the benchmarks need.
+    pub trait ParallelIterator: Sized + Send + Sync {
+        /// Element type.
+        type Item: Send;
+
+        /// Exact length.
+        fn len(&self) -> usize;
+
+        /// Whether the iterator is empty.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The `i`-th element. Combinator stacks compose through this.
+        fn at(&self, i: usize) -> Self::Item;
+
+        /// Map each element through `f` in parallel.
+        fn map<U: Send, F: Fn(Self::Item) -> U + Send + Sync>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Apply `f` to every element in parallel.
+        fn for_each<F: Fn(Self::Item) + Send + Sync>(self, f: F) {
+            run_stripes(self.len(), |_, lo, hi| {
+                for i in lo..hi {
+                    f(self.at(i));
+                }
+            });
+        }
+
+        /// Reduce with an identity and an associative operation.
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Send + Sync,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+        {
+            let n = self.len();
+            let partials = std::sync::Mutex::new(Vec::new());
+            run_stripes(n, |k, lo, hi| {
+                let mut acc = identity();
+                for i in lo..hi {
+                    acc = op(acc, self.at(i));
+                }
+                partials.lock().unwrap().push((k, acc));
+            });
+            let mut parts = partials.into_inner().unwrap();
+            parts.sort_by_key(|&(k, _)| k);
+            parts.into_iter().map(|(_, v)| v).fold(identity(), &op)
+        }
+
+        /// Sum the elements.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+        {
+            let n = self.len();
+            let partials = std::sync::Mutex::new(Vec::new());
+            run_stripes(n, |k, lo, hi| {
+                let acc: S = (lo..hi).map(|i| self.at(i)).sum();
+                partials.lock().unwrap().push((k, acc));
+            });
+            let mut parts = partials.into_inner().unwrap();
+            parts.sort_by_key(|&(k, _)| k);
+            parts.into_iter().map(|(_, v)| v).sum()
+        }
+
+        /// Minimum element, `None` when empty.
+        fn min(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.extreme(|a, b| b < a)
+        }
+
+        /// Maximum element, `None` when empty.
+        fn max(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.extreme(|a, b| b > a)
+        }
+
+        #[doc(hidden)]
+        fn extreme<C>(self, better: C) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+            C: Fn(&Self::Item, &Self::Item) -> bool + Send + Sync,
+        {
+            let n = self.len();
+            if n == 0 {
+                return None;
+            }
+            let partials = std::sync::Mutex::new(Vec::new());
+            run_stripes(n, |_, lo, hi| {
+                if lo >= hi {
+                    return;
+                }
+                let mut best = self.at(lo);
+                for i in lo + 1..hi {
+                    let x = self.at(i);
+                    if better(&best, &x) {
+                        best = x;
+                    }
+                }
+                partials.lock().unwrap().push(best);
+            });
+            partials
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .reduce(|a, b| if better(&a, &b) { b } else { a })
+        }
+
+        /// Collect into a container (only `Vec<Item>` is supported).
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        /// The resulting iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Element type.
+        type Item: Send;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Borrowing conversion (`rayon::iter::IntoParallelRefIterator`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The resulting iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Element type (a shared reference).
+        type Item: Send + 'a;
+        /// Convert.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Collect counterpart (`rayon::iter::FromParallelIterator`).
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Build the container from a parallel iterator.
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+            let n = iter.len();
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            let ptr = SendPtr(out.as_mut_ptr());
+            run_stripes(n, |_, lo, hi| {
+                let ptr = &ptr;
+                for i in lo..hi {
+                    // SAFETY: stripes are disjoint and cover 0..n, so
+                    // each slot of the reserved buffer is written
+                    // exactly once. On a worker panic the scope
+                    // propagates before `set_len`, so no uninitialized
+                    // element is ever dropped (written elements leak,
+                    // acceptable for a benchmark stand-in).
+                    unsafe { ptr.0.add(i).write(iter.at(i)) };
+                }
+            });
+            // SAFETY: all n slots initialized above.
+            unsafe { out.set_len(n) };
+            out
+        }
+    }
+
+    /// Parallel range over `usize`.
+    pub struct RangePar {
+        start: usize,
+        end: usize,
+    }
+
+    impl ParallelIterator for RangePar {
+        type Item = usize;
+        fn len(&self) -> usize {
+            self.end - self.start
+        }
+        #[inline]
+        fn at(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = RangePar;
+        type Item = usize;
+        fn into_par_iter(self) -> RangePar {
+            RangePar {
+                start: self.start,
+                end: self.end.max(self.start),
+            }
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    pub struct SlicePar<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+        #[inline]
+        fn at(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = SlicePar<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> SlicePar<'a, T> {
+            SlicePar { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = SlicePar<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> SlicePar<'a, T> {
+            SlicePar { slice: self }
+        }
+    }
+
+    /// The `map` combinator.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, U, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        U: Send,
+        F: Fn(B::Item) -> U + Send + Sync,
+    {
+        type Item = U;
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+        #[inline]
+        fn at(&self, i: usize) -> U {
+            (self.f)(self.base.at(i))
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+pub use iter::{IntoParallelIterator, ParallelIterator};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_map_collect_sum() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let squares: Vec<u64> = (0..10_000usize).into_par_iter().map(|i| (i * i) as u64).collect();
+            assert_eq!(squares.len(), 10_000);
+            assert!(squares.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+            let total: u64 = (0..1_000usize).into_par_iter().map(|i| i as u64).sum();
+            assert_eq!(total, 999 * 1000 / 2);
+        });
+    }
+
+    #[test]
+    fn slice_reduce_min_max() {
+        let xs: Vec<i64> = (0..5_000).map(|i| (i * 37) % 1009 - 500).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            let s: i64 = xs.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+            assert_eq!(s, xs.iter().sum::<i64>());
+            assert_eq!(xs.par_iter().map(|&x| x).min(), xs.iter().copied().min());
+            assert_eq!(xs.par_iter().map(|&x| x).max(), xs.iter().copied().max());
+        });
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = (0..0usize).into_par_iter().map(|i| i as u32).collect();
+        assert!(v.is_empty());
+        assert_eq!((0..0usize).into_par_iter().map(|i| i as u64).sum::<u64>(), 0);
+        let xs: Vec<u8> = Vec::new();
+        assert_eq!(xs.par_iter().map(|&x| x).min(), None);
+    }
+}
