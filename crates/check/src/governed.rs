@@ -38,6 +38,7 @@ use crate::runner::{run_catching, Pools};
 /// The governed lowerings: only evaluators that execute on `bds-pool`
 /// observe budgets (the `array`/`rad` baselines have no cancellation
 /// machinery, so governing them would only measure the wrapper).
+#[allow(clippy::type_complexity)]
 const GOVERNED_EVALS: [(&str, fn(&Pipeline) -> Outcome); 2] = [
     ("delay", eval::eval_delay),
     ("dynseq", eval::eval_dynseq),

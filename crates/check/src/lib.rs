@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod coverage;
 pub mod eval;
 pub mod gen;
 pub mod governed;
@@ -136,6 +137,7 @@ const SIMD_CHECK_PERIOD: usize = 64;
 pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
     let _cal = calibration_pin();
     let _quiet = QuietPanics::install();
+    coverage::reset();
     let mut pools = Pools::new(master);
     let mut failures = Vec::new();
     for k in 0..count {
@@ -241,6 +243,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report_failure(
     subseed: u64,
     pipeline: &Pipeline,

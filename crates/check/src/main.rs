@@ -87,6 +87,7 @@ fn main() {
 
     println!("bds-check: fuzzing {pipelines} pipelines, master seed {master}");
     let report = bds_check::run_fuzz(master, pipelines, true);
+    println!("{}", bds_check::coverage::render());
     let configs = bds_check::runner::thread_counts().len() * bds_check::runner::Geom::all().len();
     if report.clean() {
         println!(

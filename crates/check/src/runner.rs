@@ -216,6 +216,7 @@ fn collect_outcomes(
     pools: &mut Pools,
 ) -> (Vec<(String, Outcome)>, Vec<Divergence>) {
     let want = run_catching(|| eval::eval_oracle(p));
+    crate::coverage::record_leg(p, "oracle", None);
     let mut outcomes = vec![("oracle".to_string(), want.clone())];
     let mut divs = Vec::new();
     let plan_case = if crate::plan::plan_legs_enabled() {
@@ -241,6 +242,7 @@ fn collect_outcomes(
             let _g = apply_geom(geom);
             for &(name, f) in evals_for(geom) {
                 let got = run_catching(|| pool.install(|| f(p)));
+                crate::coverage::record_leg(p, name, Some(geom));
                 outcomes.push((format!("{name}/{geom:?}/p{threads}"), got.clone()));
                 if got != want {
                     divs.push(Divergence {
@@ -257,6 +259,7 @@ fn collect_outcomes(
                     [("plan", optimized), ("planraw", raw)];
                 for (name, plan) in legs {
                     let got = run_catching(|| pool.install(|| case.eval(plan)));
+                    crate::coverage::record_leg(p, name, Some(geom));
                     outcomes.push((format!("{name}/{geom:?}/p{threads}"), got.clone()));
                     if got != want {
                         divs.push(Divergence {

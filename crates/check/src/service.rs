@@ -64,7 +64,7 @@ const LEGS: [&str; 3] = ["unlimited", "short-deadline", "tiny-memory"];
 /// every violation found.
 pub fn check_service(p: &Pipeline, subseed: u64) -> Vec<ServiceViolation> {
     let p = p.without_fault();
-    let mut rng = SmallRng::seed_from_u64(subseed ^ 0x7365_7276_6963_65); // "service"
+    let mut rng = SmallRng::seed_from_u64(subseed ^ 0x0073_6572_7669_6365); // "service"
     let short_deadline = Duration::from_micros(rng.gen_range(50..2_000));
     let mem_budget = rng.gen_range(1..=4096usize);
 

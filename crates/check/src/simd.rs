@@ -161,10 +161,20 @@ pub fn check_simd(subseed: u64) -> Vec<String> {
 
 /// Arm the injector at every chunk ordinal of `try_sum` and assert the
 /// outcome — including the faulting chunk's element offset — is
-/// identical at every level.
+/// identical at every level **and** in every unified indexed-stream
+/// instantiation: the chunked drive loop
+/// (`bds_seq::stream::try_sum_chunked`) regroups block streams into
+/// the same `CHUNK` seams regardless of representation, so the
+/// monomorphized, erased, and dynamic legs must land the fault at the
+/// same chunk ordinal with the same reported offset as the slice
+/// kernels.
 #[cfg(feature = "fault-inject")]
 fn fault_legs(ints: &[u64], violations: &mut Vec<String>) {
+    use bds_seq::dynseq::DSeq;
+    use bds_seq::erased::BoxSeq;
     use bds_seq::faults;
+    use bds_seq::sources::{from_slice, Forced};
+    use bds_seq::stream;
     let n = ints.len();
     if n == 0 {
         return;
@@ -186,6 +196,26 @@ fn fault_legs(ints: &[u64], violations: &mut Vec<String>) {
                 violations.push(format!(
                     "n={n} fault@{nth} level={}: fault outcome diverged from scalar",
                     level.name()
+                ));
+            }
+        }
+        type StreamLeg<'a> = (&'a str, Box<dyn Fn() -> Result<u64, simd::Interrupted> + 'a>);
+        let stream_legs: [StreamLeg; 3] = [
+            ("stream-mono", Box::new(|| stream::try_sum_seq(&from_slice(ints)))),
+            (
+                "stream-erased",
+                Box::new(|| stream::try_sum_seq(&BoxSeq::new(Forced::from_vec(ints.to_vec())))),
+            ),
+            (
+                "stream-dynseq",
+                Box::new(|| DSeq::from_vec(ints.to_vec()).try_sum()),
+            ),
+        ];
+        for (leg, run) in stream_legs {
+            let _armed = faults::arm(nth);
+            if run() != oracle {
+                violations.push(format!(
+                    "n={n} fault@{nth} leg={leg}: fault ordinal diverged from the slice kernel"
                 ));
             }
         }

@@ -262,6 +262,27 @@ pub struct PollTicker {
     left: u32,
 }
 
+/// Cancellation polls performed by every [`PollTicker`] in the process
+/// since the last [`reset_ticker_polls`]. One relaxed increment per
+/// [`PollTicker::INTERVAL`] elements — cheap enough to keep on
+/// unconditionally, and deterministic for a fixed block geometry (each
+/// block iterator owns a fresh ticker, so the count is a pure function
+/// of the block lengths, independent of scheduling). The parity tests
+/// use it to assert that different instantiations of the stream core
+/// poll identically.
+static TICKER_POLLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total ambient-token polls by all `PollTicker`s since the last
+/// [`reset_ticker_polls`].
+pub fn ticker_polls() -> u64 {
+    TICKER_POLLS.load(Ordering::Relaxed)
+}
+
+/// Reset the process-wide [`ticker_polls`] counter to zero.
+pub fn reset_ticker_polls() {
+    TICKER_POLLS.store(0, Ordering::Relaxed);
+}
+
 impl PollTicker {
     /// Elements between ambient-token polls.
     pub const INTERVAL: u32 = 1024;
@@ -282,6 +303,7 @@ impl PollTicker {
         self.left -= 1;
         if self.left == 0 {
             self.left = Self::INTERVAL;
+            TICKER_POLLS.fetch_add(1, Ordering::Relaxed);
             if cancellation_requested() {
                 abort_region();
             }
@@ -309,6 +331,7 @@ impl PollTicker {
         }
         let past = (n - left) % u64::from(Self::INTERVAL);
         self.left = Self::INTERVAL - past as u32;
+        TICKER_POLLS.fetch_add(1, Ordering::Relaxed);
         if cancellation_requested() {
             abort_region();
         }

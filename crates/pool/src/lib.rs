@@ -35,7 +35,7 @@ mod scope;
 pub mod stats;
 
 pub use cancel::{apply_cancellable, CancelToken, PollTicker};
-pub use cancel::{shield, with_token};
+pub use cancel::{reset_ticker_polls, shield, ticker_polls, with_token};
 pub use govern::{backoff_delay, retry_with_backoff, run_governed, Budget, Exceeded};
 pub use latch::{AsyncLatch, Latch};
 pub use registry::AdmitToken;

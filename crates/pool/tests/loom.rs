@@ -18,11 +18,15 @@
 //!   contained.
 //! - The skipped-chunk counter never loses increments under contention
 //!   and aggregates child counts into ancestors.
+//! - The stream core's drive-loop poll ordering: a `PollTicker` inside
+//!   a cancelled region aborts at the first poll boundary after the
+//!   cancel is published, and the process-wide poll counter stays a
+//!   pure function of the element stream under any interleaving.
 
 #![cfg(feature = "loom")]
 
 use bds_pool::model_check::{note_skipped, Latch, LockLatch, SpinLatch};
-use bds_pool::CancelToken;
+use bds_pool::{reset_ticker_polls, ticker_polls, with_token, CancelToken, PollTicker};
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
 use loom::thread;
@@ -106,6 +110,73 @@ fn child_cancel_stays_contained_under_concurrency() {
         t.join().unwrap();
         assert!(!parent.is_cancelled());
         assert!(!sibling.is_cancelled());
+    });
+}
+
+/// The stream core's drive-loop cancellation contract: a leaf
+/// `PollTicker` streaming INTERVAL-element chunks inside a cancelled
+/// region must abandon it via the sentinel panic at the first poll
+/// boundary that observes the cancel — never keep streaming past it,
+/// and never "observe" a cancel that the canceller has not yet
+/// published (the poll's Acquire read pairs with the Release store in
+/// `cancel()`). This is the ordering every drive loop in
+/// `bds_seq::stream` relies on for its bounded cancellation latency.
+/// Serializes the tests that touch the process-global poll counter
+/// (ticking at all bumps it, and one test asserts its exact value).
+static TICKS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn drive_loop_ticker_aborts_at_first_poll_after_cancel() {
+    let _l = TICKS.lock().unwrap_or_else(|e| e.into_inner());
+    // The abort is a sentinel panic; keep the default hook from
+    // printing a backtrace per model iteration.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    loom::model(|| {
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let canceller = thread::spawn(move || t2.cancel());
+        let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_token(&token, || {
+                let mut ticker = PollTicker::new();
+                // One INTERVAL-element chunk per iteration: the tick at
+                // the chunk boundary is the drive loop's only poll site.
+                loop {
+                    ticker.tick_n(PollTicker::INTERVAL as usize);
+                    thread::yield_now();
+                }
+            })
+        }))
+        .is_err();
+        canceller.join().unwrap();
+        assert!(aborted, "a poll after the cancel must abandon the region");
+        assert!(token.is_cancelled());
+    });
+    std::panic::set_hook(prev);
+}
+
+/// Poll counts are a pure function of the element stream, independent
+/// of scheduling: two workers each ticking one full INTERVAL on their
+/// own fresh tickers bump the process-wide poll counter by exactly two,
+/// under every interleaving. The `stream_parity` integration test
+/// depends on this determinism to compare instantiations.
+#[test]
+fn ticker_poll_counter_deterministic_under_concurrency() {
+    let _l = TICKS.lock().unwrap_or_else(|e| e.into_inner());
+    loom::model(|| {
+        reset_ticker_polls();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                thread::spawn(|| {
+                    let mut ticker = PollTicker::new();
+                    ticker.tick_n(PollTicker::INTERVAL as usize);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(ticker_polls(), 2, "polls lost or duplicated");
     });
 }
 

@@ -19,8 +19,9 @@
 
 use std::sync::Arc;
 
-use crate::policy::{block_size, ceil_div};
-use crate::util::{build_vec, scan_sequential};
+use crate::policy::block_size;
+use crate::stream::{self, IndexedStream};
+use crate::util::scan_sequential;
 
 /// A boxed block stream.
 pub type DynStream<T> = Box<dyn Iterator<Item = T> + Send>;
@@ -62,6 +63,42 @@ impl<I: Iterator> Iterator for Ticked<I> {
 
 type IndexFn<T> = Arc<dyn Fn(usize) -> T + Send + Sync>;
 type BlockFn<T> = Arc<dyn Fn(usize) -> DynStream<T> + Send + Sync>;
+
+/// The dynamic instantiation of the indexed-stream core: a borrowed
+/// view of a [`DSeq::Bid`]'s pinned geometry and boxed block streams.
+///
+/// `DSeq` is deliberately *cost-blind*: its geometry is pinned when
+/// [`DSeq::to_bid`] runs (via [`crate::policy::block_size`], with no
+/// per-element cost input — the ML transcription has no cost model), so
+/// [`IndexedStream::resolve_block_size`] returns that pinned size and
+/// ignores the downstream cost. This keeps the dynamic lowering's
+/// observable geometry identical to what it was before the drive loops
+/// were unified.
+struct BidStream<'a, T> {
+    len: usize,
+    bs: usize,
+    b: &'a BlockFn<T>,
+}
+
+impl<T: Send + Sync + Clone + 'static> IndexedStream for BidStream<'_, T> {
+    type Item = T;
+    type Block<'s>
+        = DynStream<T>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn resolve_block_size(&self, _downstream: bds_cost::ElemCost) -> usize {
+        self.bs
+    }
+
+    fn stream_block(&self, j: usize) -> DynStream<T> {
+        (self.b)(j)
+    }
+}
 
 /// The paper's tagged union of the two delayed representations.
 ///
@@ -144,8 +181,14 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         self.len() == 0
     }
 
-    fn num_blocks(&self, bs: usize) -> usize {
-        ceil_div(self.len(), bs)
+    /// The canonical empty BID, returned by consumers whose result has
+    /// no elements.
+    fn empty_bid() -> Self {
+        DSeq::Bid {
+            len: 0,
+            bs: 1,
+            b: Arc::new(|_| Box::new(std::iter::empty())),
+        }
     }
 
     /// `BIDfromSeq` (Figure 9 lines 1-4): reindex a RAD into blocks; a
@@ -264,25 +307,22 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         }
     }
 
-    /// Two-phase `reduce` (Figure 10 lines 28-32).
+    /// Two-phase `reduce` (Figure 10 lines 28-32): one instantiation of
+    /// the indexed-stream core's [`stream::reduce`] drive loop.
     pub fn reduce(self, zero: T, f: impl Fn(T, T) -> T + Send + Sync) -> T {
         let bid = self.to_bid();
         let DSeq::Bid { len, bs, b } = &bid else {
             unreachable!()
         };
-        if *len == 0 {
-            return zero;
-        }
-        let nb = bid.num_blocks(*bs);
-        let sums = build_vec(nb, |pv| {
-            bds_pool::apply(nb, |j| {
-                let mut stream = b(j);
-                let first = stream.next().expect("empty block");
-                let acc = stream.fold(first, &f);
-                pv.writer(j).push(acc);
-            });
-        });
-        sums.into_iter().fold(zero, f)
+        stream::reduce(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            zero,
+            &f,
+        )
     }
 
     /// Three-phase `scan` with delayed phase 3 (Figure 10 lines 33-40).
@@ -296,37 +336,13 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         let DSeq::Bid { len, bs, b } = bid else {
             unreachable!()
         };
-        let nb = ceil_div(len, bs);
-        if nb == 0 {
-            let total = zero.clone();
-            return (
-                DSeq::Bid {
-                    len: 0,
-                    bs: 1,
-                    b: Arc::new(|_| Box::new(std::iter::empty())),
-                },
-                total,
-            );
+        // Phases 1-2: the core's shared seeds loop (block sums fused
+        // with the input's streams, then a sequential scan of the sums).
+        let (seeds, total) = stream::scan_seeds(&BidStream { len, bs, b: &b }, zero, &f);
+        if seeds.is_empty() {
+            return (DSeq::empty_bid(), total);
         }
         let f = Arc::new(f);
-        // Phase 1: block sums, fused with the input's streams.
-        let sums = {
-            let f = Arc::clone(&f);
-            let b = Arc::clone(&b);
-            build_vec(nb, |pv| {
-                bds_pool::apply(nb, |j| {
-                    let mut stream = b(j);
-                    let first = stream.next().expect("empty block");
-                    let acc = stream.fold(first, |x, y| f(x, y));
-                    pv.writer(j).push(acc);
-                });
-            })
-        };
-        // Phase 2: sequential scan of block sums.
-        let (seeds, total) = {
-            let f = Arc::clone(&f);
-            scan_sequential(&sums, zero, &move |a: &T, c: &T| f(a.clone(), c.clone()))
-        };
         let seeds = Arc::new(seeds);
         // Phase 3: delayed per-block rescan.
         let out = DSeq::Bid {
@@ -344,29 +360,31 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         (out, total)
     }
 
-    /// Blockwise-packing `filter` (Figure 10 lines 48-53): packs
-    /// survivors per block, then exposes the packed regions as a BID via
-    /// `getRegion` — survivors are never copied to a contiguous array.
+    /// Blockwise-packing `filter` (Figure 10 lines 48-53): one
+    /// instantiation of the core's [`stream::filter_parts`] drive loop
+    /// (which owns the survivor packing and per-block memory charging),
+    /// then exposes the packed regions as a BID via `getRegion` —
+    /// survivors are never copied to a contiguous array.
     pub fn filter(self, pred: impl Fn(&T) -> bool + Send + Sync) -> DSeq<T> {
         let bid = self.to_bid();
         let DSeq::Bid { len, bs, b } = &bid else {
             unreachable!()
         };
         if *len == 0 {
-            return DSeq::Bid {
-                len: 0,
-                bs: 1,
-                b: Arc::new(|_| Box::new(std::iter::empty())),
-            };
+            return DSeq::empty_bid();
         }
-        let nb = bid.num_blocks(*bs);
-        let parts: Vec<Vec<T>> = build_vec(nb, |pv| {
-            bds_pool::apply(nb, |j| {
-                let kept: Vec<T> = b(j).filter(|x| pred(x)).collect();
-                crate::util::charge_elems::<T>(kept.len());
-                pv.writer(j).push(kept);
-            });
-        });
+        let parts = stream::filter_parts(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            &|x, out: &mut Vec<T>| {
+                if pred(&x) {
+                    out.push(x);
+                }
+            },
+        );
         DSeq::flatten_parts(parts)
     }
 
@@ -416,61 +434,52 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
             unreachable!()
         };
         if *len == 0 {
-            return DSeq::Bid {
-                len: 0,
-                bs: 1,
-                b: Arc::new(|_| Box::new(std::iter::empty())),
-            };
+            return DSeq::empty_bid();
         }
-        let nb = bid.num_blocks(*bs);
-        let parts: Vec<Vec<U>> = build_vec(nb, |pv| {
-            bds_pool::apply(nb, |j| {
-                let kept: Vec<U> = b(j).filter_map(&g).collect();
-                crate::util::charge_elems::<U>(kept.len());
-                pv.writer(j).push(kept);
-            });
-        });
+        let parts = stream::filter_parts(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            &|x, out: &mut Vec<U>| {
+                if let Some(y) = g(x) {
+                    out.push(y);
+                }
+            },
+        );
         DSeq::flatten_parts(parts)
     }
 
-    /// The paper's `applySeq` (Figure 9 lines 5-8): apply `f` to every
-    /// element, parallel across blocks.
+    /// The paper's `applySeq` (Figure 9 lines 5-8): one instantiation
+    /// of the core's [`stream::for_each`] drive loop.
     pub fn for_each(self, f: impl Fn(T) + Send + Sync) {
         let bid = self.to_bid();
         let DSeq::Bid { len, bs, b } = &bid else {
             unreachable!()
         };
-        if *len == 0 {
-            return;
-        }
-        let nb = bid.num_blocks(*bs);
-        bds_pool::apply(nb, |j| {
-            for x in b(j) {
-                f(x);
-            }
-        });
+        stream::for_each(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            &f,
+        );
     }
 
-    /// `toArray` (Figure 9 lines 9-14).
+    /// `toArray` (Figure 9 lines 9-14): one instantiation of the core's
+    /// [`stream::to_vec`] drive loop (which owns the budget-charged
+    /// allocation and the block overflow/underflow asserts).
     pub fn to_vec(self) -> Vec<T> {
         let bid = self.to_bid();
         let DSeq::Bid { len, bs, b } = &bid else {
             unreachable!()
         };
-        let (len, bs) = (*len, *bs);
-        let nb = bid.num_blocks(bs);
-        build_vec(len, |pv| {
-            bds_pool::apply(nb, |j| {
-                let lo = j * bs;
-                let hi = (lo + bs).min(len);
-                // Blocks partition 0..len.
-                let mut w = pv.writer(lo);
-                for x in b(j) {
-                    assert!(lo + w.count() < hi, "block overflow");
-                    w.push(x);
-                }
-                assert_eq!(lo + w.count(), hi, "block underflow");
-            });
+        stream::to_vec(&BidStream {
+            len: *len,
+            bs: *bs,
+            b,
         })
     }
 
@@ -555,34 +564,13 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         let DSeq::Bid { len, bs, b } = bid else {
             unreachable!()
         };
-        let nb = ceil_div(len, bs);
-        if nb == 0 {
-            return DSeq::Bid {
-                len: 0,
-                bs: 1,
-                b: Arc::new(|_| Box::new(std::iter::empty())),
-            };
+        // Phases 1-2: the core's shared seeds loop; the exclusive
+        // prefix of block sums is each block's incoming prefix.
+        let (seeds, _total) = stream::scan_seeds(&BidStream { len, bs, b: &b }, zero, &f);
+        if seeds.is_empty() {
+            return DSeq::empty_bid();
         }
         let f = Arc::new(f);
-        // Phase 1: block sums, fused with the input's streams.
-        let sums = {
-            let f = Arc::clone(&f);
-            let b = Arc::clone(&b);
-            build_vec(nb, |pv| {
-                bds_pool::apply(nb, |j| {
-                    let mut stream = b(j);
-                    let first = stream.next().expect("empty block");
-                    let acc = stream.fold(first, |x, y| f(x, y));
-                    pv.writer(j).push(acc);
-                });
-            })
-        };
-        // Phase 2: sequential exclusive scan of block sums gives each
-        // block its incoming prefix.
-        let (seeds, _total) = {
-            let f = Arc::clone(&f);
-            scan_sequential(&sums, zero, &move |a: &T, c: &T| f(a.clone(), c.clone()))
-        };
         let seeds = Arc::new(seeds);
         // Phase 3: delayed per-block rescan, emitting the accumulator
         // *after* folding in each element.
@@ -600,29 +588,29 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         }
     }
 
-    /// Number of elements satisfying `pred` (blockwise partial counts,
-    /// summed).
+    /// Number of elements satisfying `pred`: one instantiation of the
+    /// core's two-phase [`stream::count`] drive loop.
     pub fn count(self, pred: impl Fn(&T) -> bool + Send + Sync) -> usize {
         let bid = self.to_bid();
         let DSeq::Bid { len, bs, b } = &bid else {
             unreachable!()
         };
-        if *len == 0 {
-            return 0;
-        }
-        let nb = bid.num_blocks(*bs);
-        let counts: Vec<usize> = build_vec(nb, |pv| {
-            bds_pool::apply(nb, |j| {
-                pv.writer(j).push(b(j).filter(|x| pred(x)).count());
-            });
-        });
-        counts.into_iter().sum()
+        stream::count(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            &pred,
+        )
     }
 
     /// Fallible [`DSeq::filter`]: the predicate may reject the whole
-    /// pipeline with `Err`. Every element is visited; if several blocks
-    /// error, the error from the lowest block index wins, matching the
-    /// static library's deterministic-error rule.
+    /// pipeline with `Err`. One instantiation of the core's
+    /// [`stream::try_filter_parts`] drive loop: the first failing block
+    /// cancels the region (sibling blocks stop at their next poll
+    /// boundary) and the error from the lowest failing block index
+    /// wins, matching the static library's deterministic-error rule.
     pub fn try_filter_collect<E: Send>(
         self,
         pred: impl Fn(&T) -> Result<bool, E> + Send + Sync,
@@ -634,28 +622,42 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         if *len == 0 {
             return Ok(Vec::new());
         }
-        let nb = bid.num_blocks(*bs);
-        let parts: Vec<Result<Vec<T>, E>> = build_vec(nb, |pv| {
-            bds_pool::apply(nb, |j| {
-                let kept: Result<Vec<T>, E> = b(j)
-                    .filter_map(|x| match pred(&x) {
-                        Ok(true) => Some(Ok(x)),
-                        Ok(false) => None,
-                        Err(e) => Some(Err(e)),
-                    })
-                    .collect();
-                pv.writer(j).push(kept);
-            });
-        });
-        let mut out = Vec::new();
-        for part in parts {
-            out.extend(part?);
-        }
-        Ok(out)
+        let parts = stream::try_filter_parts(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            &pred,
+        )?;
+        Ok(parts.concat())
     }
 
-    /// Fallible two-phase [`DSeq::reduce`]. If several blocks error,
-    /// the error from the lowest block index wins.
+    /// Chunked fallible sum through the SIMD dispatch ladder: one
+    /// instantiation of the core's [`stream::try_sum_chunked`] drive
+    /// loop. The chunk structure — and therefore the ordinal at which
+    /// an armed [`crate::faults`] countdown fires, and the offset it
+    /// reports — is a pure function of the element stream, identical
+    /// to the monomorphized and erased instantiations and to
+    /// [`crate::simd::try_sum`] on the materialized elements.
+    pub fn try_sum(self) -> Result<T, crate::simd::Interrupted>
+    where
+        T: crate::simd::SimdElem,
+    {
+        let bid = self.to_bid();
+        let DSeq::Bid { len, bs, b } = &bid else {
+            unreachable!()
+        };
+        stream::try_sum_chunked(&BidStream {
+            len: *len,
+            bs: *bs,
+            b,
+        })
+    }
+
+    /// Fallible two-phase [`DSeq::reduce`]: one instantiation of the
+    /// core's [`stream::try_reduce`] drive loop (lowest failing block
+    /// index's error wins).
     pub fn try_reduce<E: Send>(
         self,
         zero: T,
@@ -665,23 +667,15 @@ impl<T: Send + Sync + Clone + 'static> DSeq<T> {
         let DSeq::Bid { len, bs, b } = &bid else {
             unreachable!()
         };
-        if *len == 0 {
-            return Ok(zero);
-        }
-        let nb = bid.num_blocks(*bs);
-        let sums: Vec<Result<T, E>> = build_vec(nb, |pv| {
-            bds_pool::apply(nb, |j| {
-                let mut stream = b(j);
-                let first = stream.next().expect("empty block");
-                let acc = stream.try_fold(first, &f);
-                pv.writer(j).push(acc);
-            });
-        });
-        let mut acc = zero;
-        for s in sums {
-            acc = f(acc, s?)?;
-        }
-        Ok(acc)
+        stream::try_reduce(
+            &BidStream {
+                len: *len,
+                bs: *bs,
+                b,
+            },
+            zero,
+            &f,
+        )
     }
 }
 

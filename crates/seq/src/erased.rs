@@ -23,6 +23,13 @@
 //!   each static adaptor is instantiated once at `BoxSeq<T>` /
 //!   `BoxRad<T>` instead of once per pipeline shape.
 //!
+//! Because [`BoxSeq`] and [`BoxRad`] implement [`Seq`], they get the
+//! erased lowering's consumer loops for free: every consumer default
+//! routes through the indexed-stream core ([`crate::stream`]) via the
+//! same [`crate::stream::of_seq`] instantiation as the monomorphized
+//! pipelines — the erased leg runs the *identical* drive loop, only
+//! the block streams are boxed.
+//!
 //! The price is one boxed-iterator virtual call per block (not per
 //! element for the block body: the inner iterator still runs fused
 //! inside the box) plus an allocation per block stream. For

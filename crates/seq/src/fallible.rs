@@ -22,49 +22,23 @@
 //! associative where they succeed, and fail consistently.
 
 use crate::sources::Forced;
+use crate::stream;
 use crate::traits::Seq;
-use crate::util::PartialVec;
-use crate::{counters, flatten::Flattened};
+use crate::flatten::Flattened;
 
-/// Fallible two-phase block reduce; see [`Seq::try_reduce`].
+/// Fallible two-phase block reduce; see [`Seq::try_reduce`]. One
+/// instantiation of the indexed-stream core's [`stream::try_reduce`].
 pub(crate) fn try_reduce<S, E, F>(seq: &S, zero: S::Item, f: &F) -> Result<S::Item, E>
 where
     S: Seq + ?Sized,
     F: Fn(S::Item, S::Item) -> Result<S::Item, E> + Send + Sync,
     E: Send,
 {
-    if seq.is_empty() {
-        return Ok(zero);
-    }
-    // Pin geometry cost-aware before num_blocks (one combine/element).
-    seq.block_size_costed(bds_cost::SIMPLE);
-    let nb = seq.num_blocks();
-    let pv = PartialVec::new(nb);
-    // Phase 1: per-block partial sums, short-circuiting on failure. On
-    // `Err`, `pv` holds only the completed blocks' sums; dropping it
-    // below releases them.
-    bds_pool::apply_cancellable(nb, |j| {
-        let mut stream = seq.block(j);
-        let mut acc = stream
-            .next()
-            .expect("Seq invariant violated: empty block");
-        for x in stream {
-            acc = f(acc, x)?;
-        }
-        pv.writer(j).push(acc);
-        Ok(())
-    })?;
-    let sums = pv.finish();
-    // Phase 2: sequential fallible fold of the block sums.
-    counters::count_reads(sums.len());
-    let mut acc = zero;
-    for s in sums {
-        acc = f(acc, s)?;
-    }
-    Ok(acc)
+    stream::try_reduce(&stream::of_seq(seq), zero, f)
 }
 
-/// Fallible eager exclusive scan; see [`Seq::try_scan`].
+/// Fallible eager exclusive scan; see [`Seq::try_scan`]. One
+/// instantiation of the indexed-stream core's [`stream::try_scan`].
 pub(crate) fn try_scan<S, E, F>(
     seq: &S,
     zero: S::Item,
@@ -76,60 +50,13 @@ where
     F: Fn(S::Item, S::Item) -> Result<S::Item, E> + Send + Sync,
     E: Send,
 {
-    let n = seq.len();
-    if n == 0 {
-        return Ok((Forced::from_vec(Vec::new()), zero));
-    }
-    // Combine in phase 1 plus a clone + write in phase 3, per element.
-    seq.block_size_costed(bds_cost::ElemCost { w: 2, s: 2, a: 1 });
-    let nb = seq.num_blocks();
-    // Phase 1: per-block sums (fused with the input's delayed work).
-    let sums_pv = PartialVec::new(nb);
-    bds_pool::apply_cancellable(nb, |j| {
-        let mut stream = seq.block(j);
-        let mut acc = stream
-            .next()
-            .expect("Seq invariant violated: empty block");
-        for x in stream {
-            acc = f(acc, x)?;
-        }
-        sums_pv.writer(j).push(acc);
-        Ok(())
-    })?;
-    let sums = sums_pv.finish();
-    // Phase 2: sequential fallible scan of the block sums.
-    counters::count_reads(nb);
-    let mut seeds = Vec::with_capacity(nb);
-    let mut acc = zero;
-    for s in sums {
-        seeds.push(acc.clone());
-        acc = f(acc, s)?;
-    }
-    let total = acc;
-    // Phase 3: per-block exclusive rescans seeded by the offsets. Eager
-    // here (unlike the infallible [`Seq::scan`], which delays phase 3):
-    // a delayed fallible phase 3 would surface errors at an arbitrary
-    // later consumer, which defeats the point of `try_`.
-    let out_pv = PartialVec::new(n);
-    bds_pool::apply_cancellable(nb, |j| {
-        let (lo, hi) = seq.block_bounds(j);
-        let mut acc = seeds[j].clone();
-        let mut w = out_pv.writer(lo);
-        for x in seq.block(j) {
-            w.push(acc.clone());
-            acc = f(acc, x)?;
-        }
-        assert_eq!(
-            lo + w.count(),
-            hi,
-            "Seq invariant violated: block underflow"
-        );
-        Ok(())
-    })?;
-    Ok((Forced::from_vec(out_pv.finish()), total))
+    stream::try_scan(&stream::of_seq(seq), zero, f)
 }
 
 /// Fallible filter, materialized; see [`Seq::try_filter_collect`].
+/// Phase 1 is the core's [`stream::try_filter_parts`] packing loop;
+/// phase 2 concatenates in parallel by reusing the flatten machinery
+/// (its `to_vec` streams each output block out of the packed parts).
 pub(crate) fn try_filter_collect<S, E, P>(seq: &S, pred: &P) -> Result<Vec<S::Item>, E>
 where
     S: Seq + ?Sized,
@@ -137,61 +64,21 @@ where
     P: Fn(&S::Item) -> Result<bool, E> + Send + Sync,
     E: Send,
 {
-    // One predicate call and a possible survivor copy per element.
-    seq.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
-    let nb = seq.num_blocks();
-    // Phase 1: pack each block's survivors, short-circuiting on the
-    // first predicate failure.
-    let pv: PartialVec<Vec<S::Item>> = PartialVec::new(nb);
-    bds_pool::apply_cancellable(nb, |j| {
-        let mut kept: Vec<S::Item> = Vec::new();
-        for x in seq.block(j) {
-            if pred(&x)? {
-                kept.push(x);
-            }
-        }
-        counters::count_writes(kept.len());
-        counters::count_allocs(kept.len());
-        pv.writer(j).push(kept);
-        Ok(())
-    })?;
-    let parts = pv.finish();
-    // Phase 2: concatenate in parallel by reusing the flatten machinery
-    // (its `to_vec` streams each output block out of the packed parts).
+    let parts = stream::try_filter_parts(&stream::of_seq(seq), pred)?;
     let flat = Flattened::from_inners(parts.into_iter().map(Forced::from_vec).collect());
     Ok(flat.to_vec())
 }
 
 /// Fallible materialization for sequences of `Result`s; see
-/// [`TrySeqExt::try_to_vec`].
+/// [`TrySeqExt::try_to_vec`]. One instantiation of the core's
+/// [`stream::try_to_vec`].
 pub(crate) fn try_to_vec<S, T, E>(seq: &S) -> Result<Vec<T>, E>
 where
     S: Seq<Item = Result<T, E>> + ?Sized,
     T: Send,
     E: Send,
 {
-    let n = seq.len();
-    // One unwrap + write into the fresh buffer per element.
-    seq.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
-    let pv = PartialVec::new(n);
-    bds_pool::apply_cancellable(seq.num_blocks(), |j| {
-        let (lo, hi) = seq.block_bounds(j);
-        let mut w = pv.writer(lo);
-        for x in seq.block(j) {
-            assert!(
-                lo + w.count() < hi,
-                "Seq invariant violated: block overflow"
-            );
-            w.push(x?);
-        }
-        assert_eq!(
-            lo + w.count(),
-            hi,
-            "Seq invariant violated: block underflow"
-        );
-        Ok(())
-    })?;
-    Ok(pv.finish())
+    stream::try_to_vec(&stream::of_seq(seq))
 }
 
 /// Extra consumers for sequences whose *elements* are `Result`s —

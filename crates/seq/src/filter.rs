@@ -10,10 +10,9 @@
 //!
 //! [`flatten`]: crate::flatten::flatten
 
-use crate::counters;
 use crate::flatten::Flattened;
-use crate::profile;
 use crate::sources::Forced;
+use crate::stream;
 use crate::traits::Seq;
 
 /// The delayed result of [`Seq::filter`] / [`Seq::filter_op`]: a flatten
@@ -48,42 +47,21 @@ where
     })
 }
 
-/// Shared packing machinery: stream every input block through `keep`
-/// (which appends 0 or 1 elements per input element), then flatten the
-/// packed blocks.
+/// Shared packing machinery: one instantiation of the indexed-stream
+/// core's [`stream::filter_parts`] drive loop (which owns the geometry
+/// pinning, profiling, and per-block survivor charging), flattened.
+///
+/// `packToArray` in the paper uses a dynamically resized array so that
+/// only as much memory as needed is allocated; the core's per-block
+/// `Vec` is exactly that.
 fn pack_blocks<S, U, K>(input: &S, keep: &K) -> Filtered<U>
 where
     S: Seq + ?Sized,
     U: Clone + Send + Sync,
     K: Fn(S::Item, &mut Vec<U>) + Sync,
 {
-    // Pin geometry cost-aware before num_blocks: packing streams every
-    // element once through the predicate and may allocate a survivor.
-    input.block_size_costed(bds_cost::ElemCost { w: 1, s: 1, a: 1 });
-    let nb = input.num_blocks();
-    let _span = profile::span(profile::Stage::FilterEager);
-    if nb > 0 {
-        profile::record_geometry(profile::Stage::FilterEager, input.len(), input.block_size(), nb);
-    }
-    // One packed survivor array per input block. `packToArray` in the
-    // paper uses a dynamically resized array so that only as much memory
-    // as needed is allocated; `Vec` is exactly that.
-    let parts: Vec<Forced<U>> = crate::util::build_vec(nb, |pv| {
-        bds_pool::apply(nb, |j| {
-            let mut kept: Vec<U> = Vec::new();
-            for x in input.block(j) {
-                keep(x, &mut kept);
-            }
-            // Survivors are the filter's real allocation; charge them
-            // against the ambient memory budget (abandons the region on
-            // exhaustion — the survivor vec is dropped normally).
-            crate::util::charge_elems::<U>(kept.len());
-            counters::count_writes(kept.len());
-            counters::count_allocs(kept.len());
-            pv.writer(j).push(Forced::from_vec(kept));
-        });
-    });
-    Flattened::from_inners(parts)
+    let parts = stream::filter_parts(&stream::of_seq(input), keep);
+    Flattened::from_inners(parts.into_iter().map(Forced::from_vec).collect())
 }
 
 #[cfg(test)]

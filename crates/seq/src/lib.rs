@@ -96,7 +96,6 @@
 #![warn(missing_docs)]
 
 pub mod adaptors;
-mod consume;
 pub mod counters;
 pub mod dynseq;
 pub mod erased;
@@ -112,6 +111,7 @@ pub mod scan;
 pub mod service;
 pub mod simd;
 pub mod sources;
+pub mod stream;
 pub mod traits;
 mod util;
 
@@ -131,6 +131,7 @@ pub use scan::{Scanned, ScannedIncl};
 pub use service::ServiceExt;
 pub use simd::{force_level, SimdLevel, SimdLevelGuard};
 pub use sources::{empty, from_slice, range, repeat, tabulate, Forced, FromSlice, Tabulate};
+pub use stream::IndexedStream;
 pub use traits::{RadBlock, RadSeq, Seq};
 
 /// Everything needed to write pipelines: the traits plus constructors.

@@ -7,10 +7,7 @@
 //! block streams perform the phase-3 work lazily, fusing with whatever
 //! consumes the scan. Only phases 1-2 run eagerly, allocating O(b).
 
-use crate::counters;
-use crate::profile;
 use crate::traits::Seq;
-use crate::util::{build_vec, scan_sequential};
 
 /// The delayed result of an exclusive [`Seq::scan`]: element `i` is the
 /// fold of elements `0..i` (so element 0 is `zero`).
@@ -38,37 +35,17 @@ where
     f: F,
 }
 
-/// Run phases 1-2, shared by both scan flavors: per-block sums (fused
-/// with the input's delayed work), then a sequential scan of the sums.
+/// Run phases 1-2, shared by both scan flavors: one instantiation of
+/// the indexed-stream core's [`crate::stream::scan_seeds`] drive loop
+/// (per-block sums fused with the input's delayed work, then a
+/// sequential scan of the sums).
 fn block_seeds<S, F>(input: &S, zero: S::Item, f: &F) -> (Vec<S::Item>, S::Item)
 where
     S: Seq,
     S::Item: Clone + Sync,
     F: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
 {
-    // Pin geometry cost-aware before num_blocks touches it: phase 1
-    // streams the input once and pays one combine per element.
-    input.block_size_costed(bds_cost::SIMPLE);
-    let nb = input.num_blocks();
-    if nb == 0 {
-        return (Vec::new(), zero);
-    }
-    let _span = profile::span(profile::Stage::ScanEager);
-    profile::record_geometry(profile::Stage::ScanEager, input.len(), input.block_size(), nb);
-    // Phase 1: stream-reduce each block (the fusion point with upstream).
-    let sums = build_vec(nb, |pv| {
-        bds_pool::apply(nb, |j| {
-            let mut stream = input.block(j);
-            let first = stream
-                .next()
-                .expect("Seq invariant violated: empty block");
-            let acc = stream.fold(first, f);
-            pv.writer(j).push(acc);
-        });
-    });
-    // Phase 2: sequential scan over b block sums (b is small).
-    counters::count_reads(nb);
-    scan_sequential(&sums, zero, &|a, b| f(a.clone(), b.clone()))
+    crate::stream::scan_seeds(&crate::stream::of_seq(input), zero, f)
 }
 
 /// Exclusive scan; see [`Seq::scan`].

@@ -1,0 +1,713 @@
+//! The indexed-stream core: one block-granular drive loop for every
+//! lowering.
+//!
+//! Historically each representation in this crate — the static generic
+//! adaptors, [`DSeq`](crate::dynseq::DSeq), and the erased
+//! [`BoxSeq`](crate::erased::BoxSeq)/[`BoxRad`](crate::erased::BoxRad)
+//! — re-implemented its own consumer loops, so every cross-cutting
+//! concern (cancellation poll ticks, cost-model geometry pinning,
+//! memory charging, profiling spans, SIMD chunk dispatch) had to be
+//! threaded through each copy by hand. This module replaces those
+//! copies with *one* engine, in the spirit of indexed stream fusion:
+//!
+//! - [`IndexedStream`] is the minimal contract a representation must
+//!   offer: a length, a cost-aware geometry resolution, and per-block
+//!   element streams.
+//! - The drive loops ([`reduce`], [`to_vec`], [`count`], [`for_each`],
+//!   [`filter_parts`], [`scan_seeds`], the `try_*` variants, …) own the
+//!   canonical consumption protocol. Every lowering — monomorphized,
+//!   erased, or dynamic — is a thin instantiation.
+//!
+//! # The canonical per-block protocol
+//!
+//! Each drive loop performs, in order:
+//!
+//! 1. **Profile span** — opens the stage's [`mod@crate::profile`] span.
+//! 2. **Cost-pinned geometry** — calls
+//!    [`IndexedStream::resolve_block_size`] with the consumer's
+//!    [`ElemCost`] *before* deriving the block count. Resolving and
+//!    pinning in one step is load-bearing: under `Policy::Adaptive` two
+//!    separate resolutions of the same `(n, cost)` may disagree (live
+//!    worker count and overhead estimates move), so the block count
+//!    must be derived from the pinned answer.
+//! 3. **Geometry record** — reports `(stage, len, bs, nb)` to the
+//!    profiler.
+//! 4. **Memory charging** — output buffers go through
+//!    `PartialVec::new`/`build_vec` (`crate::util`), the single choke
+//!    point that charges any ambient memory budget before allocating;
+//!    survivor packing additionally charges per block via
+//!    `crate::util::charge_elems`.
+//! 5. **The block loop** — [`bds_pool::apply`] (or
+//!    [`bds_pool::apply_cancellable`] for the fallible drivers) streams
+//!    each block exactly once into its output slot, with the overflow/
+//!    underflow asserts that make the disjoint parallel writes safe.
+//!
+//! Cancellation polling is *not* repeated here: the leaf element
+//! iterators of every instantiation embed a
+//! [`bds_pool::PollTicker`] and tick once per element. The drive loop's
+//! contract is that exactly one ticker ticks per element — never zero,
+//! never two — which `tests/stream_parity.rs` pins down by comparing
+//! [`bds_pool::ticker_polls`] counts across instantiations.
+//!
+//! SIMD chunk dispatch lives in the chunked drivers ([`try_sum_chunked`]):
+//! they regroup block streams into [`crate::simd::CHUNK`]-element
+//! chunks, poll the fault injector once per chunk, and hand each chunk
+//! to the active [`crate::simd`] kernel — so the fault ordinal and the
+//! chunk seams are a pure function of the element stream, identical in
+//! every instantiation and identical to the slice kernels in
+//! [`crate::simd`].
+
+use bds_cost::{ElemCost, SIMPLE};
+
+use crate::counters;
+use crate::policy;
+use crate::profile::{self, Stage};
+use crate::simd::{self, Interrupted, SimdElem};
+use crate::sources::Forced;
+use crate::traits::Seq;
+use crate::util::{build_vec, charge_elems, scan_sequential, PartialVec};
+
+// ---------------------------------------------------------------------
+// The indexed-stream contract
+// ---------------------------------------------------------------------
+
+/// A block-granular indexed stream: the one interface every lowering
+/// exposes to the shared drive loops.
+///
+/// The contract mirrors the [`Seq`] block invariant: after geometry is
+/// resolved to a block size `bs`, block `j` yields exactly
+/// `min(bs, len - j*bs)` elements, in order, and the concatenation of
+/// all `ceil(len/bs)` blocks is the sequence. Leaf iterators are
+/// responsible for their own [`bds_pool::PollTicker`] ticks (one per
+/// element).
+pub trait IndexedStream: Sync {
+    /// Element type.
+    type Item: Send;
+    /// The stream of one block, borrowing the source.
+    type Block<'s>: Iterator<Item = Self::Item>
+    where
+        Self: 's;
+
+    /// Total number of elements.
+    fn len(&self) -> usize;
+
+    /// True when there are no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolve — and pin — the block size, pricing `downstream` cost
+    /// per element on top of the stream's own delayed work. Drive loops
+    /// call this exactly once, before deriving the block count.
+    ///
+    /// Static sequences delegate to [`Seq::block_size_costed`];
+    /// already-pinned representations (a materialized
+    /// [`DSeq`](crate::dynseq::DSeq) BID, an eager scan phase) return
+    /// their pinned size and ignore `downstream`.
+    fn resolve_block_size(&self, downstream: ElemCost) -> usize;
+
+    /// The element stream of block `j` (under the resolved geometry).
+    fn stream_block(&self, j: usize) -> Self::Block<'_>;
+}
+
+/// Monomorphized (and erased) instantiation: any [`Seq`] is an indexed
+/// stream. [`crate::erased::BoxSeq`] and [`crate::erased::BoxRad`]
+/// implement [`Seq`], so the erased lowering goes through this same
+/// wrapper — one engine, several front-ends.
+pub struct SeqStream<'a, S: Seq + ?Sized>(&'a S);
+
+/// View a [`Seq`] as an [`IndexedStream`] instantiation.
+pub fn of_seq<S: Seq + ?Sized>(s: &S) -> SeqStream<'_, S> {
+    SeqStream(s)
+}
+
+impl<'a, S: Seq + ?Sized> IndexedStream for SeqStream<'a, S> {
+    type Item = S::Item;
+    type Block<'s>
+        = S::Block<'s>
+    where
+        Self: 's;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn resolve_block_size(&self, downstream: ElemCost) -> usize {
+        self.0.block_size_costed(downstream)
+    }
+
+    fn stream_block(&self, j: usize) -> Self::Block<'_> {
+        self.0.block(j)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry resolution
+// ---------------------------------------------------------------------
+
+/// The resolved block geometry of one consumption: element count, block
+/// size, block count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total elements.
+    pub len: usize,
+    /// Pinned block size.
+    pub bs: usize,
+    /// Block count, `ceil(len / bs)`.
+    pub nb: usize,
+}
+
+impl Geometry {
+    /// Bounds `(lo, hi)` of block `j` in the element index space.
+    #[inline]
+    pub fn block_bounds(&self, j: usize) -> (usize, usize) {
+        let lo = j * self.bs;
+        (lo, (lo + self.bs).min(self.len))
+    }
+}
+
+/// Step 2 of the protocol: resolve and pin geometry with the consumer's
+/// per-element cost, then derive the block count from the pinned
+/// answer.
+pub fn pin_geometry<S: IndexedStream + ?Sized>(s: &S, downstream: ElemCost) -> Geometry {
+    let len = s.len();
+    let bs = s.resolve_block_size(downstream);
+    Geometry {
+        len,
+        bs,
+        nb: policy::ceil_div(len, bs),
+    }
+}
+
+#[inline]
+fn record(stage: Stage, g: Geometry) {
+    profile::record_geometry(stage, g.len, g.bs, g.nb);
+}
+
+// ---------------------------------------------------------------------
+// The shared block loops (step 5)
+// ---------------------------------------------------------------------
+
+/// Stream every block through `f`, in parallel, producing no output.
+fn visit_blocks<S, F>(s: &S, g: Geometry, f: F)
+where
+    S: IndexedStream + ?Sized,
+    F: Fn(usize, S::Block<'_>) + Send + Sync,
+{
+    bds_pool::apply(g.nb, |j| f(j, s.stream_block(j)));
+}
+
+/// One output per block: stream block `j` through `f` and collect the
+/// `nb` results positionally (the shape of reduce phase 1, count, scan
+/// seeds, and filter packing).
+fn per_block<S, T, F>(s: &S, g: Geometry, f: F) -> Vec<T>
+where
+    S: IndexedStream + ?Sized,
+    T: Send,
+    F: Fn(usize, S::Block<'_>) -> T + Send + Sync,
+{
+    build_vec(g.nb, |pv| {
+        bds_pool::apply(g.nb, |j| {
+            pv.writer(j).push(f(j, s.stream_block(j)));
+        });
+    })
+}
+
+/// Fallible [`per_block`]: the first failing block cancels the region
+/// (sibling blocks stop at their next boundary) and the lowest failing
+/// block index's error is reported.
+fn try_per_block<S, T, E, F>(s: &S, g: Geometry, f: F) -> Result<Vec<T>, E>
+where
+    S: IndexedStream + ?Sized,
+    T: Send,
+    E: Send,
+    F: Fn(usize, S::Block<'_>) -> Result<T, E> + Send + Sync,
+{
+    let pv = PartialVec::new(g.nb);
+    bds_pool::apply_cancellable(g.nb, |j| {
+        pv.writer(j).push(f(j, s.stream_block(j))?);
+        Ok(())
+    })?;
+    Ok(pv.finish())
+}
+
+/// Materialize: every block streams its elements straight into its slot
+/// of one fresh (budget-charged) buffer. The asserts turn a broken
+/// block-length invariant into a panic instead of an unsound write.
+fn materialize<S>(s: &S, g: Geometry) -> Vec<S::Item>
+where
+    S: IndexedStream + ?Sized,
+{
+    build_vec(g.len, |pv| {
+        bds_pool::apply(g.nb, |j| {
+            let (lo, hi) = g.block_bounds(j);
+            let mut w = pv.writer(lo);
+            for x in s.stream_block(j) {
+                assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
+                w.push(x);
+            }
+            assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+        });
+    })
+}
+
+/// Fallible materialization through a per-element map: the shape of
+/// `try_to_vec` (where `f` unwraps `Result` elements).
+fn try_materialize_with<S, T, E, F>(s: &S, g: Geometry, f: F) -> Result<Vec<T>, E>
+where
+    S: IndexedStream + ?Sized,
+    T: Send,
+    E: Send,
+    F: Fn(S::Item) -> Result<T, E> + Send + Sync,
+{
+    let pv = PartialVec::new(g.len);
+    bds_pool::apply_cancellable(g.nb, |j| {
+        let (lo, hi) = g.block_bounds(j);
+        let mut w = pv.writer(lo);
+        for x in s.stream_block(j) {
+            assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
+            w.push(f(x)?);
+        }
+        assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+        Ok(())
+    })?;
+    Ok(pv.finish())
+}
+
+// ---------------------------------------------------------------------
+// Infallible drive loops
+// ---------------------------------------------------------------------
+
+/// Two-phase block reduce (Figure 10 lines 28-32): per-block
+/// stream-folds seeded by each block's first element, then a sequential
+/// fold of the `nb` block sums with `zero` folded in once. `combine`
+/// must be associative.
+pub fn reduce<S, F>(s: &S, zero: S::Item, combine: &F) -> S::Item
+where
+    S: IndexedStream + ?Sized,
+    F: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
+{
+    if s.is_empty() {
+        return zero;
+    }
+    let _span = profile::span(Stage::Reduce);
+    // One combine per element downstream of the delayed work.
+    let g = pin_geometry(s, SIMPLE);
+    record(Stage::Reduce, g);
+    let sums = per_block(s, g, |_, mut stream| {
+        let first = stream.next().expect("Seq invariant violated: empty block");
+        stream.fold(first, combine)
+    });
+    counters::count_reads(sums.len());
+    sums.into_iter().fold(zero, combine)
+}
+
+/// Apply `f` to every element, in parallel across blocks (`applySeq`,
+/// Figure 9 lines 5-8).
+pub fn for_each<S, F>(s: &S, f: &F)
+where
+    S: IndexedStream + ?Sized,
+    F: Fn(S::Item) + Send + Sync,
+{
+    let _span = profile::span(Stage::ForEach);
+    let g = pin_geometry(s, SIMPLE);
+    record(Stage::ForEach, g);
+    visit_blocks(s, g, |_, stream| {
+        for x in stream {
+            f(x);
+        }
+    });
+}
+
+/// Apply `f(i, x)` to every element with its global index.
+pub fn for_each_indexed<S, F>(s: &S, f: &F)
+where
+    S: IndexedStream + ?Sized,
+    F: Fn(usize, S::Item) + Send + Sync,
+{
+    let _span = profile::span(Stage::ForEach);
+    let g = pin_geometry(s, SIMPLE);
+    record(Stage::ForEach, g);
+    visit_blocks(s, g, |j, stream| {
+        let (lo, _) = g.block_bounds(j);
+        for (k, x) in stream.enumerate() {
+            f(lo + k, x);
+        }
+    });
+}
+
+/// Materialize into a `Vec` (`toArray`, Figure 9 lines 9-14).
+pub fn to_vec<S>(s: &S) -> Vec<S::Item>
+where
+    S: IndexedStream + ?Sized,
+{
+    let _span = profile::span(Stage::Force);
+    // One write + one slot of fresh allocation per element.
+    let g = pin_geometry(s, ElemCost { w: 1, s: 1, a: 1 });
+    if g.len > 0 {
+        record(Stage::Force, g);
+    }
+    materialize(s, g)
+}
+
+/// Count the elements satisfying `pred`, two-phase like [`reduce`].
+pub fn count<S, P>(s: &S, pred: &P) -> usize
+where
+    S: IndexedStream + ?Sized,
+    P: Fn(&S::Item) -> bool + Send + Sync,
+{
+    if s.is_empty() {
+        return 0;
+    }
+    let _span = profile::span(Stage::Count);
+    let g = pin_geometry(s, SIMPLE);
+    record(Stage::Count, g);
+    let sums = per_block(s, g, |_, stream| stream.filter(|x| pred(x)).count());
+    sums.into_iter().sum()
+}
+
+/// Blockwise survivor packing, the eager phase of `filter`/`filter_op`
+/// (Figure 10, lines 48-53): stream each block through `keep` (which
+/// appends 0 or 1 elements per input element) into a small dense array,
+/// charging each block's survivors against the ambient memory budget.
+/// The caller flattens the parts (the static lowering wraps each in a
+/// [`Forced`]; [`crate::dynseq::DSeq`] feeds them to `flatten_parts`).
+pub fn filter_parts<S, U, K>(s: &S, keep: &K) -> Vec<Vec<U>>
+where
+    S: IndexedStream + ?Sized,
+    U: Send,
+    K: Fn(S::Item, &mut Vec<U>) + Sync,
+{
+    // Packing streams every element once through the predicate and may
+    // allocate a survivor.
+    let g = pin_geometry(s, ElemCost { w: 1, s: 1, a: 1 });
+    let _span = profile::span(Stage::FilterEager);
+    if g.nb > 0 {
+        record(Stage::FilterEager, g);
+    }
+    per_block(s, g, |_, stream| {
+        let mut kept: Vec<U> = Vec::new();
+        for x in stream {
+            keep(x, &mut kept);
+        }
+        // Survivors are the filter's real allocation; charge them
+        // against the ambient memory budget (abandons the region on
+        // exhaustion — the survivor vec is dropped normally).
+        charge_elems::<U>(kept.len());
+        counters::count_writes(kept.len());
+        counters::count_allocs(kept.len());
+        kept
+    })
+}
+
+/// Scan phases 1-2, shared by both scan flavors: per-block sums (fused
+/// with the input's delayed work), then a sequential scan of the `nb`
+/// sums. Returns the exclusive per-block seeds and the grand total.
+pub fn scan_seeds<S, F>(s: &S, zero: S::Item, f: &F) -> (Vec<S::Item>, S::Item)
+where
+    S: IndexedStream + ?Sized,
+    S::Item: Clone + Sync,
+    F: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
+{
+    // Phase 1 streams the input once and pays one combine per element.
+    let g = pin_geometry(s, SIMPLE);
+    if g.nb == 0 {
+        return (Vec::new(), zero);
+    }
+    let _span = profile::span(Stage::ScanEager);
+    record(Stage::ScanEager, g);
+    let sums = per_block(s, g, |_, mut stream| {
+        let first = stream.next().expect("Seq invariant violated: empty block");
+        stream.fold(first, f)
+    });
+    counters::count_reads(g.nb);
+    scan_sequential(&sums, zero, &|a, b| f(a.clone(), b.clone()))
+}
+
+// ---------------------------------------------------------------------
+// Fallible drive loops
+// ---------------------------------------------------------------------
+
+/// Fallible two-phase block reduce: phase 1 short-circuits through
+/// [`bds_pool::apply_cancellable`] (lowest failing block index wins, a
+/// real panic beats an `Err`), phase 2 is a sequential fallible fold.
+pub fn try_reduce<S, E, F>(s: &S, zero: S::Item, f: &F) -> Result<S::Item, E>
+where
+    S: IndexedStream + ?Sized,
+    E: Send,
+    F: Fn(S::Item, S::Item) -> Result<S::Item, E> + Send + Sync,
+{
+    if s.is_empty() {
+        return Ok(zero);
+    }
+    let g = pin_geometry(s, SIMPLE);
+    let sums = try_per_block(s, g, |_, mut stream| {
+        let mut acc = stream.next().expect("Seq invariant violated: empty block");
+        for x in stream {
+            acc = f(acc, x)?;
+        }
+        Ok(acc)
+    })?;
+    counters::count_reads(sums.len());
+    let mut acc = zero;
+    for s in sums {
+        acc = f(acc, s)?;
+    }
+    Ok(acc)
+}
+
+/// Fallible eager exclusive scan: phases 1 and 3 run cancellably in
+/// parallel, phase 2 sequentially. Eager (unlike the infallible scan,
+/// which delays phase 3): a delayed fallible phase 3 would surface
+/// errors at an arbitrary later consumer.
+pub fn try_scan<S, E, F>(s: &S, zero: S::Item, f: &F) -> Result<(Forced<S::Item>, S::Item), E>
+where
+    S: IndexedStream + ?Sized,
+    S::Item: Clone + Sync,
+    E: Send,
+    F: Fn(S::Item, S::Item) -> Result<S::Item, E> + Send + Sync,
+{
+    if s.is_empty() {
+        return Ok((Forced::from_vec(Vec::new()), zero));
+    }
+    // Combine in phase 1 plus a clone + write in phase 3, per element.
+    let g = pin_geometry(s, ElemCost { w: 2, s: 2, a: 1 });
+    // Phase 1: per-block sums (fused with the input's delayed work).
+    let sums = try_per_block(s, g, |_, mut stream| {
+        let mut acc = stream.next().expect("Seq invariant violated: empty block");
+        for x in stream {
+            acc = f(acc, x)?;
+        }
+        Ok(acc)
+    })?;
+    // Phase 2: sequential fallible scan of the block sums.
+    counters::count_reads(g.nb);
+    let mut seeds = Vec::with_capacity(g.nb);
+    let mut acc = zero;
+    for x in sums {
+        seeds.push(acc.clone());
+        acc = f(acc, x)?;
+    }
+    let total = acc;
+    // Phase 3: per-block exclusive rescans seeded by the offsets.
+    let out_pv = PartialVec::new(g.len);
+    bds_pool::apply_cancellable(g.nb, |j| {
+        let (lo, hi) = g.block_bounds(j);
+        let mut acc = seeds[j].clone();
+        let mut w = out_pv.writer(lo);
+        for x in s.stream_block(j) {
+            w.push(acc.clone());
+            acc = f(acc, x)?;
+        }
+        assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+        Ok(())
+    })?;
+    Ok((Forced::from_vec(out_pv.finish()), total))
+}
+
+/// Fallible blockwise survivor packing: the eager phase of
+/// `try_filter_collect`, short-circuiting on the first predicate
+/// failure. Returns the raw per-block survivor vectors; the caller
+/// concatenates them.
+pub fn try_filter_parts<S, E, P>(s: &S, pred: &P) -> Result<Vec<Vec<S::Item>>, E>
+where
+    S: IndexedStream + ?Sized,
+    S::Item: Clone + Sync,
+    E: Send,
+    P: Fn(&S::Item) -> Result<bool, E> + Send + Sync,
+{
+    // One predicate call and a possible survivor copy per element.
+    let g = pin_geometry(s, ElemCost { w: 1, s: 1, a: 1 });
+    try_per_block(s, g, |_, stream| {
+        let mut kept: Vec<S::Item> = Vec::new();
+        for x in stream {
+            if pred(&x)? {
+                kept.push(x);
+            }
+        }
+        counters::count_writes(kept.len());
+        counters::count_allocs(kept.len());
+        Ok(kept)
+    })
+}
+
+/// Fallible materialization for streams of `Result`s: unwrap every
+/// element into one fresh buffer, short-circuiting on the first `Err`
+/// in block order.
+pub fn try_to_vec<S, T, E>(s: &S) -> Result<Vec<T>, E>
+where
+    S: IndexedStream<Item = Result<T, E>> + ?Sized,
+    T: Send,
+    E: Send,
+{
+    // One unwrap + write into the fresh buffer per element.
+    let g = pin_geometry(s, ElemCost { w: 1, s: 1, a: 1 });
+    try_materialize_with(s, g, |x| x)
+}
+
+// ---------------------------------------------------------------------
+// Chunked SIMD drive loop
+// ---------------------------------------------------------------------
+
+/// Chunked fallible sum: the unified counterpart of
+/// [`simd::try_sum`], driving any indexed stream through the SIMD
+/// dispatch ladder one [`simd::CHUNK`] at a time.
+///
+/// Blocks are streamed **sequentially in block order** and regrouped
+/// into `CHUNK`-element chunks that ignore block seams, so the chunk
+/// structure — and therefore the ordinal at which an armed
+/// [`crate::faults`] countdown fires, and the `at` offset it reports —
+/// is a pure function of the element stream: identical for every
+/// instantiation of the core and identical to [`simd::try_sum`] on the
+/// materialized elements. bds-check asserts exactly this
+/// (`fault_legs` in `check/src/simd.rs`).
+pub fn try_sum_chunked<S, T>(s: &S) -> Result<T, Interrupted>
+where
+    S: IndexedStream<Item = T> + ?Sized,
+    T: SimdElem,
+{
+    let level = simd::active_level();
+    let g = pin_geometry(s, SIMPLE);
+    let mut acc = T::ZERO;
+    let mut buf: Vec<T> = Vec::with_capacity(simd::CHUNK.min(g.len));
+    let mut at = 0;
+    let flush = |buf: &mut Vec<T>, acc: &mut T, at: &mut usize| {
+        if crate::faults::poll() {
+            return Err(Interrupted { at: *at });
+        }
+        *acc = acc.add(T::sum_chunk(level, buf));
+        *at += buf.len();
+        buf.clear();
+        Ok(())
+    };
+    for j in 0..g.nb {
+        for x in s.stream_block(j) {
+            buf.push(x);
+            if buf.len() == simd::CHUNK {
+                flush(&mut buf, &mut acc, &mut at)?;
+            }
+        }
+    }
+    if !buf.is_empty() {
+        flush(&mut buf, &mut acc, &mut at)?;
+    }
+    Ok(acc)
+}
+
+/// [`try_sum_chunked`] over any [`Seq`] — the monomorphized/erased
+/// entry point of the chunked SIMD drive loop.
+pub fn try_sum_seq<S>(s: &S) -> Result<S::Item, Interrupted>
+where
+    S: Seq + ?Sized,
+    S::Item: SimdElem,
+{
+    try_sum_chunked(&of_seq(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn seq_stream_drives_all_consumers() {
+        let _g = crate::policy::test_sync::test_force(16);
+        let s = tabulate(100, |i| i as u64);
+        let v = to_vec(&of_seq(&s));
+        assert_eq!(v, (0..100).collect::<Vec<u64>>());
+        assert_eq!(reduce(&of_seq(&s), 0, &|a, b| a + b), 4950);
+        assert_eq!(count(&of_seq(&s), &|&x| x % 2 == 0), 50);
+        let parts = filter_parts(&of_seq(&s), &|x, out: &mut Vec<u64>| {
+            if x < 10 {
+                out.push(x);
+            }
+        });
+        let survivors: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(survivors, 10);
+    }
+
+    #[test]
+    fn empty_streams_take_the_trivial_paths() {
+        let _l = crate::policy::test_sync::test_lock();
+        let s = tabulate(0, |i| i as u64);
+        assert_eq!(reduce(&of_seq(&s), 7, &|a, b| a + b), 7);
+        assert_eq!(count(&of_seq(&s), &|_| true), 0);
+        assert!(to_vec(&of_seq(&s)).is_empty());
+        let (seeds, total) = scan_seeds(&of_seq(&s), 3, &|a, b| a + b);
+        assert!(seeds.is_empty());
+        assert_eq!(total, 3);
+        assert_eq!(try_sum_chunked(&of_seq(&s)), Ok(0u64));
+    }
+
+    #[test]
+    fn for_each_indexed_sees_global_indices() {
+        let _g = crate::policy::test_sync::test_force(8);
+        let s = tabulate(40, |i| i as u64 * 3);
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        for_each_indexed(&of_seq(&s), &|i, x| {
+            assert_eq!(x, i as u64 * 3);
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn scan_seeds_match_sequential_prefix_sums() {
+        let _g = crate::policy::test_sync::test_force(16);
+        let s = tabulate(100, |_| 1u64);
+        let (seeds, total) = scan_seeds(&of_seq(&s), 0, &|a, b| a + b);
+        assert_eq!(total, 100);
+        assert_eq!(seeds, (0..7).map(|j| j * 16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn try_loops_short_circuit_and_agree_with_infallible() {
+        let _g = crate::policy::test_sync::test_force(32);
+        let s = tabulate(1000, |i| i as u64);
+        let ok: Result<u64, ()> = try_reduce(&of_seq(&s), 0, &|a, b| Ok(a + b));
+        assert_eq!(ok, Ok(499_500));
+        let err = try_reduce(&of_seq(&s), 0, &|a, b| {
+            if b == 777 {
+                Err("hit")
+            } else {
+                Ok(a + b)
+            }
+        });
+        assert_eq!(err, Err("hit"));
+        let parts = try_filter_parts(&of_seq(&s), &|&x| Ok::<bool, ()>(x < 5)).unwrap();
+        assert_eq!(parts.concat(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chunked_sum_matches_simd_kernel_and_chunk_ordinals() {
+        let _l = crate::policy::test_sync::test_lock();
+        let xs: Vec<u64> = (0..simd::CHUNK as u64 * 3 + 17).map(|i| i * i).collect();
+        let s = from_slice(&xs);
+        assert_eq!(try_sum_seq(&s), simd::try_sum(&xs));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn chunked_sum_faults_at_identical_ordinals() {
+        let _l = crate::policy::test_sync::test_lock();
+        let xs: Vec<u64> = (0..simd::CHUNK as u64 * 2 + 100).collect();
+        let s = from_slice(&xs);
+        for nth in 1..=3u64 {
+            let want = {
+                let _armed = crate::faults::arm(nth);
+                simd::try_sum(&xs)
+            };
+            let got = {
+                let _armed = crate::faults::arm(nth);
+                try_sum_seq(&s)
+            };
+            assert_eq!(got, want, "fault ordinal {nth}");
+            assert_eq!(
+                got,
+                Err(Interrupted {
+                    at: (nth as usize - 1) * simd::CHUNK
+                })
+            );
+        }
+    }
+}

@@ -22,7 +22,7 @@
 //! [`crate::dynseq`] for comparison.
 
 use crate::adaptors::{Enumerate, Map, RevSeq, SkipSeq, TakeSeq, Zip, ZipWith};
-use crate::consume;
+use crate::stream;
 use crate::filter::{self, Filtered};
 use crate::policy::ceil_div;
 use crate::scan::{self, Scanned, ScannedIncl};
@@ -217,7 +217,7 @@ pub trait Seq: Send + Sync {
     where
         F: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        consume::reduce(self, zero, &combine)
+        stream::reduce(&stream::of_seq(self), zero, &combine)
     }
 
     /// Apply `f` to every element, in parallel across blocks (the paper's
@@ -226,7 +226,7 @@ pub trait Seq: Send + Sync {
     where
         F: Fn(Self::Item) + Send + Sync,
     {
-        consume::for_each(self, &f)
+        stream::for_each(&stream::of_seq(self), &f)
     }
 
     /// Apply `f(i, x)` to every element with its index.
@@ -234,14 +234,14 @@ pub trait Seq: Send + Sync {
     where
         F: Fn(usize, Self::Item) + Send + Sync,
     {
-        consume::for_each_indexed(self, &f)
+        stream::for_each_indexed(&stream::of_seq(self), &f)
     }
 
     /// Materialize into a `Vec` (the paper's `toArray`, Figure 9 lines
     /// 9-14): one fused parallel traversal writing each block into its
     /// slot of a fresh buffer.
     fn to_vec(&self) -> Vec<Self::Item> {
-        consume::to_vec(self)
+        stream::to_vec(&stream::of_seq(self))
     }
 
     /// Force all delayed computation into a materialized random-access
@@ -391,7 +391,7 @@ pub trait Seq: Send + Sync {
     where
         P: Fn(&Self::Item) -> bool + Send + Sync,
     {
-        consume::count(self, &pred)
+        stream::count(&stream::of_seq(self), &pred)
     }
 
     /// Does any element satisfy `pred`? Short-circuits across blocks.
