@@ -20,7 +20,12 @@
 //!   [`SHAPES`] distinct pipeline shapes resolved through a per-tenant
 //!   `bds_plan::TenantPlanner`, so after one optimizer run per shape
 //!   every later submission must hit the cache: the per-tenant hit rate
-//!   at quiescence must be ≥ 0.9 (it is (n − SHAPES) / n in practice).
+//!   at quiescence must be ≥ 0.9 (it is (n − SHAPES) / n in practice);
+//! - **block recovery salvages faulted requests** — every tenant runs
+//!   under a [`RetryPolicy`], and roughly every 100th request carries a
+//!   one-shot transient block fault; each such admitted request must
+//!   still deliver its exact value (covered by the no-partial claim),
+//!   with `recovered_jobs > 0` and zero quarantines over the run.
 //!
 //! Flags: `--seconds <n>` (duration, default 30), `--procs <p>` (pool
 //! width, default 3), `--no-plan-cache` (A/B leg: plan every request
@@ -35,12 +40,16 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bds_bench::{arg_value, has_flag};
-use bds_bench::json::{GovCounters, JsonReport, PlanCounters, Record, SvcCounters};
+use bds_bench::json::{
+    GovCounters, JsonReport, PlanCounters, Record, RecoveryCounters, SvcCounters,
+};
 use bds_plan::{submit_reduce, Pipe, TenantPlanner};
 use bds_pool::govern::trip_counts;
+use bds_pool::{recovery_counts, RetryPolicy};
 use bds_service::{
     Budget, Exceeded, Rejected, Service, ServiceConfig, ServiceError, Ticket,
 };
@@ -67,6 +76,11 @@ const SHAPES: u64 = 4;
 /// Plans each tenant's cache may hold — comfortably above [`SHAPES`],
 /// so a warm run never evicts.
 const PLAN_CAPACITY: usize = 8;
+/// Roughly one in `FAULT_EVERY` requests carries a transient block
+/// fault (every `FAULT_EVERY / SHAPES`-th shape-0 submission).
+const FAULT_EVERY: u64 = 100;
+/// The element whose block carries the injected fault.
+const FAULT_ELEM: usize = 1234;
 
 /// Build shape `k`'s pipeline, fresh closures every call. The shapes
 /// exercise the optimizer's main rewrites under load: plain tabulate
@@ -110,6 +124,29 @@ fn expected_values() -> [u64; SHAPES as usize] {
     [v0, v1, v2, v3]
 }
 
+/// Shape 0's pipeline with a one-shot transient block fault riding the
+/// closure: the first time [`FAULT_ELEM`] streams, it panics; the block
+/// retry under the tenant's [`RetryPolicy`] recomputes it cleanly, so
+/// the delivered value is identical to the unfaulted shape 0. The fire
+/// token is request-local by construction (it is captured in this
+/// request's fresh closure), so concurrent requests and
+/// rejected-at-admission submissions can never pool fires into one
+/// block and escalate a transient fault to a quarantine. The shape key
+/// is unchanged — plan reuse keys on structure, never closure identity.
+fn build_faulted_pipe() -> Pipe<u64> {
+    let fires = Arc::new(AtomicU64::new(1));
+    Pipe::tabulate(N, move |i| {
+        if i == FAULT_ELEM
+            && fires
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| left.checked_sub(1))
+                .is_ok()
+        {
+            panic!("service_soak: injected transient block fault");
+        }
+        (i as u64).wrapping_mul(31).wrapping_add(7)
+    })
+}
+
 /// Submit shape `shape`'s pipeline. With a shared planner the plan
 /// comes from the tenant's warm cache; without one (`--no-plan-cache`)
 /// every request plans from a cold single-slot planner — the A/B
@@ -121,8 +158,9 @@ fn submit_one(
     name: &str,
     budget: Budget,
     shape: u64,
+    fault: bool,
 ) -> Result<Ticket<u64>, Rejected> {
-    let pipe = build_pipe(shape);
+    let pipe = if fault { build_faulted_pipe() } else { build_pipe(shape) };
     match planner {
         Some(p) => submit_reduce(svc, tenant, p, budget, pipe, 0, |a, b| a.wrapping_add(b)),
         None => {
@@ -154,6 +192,7 @@ fn drive(
     planner: Option<&TenantPlanner>,
     stop: &AtomicBool,
     high_water: &AtomicU64,
+    faulted: &AtomicU64,
 ) -> DriverOut {
     let tenant = svc.tenant(name);
     let expected = expected_values();
@@ -163,6 +202,7 @@ fn drive(
         violations: Vec::new(),
     };
     let mut k = 0u64;
+    let mut shape0_subs = 0u64;
     let flag = |violations: &mut Vec<String>, msg: String| {
         if violations.len() < 64 {
             violations.push(format!("tenant {name}: {msg}"));
@@ -179,8 +219,19 @@ fn drive(
             };
             let shape = k % SHAPES;
             k += 1;
-            match submit_one(svc, tenant, planner, name, budget, shape) {
+            // Every `FAULT_EVERY / SHAPES`-th shape-0 submission carries
+            // the transient fault (tight requests never land on shape 0,
+            // so a faulted request is never deliberately deadline-tripped
+            // and must deliver its full value).
+            let fault = !tight && shape == 0 && {
+                shape0_subs += 1;
+                (shape0_subs - 1).is_multiple_of(FAULT_EVERY / SHAPES)
+            };
+            match submit_one(svc, tenant, planner, name, budget, shape, fault) {
                 Ok(ticket) => {
+                    if fault {
+                        faulted.fetch_add(1, Ordering::Relaxed);
+                    }
                     window.push_back(Outstanding {
                         submitted_at: Instant::now(),
                         tight,
@@ -272,7 +323,15 @@ fn main() {
         breaker: bds_service::BreakerConfig::default(),
         cold_start_work: bds_service::DEFAULT_COLD_START_WORK,
     });
+    // Every tenant runs under the default retry policy: transient block
+    // faults are absorbed by block-granular retry instead of striking
+    // the breaker or surfacing as panics.
+    for &name in TENANTS.iter() {
+        let t = svc.tenant(name);
+        svc.set_tenant_retry(t, Some(RetryPolicy::default()));
+    }
     let trips_before = trip_counts();
+    let recovery_before = recovery_counts();
     let planners: Option<Vec<TenantPlanner>> = plan_cache.then(|| {
         TENANTS
             .iter()
@@ -290,6 +349,7 @@ fn main() {
     let stop = AtomicBool::new(false);
     let high_water = AtomicU64::new(0);
     let crashes = AtomicU64::new(0);
+    let faulted = AtomicU64::new(0);
     let started = Instant::now();
     let outs: Vec<DriverOut> = std::thread::scope(|scope| {
         let chaos = scope.spawn(|| {
@@ -301,14 +361,14 @@ fn main() {
                 k += 1;
             }
         });
-        let (svc, stop, high_water) = (&svc, &stop, &high_water);
+        let (svc, stop, high_water, faulted) = (&svc, &stop, &high_water, &faulted);
         let planners = &planners;
         let drivers: Vec<_> = TENANTS
             .iter()
             .enumerate()
             .map(|(i, &name)| {
                 let planner = planners.as_ref().map(|ps| &ps[i]);
-                scope.spawn(move || drive(svc, name, planner, stop, high_water))
+                scope.spawn(move || drive(svc, name, planner, stop, high_water, faulted))
             })
             .collect();
         std::thread::sleep(Duration::from_secs(seconds));
@@ -331,7 +391,7 @@ fn main() {
     // tenant everything submitted was either rejected at admission or
     // delivered through its ticket.
     let stats = svc.stats();
-    let mut tenant_completions: Vec<(String, u64)> = Vec::new();
+    let mut tenant_completions: Vec<(String, u64, u64)> = Vec::new();
     let mut submitted = 0u64;
     let mut completed = 0u64;
     let mut rejected = 0u64;
@@ -354,13 +414,13 @@ fn main() {
         submitted += t.submitted;
         completed += t.completed;
         rejected += t.rejected();
-        tenant_completions.push((t.name.clone(), t.completed));
+        tenant_completions.push((t.name.clone(), t.completed, t.block_retries));
     }
 
     // Fairness: with identical offered load, each tenant's completion
     // share must be within 2x of fair share, both bounds.
     let fair = completed as f64 / TENANTS.len() as f64;
-    for (name, done) in &tenant_completions {
+    for (name, done, _) in &tenant_completions {
         let share = *done as f64;
         if share < fair / 2.0 || share > fair * 2.0 {
             failures.push(format!(
@@ -380,6 +440,25 @@ fn main() {
     }
     if stats.respawns == 0 && crashes.load(Ordering::Relaxed) > 0 {
         failures.push("crashes were injected but no worker respawned".into());
+    }
+
+    // Recovery claim: every admitted faulted request was salvaged by a
+    // block retry — never quarantined, never lost (the ledger above
+    // already proves delivery; the no-partial claim proves the value).
+    let recovery = RecoveryCounters::from(recovery_counts().saturating_sub(&recovery_before));
+    let admitted_faulted = faulted.load(Ordering::Relaxed);
+    let tenant_block_retries: u64 = stats.tenants.iter().map(|t| t.block_retries).sum();
+    if recovery.quarantines != 0 {
+        failures.push(format!(
+            "transient faults must never quarantine: {} quarantines over the run",
+            recovery.quarantines
+        ));
+    }
+    if admitted_faulted > 0 && recovery.recovered_jobs == 0 {
+        failures.push(format!(
+            "{admitted_faulted} faulted requests admitted but zero recovered jobs — \
+             block recovery dead"
+        ));
     }
 
     // Plan-cache claim: with per-tenant caches on, each tenant pays the
@@ -436,6 +515,14 @@ fn main() {
         plan.misses,
         plan.hit_rate(),
     );
+    eprintln!(
+        "service_soak: recovery: {admitted_faulted} faulted requests admitted, \
+         {} block retries ({} per-tenant), {} recovered jobs, {} quarantines",
+        recovery.block_retries,
+        tenant_block_retries,
+        recovery.recovered_jobs,
+        recovery.quarantines,
+    );
 
     if let Some(path) = arg_value("--json") {
         let mut rep = JsonReport::new("service_soak", &format!("{seconds}s"));
@@ -464,6 +551,7 @@ fn main() {
                 tenants: tenant_completions,
             }),
             plan: Some(plan),
+            recovery: Some(recovery),
         });
         rep.write(&path).expect("writing service_soak JSON");
         eprintln!("service_soak: wrote {path}");

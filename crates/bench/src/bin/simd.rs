@@ -256,6 +256,7 @@ fn main() {
                 gov: None,
                 svc: None,
                 plan: None,
+                recovery: None,
             },
         });
     }

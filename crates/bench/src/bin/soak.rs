@@ -7,6 +7,10 @@
 //!   partial result;
 //! - every sufficiently-budgeted run returns the exact ungoverned value
 //!   (crashes and shedding degrade parallelism, never correctness);
+//! - every retry-legged run (a transient block fault injected roughly
+//!   every 100th leg, under `RetryPolicy`) returns the exact unfaulted
+//!   value with zero quarantines — block recovery salvages the job
+//!   (`recovered_jobs > 0` over the round);
 //! - workers killed mid-run are respawned (`PoolStats::respawns`);
 //! - the counting allocator's live-byte gauge returns to its pre-soak
 //!   baseline at exit — nothing governed leaks.
@@ -22,10 +26,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use bds_bench::json::{GovCounters, JsonReport, Record};
+use bds_bench::json::{GovCounters, JsonReport, Record, RecoveryCounters};
 use bds_bench::{arg_value, seed::splitmix64};
 use bds_metrics::{heap_stats, CountingAlloc};
-use bds_pool::{govern::trip_counts, Budget, Exceeded, Pool};
+use bds_pool::{govern::trip_counts, recovery_counts, Budget, Exceeded, Pool, RetryPolicy};
 use bds_seq::prelude::*;
 
 #[global_allocator]
@@ -39,7 +43,15 @@ struct Driver<'a> {
     violations: &'a Mutex<Vec<String>>,
     deadline_runs: &'a Mutex<Vec<f64>>,
     runs: &'a AtomicU64,
+    /// Retry legs taken across all drivers; every `FAULT_EVERY`-th one
+    /// injects a transient block fault.
+    retry_legs: &'a AtomicU64,
+    /// Retry legs that actually carried an injected fault.
+    faulted_legs: &'a AtomicU64,
 }
+
+/// One in `FAULT_EVERY` retry legs carries a transient block fault.
+const FAULT_EVERY: u64 = 100;
 
 /// Deadline for the deadline leg. Generous relative to the poll
 /// interval on purpose: the soak oversubscribes the machine (drivers +
@@ -55,10 +67,11 @@ impl Driver<'_> {
         let mut k = lane;
         while !self.stop.load(Ordering::Relaxed) {
             self.runs.fetch_add(1, Ordering::Relaxed);
-            match k % 3 {
+            match k % 4 {
                 0 => self.deadline_leg(pool),
                 1 => self.memory_leg(pool),
-                _ => self.sufficient_leg(pool, want_sum),
+                2 => self.sufficient_leg(pool, want_sum),
+                _ => self.retry_leg(pool, want_sum),
             }
             k += 1;
         }
@@ -122,6 +135,44 @@ impl Driver<'_> {
             self.flag(format!("sufficient leg returned {r:?}, expected Ok({want})"));
         }
     }
+
+    /// A retried pipeline: every `FAULT_EVERY`-th such leg injects a
+    /// one-shot transient block fault, which `RetryPolicy` must absorb
+    /// with a single block retry — the exact unfaulted value comes back,
+    /// never a quarantine, a lost result, or a partial one. The fault
+    /// token is leg-local so crashes and shedding around this run cannot
+    /// pile multiple fires onto one attempt and escalate it to a
+    /// quarantine.
+    fn retry_leg(&self, pool: &Pool, want: u64) {
+        let nth = self.retry_legs.fetch_add(1, Ordering::Relaxed);
+        let faulted = nth.is_multiple_of(FAULT_EVERY);
+        if faulted {
+            self.faulted_legs.fetch_add(1, Ordering::Relaxed);
+        }
+        let fires = AtomicU64::new(u64::from(faulted));
+        let r = pool.install(|| {
+            bds_pool::run_recovered(RetryPolicy::default(), || {
+                tabulate(100_000usize, |i| {
+                    if i == 500
+                        && fires
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                                left.checked_sub(1)
+                            })
+                            .is_ok()
+                    {
+                        panic!("soak: injected transient block fault");
+                    }
+                    i as u64
+                })
+                .reduce(0, |a, b| a + b)
+            })
+        });
+        if r != Ok(want) {
+            self.flag(format!(
+                "retry leg (faulted={faulted}) returned {r:?}, expected Ok({want})"
+            ));
+        }
+    }
 }
 
 /// Everything one soak round leaves behind, reduced to scalars (plus the
@@ -130,6 +181,8 @@ impl Driver<'_> {
 struct Outcome {
     violations: Vec<String>,
     gov: GovCounters,
+    recovery: RecoveryCounters,
+    faulted_legs: u64,
     sched: bds_pool::WorkerStats,
     crashes: u64,
     total_runs: u64,
@@ -150,12 +203,15 @@ struct Outcome {
 /// measured round snapshots its leak baseline.
 fn soak_round(seconds: u64, procs: usize) -> Outcome {
     let trips_before = trip_counts();
+    let recovery_before = recovery_counts();
     let pool = Pool::new(procs);
     let stop = AtomicBool::new(false);
     let violations = Mutex::new(Vec::new());
     let deadline_runs = Mutex::new(Vec::new());
     let runs = AtomicU64::new(0);
     let crashes = AtomicU64::new(0);
+    let retry_legs = AtomicU64::new(0);
+    let faulted_legs = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for lane in 0..(procs as u64 + 1) {
@@ -164,6 +220,8 @@ fn soak_round(seconds: u64, procs: usize) -> Outcome {
                 violations: &violations,
                 deadline_runs: &deadline_runs,
                 runs: &runs,
+                retry_legs: &retry_legs,
+                faulted_legs: &faulted_legs,
             };
             let pool = &pool;
             scope.spawn(move || driver.run(pool, lane));
@@ -198,6 +256,8 @@ fn soak_round(seconds: u64, procs: usize) -> Outcome {
     drop(lat);
 
     let crashes = crashes.load(Ordering::Relaxed);
+    let recovery = RecoveryCounters::from(recovery_counts().saturating_sub(&recovery_before));
+    let faulted = faulted_legs.load(Ordering::Relaxed);
     let mut violations = violations.into_inner().unwrap();
     if gov.respawns == 0 && crashes > 0 {
         violations.push("no worker respawn recorded despite injected crashes".into());
@@ -208,9 +268,22 @@ fn soak_round(seconds: u64, procs: usize) -> Outcome {
             gov.deadline_trips, gov.mem_trips
         ));
     }
+    if recovery.quarantines != 0 {
+        violations.push(format!(
+            "transient faults must never quarantine: {} quarantines over the round",
+            recovery.quarantines
+        ));
+    }
+    if faulted > 0 && recovery.recovered_jobs == 0 {
+        violations.push(format!(
+            "{faulted} faulted retry legs but zero recovered jobs — block recovery dead"
+        ));
+    }
     Outcome {
         violations,
         gov,
+        recovery,
+        faulted_legs: faulted,
         sched,
         crashes,
         total_runs: runs.load(Ordering::Relaxed),
@@ -282,6 +355,14 @@ fn main() {
         out.gov.deadline_trips,
         out.gov.mem_trips,
     );
+    eprintln!(
+        "soak: recovery: {} faulted retry legs, {} block retries, {} recovered jobs, \
+         {} quarantines",
+        out.faulted_legs,
+        out.recovery.block_retries,
+        out.recovery.recovered_jobs,
+        out.recovery.quarantines,
+    );
 
     if let Some(path) = arg_value("--json") {
         let mut rep = JsonReport::new("soak", &format!("{seconds}s"));
@@ -302,6 +383,7 @@ fn main() {
             gov: Some(out.gov),
             svc: None,
             plan: None,
+            recovery: Some(out.recovery),
         });
         rep.write(&path).expect("writing soak JSON");
         eprintln!("soak: wrote {path}");

@@ -28,11 +28,14 @@
 //!       "svc": {
 //!         "qps": 5120.0, "p50_s": 0.0011, "p99_s": 0.0089,
 //!         "submitted": 40960, "completed": 40940, "rejected": 20,
-//!         "tenants": [{"name": "alpha", "completed": 10235}]
+//!         "tenants": [{"name": "alpha", "completed": 10235, "block_retries": 104}]
 //!       },
 //!       "plan": {
 //!         "hits": 40944, "misses": 16, "entries": 16,
 //!         "hit_rate": 0.99961
+//!       },
+//!       "recovery": {
+//!         "block_retries": 12, "quarantines": 0, "recovered_jobs": 12
 //!       }
 //!     }
 //!   ]
@@ -64,9 +67,15 @@
 //! resident plan count at the end of the run, and the hit rate
 //! (`hits / (hits + misses)`, `0` when there were no lookups).
 //!
+//! `recovery` is `null` except for runs that retried faulted blocks
+//! under a `bds_pool::RetryPolicy` (the transient-fault legs of the
+//! soak binaries), where it carries the block-recovery ledger: block
+//! attempts re-executed, blocks quarantined, and jobs that completed
+//! after at least one retry.
+//!
 //! v2 is a strict superset of v1 (it adds `policy`, and later the
-//! optional `gov`, `svc`, and `plan` blocks); consumers keyed on the
-//! schema string should accept both.
+//! optional `gov`, `svc`, `plan`, and `recovery` blocks); consumers
+//! keyed on the schema string should accept both.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -87,6 +96,30 @@ pub struct GovCounters {
     pub deadline_trips: u64,
     /// Governed runs refused because their memory budget was exceeded.
     pub mem_trips: u64,
+}
+
+/// Block-recovery counters attached to records whose runs executed
+/// under a `bds_pool::RetryPolicy` (the fault legs of the soak
+/// binaries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Individual block attempts re-executed after a transient fault.
+    pub block_retries: u64,
+    /// Blocks quarantined after exhausting their retry budget (or
+    /// classified deterministic).
+    pub quarantines: u64,
+    /// Jobs that completed successfully after at least one block retry.
+    pub recovered_jobs: u64,
+}
+
+impl From<bds_pool::RecoveryCounts> for RecoveryCounters {
+    fn from(c: bds_pool::RecoveryCounts) -> RecoveryCounters {
+        RecoveryCounters {
+            block_retries: c.block_retries,
+            quarantines: c.quarantines,
+            recovered_jobs: c.recovered_jobs,
+        }
+    }
 }
 
 /// Plan-cache counters attached to records whose pipelines were
@@ -130,9 +163,9 @@ pub struct SvcCounters {
     /// Requests refused at admission (queue-full, deadline, breaker,
     /// shutdown).
     pub rejected: u64,
-    /// `(tenant name, completed requests)` per tenant, for fairness
-    /// auditing.
-    pub tenants: Vec<(String, u64)>,
+    /// `(tenant name, completed requests, salvaged block retries)` per
+    /// tenant, for fairness and recovery auditing.
+    pub tenants: Vec<(String, u64, u64)>,
 }
 
 /// One benchmark measurement row.
@@ -173,6 +206,9 @@ pub struct Record {
     /// Plan-cache counters, if the run resolved its pipelines through a
     /// `bds_plan::PlanCache`; `None` for ordinary measurements.
     pub plan: Option<PlanCounters>,
+    /// Block-recovery counters, if the run retried faulted blocks under
+    /// a `bds_pool::RetryPolicy`; `None` for ordinary measurements.
+    pub recovery: Option<RecoveryCounters>,
 }
 
 impl Record {
@@ -196,6 +232,7 @@ impl Record {
             gov: None,
             svc: None,
             plan: None,
+            recovery: None,
         }
     }
 }
@@ -303,15 +340,16 @@ impl JsonReport {
                         v.completed,
                         v.rejected
                     );
-                    for (t, (name, completed)) in v.tenants.iter().enumerate() {
+                    for (t, (name, completed, block_retries)) in v.tenants.iter().enumerate() {
                         if t > 0 {
                             out.push_str(", ");
                         }
                         let _ = write!(
                             out,
-                            "{{\"name\": {}, \"completed\": {}}}",
+                            "{{\"name\": {}, \"completed\": {}, \"block_retries\": {}}}",
                             escape(name),
-                            completed
+                            completed,
+                            block_retries
                         );
                     }
                     out.push_str("]}");
@@ -331,6 +369,17 @@ impl JsonReport {
                     );
                 }
                 None => out.push_str(", \"plan\": null"),
+            }
+            match &r.recovery {
+                Some(rec) => {
+                    let _ = write!(
+                        out,
+                        ", \"recovery\": {{\"block_retries\": {}, \
+                         \"quarantines\": {}, \"recovered_jobs\": {}}}",
+                        rec.block_retries, rec.quarantines, rec.recovered_jobs
+                    );
+                }
+                None => out.push_str(", \"recovery\": null"),
             }
             out.push('}');
             if i + 1 < self.records.len() {
@@ -422,12 +471,17 @@ mod tests {
                 submitted: 100,
                 completed: 98,
                 rejected: 2,
-                tenants: vec![("alpha".into(), 49), ("beta".into(), 49)],
+                tenants: vec![("alpha".into(), 49, 3), ("beta".into(), 49, 0)],
             }),
             plan: Some(PlanCounters {
                 hits: 96,
                 misses: 4,
                 entries: 4,
+            }),
+            recovery: Some(RecoveryCounters {
+                block_retries: 12,
+                quarantines: 1,
+                recovered_jobs: 11,
             }),
         });
         rep.push(Record {
@@ -447,6 +501,7 @@ mod tests {
             gov: None,
             svc: None,
             plan: None,
+            recovery: None,
         });
         let s = rep.render();
         assert!(s.contains("\"schema\": \"bds-bench/v2\""));
@@ -463,14 +518,19 @@ mod tests {
         assert!(s.contains(
             "\"svc\": {\"qps\": 5120, \"p50_s\": 0.0011, \"p99_s\": 0.0089, \
              \"submitted\": 100, \"completed\": 98, \"rejected\": 2, \
-             \"tenants\": [{\"name\": \"alpha\", \"completed\": 49}, \
-             {\"name\": \"beta\", \"completed\": 49}]}"
+             \"tenants\": [{\"name\": \"alpha\", \"completed\": 49, \"block_retries\": 3}, \
+             {\"name\": \"beta\", \"completed\": 49, \"block_retries\": 0}]}"
         ));
         assert!(s.contains("\"svc\": null"));
         assert!(s.contains(
             "\"plan\": {\"hits\": 96, \"misses\": 4, \"entries\": 4, \"hit_rate\": 0.96}"
         ));
         assert!(s.contains("\"plan\": null"));
+        assert!(s.contains(
+            "\"recovery\": {\"block_retries\": 12, \"quarantines\": 1, \
+             \"recovered_jobs\": 11}"
+        ));
+        assert!(s.contains("\"recovery\": null"));
         // Exactly one comma between the two records.
         assert_eq!(s.matches("},\n").count(), 1);
     }

@@ -21,6 +21,7 @@
 //! contrast, see exactly the element stream, which fusion must preserve
 //! bit-for-bit; a fault there must surface identically everywhere.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Panic payload marker for injected faults. The runner classifies a
@@ -29,6 +30,51 @@ pub const FAULT_MARKER: &str = "bds-check: injected fault";
 
 /// Error code produced by `Err`-mode injected faults.
 pub const FAULT_ERR: u64 = 0xBD5_FA17;
+
+/// Process-wide countdown limiting how many times poisoned closures
+/// fire. `u64::MAX` (the default) means *always fire* — the
+/// deterministic-fault discipline every differential leg assumes. The
+/// retry legs install a finite budget via [`FaultFireLimit`] to model
+/// **transient** faults: the first `n` poison hits panic, later ones
+/// pass through (the fault "heals") — exactly the shape a block retry
+/// must absorb.
+static FAULT_FIRES_LEFT: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Should a poisoned closure fire now? Unlimited mode always fires
+/// (without counting down); a finite budget burns one fire per call
+/// until exhausted.
+pub fn fault_should_fire() -> bool {
+    FAULT_FIRES_LEFT
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+            if left == u64::MAX {
+                Some(left) // unlimited: fire without counting down
+            } else {
+                left.checked_sub(1)
+            }
+        })
+        .is_ok()
+}
+
+/// RAII guard installing a finite fault-fire budget; restores unlimited
+/// firing on drop. The budget is process-global — callers serialize
+/// (the check binary runs its legs one at a time; tests take a lock).
+pub struct FaultFireLimit(());
+
+impl FaultFireLimit {
+    /// Poisoned closures fire on their next `fires` poison hits, then
+    /// heal.
+    pub fn set(fires: u64) -> FaultFireLimit {
+        assert_ne!(fires, u64::MAX, "u64::MAX is the unlimited sentinel");
+        FAULT_FIRES_LEFT.store(fires, Ordering::SeqCst);
+        FaultFireLimit(())
+    }
+}
+
+impl Drop for FaultFireLimit {
+    fn drop(&mut self) {
+        FAULT_FIRES_LEFT.store(u64::MAX, Ordering::SeqCst);
+    }
+}
 
 /// Erased element-wise map closure.
 pub type F1 = Arc<dyn Fn(u64) -> u64 + Send + Sync>;
@@ -64,10 +110,11 @@ impl MapOp {
     }
 
     /// Closure form, optionally poisoned: panics with [`FAULT_MARKER`]
-    /// when the *input* equals `poison`.
+    /// when the *input* equals `poison` (and the fire budget allows —
+    /// see [`fault_should_fire`]).
     pub fn closure(self, poison: Option<u64>) -> F1 {
         Arc::new(move |x| {
-            if Some(x) == poison {
+            if Some(x) == poison && fault_should_fire() {
                 panic!("{FAULT_MARKER}");
             }
             self.apply(x)
@@ -102,7 +149,7 @@ impl PredOp {
     /// Closure form, optionally panic-poisoned on its input value.
     pub fn closure(self, poison: Option<u64>) -> FP {
         Arc::new(move |&x| {
-            if Some(x) == poison {
+            if Some(x) == poison && fault_should_fire() {
                 panic!("{FAULT_MARKER}");
             }
             self.apply(x)
@@ -110,10 +157,12 @@ impl PredOp {
     }
 
     /// Fallible closure form: `Err(FAULT_ERR)` when the input equals
-    /// `err_poison`, panic when it equals `panic_poison`.
+    /// `err_poison`, panic when it equals `panic_poison`. Only the
+    /// panic branch consults the fire budget — `Err` faults are return
+    /// *values*, not block faults, and are never retried.
     pub fn try_closure(self, panic_poison: Option<u64>, err_poison: Option<u64>) -> FPR {
         Arc::new(move |&x| {
-            if Some(x) == panic_poison {
+            if Some(x) == panic_poison && fault_should_fire() {
                 panic!("{FAULT_MARKER}");
             }
             if Some(x) == err_poison {

@@ -25,6 +25,13 @@ type Key = (&'static str, &'static str, String);
 
 static LEDGER: Mutex<BTreeMap<Key, u64>> = Mutex::new(BTreeMap::new());
 
+/// The recovery legs' own ledger: fault kind × attempt outcome ×
+/// lowering × geometry. Kept apart from the node-kind matrix because
+/// retry cells only exist for the pool-backed lowerings — folding them
+/// into the main table would list every baseline leg as a spurious
+/// coverage gap.
+static RETRY_LEDGER: Mutex<BTreeMap<Key, u64>> = Mutex::new(BTreeMap::new());
+
 /// The geometry label of the sequential oracle leg (which runs outside
 /// the geometry matrix).
 const ORACLE_GEOM: &str = "seq";
@@ -85,9 +92,21 @@ pub fn record_leg(p: &Pipeline, lowering: &'static str, geom: Option<Geom>) {
     }
 }
 
-/// Clear the ledger (start of a fuzz run).
+/// Record one retry-leg cell: `kind` is a `fault-kind:attempt-outcome`
+/// tag (e.g. `transient:recovered`, `deterministic:quarantined`),
+/// keyed by the lowering and geometry leg it was observed under.
+pub fn record_retry_cell(kind: &'static str, lowering: &'static str, geom: Geom) {
+    *RETRY_LEDGER
+        .lock()
+        .unwrap()
+        .entry((kind, lowering, format!("{geom:?}")))
+        .or_insert(0) += 1;
+}
+
+/// Clear the ledgers (start of a fuzz run).
 pub fn reset() {
     LEDGER.lock().unwrap().clear();
+    RETRY_LEDGER.lock().unwrap().clear();
 }
 
 /// Render the ledger as a human-readable table: per node kind, the
@@ -147,6 +166,15 @@ pub fn render() -> String {
         }
         if missing.len() > CAP {
             out.push_str(&format!("  ... and {} more\n", missing.len() - CAP));
+        }
+    }
+    drop(ledger);
+
+    let retry = RETRY_LEDGER.lock().unwrap();
+    if !retry.is_empty() {
+        out.push_str("== retry-recovery coverage (fault kind x outcome x lowering x geometry) ==\n");
+        for ((kind, lowering, geom), hits) in retry.iter() {
+            out.push_str(&format!("retry:{kind:<28} {lowering:<8} {geom:<10} {hits:>6}\n"));
         }
     }
     out

@@ -30,14 +30,18 @@ use bds_seq::prelude::*;
 use bds_seq::{tabulate, BoxRad, BoxSeq, Forced};
 
 use crate::ast::{
-    CombOp, Consumer, MapOp, Outcome, Pipeline, PredOp, Source, Stage, FAULT_ERR, FAULT_MARKER,
+    fault_should_fire, CombOp, Consumer, MapOp, Outcome, Pipeline, PredOp, Source, Stage,
+    FAULT_ERR, FAULT_MARKER,
 };
 
 // ---------------------------------------------------------------------
 // Shared closure builders. All ops are `Copy`, so these return `Copy`
 // closures usable in any library's generic positions without `Arc`
 // indirection. A closure is "poisoned" when `poison` is `Some`: it
-// panics with [`FAULT_MARKER`] when its input equals the poison value.
+// panics with [`FAULT_MARKER`] when its input equals the poison value
+// and the process-wide fire budget allows (unlimited by default; the
+// retry legs cap it to model transient faults — see
+// [`fault_should_fire`]).
 // ---------------------------------------------------------------------
 
 /// Element-wise map closure, optionally panic-poisoned on its input.
@@ -46,7 +50,7 @@ pub fn map_fn(
     poison: Option<u64>,
 ) -> impl Fn(u64) -> u64 + Copy + Send + Sync + 'static {
     move |x| {
-        if Some(x) == poison {
+        if Some(x) == poison && fault_should_fire() {
             panic!("{FAULT_MARKER}");
         }
         op.apply(x)
@@ -59,7 +63,7 @@ pub fn pred_fn(
     poison: Option<u64>,
 ) -> impl Fn(&u64) -> bool + Copy + Send + Sync + 'static {
     move |&x| {
-        if Some(x) == poison {
+        if Some(x) == poison && fault_should_fire() {
             panic!("{FAULT_MARKER}");
         }
         op.apply(x)
@@ -74,7 +78,7 @@ pub fn filter_op_fn(
     poison: Option<u64>,
 ) -> impl Fn(u64) -> Option<u64> + Copy + Send + Sync + 'static {
     move |x| {
-        if Some(x) == poison {
+        if Some(x) == poison && fault_should_fire() {
             panic!("{FAULT_MARKER}");
         }
         if pred.apply(x) {
@@ -86,14 +90,16 @@ pub fn filter_op_fn(
 }
 
 /// Fallible predicate closure: panics on `panic_poison`, returns
-/// `Err(FAULT_ERR)` on `err_poison`, otherwise `Ok(pred(x))`.
+/// `Err(FAULT_ERR)` on `err_poison`, otherwise `Ok(pred(x))`. Only the
+/// panic branch consults the fire budget — `Err` faults are return
+/// values, not block faults, and are never retried.
 pub fn try_pred_fn(
     op: PredOp,
     panic_poison: Option<u64>,
     err_poison: Option<u64>,
 ) -> impl Fn(&u64) -> Result<bool, u64> + Copy + Send + Sync + 'static {
     move |&x| {
-        if Some(x) == panic_poison {
+        if Some(x) == panic_poison && fault_should_fire() {
             panic!("{FAULT_MARKER}");
         }
         if Some(x) == err_poison {

@@ -42,6 +42,7 @@ pub mod eval;
 pub mod gen;
 pub mod governed;
 pub mod plan;
+pub mod retry;
 pub mod runner;
 pub mod service;
 pub mod simd;
@@ -85,6 +86,9 @@ pub struct FailureReport {
     /// dispatch levels found by the periodic SIMD sweep (see
     /// [`simd::check_simd`]).
     pub simd_violations: Vec<String>,
+    /// Violations of the block-recovery invariants found by the
+    /// periodic retry sweep (see [`retry::check_retry`]).
+    pub retry_violations: Vec<String>,
 }
 
 /// The summary of a fuzz run.
@@ -129,6 +133,14 @@ const SERVICE_CHECK_PERIOD: usize = 32;
 /// ULP-bounded for float sums).
 const SIMD_CHECK_PERIOD: usize = 64;
 
+/// How often the fuzz loop additionally runs the case's panic-mode
+/// fault under a `RetryPolicy`, both as a one-shot transient fault
+/// (must recover to the unfaulted value) and as an always-firing
+/// deterministic fault (must quarantine as one typed `BlockFailed`) —
+/// see [`retry::check_retry`]. Cases without a panic-mode fault skip
+/// the leg.
+const RETRY_CHECK_PERIOD: usize = 16;
+
 /// Fuzz `count` pipelines derived from `master`, checking each against
 /// the oracle under the full configuration matrix. Failing cases are
 /// shrunk and reported on stderr (with their `BDS_CHECK_SEED`) as they
@@ -147,7 +159,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
         let divergences = check_pipeline(&pipeline, &mut pools);
         if !divergences.is_empty() {
             let shrunk = shrink(&pipeline, &mut pools);
-            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[], &[], &[]);
+            report_failure(subseed, &pipeline, Some(&shrunk), &divergences, None, &[], &[], &[], &[]);
             failures.push(FailureReport {
                 subseed,
                 pipeline,
@@ -157,10 +169,11 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                 governed_violations: Vec::new(),
                 service_violations: Vec::new(),
                 simd_violations: Vec::new(),
+                retry_violations: Vec::new(),
             });
         } else if k % SELF_CHECK_PERIOD == SELF_CHECK_PERIOD / 2 {
             if let Err(e) = verify_determinism(&pipeline, subseed) {
-                report_failure(subseed, &pipeline, None, &[], Some(&e), &[], &[], &[]);
+                report_failure(subseed, &pipeline, None, &[], Some(&e), &[], &[], &[], &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -170,6 +183,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     governed_violations: Vec::new(),
                     service_violations: Vec::new(),
                     simd_violations: Vec::new(),
+                    retry_violations: Vec::new(),
                 });
             }
         } else if k % SERVICE_CHECK_PERIOD == SERVICE_CHECK_PERIOD * 3 / 4 {
@@ -179,7 +193,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     .iter()
                     .map(service::ServiceViolation::describe)
                     .collect();
-                report_failure(subseed, &pipeline, None, &[], None, &[], &described, &[]);
+                report_failure(subseed, &pipeline, None, &[], None, &[], &described, &[], &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -189,6 +203,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     governed_violations: Vec::new(),
                     service_violations: described,
                     simd_violations: Vec::new(),
+                    retry_violations: Vec::new(),
                 });
             }
         } else if k % GOVERNED_CHECK_PERIOD == GOVERNED_CHECK_PERIOD / 2 {
@@ -198,7 +213,7 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     .iter()
                     .map(governed::GovernViolation::describe)
                     .collect();
-                report_failure(subseed, &pipeline, None, &[], None, &described, &[], &[]);
+                report_failure(subseed, &pipeline, None, &[], None, &described, &[], &[], &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -208,13 +223,14 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     governed_violations: described,
                     service_violations: Vec::new(),
                     simd_violations: Vec::new(),
+                    retry_violations: Vec::new(),
                 });
             }
         } else if k % SIMD_CHECK_PERIOD == SIMD_CHECK_PERIOD * 3 / 4 {
             let pool = bds_pool::Pool::new_seeded(3, subseed);
             let violations = pool.install(|| simd::check_simd(subseed));
             if !violations.is_empty() {
-                report_failure(subseed, &pipeline, None, &[], None, &[], &[], &violations);
+                report_failure(subseed, &pipeline, None, &[], None, &[], &[], &violations, &[]);
                 failures.push(FailureReport {
                     subseed,
                     pipeline,
@@ -224,6 +240,29 @@ pub fn run_fuzz(master: u64, count: usize, verbose: bool) -> FuzzReport {
                     governed_violations: Vec::new(),
                     service_violations: Vec::new(),
                     simd_violations: violations,
+                    retry_violations: Vec::new(),
+                });
+            }
+        } else if retry::retry_legs_enabled()
+            && k % RETRY_CHECK_PERIOD == RETRY_CHECK_PERIOD / 4
+        {
+            let violations = retry::check_retry(&pipeline, &mut pools);
+            if !violations.is_empty() {
+                let described: Vec<String> = violations
+                    .iter()
+                    .map(retry::RetryViolation::describe)
+                    .collect();
+                report_failure(subseed, &pipeline, None, &[], None, &[], &[], &[], &described);
+                failures.push(FailureReport {
+                    subseed,
+                    pipeline,
+                    shrunk: None,
+                    divergences: Vec::new(),
+                    determinism_error: None,
+                    governed_violations: Vec::new(),
+                    service_violations: Vec::new(),
+                    simd_violations: Vec::new(),
+                    retry_violations: described,
                 });
             }
         }
@@ -253,6 +292,7 @@ fn report_failure(
     governed_violations: &[String],
     service_violations: &[String],
     simd_violations: &[String],
+    retry_violations: &[String],
 ) {
     eprintln!("bds-check: FAILURE  BDS_CHECK_SEED={subseed}");
     eprintln!("  pipeline: {pipeline:?}");
@@ -270,6 +310,9 @@ fn report_failure(
     }
     for v in simd_violations {
         eprintln!("  simd: {v}");
+    }
+    for v in retry_violations {
+        eprintln!("  retry: {v}");
     }
     if let Some(s) = shrunk {
         eprintln!("  shrunk:   {s:?}");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bds-check [--pipelines N] [--seed S] [--replay SUBSEED] [--plan on|off]
-//!           [--simd N]
+//!           [--retry on|off] [--simd N]
 //! ```
 //!
 //! - `--pipelines N` — how many random pipelines to fuzz (default 500).
@@ -12,6 +12,10 @@
 //!   it replays bit-for-bit (schedule, geometry, outcomes).
 //! - `--plan on|off` — include or exclude the plan-optimizer legs of
 //!   the matrix (default on; CI runs both as separate legs).
+//! - `--retry on|off` — include or exclude the periodic block-recovery
+//!   legs (transient retry + deterministic quarantine differentials;
+//!   see `bds_check::retry`). Default on; CI runs both as separate
+//!   legs.
 //! - `--simd N` — skip pipeline fuzzing; run N rounds of the dedicated
 //!   SIMD differential sweep instead (forced-scalar oracle vs every
 //!   dispatch level the CPU supports, lane/chunk-seam lengths; see
@@ -37,6 +41,15 @@ fn main() {
         Some("off") => bds_check::plan::set_plan_legs(false),
         Some(other) => {
             eprintln!("bds-check: --plan takes `on` or `off`, not `{other}`");
+            std::process::exit(2);
+        }
+    }
+
+    match arg_value("--retry").as_deref().map(str::trim) {
+        None | Some("on") => {}
+        Some("off") => bds_check::retry::set_retry_legs(false),
+        Some(other) => {
+            eprintln!("bds-check: --retry takes `on` or `off`, not `{other}`");
             std::process::exit(2);
         }
     }

@@ -64,12 +64,12 @@ impl Geom {
 }
 
 /// RAII holder for one geometry leg's policy/override guard.
-enum GeomGuard {
+pub(crate) enum GeomGuard {
     Policy { _guard: PolicyGuard },
     Block { _guard: BlockSizeGuard },
 }
 
-fn apply_geom(g: Geom) -> GeomGuard {
+pub(crate) fn apply_geom(g: Geom) -> GeomGuard {
     match g {
         Geom::Adaptive => GeomGuard::Policy {
             _guard: set_policy(Policy::Adaptive),

@@ -266,36 +266,43 @@ impl<T: Send + Sync + Clone + 'static> Pipe<T> {
     }
 
     fn execute_sequential(&self, plan: &Plan, consumer: &ConsumerOp<T>) -> Consumed<T> {
-        let mut v: Vec<T> = match &self.source {
-            SourceOp::Tabulate(n, f, _) => (0..*n).map(|i| f(i)).collect(),
-            SourceOp::FromVec(data) => data.as_ref().clone(),
-        };
-        for step in &plan.steps {
-            v = match step {
-                PlanStep::Stage(i) => self.apply_stage_vec(v, *i),
-                PlanStep::FusedFilterMap(idxs) => {
-                    let g = self.fuse_run(idxs);
-                    v.into_iter().filter_map(|x| g(x)).collect()
-                }
-                PlanStep::Gather(idxs) => {
-                    let (offset, len, reversed) = self.gather_params(idxs, v.len());
-                    let mut out: Vec<T> = v.into_iter().skip(offset).take(len).collect();
-                    if reversed {
-                        out.reverse();
-                    }
-                    out
-                }
+        // The sequential lowering is one block as far as recovery is
+        // concerned: it never reserves disjoint output regions, so under
+        // an ambient `RetryPolicy` a transient fault retries the whole
+        // (by-design-cheap) run — the same contract a one-block parallel
+        // geometry has. Without a policy this is a plain pass-through.
+        bds_pool::recover_block(0, || {
+            let mut v: Vec<T> = match &self.source {
+                SourceOp::Tabulate(n, f, _) => (0..*n).map(|i| f(i)).collect(),
+                SourceOp::FromVec(data) => data.as_ref().clone(),
             };
-        }
-        match consumer {
-            ConsumerOp::Collect => Consumed::Vec(v),
-            // Left fold: the same order-preserving combine the parallel
-            // reduce computes for an associative combiner.
-            ConsumerOp::Reduce(zero, f, _) => {
-                Consumed::Scalar(v.into_iter().fold(zero.clone(), |a, b| f(a, b)))
+            for step in &plan.steps {
+                v = match step {
+                    PlanStep::Stage(i) => self.apply_stage_vec(v, *i),
+                    PlanStep::FusedFilterMap(idxs) => {
+                        let g = self.fuse_run(idxs);
+                        v.into_iter().filter_map(|x| g(x)).collect()
+                    }
+                    PlanStep::Gather(idxs) => {
+                        let (offset, len, reversed) = self.gather_params(idxs, v.len());
+                        let mut out: Vec<T> = v.into_iter().skip(offset).take(len).collect();
+                        if reversed {
+                            out.reverse();
+                        }
+                        out
+                    }
+                };
             }
-            ConsumerOp::Count(p, _) => Consumed::Num(v.iter().filter(|x| p(x)).count()),
-        }
+            match consumer {
+                ConsumerOp::Collect => Consumed::Vec(v),
+                // Left fold: the same order-preserving combine the parallel
+                // reduce computes for an associative combiner.
+                ConsumerOp::Reduce(zero, f, _) => {
+                    Consumed::Scalar(v.into_iter().fold(zero.clone(), |a, b| f(a, b)))
+                }
+                ConsumerOp::Count(p, _) => Consumed::Num(v.iter().filter(|x| p(x)).count()),
+            }
+        })
     }
 
     fn apply_stage_vec(&self, v: Vec<T>, i: usize) -> Vec<T> {

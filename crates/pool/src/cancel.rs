@@ -44,6 +44,11 @@ struct CancelState {
     /// [`crate::govern`]). Children inherit it, so memory charges made
     /// on stolen workers reach the right budget with no extra plumbing.
     govern: Option<Arc<crate::govern::GovernCtx>>,
+    /// The recovering run this token belongs to, if any (see
+    /// [`crate::recovery`]). Children inherit it, so block bodies on
+    /// stolen workers find their retry policy the same way they find
+    /// their budget.
+    retry: Option<Arc<crate::recovery::RetryCtx>>,
 }
 
 impl CancelState {
@@ -78,6 +83,7 @@ impl CancelToken {
                 skipped: AtomicU64::new(0),
                 parent: None,
                 govern: None,
+                retry: None,
             }),
         }
     }
@@ -85,8 +91,9 @@ impl CancelToken {
     /// A child token: cancelled when either it or `self` is cancelled.
     /// Cancelling the child does *not* cancel `self` — failures inside
     /// a nested region stay contained in it. The child inherits the
-    /// parent's governed run (if any), so nested regions keep charging
-    /// the same budget.
+    /// parent's governed and recovering runs (if any), so nested
+    /// regions keep charging the same budget and retrying under the
+    /// same policy.
     pub fn child(&self) -> CancelToken {
         CancelToken {
             state: Arc::new(CancelState {
@@ -94,6 +101,7 @@ impl CancelToken {
                 skipped: AtomicU64::new(0),
                 parent: Some(Arc::clone(&self.state)),
                 govern: self.state.govern.clone(),
+                retry: self.state.retry.clone(),
             }),
         }
     }
@@ -106,13 +114,16 @@ impl CancelToken {
                 skipped: AtomicU64::new(0),
                 parent: None,
                 govern: Some(ctx),
+                retry: None,
             }),
         }
     }
 
     /// A child of `self` bound to a *new* governed run: inner budgets
     /// shadow outer ones, while cancellation still flows downward from
-    /// the parent.
+    /// the parent. The recovering run (if any) is inherited unchanged,
+    /// so `run_recovered(run_governed(..))` and the reverse nesting
+    /// both see one retry policy and one budget.
     pub(crate) fn child_governed(&self, ctx: Arc<crate::govern::GovernCtx>) -> CancelToken {
         CancelToken {
             state: Arc::new(CancelState {
@@ -120,6 +131,35 @@ impl CancelToken {
                 skipped: AtomicU64::new(0),
                 parent: Some(Arc::clone(&self.state)),
                 govern: Some(ctx),
+                retry: self.state.retry.clone(),
+            }),
+        }
+    }
+
+    /// A fresh parentless token bound to a recovering run.
+    pub(crate) fn new_retrying(ctx: Arc<crate::recovery::RetryCtx>) -> CancelToken {
+        CancelToken {
+            state: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                skipped: AtomicU64::new(0),
+                parent: None,
+                govern: None,
+                retry: Some(ctx),
+            }),
+        }
+    }
+
+    /// A child of `self` bound to a *new* recovering run: an inner
+    /// retry policy shadows an outer one, while cancellation still
+    /// flows downward and the governed run (if any) is inherited.
+    pub(crate) fn child_retrying(&self, ctx: Arc<crate::recovery::RetryCtx>) -> CancelToken {
+        CancelToken {
+            state: Arc::new(CancelState {
+                cancelled: AtomicBool::new(false),
+                skipped: AtomicU64::new(0),
+                parent: Some(Arc::clone(&self.state)),
+                govern: self.state.govern.clone(),
+                retry: Some(ctx),
             }),
         }
     }
@@ -127,6 +167,11 @@ impl CancelToken {
     /// The governed run this token (via inheritance) belongs to.
     pub(crate) fn govern_ctx(&self) -> Option<Arc<crate::govern::GovernCtx>> {
         self.state.govern.clone()
+    }
+
+    /// The recovering run this token (via inheritance) belongs to.
+    pub(crate) fn retry_ctx(&self) -> Option<Arc<crate::recovery::RetryCtx>> {
+        self.state.retry.clone()
     }
 
     /// Request cancellation. Sibling blocks stop at their next block

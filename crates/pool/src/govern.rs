@@ -392,9 +392,13 @@ pub fn run_governed<R>(budget: Budget, f: impl FnOnce() -> R) -> Result<R, Excee
 /// mean `3/4` of the fixed schedule) while spreading retriers across
 /// half a period.
 ///
-/// The randomness is a process-global Weyl sequence fed through
-/// SplitMix64 — race-tolerant (one relaxed `fetch_add`), no seeding,
-/// and well distributed even when many threads draw concurrently.
+/// On a *seeded* (deterministic) pool's worker thread the randomness is
+/// that worker's jitter stream, derived from the pool seed like the
+/// steal RNG — so a `BDS_CHECK_SEED` replay of a retried pipeline
+/// sleeps the same jittered delays bit-for-bit. Everywhere else it is a
+/// process-global Weyl sequence fed through SplitMix64 — race-tolerant
+/// (one relaxed `fetch_add`), no seeding, and well distributed even
+/// when many threads draw concurrently.
 pub fn backoff_delay(attempt: usize, base: Duration) -> Duration {
     let exp = base.saturating_mul(1u32 << attempt.min(16));
     let nanos = exp.as_nanos().min(u64::MAX as u128) as u64;
@@ -407,6 +411,13 @@ pub fn backoff_delay(attempt: usize, base: Duration) -> Duration {
 }
 
 fn jitter_next() -> u64 {
+    // Deterministic pools get a per-worker stream seeded from the pool
+    // seed (replayable); everyone else shares the global Weyl stream.
+    if let Some(worker) = crate::registry::WorkerThread::current() {
+        if let Some(seeded) = worker.seeded_jitter_next() {
+            return seeded;
+        }
+    }
     static STATE: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
     crate::registry::splitmix64(STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
 }
@@ -420,6 +431,21 @@ fn jitter_next() -> u64 {
 /// retry, and the jitter keeps a crowd of shed callers from retrying in
 /// lockstep. `f` receives the attempt index (0-based).
 ///
+/// With `attempts == 1` this is exactly one call to `f` — no backoff
+/// delay is computed (nothing would sleep on it) and no classification
+/// work runs.
+///
+/// When every attempt fails, the *last* error is returned:
+///
+/// ```
+/// use std::time::Duration;
+/// // Three attempts, all failing: the error from attempt index 2 (the
+/// // last) surfaces, after sleeping the jittered backoff twice.
+/// let r: Result<(), usize> =
+///     bds_pool::retry_with_backoff(3, Duration::ZERO, |attempt| Err(attempt));
+/// assert_eq!(r, Err(2));
+/// ```
+///
 /// # Panics
 /// Panics if `attempts == 0`.
 pub fn retry_with_backoff<T, E>(
@@ -428,6 +454,11 @@ pub fn retry_with_backoff<T, E>(
     mut f: impl FnMut(usize) -> Result<T, E>,
 ) -> Result<T, E> {
     assert!(attempts > 0, "retry_with_backoff needs at least one attempt");
+    if attempts == 1 {
+        // Single attempt: skip the retry machinery entirely rather
+        // than compute a backoff delay that is never slept.
+        return f(0);
+    }
     let mut last_err = None;
     for attempt in 0..attempts {
         match f(attempt) {
@@ -541,6 +572,23 @@ mod tests {
         });
         assert_eq!(r, Err(2));
         assert_eq!(tried.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_with_backoff_single_attempt_runs_once_without_backoff() {
+        let tried = AtomicUsize::new(0);
+        let started = Instant::now();
+        // An enormous base would stall for minutes if the single-attempt
+        // path touched the backoff schedule at all.
+        let r: Result<(), &str> = retry_with_backoff(1, Duration::from_secs(3600), |_| {
+            tried.fetch_add(1, Ordering::Relaxed);
+            Err("fails")
+        });
+        assert_eq!(r, Err("fails"));
+        assert_eq!(tried.load(Ordering::Relaxed), 1);
+        assert!(started.elapsed() < Duration::from_secs(60));
+        let ok: Result<u32, ()> = retry_with_backoff(1, Duration::from_secs(3600), |a| Ok(a as u32));
+        assert_eq!(ok, Ok(0));
     }
 
     #[test]

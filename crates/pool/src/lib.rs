@@ -30,6 +30,7 @@ pub mod cancel;
 pub mod govern;
 mod job;
 mod latch;
+pub mod recovery;
 mod registry;
 mod scope;
 pub mod stats;
@@ -38,6 +39,10 @@ pub use cancel::{apply_cancellable, CancelToken, PollTicker};
 pub use cancel::{reset_ticker_polls, shield, ticker_polls, with_token};
 pub use govern::{backoff_delay, retry_with_backoff, run_governed, Budget, Exceeded};
 pub use latch::{AsyncLatch, Latch};
+pub use recovery::{
+    recover_block, recover_effect_block, recovery_counts, run_recovered,
+    run_recovered_counting, BlockFailed, FaultClass, RecoveryCounts, RetryPolicy,
+};
 pub use registry::AdmitToken;
 pub use stats::{PoolStats, TenantSlot, TenantStats, WorkerStats};
 
@@ -50,12 +55,31 @@ pub mod model_check {
     pub use crate::latch::{Latch, LockLatch, SpinLatch};
 
     use crate::cancel::CancelToken;
+    use crate::recovery::{BlockFailed, RetryCtx, RetryPolicy};
+    use std::sync::Arc;
 
     /// Record `chunks` skipped leaf chunks against `token`, exactly as
     /// the cancellable loop primitives do (incrementing every ancestor
     /// too), so models can check the counter under contention.
     pub fn note_skipped(token: &CancelToken, chunks: u64) {
         token.note_skipped(chunks);
+    }
+
+    /// A fresh recovery context under the default policy, for modeling
+    /// concurrent quarantine recording.
+    pub fn retry_ctx() -> Arc<RetryCtx> {
+        Arc::new(RetryCtx::new(RetryPolicy::default()))
+    }
+
+    /// Record a quarantined block against `ctx`, exactly as the retry
+    /// loop does: among concurrent records the lowest ordinal wins.
+    pub fn record_block_failure(ctx: &RetryCtx, ordinal: usize, attempts: usize) {
+        ctx.record_failure(BlockFailed { ordinal, attempts });
+    }
+
+    /// Take the recorded quarantine, as `run_recovered`'s join does.
+    pub fn take_block_failure(ctx: &RetryCtx) -> Option<BlockFailed> {
+        ctx.take_failure()
     }
 }
 

@@ -83,6 +83,10 @@ pub(crate) struct WorkerThread {
     index: usize,
     /// xorshift state for randomized steal order.
     rng: Cell<u64>,
+    /// Separate xorshift state for retry-backoff jitter (see
+    /// [`WorkerThread::seeded_jitter_next`]); kept apart from the steal
+    /// RNG so drawing jitter never perturbs victim selection replay.
+    jitter: Cell<u64>,
 }
 
 impl Registry {
@@ -211,6 +215,7 @@ impl Registry {
             num_groups: self.num_groups,
             respawns: self.respawns.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
+            recovery: crate::recovery::recovery_counts(),
             tenants: self
                 .tenants
                 .lock()
@@ -506,6 +511,10 @@ impl Drop for BusyGuard<'_> {
     }
 }
 
+/// Salt decorrelating the per-worker jitter stream from the steal-RNG
+/// stream derived from the same pool seed.
+const JITTER_SALT: u64 = 0x6A17_7E52_BACC_0FF5;
+
 /// SplitMix64 finalizer: decorrelates per-worker RNG streams derived
 /// from one pool seed (also used for retry jitter in `govern`).
 pub(crate) fn splitmix64(x: u64) -> u64 {
@@ -521,11 +530,18 @@ fn worker_main(worker: Worker<JobRef>, registry: Arc<Registry>, index: usize) {
         Some(seed) => splitmix64(seed ^ (index as u64 + 1)) | 1,
         None => 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1) | 1,
     };
+    // Jitter stream: decorrelated from the steal RNG by a fixed salt, so
+    // seeded pools replay both steal order *and* backoff delays.
+    let jitter_seed = match registry.seed {
+        Some(seed) => splitmix64(seed ^ JITTER_SALT ^ (index as u64 + 1)) | 1,
+        None => 0xD1B5_4A32_D192_ED03_u64.wrapping_mul(index as u64 + 1) | 1,
+    };
     let me = WorkerThread {
         worker,
         registry,
         index,
         rng: Cell::new(rng_seed),
+        jitter: Cell::new(jitter_seed),
     };
     WORKER.with(|w| w.set(&me as *const WorkerThread));
     // Job panics are caught at the join point and never unwind the main
@@ -589,6 +605,22 @@ impl WorkerThread {
         x ^= x << 17;
         self.rng.set(x);
         (x % self.registry.num_threads as u64) as usize
+    }
+
+    /// The next retry-backoff jitter draw from this worker's seeded
+    /// stream, or `None` when the pool is not in deterministic mode
+    /// (callers then fall back to the process-global jitter source).
+    /// Derived from the pool seed like the steal RNG, so a
+    /// `BDS_CHECK_SEED` replay of a retried pipeline sleeps identical
+    /// delays.
+    pub(crate) fn seeded_jitter_next(&self) -> Option<u64> {
+        self.registry.seed?;
+        let mut x = self.jitter.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.set(x);
+        Some(x.wrapping_mul(0x2545_F491_4F6C_DD1D))
     }
 
     /// This worker's counter slot.

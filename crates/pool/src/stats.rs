@@ -187,6 +187,7 @@ pub(crate) struct TenantCounters {
     exceeded: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    block_retries: AtomicU64,
 }
 
 impl TenantCounters {
@@ -215,6 +216,7 @@ impl TenantCounters {
             exceeded: self.exceeded.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            block_retries: self.block_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -295,6 +297,16 @@ impl TenantSlot {
     pub fn note_plan_miss(&self) {
         WorkerCounters::bump(&self.0.plan_misses);
     }
+
+    /// A request's run re-executed `n` blocks after transient faults
+    /// (see [`crate::run_recovered_counting`]). Distinct from
+    /// [`note_panicked`](Self::note_panicked): a recovered block never
+    /// strikes the tenant's circuit breaker.
+    pub fn note_block_retries(&self, n: u64) {
+        if n > 0 {
+            self.0.block_retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Snapshot of one tenant's counters; see [`TenantSlot`] for when each
@@ -325,6 +337,10 @@ pub struct TenantStats {
     pub plan_hits: u64,
     /// Pipeline submissions that paid for an optimizer run.
     pub plan_misses: u64,
+    /// Blocks re-executed after transient faults across this tenant's
+    /// requests. Distinct from `panicked`: recovered blocks never
+    /// strike the breaker.
+    pub block_retries: u64,
 }
 
 impl TenantStats {
@@ -365,6 +381,7 @@ impl TenantStats {
             exceeded: self.exceeded.saturating_sub(other.exceeded),
             plan_hits: self.plan_hits.saturating_sub(other.plan_hits),
             plan_misses: self.plan_misses.saturating_sub(other.plan_misses),
+            block_retries: self.block_retries.saturating_sub(other.block_retries),
         }
     }
 }
@@ -388,6 +405,11 @@ pub struct PoolStats {
     /// sequential in-caller execution instead (admission control /
     /// saturation shedding). Cumulative over the pool's lifetime.
     pub sheds: u64,
+    /// Block-recovery counters (retries, quarantines, recovered runs).
+    /// Process-wide, like the governance trip counters: recovery state
+    /// lives on tokens, not pools, so the snapshot reports the
+    /// process's cumulative [`crate::recovery_counts`].
+    pub recovery: crate::recovery::RecoveryCounts,
     /// Per-tenant submission counters, one entry per slot created with
     /// [`crate::Pool::tenant_slot`], in creation order. Empty unless a
     /// multi-tenant front-end is using the pool.
@@ -434,6 +456,7 @@ impl PoolStats {
             num_groups: self.num_groups,
             respawns: self.respawns.saturating_sub(baseline.respawns),
             sheds: self.sheds.saturating_sub(baseline.sheds),
+            recovery: self.recovery.saturating_sub(&baseline.recovery),
             tenants,
         }
     }

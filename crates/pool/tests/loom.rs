@@ -18,6 +18,9 @@
 //!   contained.
 //! - The skipped-chunk counter never loses increments under contention
 //!   and aggregates child counts into ancestors.
+//! - The recovery layer's quarantine slot: among concurrently recorded
+//!   block failures the lowest ordinal wins deterministically, and the
+//!   join observes exactly one typed failure.
 //! - The stream core's drive-loop poll ordering: a `PollTicker` inside
 //!   a cancelled region aborts at the first poll boundary after the
 //!   cancel is published, and the process-wide poll counter stays a
@@ -25,7 +28,9 @@
 
 #![cfg(feature = "loom")]
 
-use bds_pool::model_check::{note_skipped, Latch, LockLatch, SpinLatch};
+use bds_pool::model_check::{
+    note_skipped, record_block_failure, retry_ctx, take_block_failure, Latch, LockLatch, SpinLatch,
+};
 use bds_pool::{reset_ticker_polls, ticker_polls, with_token, CancelToken, PollTicker};
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
@@ -177,6 +182,31 @@ fn ticker_poll_counter_deterministic_under_concurrency() {
             w.join().unwrap();
         }
         assert_eq!(ticker_polls(), 2, "polls lost or duplicated");
+    });
+}
+
+/// Two blocks quarantining concurrently against one recovery context
+/// must resolve deterministically: whichever interleaving the recorder
+/// threads take, the join sees exactly one `BlockFailed` and it names
+/// the lowest failed ordinal — the same block a sequential run would
+/// have failed on first. This is the ordering `run_recovered` relies on
+/// to surface one typed error per job.
+#[test]
+fn concurrent_quarantines_surface_the_lowest_ordinal_once() {
+    loom::model(|| {
+        let ctx = retry_ctx();
+        let (c1, c2) = (std::sync::Arc::clone(&ctx), std::sync::Arc::clone(&ctx));
+        let t1 = thread::spawn(move || record_block_failure(&c1, 7, 3));
+        let t2 = thread::spawn(move || record_block_failure(&c2, 2, 3));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let bf = take_block_failure(&ctx).expect("a quarantine was recorded");
+        assert_eq!(bf.ordinal, 2, "lowest failed ordinal wins");
+        assert_eq!(bf.attempts, 3);
+        assert!(
+            take_block_failure(&ctx).is_none(),
+            "exactly one failure surfaces per job"
+        );
     });
 }
 

@@ -111,6 +111,54 @@ fn crash_mid_run_still_completes_the_run() {
 }
 
 #[test]
+fn crash_during_block_retry_still_converges() {
+    let _serial = serial();
+    let pool = Pool::new(2);
+    let before = bds_pool::recovery_counts();
+
+    // One block panics on its first attempt; its retry (attempt 2)
+    // crashes a worker before computing normally. The crash and the
+    // retry must both resolve independently: the respawned worker
+    // rejoins, the retried block lands in its reserved region, and the
+    // job's value is bit-equal to the fault-free sum.
+    let fired = AtomicUsize::new(0);
+    let want: u64 = (0..4096u64).sum();
+    let got = pool.install(|| {
+        bds_pool::run_recovered(bds_pool::RetryPolicy::default(), || {
+            bds_pool::parallel_reduce(
+                4096,
+                64,
+                0u64,
+                &|lo, hi| {
+                    bds_pool::recover_block(lo / 64, || {
+                        if lo == 1024 {
+                            match fired.fetch_add(1, Ordering::SeqCst) {
+                                0 => panic!("resilience: injected transient block fault"),
+                                1 => pool.inject_worker_crash(1),
+                                _ => {}
+                            }
+                        }
+                        (lo..hi).map(|i| i as u64).sum()
+                    })
+                },
+                &|a, b| a + b,
+            )
+        })
+    });
+    assert_eq!(got, Ok(want));
+    assert_eq!(fired.load(Ordering::SeqCst), 2, "fault fired, retry ran once");
+
+    let d = bds_pool::recovery_counts().saturating_sub(&before);
+    assert!(d.block_retries >= 1, "retry must be counted: {d:?}");
+    assert!(d.recovered_jobs >= 1, "salvaged job must be counted: {d:?}");
+    assert_eq!(d.quarantines, 0, "transient fault must not quarantine: {d:?}");
+    wait_for(|| pool.stats().respawns == 1, "worker respawn");
+
+    // The pool stays healthy after the crash-during-retry episode.
+    wait_for(|| threads_used(&pool) == 2, "full parallelism after respawn");
+}
+
+#[test]
 fn heartbeats_advance() {
     let _serial = serial();
     let pool = Pool::new(2);

@@ -14,6 +14,13 @@
 //! which block it lands in depends on scheduling — the sweep covers all
 //! landings.
 //!
+//! A second, *site-keyed* mode serves the block-retry tests: [`arm_at`]
+//! pins the fault to a chosen block ordinal and a fail budget, so
+//! [`poll_at`] fires on the first `fails` attempts of exactly that
+//! block and then heals — `fails = 1` is the canonical transient fault
+//! (fails on attempt 1, succeeds on attempt >= 2), `u64::MAX` a
+//! deterministic one that exhausts any retry budget.
+//!
 //! Mirrors [`crate::counters`]: with the feature disabled every
 //! function is an `#[inline]` no-op stub ([`poll`] is constant `false`)
 //! and instrumented closures compile to the uninstrumented code.
@@ -91,6 +98,72 @@ mod imp {
             disarm();
         }
     }
+
+    // -----------------------------------------------------------------
+    // Site-keyed transient mode
+    // -----------------------------------------------------------------
+
+    /// Which block ordinal the transient fault is keyed to; `u64::MAX`
+    /// means disarmed.
+    static SITE: AtomicU64 = AtomicU64::new(u64::MAX);
+    /// How many more times the site fires before it heals. Armed with
+    /// `fails = 1` this models a transient fault: the block fails on
+    /// attempt 1 and succeeds on every attempt >= 2.
+    static SITE_FIRES_LEFT: AtomicU64 = AtomicU64::new(0);
+
+    /// Arm the *transient* injector: the next `fails` calls of
+    /// [`poll_at`] with ordinal `site` fire, then the site heals and
+    /// every later poll succeeds. Unlike the global countdown, the
+    /// firing block ordinal is chosen by the test, not by scheduling —
+    /// exactly what block-retry tests need to assert "one retry at
+    /// ordinal `site`, bit-identical result".
+    pub fn arm_at(site: u64, fails: u64) -> ArmedAt {
+        assert!(site != u64::MAX, "u64::MAX is the disarmed sentinel");
+        SITE_FIRES_LEFT.store(fails, Ordering::SeqCst);
+        SITE.store(site, Ordering::SeqCst);
+        ArmedAt { _priv: () }
+    }
+
+    /// Disarm the site-keyed injector.
+    pub fn disarm_at() {
+        SITE.store(u64::MAX, Ordering::SeqCst);
+        SITE_FIRES_LEFT.store(0, Ordering::SeqCst);
+    }
+
+    /// Should the block at ordinal `site` fail *this attempt*? Fires on
+    /// the first `fails` polls for the armed ordinal (across retries),
+    /// then returns `false` forever — a healed transient fault.
+    #[inline]
+    pub fn poll_at(site: u64) -> bool {
+        if SITE.load(Ordering::Relaxed) != site {
+            return false;
+        }
+        SITE_FIRES_LEFT
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |left| {
+                left.checked_sub(1)
+            })
+            .is_ok()
+    }
+
+    /// Like [`poll_at`], but panics with a recognizable message when it
+    /// fires.
+    #[inline]
+    pub fn poll_at_panic(site: u64) {
+        if poll_at(site) {
+            panic!("injected transient fault at block {site}");
+        }
+    }
+
+    /// Disarms the site-keyed injector when dropped.
+    pub struct ArmedAt {
+        _priv: (),
+    }
+
+    impl Drop for ArmedAt {
+        fn drop(&mut self) {
+            disarm_at();
+        }
+    }
 }
 
 #[cfg(not(feature = "fault-inject"))]
@@ -120,6 +193,26 @@ mod imp {
     }
     /// No-op without the `fault-inject` feature.
     pub fn reset_polls() {}
+
+    /// Disarmed-guard stand-in without the `fault-inject` feature.
+    pub struct ArmedAt {
+        _priv: (),
+    }
+
+    /// No-op without the `fault-inject` feature.
+    pub fn arm_at(_site: u64, _fails: u64) -> ArmedAt {
+        ArmedAt { _priv: () }
+    }
+    /// No-op without the `fault-inject` feature.
+    pub fn disarm_at() {}
+    /// Always `false` without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn poll_at(_site: u64) -> bool {
+        false
+    }
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn poll_at_panic(_site: u64) {}
 }
 
 pub use imp::*;
@@ -171,5 +264,31 @@ mod tests {
         reset_polls();
         assert!((0..100).all(|_| !poll()));
         assert_eq!(polls(), 100);
+    }
+
+    #[test]
+    fn transient_site_fires_then_heals() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _armed = arm_at(5, 1);
+        assert!(!poll_at(3), "unkeyed ordinals never fire");
+        assert!(poll_at(5), "attempt 1 at the armed site fails");
+        assert!(!poll_at(5), "attempt 2 succeeds: the fault was transient");
+        assert!(!poll_at(5));
+    }
+
+    #[test]
+    fn deterministic_site_fires_forever_with_large_budget() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _armed = arm_at(2, u64::MAX);
+        assert!((0..50).all(|_| poll_at(2)), "never heals within any retry budget");
+    }
+
+    #[test]
+    fn armed_at_guard_disarms_on_drop() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _armed = arm_at(0, 10);
+        }
+        assert!(!poll_at(0), "guard drop must disarm the site");
     }
 }

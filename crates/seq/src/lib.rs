@@ -122,6 +122,10 @@ pub use fallible::TrySeqExt;
 pub use filter::Filtered;
 pub use flatten::{flatten, Flattened, RegionIter};
 pub use governed::{run_governed, Budget, Exceeded, GovernedExt};
+pub use bds_pool::{
+    recovery_counts, run_recovered, run_recovered_counting, BlockFailed, FaultClass,
+    RecoveryCounts, RetryPolicy,
+};
 pub use policy::{
     block_size, block_size_costed, force_block_size, policy, set_policy, BlockSizeGuard, Policy,
     PolicyGuard, DEFAULT_FIXED_MULTIPLIER, MIN_BLOCK,

@@ -41,6 +41,14 @@
 //!    [`bds_pool::apply_cancellable`] for the fallible drivers) streams
 //!    each block exactly once into its output slot, with the overflow/
 //!    underflow asserts that make the disjoint parallel writes safe.
+//!    Every block body runs under [`bds_pool::recover_block`]
+//!    ([`bds_pool::recover_effect_block`] for the side-effecting
+//!    `for_each` loops): when an enclosing
+//!    [`bds_pool::run_recovered`] supplies a
+//!    [`bds_pool::RetryPolicy`], a panicking block is classified and
+//!    transient faults re-execute *only that block* into its
+//!    already-reserved region — geometry is pinned once, before the
+//!    loop, so a retried run is bit-identical to an unfaulted one.
 //!
 //! Cancellation polling is *not* repeated here: the leaf element
 //! iterators of every instantiation embed a
@@ -189,12 +197,20 @@ fn record(stage: Stage, g: Geometry) {
 // ---------------------------------------------------------------------
 
 /// Stream every block through `f`, in parallel, producing no output.
+///
+/// Side-effecting blocks re-run user effects on retry, so this loop
+/// goes through [`bds_pool::recover_effect_block`]: blocks are *not*
+/// retried unless the ambient [`bds_pool::RetryPolicy`] explicitly
+/// opted in via `retry_side_effects` (see the legality table in
+/// DESIGN.md).
 fn visit_blocks<S, F>(s: &S, g: Geometry, f: F)
 where
     S: IndexedStream + ?Sized,
     F: Fn(usize, S::Block<'_>) + Send + Sync,
 {
-    bds_pool::apply(g.nb, |j| f(j, s.stream_block(j)));
+    bds_pool::apply(g.nb, |j| {
+        bds_pool::recover_effect_block(j, || f(j, s.stream_block(j)))
+    });
 }
 
 /// One output per block: stream block `j` through `f` and collect the
@@ -208,7 +224,12 @@ where
 {
     build_vec(g.nb, |pv| {
         bds_pool::apply(g.nb, |j| {
-            pv.writer(j).push(f(j, s.stream_block(j)));
+            // Pure block write: the push happens only after `f`
+            // succeeds, so a retried attempt (transient fault mid-`f`)
+            // re-streams the block into the still-empty slot.
+            bds_pool::recover_block(j, || {
+                pv.writer(j).push(f(j, s.stream_block(j)));
+            });
         });
     })
 }
@@ -225,8 +246,12 @@ where
 {
     let pv = PartialVec::new(g.nb);
     bds_pool::apply_cancellable(g.nb, |j| {
-        pv.writer(j).push(f(j, s.stream_block(j))?);
-        Ok(())
+        // Retry wraps only panic faults; an `Err` return is a result,
+        // not a fault, and short-circuits the region unretried.
+        bds_pool::recover_block(j, || {
+            pv.writer(j).push(f(j, s.stream_block(j))?);
+            Ok(())
+        })
     })?;
     Ok(pv.finish())
 }
@@ -240,13 +265,18 @@ where
 {
     build_vec(g.len, |pv| {
         bds_pool::apply(g.nb, |j| {
-            let (lo, hi) = g.block_bounds(j);
-            let mut w = pv.writer(lo);
-            for x in s.stream_block(j) {
-                assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
-                w.push(x);
-            }
-            assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+            // Idempotent by construction: the writer guard discards
+            // its partial prefix on unwind, so a retried attempt
+            // re-streams the whole block into its untouched region.
+            bds_pool::recover_block(j, || {
+                let (lo, hi) = g.block_bounds(j);
+                let mut w = pv.writer(lo);
+                for x in s.stream_block(j) {
+                    assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
+                    w.push(x);
+                }
+                assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+            });
         });
     })
 }
@@ -262,14 +292,16 @@ where
 {
     let pv = PartialVec::new(g.len);
     bds_pool::apply_cancellable(g.nb, |j| {
-        let (lo, hi) = g.block_bounds(j);
-        let mut w = pv.writer(lo);
-        for x in s.stream_block(j) {
-            assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
-            w.push(f(x)?);
-        }
-        assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
-        Ok(())
+        bds_pool::recover_block(j, || {
+            let (lo, hi) = g.block_bounds(j);
+            let mut w = pv.writer(lo);
+            for x in s.stream_block(j) {
+                assert!(lo + w.count() < hi, "Seq invariant violated: block overflow");
+                w.push(f(x)?);
+            }
+            assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+            Ok(())
+        })
     })?;
     Ok(pv.finish())
 }
@@ -492,15 +524,19 @@ where
     // Phase 3: per-block exclusive rescans seeded by the offsets.
     let out_pv = PartialVec::new(g.len);
     bds_pool::apply_cancellable(g.nb, |j| {
-        let (lo, hi) = g.block_bounds(j);
-        let mut acc = seeds[j].clone();
-        let mut w = out_pv.writer(lo);
-        for x in s.stream_block(j) {
-            w.push(acc.clone());
-            acc = f(acc, x)?;
-        }
-        assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
-        Ok(())
+        // Retry-safe: the seed is re-read and the region re-written
+        // from scratch, so a retried rescan is bit-identical.
+        bds_pool::recover_block(j, || {
+            let (lo, hi) = g.block_bounds(j);
+            let mut acc = seeds[j].clone();
+            let mut w = out_pv.writer(lo);
+            for x in s.stream_block(j) {
+                w.push(acc.clone());
+                acc = f(acc, x)?;
+            }
+            assert_eq!(lo + w.count(), hi, "Seq invariant violated: block underflow");
+            Ok(())
+        })
     })?;
     Ok((Forced::from_vec(out_pv.finish()), total))
 }

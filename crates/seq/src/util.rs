@@ -7,12 +7,15 @@
 //! Materialization writes each block of a fresh uninitialized buffer
 //! from its own parallel task. Before the failure-semantics work this
 //! used bare raw-pointer writes and leaked already-written elements on
-//! panic; now every task writes through a [`BlockWriter`] drop guard
-//! that records the *initialized prefix* of its region even when the
-//! task unwinds or errors out mid-block. [`PartialVec`] keeps those
-//! records and, if the buffer is abandoned (panic, error, or
-//! cancellation), drops exactly the initialized elements — no leak, no
-//! double drop, nothing uninitialized read.
+//! panic; now every task writes through a [`BlockWriter`] drop guard.
+//! On a normal exit (including an `Err` return) the guard records the
+//! *initialized prefix* of its region; on unwind it instead drops the
+//! partial prefix in place and records nothing, so a retried block
+//! (see [`bds_pool::recover_block`]) re-writes its full region from a
+//! clean slate. [`PartialVec`] keeps the records and, if the buffer is
+//! abandoned (panic, error, or cancellation), drops exactly the
+//! recorded elements — no leak, no double drop, nothing uninitialized
+//! read.
 //!
 //! Visibility: the pool's join protocol guarantees every block task
 //! completes (or is skipped) before the builder thread resumes, which
@@ -79,8 +82,9 @@ impl<T: Send> PartialVec<T> {
     /// Begin writing the contiguous region that starts at slot `start`.
     ///
     /// The returned guard records however many elements were pushed
-    /// when it drops — on success *and* on unwind — so the buffer
-    /// always knows its initialized prefix of this region.
+    /// when it drops normally (success or `Err` return). On unwind it
+    /// discards the partial prefix instead, so a retried block starts
+    /// from an untouched region.
     pub(crate) fn writer(&self, start: usize) -> BlockWriter<'_, T> {
         BlockWriter {
             pv: self,
@@ -190,9 +194,26 @@ impl<T: Send> BlockWriter<'_, T> {
 
 impl<T: Send> Drop for BlockWriter<'_, T> {
     fn drop(&mut self) {
-        if self.written > 0 {
-            self.pv.record(self.start, self.written);
+        if self.written == 0 {
+            return;
         }
+        if std::thread::panicking() {
+            // Unwinding mid-region: drop the partial prefix here and
+            // record nothing, leaving the region exactly as it was
+            // before this attempt. That makes a block re-execution
+            // (see `bds_pool::recover_block`) write the full region
+            // from scratch with no double-drop and no overlapping
+            // segment records — block writes are idempotent by
+            // construction.
+            unsafe {
+                std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(
+                    self.pv.ptr.add(self.start),
+                    self.written,
+                ));
+            }
+            return;
+        }
+        self.pv.record(self.start, self.written);
     }
 }
 

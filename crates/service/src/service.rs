@@ -26,7 +26,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bds_pool::{backoff_delay, run_governed, Budget, Pool, PoolStats, TenantSlot};
+use bds_pool::{
+    backoff_delay, run_governed, run_recovered_counting, Budget, Pool, PoolStats, RetryPolicy,
+    TenantSlot,
+};
 use parking_lot::{Condvar, Mutex};
 
 use crate::breaker::{Breaker, BreakerConfig};
@@ -148,6 +151,12 @@ struct TenantState {
     queue: VecDeque<Request>,
     breaker: Arc<Breaker>,
     slot: TenantSlot,
+    /// Block-granular [`RetryPolicy`] applied to this tenant's
+    /// requests; `None` (the default) runs them unretried. Recovered
+    /// blocks count in [`TenantStats::block_retries`]
+    /// (`bds_pool::TenantStats`) and never strike the circuit breaker —
+    /// only quarantines and escaped panics do.
+    retry: Option<RetryPolicy>,
 }
 
 struct DispatchState {
@@ -400,10 +409,34 @@ impl Service {
             queue: VecDeque::new(),
             breaker: Arc::new(Breaker::new(self.inner.cfg.breaker.clone())),
             slot: self.inner.pool.tenant_slot(name),
+            retry: None,
         });
         Tenant {
             idx: st.tenants.len() - 1,
         }
+    }
+
+    /// Set (or clear, with `None`) the block-granular [`RetryPolicy`]
+    /// for `tenant`'s future submissions. Under a policy, a transiently
+    /// panicking block inside a request is re-executed in place instead
+    /// of failing the whole request; a deterministically failing block
+    /// quarantines the request with a typed
+    /// [`ServiceError::BlockFailed`]. Recovered blocks are counted per
+    /// tenant (`block_retries` in [`PoolStats::tenants`]) and do *not*
+    /// strike the circuit breaker; quarantines do.
+    ///
+    /// Already-queued requests keep the policy they were submitted
+    /// under.
+    ///
+    /// # Panics
+    /// Panics if `tenant` was issued by a different service.
+    pub fn set_tenant_retry(&self, tenant: Tenant, policy: Option<RetryPolicy>) {
+        let mut st = self.inner.state.lock();
+        let t = st
+            .tenants
+            .get_mut(tenant.idx)
+            .expect("Tenant handle used on a service that did not issue it");
+        t.retry = policy;
     }
 
     /// Submit `f` to run under `budget` on behalf of `tenant`.
@@ -412,8 +445,11 @@ impl Service {
     /// feasibility (given queue depth and the observed service time),
     /// circuit breaker. On `Ok`, the returned [`Ticket`] resolves to
     /// exactly one [`Response`](crate::Response): `Ok(value)`,
-    /// `Err(ServiceError::Exceeded(_))` on a budget trip, or
-    /// `Err(ServiceError::Panicked(_))` if `f` panicked.
+    /// `Err(ServiceError::Exceeded(_))` on a budget trip,
+    /// `Err(ServiceError::Panicked(_))` if `f` panicked, or — under a
+    /// per-tenant [`RetryPolicy`] (see [`Service::set_tenant_retry`]) —
+    /// `Err(ServiceError::BlockFailed(_))` when a block failed
+    /// deterministically and was quarantined.
     ///
     /// # Panics
     /// Panics if `tenant` was issued by a different service.
@@ -455,6 +491,7 @@ impl Service {
         let ticket = Ticket::new(Arc::clone(&shared));
         let breaker = Arc::clone(&t.breaker);
         let slot = t.slot.clone();
+        let retry = t.retry;
         let done = Arc::clone(inner);
         let run: Box<dyn FnOnce() + Send> = Box::new(move || {
             let started = Instant::now();
@@ -462,20 +499,44 @@ impl Service {
             // request into a typed response instead of a crashed
             // worker. AssertUnwindSafe: `f` is consumed either way, and
             // run_governed's partial state is reclaimed by its own drop
-            // guards.
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_governed(budget, f)));
+            // guards. Under a tenant RetryPolicy the recovery layer
+            // nests *outside* the budget, so every block attempt is
+            // charged and a retry storm trips `Exceeded` honestly.
+            let outcome = match retry {
+                None => {
+                    catch_unwind(AssertUnwindSafe(|| run_governed(budget, f))).map(|r| (Ok(r), 0))
+                }
+                Some(policy) => catch_unwind(AssertUnwindSafe(|| {
+                    run_recovered_counting(policy, || run_governed(budget, f))
+                })),
+            };
             let elapsed = started.elapsed();
             let response = match outcome {
-                Ok(Ok(value)) => {
+                Ok((Ok(Ok(value)), retried)) => {
+                    // Recovered blocks are a separate ledger from
+                    // breaker strikes: a retried-then-completed request
+                    // clears strikes like any success.
+                    slot.note_block_retries(retried);
                     breaker.on_success();
                     Ok(value)
                 }
-                Ok(Err(exceeded)) => {
+                Ok((Ok(Err(exceeded)), retried)) => {
                     // A budget trip is the budget working, not the
                     // tenant crashing: it clears breaker strikes.
+                    slot.note_block_retries(retried);
                     breaker.on_success();
                     slot.note_exceeded();
                     Err(ServiceError::Exceeded(exceeded))
+                }
+                Ok((Err(block_failed), retried)) => {
+                    // Deterministic block failure: quarantined after
+                    // max_attempts. Strikes the breaker like a panic —
+                    // it *is* repeated panicking user code — but
+                    // surfaces typed, never as an escaped payload.
+                    slot.note_block_retries(retried);
+                    breaker.on_panic(Instant::now());
+                    slot.note_panicked();
+                    Err(ServiceError::BlockFailed(block_failed))
                 }
                 Err(payload) => {
                     breaker.on_panic(Instant::now());
@@ -749,6 +810,91 @@ mod tests {
         // The pool healed too: panics were caught at the request
         // boundary, not by crashing workers.
         assert_eq!(stats.respawns, 0);
+    }
+
+    #[test]
+    fn tenant_retry_recovers_transient_block_faults_without_breaker_strikes() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_concurrent: 2,
+            quantum: 1,
+            breaker: BreakerConfig {
+                trip_after: 1, // one strike would open it — recovery must not strike
+                ..BreakerConfig::default()
+            },
+            cold_start_work: 4096,
+        });
+        let tenant = svc.tenant("flaky");
+        svc.set_tenant_retry(tenant, Some(bds_pool::RetryPolicy::default()));
+        let fires = Arc::new(AtomicUsize::new(1));
+        let f = Arc::clone(&fires);
+        let ticket = svc
+            .submit(tenant, Budget::unlimited(), move || {
+                let total = AtomicUsize::new(0);
+                bds_pool::apply(8, |j| {
+                    bds_pool::recover_block(j, || {
+                        let fired = j == 3
+                            && f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                                n.checked_sub(1)
+                            })
+                            .is_ok();
+                        if fired {
+                            panic!("transient fault at block 3");
+                        }
+                        total.fetch_add(j, Ordering::SeqCst);
+                    });
+                });
+                total.load(Ordering::SeqCst)
+            })
+            .expect("admitted");
+        assert_eq!(ticket.wait(), Ok((0..8).sum()));
+        let stats = svc.stats();
+        assert_eq!(stats.tenants[0].block_retries, 1, "the recovered block is counted");
+        assert_eq!(stats.tenants[0].panicked, 0, "recovery is not a panic");
+        // The breaker (trip_after: 1) must still admit: retried blocks
+        // are a separate ledger from strikes.
+        let ok = svc.submit(tenant, Budget::unlimited(), || 1u32).expect("breaker closed");
+        assert_eq!(ok.wait(), Ok(1));
+    }
+
+    #[test]
+    fn tenant_retry_quarantines_deterministic_faults_as_typed_responses() {
+        let svc = small(2);
+        let tenant = svc.tenant("doomed");
+        svc.set_tenant_retry(
+            tenant,
+            Some(bds_pool::RetryPolicy::default().with_max_attempts(3)),
+        );
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a = Arc::clone(&attempts);
+        let ticket = svc
+            .submit(tenant, Budget::unlimited(), move || {
+                bds_pool::apply(4, |j| {
+                    bds_pool::recover_block(j, || {
+                        if j == 2 {
+                            a.fetch_add(1, Ordering::SeqCst);
+                            panic!("deterministic fault at block 2");
+                        }
+                    });
+                });
+            })
+            .expect("admitted");
+        match ticket.wait() {
+            Err(ServiceError::BlockFailed(bf)) => {
+                assert_eq!(bf.ordinal, 2);
+                assert_eq!(bf.attempts, 3);
+            }
+            other => panic!("expected a typed quarantine, got {other:?}"),
+        }
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "exactly max_attempts executions");
+        let stats = svc.stats();
+        assert_eq!(stats.tenants[0].block_retries, 2, "attempts 2 and 3 were retries");
+        assert_eq!(stats.tenants[0].panicked, 1, "quarantine strikes like a panic");
+        // Workers survived: the fault was caught at block granularity.
+        assert_eq!(stats.respawns, 0);
+        let ok = svc.submit(tenant, Budget::unlimited(), || 5u32).expect("admitted");
+        assert_eq!(ok.wait(), Ok(5));
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub enum ServiceError {
     /// preserved. The worker that ran it is unaffected (panics are
     /// caught at the request boundary).
     Panicked(String),
+    /// The request ran under a per-tenant
+    /// [`RetryPolicy`](bds_pool::RetryPolicy) and one block failed
+    /// deterministically: it was quarantined after
+    /// [`BlockFailed::attempts`](bds_pool::BlockFailed) executions and
+    /// the rest of the request's partial work was reclaimed.
+    BlockFailed(bds_pool::BlockFailed),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -38,6 +44,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Exceeded(e) => write!(f, "budget exceeded: {e}"),
             ServiceError::Panicked(msg) => write!(f, "request panicked: {msg}"),
+            ServiceError::BlockFailed(bf) => write!(f, "{bf}"),
         }
     }
 }
